@@ -1,0 +1,77 @@
+//! T4 — cluster allocator: allocate/release cycles and placement planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, NodeId, ResourceVec};
+use tacc_sched::{PlacementStrategy, Planner};
+
+fn cluster(nodes: u32) -> Cluster {
+    Cluster::new(ClusterSpec::uniform(nodes / 8, 8, GpuModel::A100, 8))
+}
+
+fn bench_allocate_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_release");
+    for nodes in [32u32, 256, 1024] {
+        group.bench_function(BenchmarkId::from_parameter(nodes), |b| {
+            let mut cl = cluster(nodes);
+            let target = NodeId::from_index((nodes - 1) as usize);
+            b.iter(|| {
+                let lease = cl
+                    .allocate(1, &[(target, ResourceVec::gpus_only(4))])
+                    .expect("fits");
+                cl.release(lease.id()).expect("valid");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_plan");
+    for strategy in [
+        PlacementStrategy::Pack,
+        PlacementStrategy::Spread,
+        PlacementStrategy::TopologyAware,
+    ] {
+        for nodes in [32u32, 256] {
+            // Half-full cluster: the planner has real choices to make.
+            let mut cl = cluster(nodes);
+            for i in 0..(nodes / 2) as usize {
+                cl.allocate(
+                    i as u64,
+                    &[(NodeId::from_index(i), ResourceVec::gpus_only(5))],
+                )
+                .expect("fits");
+            }
+            let planner = Planner::new(strategy);
+            let id = BenchmarkId::new(strategy.to_string(), nodes);
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    criterion::black_box(planner.plan(
+                        &cl,
+                        4,
+                        ResourceVec::gpus_only(2),
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let mut cl = cluster(256);
+    for i in 0..128usize {
+        cl.allocate(
+            i as u64,
+            &[(NodeId::from_index(i), ResourceVec::gpus_only((i % 8) as u32 + 1))],
+        )
+        .expect("fits");
+    }
+    c.bench_function("fragmentation_256nodes", |b| {
+        b.iter(|| criterion::black_box(cl.fragmentation(8)));
+    });
+}
+
+criterion_group!(benches, bench_allocate_release, bench_planning, bench_fragmentation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! T4 — compiler layer: warm/cold compilation latency and raw chunk ops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tacc_compiler::{ChunkCache, ChunkId, Compiler, CompilerConfig};
+use tacc_workload::{GroupId, RuntimeEnv, TaskSchema};
+
+fn schema(dataset: &str) -> TaskSchema {
+    TaskSchema::builder("bench", GroupId::from_index(0))
+        .env(RuntimeEnv {
+            image: "pytorch-2.1-cuda12".to_owned(),
+            dependencies: vec![("common-ml-stack".to_owned(), 1800)],
+            dataset: Some((dataset.to_owned(), 12_000)),
+            code_mb: 5,
+        })
+        .build()
+        .expect("valid")
+}
+
+fn bench_compile(c: &mut Criterion) {
+    // Warm path: everything cached, only code moves.
+    c.bench_function("compile_warm", |b| {
+        let mut compiler = Compiler::new(CompilerConfig::default());
+        let s = schema("imagenet-subset");
+        compiler.compile(&s).expect("valid");
+        b.iter(|| criterion::black_box(compiler.compile(&s).expect("valid")));
+    });
+
+    // Cold path: fresh cache per batch.
+    c.bench_function("compile_cold", |b| {
+        let s = schema("imagenet-subset");
+        b.iter_batched(
+            || Compiler::new(CompilerConfig::default()),
+            |mut compiler| criterion::black_box(compiler.compile(&s).expect("valid")),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_chunk_ops(c: &mut Criterion) {
+    c.bench_function("chunk_fetch_hit", |b| {
+        let mut cache = ChunkCache::new(100_000);
+        let id = ChunkId::of("layer", 500);
+        cache.fetch(id, 500);
+        b.iter(|| criterion::black_box(cache.fetch(id, 500)));
+    });
+
+    c.bench_function("chunk_fetch_evicting", |b| {
+        // Cache of 10 chunks: every fetch of a rotating set evicts.
+        let mut cache = ChunkCache::new(5_000);
+        let ids: Vec<ChunkId> = (0..20).map(|i| ChunkId::of(&format!("c{i}"), 500)).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            criterion::black_box(cache.fetch(ids[i], 500))
+        });
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_chunk_ops);
+criterion_main!(benches);

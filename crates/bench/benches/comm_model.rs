@@ -1,0 +1,59 @@
+//! T4 — execution layer: iteration-time planning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, NodeId};
+use tacc_exec::{comm, ExecConfig, ExecModel};
+use tacc_workload::{ModelProfile, RuntimePreference};
+
+fn bench_plan_training(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterSpec::uniform(8, 8, GpuModel::A100, 8));
+    let model = ExecModel::new(ExecConfig::default());
+    let profile = ModelProfile::gpt2_like();
+    let mut group = c.benchmark_group("plan_training");
+    for gpus in [8u32, 64, 512] {
+        let nodes: Vec<NodeId> = (0..(gpus / 8).max(1) as usize)
+            .map(NodeId::from_index)
+            .collect();
+        group.bench_function(BenchmarkId::from_parameter(gpus), |b| {
+            b.iter(|| {
+                criterion::black_box(model.plan_training(
+                    &cluster,
+                    RuntimePreference::AllReduce,
+                    &nodes,
+                    gpus,
+                    GpuModel::A100,
+                    &profile,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_raw_collectives(c: &mut Criterion) {
+    c.bench_function("ring_allreduce_cost", |b| {
+        b.iter(|| criterion::black_box(comm::ring_allreduce_secs(1500.0, 64, 100.0)));
+    });
+    c.bench_function("hierarchical_allreduce_cost", |b| {
+        b.iter(|| {
+            criterion::black_box(comm::hierarchical_allreduce_secs(1500.0, 8, 8, 600.0, 100.0))
+        });
+    });
+}
+
+fn bench_bottleneck_lookup(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterSpec::uniform(8, 8, GpuModel::A100, 8));
+    let nodes: Vec<NodeId> = (0..32).map(NodeId::from_index).collect();
+    c.bench_function("bottleneck_32nodes", |b| {
+        b.iter(|| criterion::black_box(comm::bottleneck_bandwidth_gbps(&cluster, &nodes)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plan_training,
+    bench_raw_collectives,
+    bench_bottleneck_lookup
+);
+criterion_main!(benches);

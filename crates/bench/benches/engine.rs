@@ -1,0 +1,49 @@
+//! T4 — event engine throughput and end-to-end simulation rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use tacc_core::{Platform, PlatformConfig};
+use tacc_sim::{EventQueue, SimTime};
+use tacc_workload::{GenParams, TraceGenerator};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Interleaved times exercise heap reshuffling.
+            for i in 0..n {
+                let t = ((i * 2_654_435_761) % 1_000_000) as f64;
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            criterion::black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_day(c: &mut Criterion) {
+    // Simulating one day of the canonical campus workload — the number the
+    // experiment harnesses care about ("how long does a 30-day replay
+    // take?").
+    let trace = TraceGenerator::new(GenParams::default(), 7).generate_days(1.0);
+    let mut group = c.benchmark_group("platform");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("one_day_replay", |b| {
+        b.iter(|| {
+            let mut platform = Platform::new(PlatformConfig::default());
+            criterion::black_box(platform.run_trace(&trace))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_end_to_end_day);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! T4 — scheduler decision latency vs cluster size and queue depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, ResourceVec};
+use tacc_sched::{Scheduler, SchedulerConfig, TaskRequest};
+use tacc_workload::{GroupId, JobId, QosClass};
+
+fn request(id: u64, gpus: u32, est: f64) -> TaskRequest {
+    TaskRequest {
+        id: JobId::from_value(id),
+        group: GroupId::from_index((id % 8) as usize),
+        qos: QosClass::Guaranteed,
+        workers: 1,
+        per_worker: ResourceVec::gpus_only(gpus),
+        est_secs: est,
+        submit_secs: id as f64,
+        elastic: false,
+    }
+}
+
+/// One full scheduling round over a queue that mostly cannot start (the
+/// expensive case: reservations + backfill scans).
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_round");
+    for nodes in [16usize, 64, 256, 1024] {
+        for depth in [64usize, 512] {
+            let id = BenchmarkId::new(format!("{nodes}nodes"), depth);
+            group.bench_function(id, |b| {
+                b.iter_batched(
+                    || {
+                        let cluster = Cluster::new(ClusterSpec::uniform(
+                            (nodes / 8).max(1) as u32,
+                            8,
+                            GpuModel::A100,
+                            8,
+                        ));
+                        let mut sched = Scheduler::new(SchedulerConfig::default());
+                        // Saturate the cluster with long jobs, then queue
+                        // `depth` more behind them.
+                        let mut cluster = cluster;
+                        for i in 0..nodes as u64 {
+                            sched.submit(request(i, 8, 1e6));
+                        }
+                        sched.schedule(0.0, &mut cluster);
+                        for i in 0..depth as u64 {
+                            sched.submit(request(1_000_000 + i, (i % 8 + 1) as u32, 600.0));
+                        }
+                        (sched, cluster)
+                    },
+                    |(mut sched, mut cluster)| {
+                        let out = sched.schedule(1.0, &mut cluster);
+                        criterion::black_box(out)
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! # tacc-bench
+//!
+//! Experiment-regeneration harnesses and Criterion micro-benchmarks for the
+//! `tacc-rs` reproduction.
+//!
+//! Every table and figure in EXPERIMENTS.md has a binary here that
+//! regenerates it:
+//!
+//! | Target | Experiment |
+//! |---|---|
+//! | `exp_f1` | F1 — trace characterization |
+//! | `exp_t1` | T1 — scheduling policy comparison |
+//! | `exp_f2` | F2 — utilization: static partition vs borrowing |
+//! | `exp_f3` | F3 — fairness under load sweep |
+//! | `exp_f4` | F4 — backfill effectiveness |
+//! | `exp_f5` | F5 — preemption & checkpoint-interval ablation |
+//! | `exp_t2` | T2 — placement strategy comparison |
+//! | `exp_t3` | T3 — compiler delta cache |
+//! | `exp_f6` | F6 — distributed-training scaling |
+//! | `exp_f7` | F7 — failure injection & fail-safe switching |
+//! | `exp_f8` | F8 — dataset staging from the shared filesystem |
+//! | `exp_f9` | F9 — gang time-slicing |
+//! | `exp_t5` | T5 — elastic (Pollux-style) admission |
+//! | `exp_f10` | F10 — capacity planning curve |
+//! | `exp_t6` | T6 — heterogeneous GPU pools |
+//! | `cargo bench` | T4 — scheduler/allocator/cache/comm/engine latency |
+//!
+//! Run all of them with:
+//!
+//! ```sh
+//! for e in f1 t1 f2 f3 f4 f5 t2 t3 f6 f7 f8 f9 t5 f10 t6; do
+//!   cargo run --release -p tacc-bench --bin exp_$e
+//! done
+//! cargo bench -p tacc-bench
+//! ```
+//!
+//! This library holds the small amount of shared setup the binaries use so
+//! that every experiment runs on the same canonical cluster and trace
+//! definitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tacc_core::PlatformConfig;
+use tacc_workload::{GenParams, Trace, TraceGenerator};
+
+/// The canonical trace seed shared by all experiments, so that policy
+/// comparisons replay the identical submission sequence.
+pub const TRACE_SEED: u64 = 20_240_601;
+
+/// The canonical moderately-contended workload: `days` days at `load`×
+/// the default arrival rate on the 256-GPU campus cluster.
+pub fn standard_trace(days: f64, load: f64) -> Trace {
+    TraceGenerator::new(GenParams::default().with_load_factor(load), TRACE_SEED)
+        .generate_days(days)
+}
+
+/// A trace with a controlled multi-node (≥16 GPU) job fraction.
+pub fn multinode_trace(days: f64, load: f64, multi_fraction: f64) -> Trace {
+    let params = GenParams::default()
+        .with_load_factor(load)
+        .with_multi_node_fraction(multi_fraction);
+    TraceGenerator::new(params, TRACE_SEED).generate_days(days)
+}
+
+/// The canonical 256-GPU platform configuration, optionally customized.
+pub fn campus_config(customize: impl FnOnce(&mut PlatformConfig)) -> PlatformConfig {
+    let mut config = PlatformConfig::default();
+    customize(&mut config);
+    config
+}
+
+/// Formats seconds as hours with two decimals (experiment tables report
+/// hours).
+pub fn hours(secs: f64) -> f64 {
+    secs / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_trace_is_reproducible() {
+        let a = standard_trace(0.5, 1.0);
+        let b = standard_trace(0.5, 1.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn multinode_fraction_changes_mix() {
+        let base = standard_trace(1.0, 1.0);
+        let heavy = multinode_trace(1.0, 1.0, 0.5);
+        let count_multi = |t: &Trace| {
+            t.records()
+                .iter()
+                .filter(|r| r.schema.total_gpus() >= 16)
+                .count() as f64
+                / t.len() as f64
+        };
+        assert!(count_multi(&heavy) > count_multi(&base));
+    }
+
+    #[test]
+    fn hours_conversion() {
+        assert_eq!(hours(7200.0), 2.0);
+    }
+}

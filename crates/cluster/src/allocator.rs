@@ -1,0 +1,611 @@
+//! Cluster state: construction, leasing and fragmentation accounting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::GpuModel;
+use crate::node::{Node, NodeId};
+use crate::resources::ResourceVec;
+use crate::topology::{LinkSpeeds, RackId, Topology};
+
+/// Identifier of a resource lease issued by [`Cluster::allocate`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct LeaseId(u64);
+
+impl LeaseId {
+    /// Raw value, for logging.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs an arbitrary lease id for unit tests in this workspace.
+    #[doc(hidden)]
+    pub fn for_tests(v: u64) -> Self {
+        LeaseId(v)
+    }
+}
+
+impl fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lease{}", self.0)
+    }
+}
+
+/// A granted multi-node allocation: which nodes hold how much, for whom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lease {
+    id: LeaseId,
+    owner: u64,
+    shares: Vec<(NodeId, ResourceVec)>,
+}
+
+impl Lease {
+    /// The lease identifier (pass to [`Cluster::release`]).
+    pub fn id(&self) -> LeaseId {
+        self.id
+    }
+
+    /// The opaque owner tag supplied at allocation (the platform uses job ids).
+    pub fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    /// Per-node shares of the allocation.
+    pub fn shares(&self) -> &[(NodeId, ResourceVec)] {
+        &self.shares
+    }
+
+    /// The nodes this lease spans (in share order).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.shares.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// Total resources across all shares.
+    pub fn total(&self) -> ResourceVec {
+        self.shares.iter().map(|&(_, r)| r).sum()
+    }
+}
+
+/// Errors returned by cluster allocation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The referenced node does not exist in this cluster.
+    UnknownNode(NodeId),
+    /// A requested share does not fit in the node's free resources.
+    InsufficientResources {
+        /// The node that could not satisfy the share.
+        node: NodeId,
+    },
+    /// The lease is not (or no longer) active.
+    UnknownLease(LeaseId),
+    /// An allocation request contained no shares.
+    EmptyRequest,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::InsufficientResources { node } => {
+                write!(f, "insufficient free resources on {node}")
+            }
+            ClusterError::UnknownLease(l) => write!(f, "unknown lease {l}"),
+            ClusterError::EmptyRequest => write!(f, "allocation request has no shares"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Declarative description of a cluster to build: racks of nodes grouped in
+/// homogeneous pools.
+///
+/// # Example
+///
+/// ```
+/// use tacc_cluster::{ClusterSpec, GpuModel, LinkSpeeds};
+/// let spec = ClusterSpec::builder()
+///     .pool(GpuModel::A100, 2, 4, 8) // 2 racks x 4 nodes x 8 GPUs
+///     .pool(GpuModel::Rtx3090, 1, 8, 4)
+///     .speeds(LinkSpeeds::campus_default())
+///     .build();
+/// assert_eq!(spec.total_nodes(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pools: Vec<PoolSpec>,
+    speeds: LinkSpeeds,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PoolSpec {
+    model: GpuModel,
+    racks: u32,
+    nodes_per_rack: u32,
+    gpus_per_node: u32,
+}
+
+impl ClusterSpec {
+    /// Starts building a spec.
+    pub fn builder() -> ClusterSpecBuilder {
+        ClusterSpecBuilder {
+            pools: Vec::new(),
+            speeds: LinkSpeeds::campus_default(),
+        }
+    }
+
+    /// A homogeneous cluster: `racks` × `nodes_per_rack` nodes of `model`
+    /// with `gpus_per_node` GPUs each, default campus link speeds.
+    pub fn uniform(racks: u32, nodes_per_rack: u32, model: GpuModel, gpus_per_node: u32) -> Self {
+        ClusterSpec::builder()
+            .pool(model, racks, nodes_per_rack, gpus_per_node)
+            .build()
+    }
+
+    /// Total node count across pools.
+    pub fn total_nodes(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|p| (p.racks * p.nodes_per_rack) as usize)
+            .sum()
+    }
+
+    /// Total GPU count across pools.
+    pub fn total_gpus(&self) -> u32 {
+        self.pools
+            .iter()
+            .map(|p| p.racks * p.nodes_per_rack * p.gpus_per_node)
+            .sum()
+    }
+}
+
+/// Builder for [`ClusterSpec`].
+#[derive(Debug, Clone)]
+pub struct ClusterSpecBuilder {
+    pools: Vec<PoolSpec>,
+    speeds: LinkSpeeds,
+}
+
+impl ClusterSpecBuilder {
+    /// Adds a homogeneous pool: `racks` racks of `nodes_per_rack` nodes,
+    /// each with `gpus_per_node` GPUs of `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn pool(
+        mut self,
+        model: GpuModel,
+        racks: u32,
+        nodes_per_rack: u32,
+        gpus_per_node: u32,
+    ) -> Self {
+        assert!(
+            racks > 0 && nodes_per_rack > 0 && gpus_per_node > 0,
+            "pool dimensions must be positive"
+        );
+        self.pools.push(PoolSpec {
+            model,
+            racks,
+            nodes_per_rack,
+            gpus_per_node,
+        });
+        self
+    }
+
+    /// Overrides the link speeds (default: [`LinkSpeeds::campus_default`]).
+    pub fn speeds(mut self, speeds: LinkSpeeds) -> Self {
+        self.speeds = speeds;
+        self
+    }
+
+    /// Finishes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pool was added.
+    pub fn build(self) -> ClusterSpec {
+        assert!(!self.pools.is_empty(), "cluster needs at least one pool");
+        ClusterSpec {
+            pools: self.pools,
+            speeds: self.speeds,
+        }
+    }
+}
+
+/// The live, allocatable cluster: nodes, topology and active leases.
+///
+/// This is the single authority on who holds what; the scheduler proposes
+/// placements, but only a successful [`Cluster::allocate`] commits them, and
+/// the invariant "sum of leases + free == capacity, per node" is enforced
+/// here (checked in tests and by debug assertions).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    topology: Topology,
+    leases: BTreeMap<LeaseId, Lease>,
+    next_lease: u64,
+}
+
+impl Cluster {
+    /// Materializes a cluster from a spec.
+    ///
+    /// Nodes are numbered pool by pool, rack by rack, so ids are stable for
+    /// a given spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let mut nodes = Vec::with_capacity(spec.total_nodes());
+        let mut racks = Vec::with_capacity(spec.total_nodes());
+        let mut nvlink = Vec::with_capacity(spec.total_nodes());
+        let mut rack_counter: u32 = 0;
+        for pool in &spec.pools {
+            let has_nvlink = pool.model.spec().has_nvlink;
+            for _ in 0..pool.racks {
+                let rack = RackId(rack_counter);
+                rack_counter += 1;
+                for _ in 0..pool.nodes_per_rack {
+                    let id = NodeId(u32::try_from(nodes.len()).expect("node count fits u32"));
+                    nodes.push(Node::new(id, rack, pool.model, pool.gpus_per_node));
+                    racks.push(rack);
+                    nvlink.push(has_nvlink);
+                }
+            }
+        }
+        Cluster {
+            nodes,
+            topology: Topology::new(racks, nvlink, spec.speeds),
+            leases: BTreeMap::new(),
+            next_lease: 0,
+        }
+    }
+
+    /// The network/rack topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes.iter().map(|n| n.capacity().gpus).sum()
+    }
+
+    /// Currently free GPUs across all nodes.
+    pub fn free_gpus(&self) -> u32 {
+        self.nodes.iter().map(|n| n.free().gpus).sum()
+    }
+
+    /// Total capacity vector of the cluster.
+    pub fn total_capacity(&self) -> ResourceVec {
+        self.nodes.iter().map(|n| n.capacity()).sum()
+    }
+
+    /// Number of active leases.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Looks up an active lease.
+    pub fn lease(&self, id: LeaseId) -> Option<&Lease> {
+        self.leases.get(&id)
+    }
+
+    /// Iterates over active leases.
+    pub fn leases(&self) -> impl Iterator<Item = &Lease> {
+        self.leases.values()
+    }
+
+    /// Atomically allocates the given per-node shares for `owner`.
+    ///
+    /// Either every share fits and a [`Lease`] is returned, or nothing is
+    /// allocated.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::EmptyRequest`] if `shares` is empty.
+    /// * [`ClusterError::UnknownNode`] if a node id is out of range.
+    /// * [`ClusterError::InsufficientResources`] if any share does not fit;
+    ///   the first offending node is reported.
+    pub fn allocate(
+        &mut self,
+        owner: u64,
+        shares: &[(NodeId, ResourceVec)],
+    ) -> Result<Lease, ClusterError> {
+        if shares.is_empty() {
+            return Err(ClusterError::EmptyRequest);
+        }
+        // Validate the whole placement first (shares may repeat a node).
+        let mut needed: BTreeMap<NodeId, ResourceVec> = BTreeMap::new();
+        for &(node, demand) in shares {
+            if node.index() >= self.nodes.len() {
+                return Err(ClusterError::UnknownNode(node));
+            }
+            *needed.entry(node).or_insert(ResourceVec::ZERO) += demand;
+        }
+        for (&node, total) in &needed {
+            if !self.nodes[node.index()].can_fit(total) {
+                return Err(ClusterError::InsufficientResources { node });
+            }
+        }
+        // Commit.
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        for (&node, &total) in &needed {
+            self.nodes[node.index()].reserve(id, total);
+        }
+        let lease = Lease {
+            id,
+            owner,
+            shares: needed.into_iter().collect(),
+        };
+        self.leases.insert(id, lease.clone());
+        Ok(lease)
+    }
+
+    /// Releases a lease, returning its resources to the nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownLease`] if the lease is not active.
+    pub fn release(&mut self, id: LeaseId) -> Result<(), ClusterError> {
+        let lease = self
+            .leases
+            .remove(&id)
+            .ok_or(ClusterError::UnknownLease(id))?;
+        for (node, _) in lease.shares {
+            self.nodes[node.index()].release(id);
+        }
+        Ok(())
+    }
+
+    /// Marks a node unschedulable (maintenance drain). Running leases are
+    /// unaffected; new allocations on the node fail. Returns `false` if the
+    /// node does not exist.
+    pub fn drain(&mut self, node: NodeId) -> bool {
+        match self.nodes.get_mut(node.index()) {
+            Some(n) => {
+                n.set_schedulable(false);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns a drained node to service.
+    pub fn undrain(&mut self, node: NodeId) -> bool {
+        match self.nodes.get_mut(node.index()) {
+            Some(n) => {
+                n.set_schedulable(true);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of currently drained nodes.
+    pub fn drained_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_schedulable()).count()
+    }
+
+    /// GPU fragmentation: the fraction of *free* GPUs that sit on nodes with
+    /// fewer than `chunk` free GPUs, i.e. free capacity unusable by a job
+    /// that needs `chunk` co-located GPUs.
+    ///
+    /// Returns 0.0 when no GPUs are free.
+    pub fn fragmentation(&self, chunk: u32) -> f64 {
+        let free_total = self.free_gpus();
+        if free_total == 0 {
+            return 0.0;
+        }
+        let stranded: u32 = self
+            .nodes
+            .iter()
+            .map(|n| n.free().gpus)
+            .filter(|&g| g < chunk)
+            .sum();
+        f64::from(stranded) / f64::from(free_total)
+    }
+
+    /// The largest single-node free GPU block — the biggest co-located job
+    /// admissible right now without spanning nodes.
+    pub fn largest_free_block(&self) -> u32 {
+        self.nodes.iter().map(|n| n.free().gpus).max().unwrap_or(0)
+    }
+
+    /// Verifies per-node accounting: free + sum(leases) == capacity.
+    ///
+    /// Cheap enough to run inside tests and property checks; the platform
+    /// calls it at the end of every simulation in debug builds.
+    pub fn check_invariants(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            let leased: ResourceVec = n.leases().map(|(_, r)| r).sum();
+            leased + n.free() == n.capacity()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(ClusterSpec::uniform(2, 2, GpuModel::A100, 8))
+    }
+
+    #[test]
+    fn construction_numbers_nodes_and_racks() {
+        let c = small();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.total_gpus(), 32);
+        assert_eq!(c.topology().rack_count(), 2);
+        let racks: Vec<usize> = c.nodes().map(|n| n.rack().index()).collect();
+        assert_eq!(racks, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn heterogeneous_pools() {
+        let spec = ClusterSpec::builder()
+            .pool(GpuModel::A100, 1, 2, 8)
+            .pool(GpuModel::Rtx3090, 1, 4, 4)
+            .build();
+        let c = Cluster::new(spec);
+        assert_eq!(c.node_count(), 6);
+        assert_eq!(c.total_gpus(), 32);
+        let models: Vec<GpuModel> = c.nodes().map(|n| n.gpu_model()).collect();
+        assert_eq!(models[0], GpuModel::A100);
+        assert_eq!(models[5], GpuModel::Rtx3090);
+        // Consumer nodes report PCIe intra-node tier.
+        let pcie_node = NodeId::from_index(5);
+        assert_eq!(
+            c.topology().tier_between(pcie_node, pcie_node),
+            crate::topology::BandwidthTier::IntraNodePcie
+        );
+    }
+
+    #[test]
+    fn allocate_release_round_trip() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        let lease = c
+            .allocate(1, &[(n0, ResourceVec::gpus_only(8))])
+            .expect("fits");
+        assert_eq!(c.free_gpus(), 24);
+        assert_eq!(lease.total().gpus, 8);
+        assert_eq!(c.lease_count(), 1);
+        assert!(c.check_invariants());
+        c.release(lease.id()).expect("active lease");
+        assert_eq!(c.free_gpus(), 32);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn allocation_is_atomic() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        // First fill node 1 completely.
+        c.allocate(1, &[(n1, ResourceVec::gpus_only(8))]).expect("fits");
+        // Multi-node request where the second share cannot fit must not
+        // touch node 0 either.
+        let err = c
+            .allocate(
+                2,
+                &[
+                    (n0, ResourceVec::gpus_only(8)),
+                    (n1, ResourceVec::gpus_only(1)),
+                ],
+            )
+            .expect_err("node 1 is full");
+        assert_eq!(err, ClusterError::InsufficientResources { node: n1 });
+        assert_eq!(c.node(n0).expect("exists").free().gpus, 8);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn repeated_node_shares_are_summed() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        // Two 4-GPU shares on the same node: fine (8 total).
+        let lease = c
+            .allocate(
+                1,
+                &[
+                    (n0, ResourceVec::gpus_only(4)),
+                    (n0, ResourceVec::gpus_only(4)),
+                ],
+            )
+            .expect("sums to node capacity");
+        assert_eq!(lease.shares().len(), 1);
+        assert_eq!(lease.total().gpus, 8);
+        // Three 4-GPU shares: 12 > 8 must fail.
+        let err = c
+            .allocate(
+                2,
+                &[
+                    (n0, ResourceVec::gpus_only(2)),
+                    (n0, ResourceVec::gpus_only(7)),
+                ],
+            )
+            .expect_err("over capacity in aggregate");
+        assert!(matches!(err, ClusterError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        let mut c = small();
+        assert_eq!(c.allocate(1, &[]).expect_err("empty"), ClusterError::EmptyRequest);
+        let ghost = NodeId::from_index(99);
+        assert_eq!(
+            c.allocate(1, &[(ghost, ResourceVec::gpus_only(1))])
+                .expect_err("unknown node"),
+            ClusterError::UnknownNode(ghost)
+        );
+        assert_eq!(
+            c.release(LeaseId::for_tests(42)).expect_err("no lease"),
+            ClusterError::UnknownLease(LeaseId::for_tests(42))
+        );
+    }
+
+    #[test]
+    fn double_release_fails() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        let lease = c.allocate(1, &[(n0, ResourceVec::gpus_only(1))]).expect("fits");
+        c.release(lease.id()).expect("first release");
+        assert!(c.release(lease.id()).is_err());
+    }
+
+    #[test]
+    fn drained_nodes_reject_new_work_only() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        let lease = c.allocate(1, &[(n0, ResourceVec::gpus_only(2))]).expect("fits");
+        assert!(c.drain(n0));
+        assert_eq!(c.drained_count(), 1);
+        // New work on the drained node fails even though capacity is free.
+        assert!(matches!(
+            c.allocate(2, &[(n0, ResourceVec::gpus_only(1))]),
+            Err(ClusterError::InsufficientResources { .. })
+        ));
+        // The running lease drains out normally.
+        c.release(lease.id()).expect("still valid");
+        assert!(c.undrain(n0));
+        assert!(c.allocate(3, &[(n0, ResourceVec::gpus_only(1))]).is_ok());
+        assert!(!c.drain(NodeId::from_index(99)));
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let mut c = small(); // 4 nodes x 8 GPUs
+        assert_eq!(c.fragmentation(8), 0.0);
+        // Take 5 GPUs on each of two nodes: each has 3 free, stranded for chunk=8.
+        for i in 0..2 {
+            c.allocate(i, &[(NodeId::from_index(i as usize), ResourceVec::gpus_only(5))])
+                .expect("fits");
+        }
+        let frag = c.fragmentation(8);
+        // free = 3+3+8+8 = 22; stranded = 6.
+        assert!((frag - 6.0 / 22.0).abs() < 1e-12);
+        assert_eq!(c.largest_free_block(), 8);
+        // chunk=1 never strands anything.
+        assert_eq!(c.fragmentation(1), 0.0);
+    }
+}

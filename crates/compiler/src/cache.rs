@@ -1,0 +1,249 @@
+//! The content-addressed chunk cache behind delta provisioning.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Content address of a chunk: a stable 64-bit digest of its identity.
+///
+/// Real TACC content-addresses Docker layers and dataset blocks; the digest
+/// here is FNV-1a over the chunk's logical name and size, which preserves
+/// the property the experiments need — identical inputs dedupe, different
+/// inputs don't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId(u64);
+
+impl ChunkId {
+    /// Addresses a chunk by its logical name and size in MiB.
+    pub fn of(name: &str, size_mb: u32) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash ^= u64::from(size_mb).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ChunkId(hash)
+    }
+
+    /// Raw digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk:{:016x}", self.0)
+    }
+}
+
+/// Cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Chunk lookups that were already resident.
+    pub hits: u64,
+    /// Chunk lookups that required a transfer.
+    pub misses: u64,
+    /// MiB served from cache (avoided transfers).
+    pub hit_mb: u64,
+    /// MiB fetched on misses.
+    pub miss_mb: u64,
+    /// Chunks evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate by chunk count (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Hit rate by bytes (0 when no traffic yet).
+    pub fn byte_hit_rate(&self) -> f64 {
+        let total = self.hit_mb + self.miss_mb;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_mb as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU, capacity-bounded, content-addressed chunk store.
+///
+/// `fetch` is the only operation: it reports whether the chunk was resident
+/// and makes it resident (evicting least-recently-used chunks if needed).
+/// A chunk larger than the whole cache is transferred but not retained.
+#[derive(Debug, Clone)]
+pub struct ChunkCache {
+    capacity_mb: u64,
+    used_mb: u64,
+    /// chunk -> (size, last-use tick)
+    resident: HashMap<ChunkId, (u32, u64)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ChunkCache {
+    /// Creates a cache bounded to `capacity_mb` MiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mb` is zero.
+    pub fn new(capacity_mb: u64) -> Self {
+        assert!(capacity_mb > 0, "cache capacity must be positive");
+        ChunkCache {
+            capacity_mb,
+            used_mb: 0,
+            resident: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache capacity in MiB.
+    pub fn capacity_mb(&self) -> u64 {
+        self.capacity_mb
+    }
+
+    /// Resident bytes in MiB.
+    pub fn used_mb(&self) -> u64 {
+        self.used_mb
+    }
+
+    /// Number of resident chunks.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// True if `chunk` is currently resident (does not touch LRU state).
+    pub fn contains(&self, chunk: ChunkId) -> bool {
+        self.resident.contains_key(&chunk)
+    }
+
+    /// Looks up `chunk`; returns `true` on a hit. On a miss the chunk is
+    /// fetched (counted in [`CacheStats::miss_mb`]) and inserted, evicting
+    /// LRU chunks as needed.
+    pub fn fetch(&mut self, chunk: ChunkId, size_mb: u32) -> bool {
+        self.tick += 1;
+        if let Some(entry) = self.resident.get_mut(&chunk) {
+            entry.1 = self.tick;
+            self.stats.hits += 1;
+            self.stats.hit_mb += u64::from(size_mb);
+            return true;
+        }
+        self.stats.misses += 1;
+        self.stats.miss_mb += u64::from(size_mb);
+        if u64::from(size_mb) > self.capacity_mb {
+            // Streams through without displacing the working set.
+            return false;
+        }
+        while self.used_mb + u64::from(size_mb) > self.capacity_mb {
+            self.evict_lru();
+        }
+        self.resident.insert(chunk, (size_mb, self.tick));
+        self.used_mb += u64::from(size_mb);
+        false
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .resident
+            .iter()
+            .min_by_key(|(_, &(_, tick))| tick)
+            .map(|(&id, &(size, _))| (id, size))
+            .expect("evict_lru called on nonempty cache");
+        self.resident.remove(&victim.0);
+        self.used_mb -= u64::from(victim.1);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ids_distinguish_name_and_size() {
+        let a = ChunkId::of("torch", 800);
+        assert_eq!(a, ChunkId::of("torch", 800));
+        assert_ne!(a, ChunkId::of("torch", 801));
+        assert_ne!(a, ChunkId::of("torchvision", 800));
+    }
+
+    #[test]
+    fn fetch_miss_then_hit() {
+        let mut c = ChunkCache::new(1000);
+        let id = ChunkId::of("img", 300);
+        assert!(!c.fetch(id, 300));
+        assert!(c.fetch(id, 300));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hit_mb, 300);
+        assert_eq!(s.miss_mb, 300);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.used_mb(), 300);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ChunkCache::new(1000);
+        let a = ChunkId::of("a", 400);
+        let b = ChunkId::of("b", 400);
+        let d = ChunkId::of("d", 400);
+        c.fetch(a, 400);
+        c.fetch(b, 400);
+        c.fetch(a, 400); // touch a: b becomes LRU
+        c.fetch(d, 400); // needs eviction of b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.used_mb(), 800);
+    }
+
+    #[test]
+    fn oversized_chunk_streams_through() {
+        let mut c = ChunkCache::new(100);
+        let big = ChunkId::of("dataset", 5000);
+        assert!(!c.fetch(big, 5000));
+        assert!(!c.fetch(big, 5000)); // still a miss: never retained
+        assert_eq!(c.used_mb(), 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn byte_hit_rate_weighs_sizes() {
+        let mut c = ChunkCache::new(10_000);
+        let small = ChunkId::of("s", 10);
+        let large = ChunkId::of("l", 990);
+        c.fetch(small, 10);
+        c.fetch(large, 990);
+        c.fetch(large, 990);
+        // count hit rate: 1/3; byte hit rate: 990/1990.
+        assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.stats().byte_hit_rate() - 990.0 / 1990.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ChunkCache::new(0);
+    }
+}

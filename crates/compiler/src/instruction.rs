@@ -1,0 +1,116 @@
+//! Execution instructions: the compiler layer's self-contained output.
+
+use serde::{Deserialize, Serialize};
+
+use tacc_workload::{RuntimePreference, TaskSchema};
+
+/// The form an execution instruction takes.
+///
+/// The paper: "the output of this compiler layer could be as simple as a
+/// few lines of shell commands, or as complicated as a Docker image." Small
+/// CPU tasks compile to shell commands; anything with a GPU environment or
+/// large dependency closure becomes a container image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstructionKind {
+    /// A short shell script executed directly on the node.
+    ShellCommands,
+    /// A container image materialized from cached layers.
+    ContainerImage,
+}
+
+impl std::fmt::Display for InstructionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstructionKind::ShellCommands => f.write_str("shell"),
+            InstructionKind::ContainerImage => f.write_str("container"),
+        }
+    }
+}
+
+/// What provisioning this compilation actually cost, under delta caching.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Provisioning {
+    /// MiB that had to be transferred (cache misses + per-job code).
+    pub transferred_mb: f64,
+    /// MiB the instruction references in total.
+    pub total_mb: f64,
+    /// Chunk-level cache hits for this compilation.
+    pub chunk_hits: u32,
+    /// Chunk-level cache misses for this compilation.
+    pub chunk_misses: u32,
+    /// Modelled provisioning latency in seconds.
+    pub latency_secs: f64,
+}
+
+impl Provisioning {
+    /// Fraction of referenced bytes served from cache.
+    pub fn delta_savings(&self) -> f64 {
+        if self.total_mb == 0.0 {
+            0.0
+        } else {
+            1.0 - self.transferred_mb / self.total_mb
+        }
+    }
+}
+
+/// The self-contained instruction handed to the scheduling layer.
+///
+/// Everything the execution layer needs is resolved here: the instruction
+/// form, the runtime system to use (resolved from the schema's preference
+/// and static characteristics, per the paper's Table 1), and the gang shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionInstruction {
+    /// Instruction form.
+    pub kind: InstructionKind,
+    /// The runtime system the execution layer should use. Never `Auto`:
+    /// compilation resolves it.
+    pub runtime: RuntimePreference,
+    /// Number of gang workers.
+    pub workers: u32,
+    /// Image + dependency + dataset bytes referenced, MiB.
+    pub payload_mb: f64,
+}
+
+/// A compiled task: the original schema, its instruction, and what the
+/// compilation cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTask {
+    /// The schema this task was compiled from (kept so the instruction is
+    /// self-contained).
+    pub schema: TaskSchema,
+    /// The executable instruction.
+    pub instruction: ExecutionInstruction,
+    /// Provisioning cost of this compilation.
+    pub provisioning: Provisioning,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_savings_bounds() {
+        let p = Provisioning {
+            transferred_mb: 25.0,
+            total_mb: 100.0,
+            chunk_hits: 3,
+            chunk_misses: 1,
+            latency_secs: 4.0,
+        };
+        assert!((p.delta_savings() - 0.75).abs() < 1e-12);
+        let empty = Provisioning {
+            transferred_mb: 0.0,
+            total_mb: 0.0,
+            chunk_hits: 0,
+            chunk_misses: 0,
+            latency_secs: 0.0,
+        };
+        assert_eq!(empty.delta_savings(), 0.0);
+    }
+
+    #[test]
+    fn instruction_kind_display() {
+        assert_eq!(InstructionKind::ShellCommands.to_string(), "shell");
+        assert_eq!(InstructionKind::ContainerImage.to_string(), "container");
+    }
+}

@@ -1,0 +1,302 @@
+//! Simulation reports: the numbers every experiment reads.
+
+use serde::{Deserialize, Serialize};
+
+use tacc_compiler::CacheStats;
+use tacc_metrics::{jain_index, Summary, UtilizationTracker};
+use tacc_workload::{GroupId, JobId, TaskKind};
+
+/// Per-job completion record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// The job.
+    pub id: JobId,
+    /// Its group.
+    pub group: GroupId,
+    /// Total GPUs it used.
+    pub gpus: u32,
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Submission time, seconds.
+    pub submit_secs: f64,
+    /// Delay from submission to first start, seconds.
+    pub queue_delay_secs: f64,
+    /// Job completion time (submission → completion), seconds.
+    pub jct_secs: f64,
+    /// Oracle service requirement, seconds.
+    pub service_secs: f64,
+    /// Times preempted.
+    pub preemptions: u32,
+    /// Times restarted after faults.
+    pub restarts: u32,
+    /// Service-seconds of work lost to interruptions.
+    pub wasted_secs: f64,
+}
+
+/// Per-group aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupReport {
+    /// The group.
+    pub group: GroupId,
+    /// Completed jobs.
+    pub completed: usize,
+    /// Mean queueing delay, seconds.
+    pub mean_queue_delay_secs: f64,
+    /// 95th percentile queueing delay, seconds.
+    pub p95_queue_delay_secs: f64,
+    /// GPU-hours of service delivered to the group.
+    pub gpu_hours: f64,
+}
+
+/// The aggregate outcome of a platform run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Jobs completed successfully.
+    pub completed: usize,
+    /// Jobs that failed fatally.
+    pub failed: u64,
+    /// Jobs rejected at admission (gang can never fit the cluster).
+    pub rejected: u64,
+    /// Jobs the user cancelled.
+    pub cancelled: u64,
+    /// Mean dataset-staging time per staged start, seconds.
+    pub mean_staging_secs: f64,
+    /// Number of starts that actually staged data.
+    pub stagings: u64,
+    /// Node faults injected.
+    pub faults: u64,
+    /// Faults absorbed by runtime switching.
+    pub failovers: u64,
+    /// Preemptions performed by the scheduler.
+    pub preemptions: u64,
+    /// Starts that were backfills.
+    pub backfill_starts: u64,
+    /// Job completion time summary (seconds).
+    pub jct: Summary,
+    /// Queueing delay summary (seconds).
+    pub queue_delay: Summary,
+    /// Slowdown summary: JCT / service time per job.
+    pub slowdown: Summary,
+    /// Mean cluster GPU utilization over the run (0..=1).
+    pub mean_utilization: f64,
+    /// Useful service GPU-hours delivered.
+    pub useful_gpu_hours: f64,
+    /// GPU-hours lost to preemption/failure waste, including everything
+    /// consumed by jobs that ultimately failed.
+    pub wasted_gpu_hours: f64,
+    /// Goodput: useful / (useful + wasted).
+    pub goodput: f64,
+    /// Per-group aggregates.
+    pub groups: Vec<GroupReport>,
+    /// Jain fairness index over per-group GPU-hours delivered.
+    pub fairness: f64,
+    /// Compiler cache counters at end of run.
+    pub cache_hits: u64,
+    /// Compiler cache miss count at end of run.
+    pub cache_misses: u64,
+    /// Byte-level cache hit rate.
+    pub cache_byte_hit_rate: f64,
+    /// Mean provisioning latency per compilation, seconds.
+    pub mean_provisioning_secs: f64,
+    /// The per-job completion records (for CDFs in figure harnesses).
+    pub jobs: Vec<CompletedJob>,
+}
+
+impl SimulationReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        completed: &[CompletedJob],
+        submitted: usize,
+        failed: u64,
+        failed_waste_gpu_hours: f64,
+        rejected: u64,
+        cancelled: u64,
+        staging_secs_total: f64,
+        stagings: u64,
+        faults: u64,
+        failovers: u64,
+        preemptions: u64,
+        backfill_starts: u64,
+        util: &UtilizationTracker,
+        horizon_secs: f64,
+        group_gpu_secs: &[f64],
+        group_count: usize,
+        cache: CacheStats,
+        provisioning_latency_total: f64,
+        compilations: u64,
+    ) -> Self {
+        let jct: Vec<f64> = completed.iter().map(|j| j.jct_secs).collect();
+        let delay: Vec<f64> = completed.iter().map(|j| j.queue_delay_secs).collect();
+        let slowdown: Vec<f64> = completed
+            .iter()
+            .map(|j| (j.jct_secs / j.service_secs).max(1.0))
+            .collect();
+        let useful_gpu_hours: f64 = completed
+            .iter()
+            .map(|j| f64::from(j.gpus) * j.service_secs / 3600.0)
+            .sum();
+        let wasted_gpu_hours: f64 = completed
+            .iter()
+            .map(|j| f64::from(j.gpus) * j.wasted_secs / 3600.0)
+            .sum::<f64>()
+            + failed_waste_gpu_hours;
+        let goodput = if useful_gpu_hours + wasted_gpu_hours > 0.0 {
+            useful_gpu_hours / (useful_gpu_hours + wasted_gpu_hours)
+        } else {
+            1.0
+        };
+
+        let mut groups = Vec::with_capacity(group_count);
+        for gi in 0..group_count {
+            let group = GroupId::from_index(gi);
+            let delays: Vec<f64> = completed
+                .iter()
+                .filter(|j| j.group == group)
+                .map(|j| j.queue_delay_secs)
+                .collect();
+            let s = Summary::from_samples(&delays);
+            groups.push(GroupReport {
+                group,
+                completed: delays.len(),
+                mean_queue_delay_secs: s.mean(),
+                p95_queue_delay_secs: s.p95(),
+                gpu_hours: group_gpu_secs.get(gi).copied().unwrap_or(0.0) / 3600.0,
+            });
+        }
+        let group_hours: Vec<f64> = groups.iter().map(|g| g.gpu_hours).collect();
+
+        SimulationReport {
+            submitted,
+            completed: completed.len(),
+            failed,
+            rejected,
+            cancelled,
+            mean_staging_secs: if stagings > 0 {
+                staging_secs_total / stagings as f64
+            } else {
+                0.0
+            },
+            stagings,
+            faults,
+            failovers,
+            preemptions,
+            backfill_starts,
+            jct: Summary::from_samples(&jct),
+            queue_delay: Summary::from_samples(&delay),
+            slowdown: Summary::from_samples(&slowdown),
+            mean_utilization: util.mean_utilization(0.0, horizon_secs),
+            useful_gpu_hours,
+            wasted_gpu_hours,
+            goodput,
+            fairness: jain_index(&group_hours),
+            groups,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_byte_hit_rate: cache.byte_hit_rate(),
+            mean_provisioning_secs: if compilations > 0 {
+                provisioning_latency_total / compilations as f64
+            } else {
+                0.0
+            },
+            jobs: completed.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(group: usize, gpus: u32, jct: f64, service: f64, wasted: f64) -> CompletedJob {
+        CompletedJob {
+            id: JobId::from_value(0),
+            group: GroupId::from_index(group),
+            gpus,
+            kind: TaskKind::Training,
+            submit_secs: 0.0,
+            queue_delay_secs: jct - service,
+            jct_secs: jct,
+            service_secs: service,
+            preemptions: 0,
+            restarts: 0,
+            wasted_secs: wasted,
+        }
+    }
+
+    #[test]
+    fn report_math() {
+        let mut util = UtilizationTracker::new(8.0);
+        util.acquire(0.0, 4.0);
+        util.release(1800.0, 4.0);
+        let completed = vec![
+            job(0, 2, 2000.0, 1800.0, 0.0),
+            job(1, 2, 3600.0, 1800.0, 1800.0),
+        ];
+        let group_secs = vec![3600.0 * 2.0, 3600.0 * 2.0];
+        let r = SimulationReport::build(
+            &completed,
+            2,
+            0,
+            0.0,
+            0,
+            0,
+            0.0,
+            0,
+            0,
+            0,
+            1,
+            0,
+            &util,
+            3600.0,
+            &group_secs,
+            2,
+            CacheStats::default(),
+            10.0,
+            2,
+        );
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.jct.count(), 2);
+        // useful = 2*(2*1800/3600) = 2 gpu-hours; wasted = 2*1800/3600 = 1.
+        assert!((r.useful_gpu_hours - 2.0).abs() < 1e-9);
+        assert!((r.wasted_gpu_hours - 1.0).abs() < 1e-9);
+        assert!((r.goodput - 2.0 / 3.0).abs() < 1e-9);
+        // Equal group hours: perfectly fair.
+        assert!((r.fairness - 1.0).abs() < 1e-12);
+        // Utilization: 4/8 busy for half the window.
+        assert!((r.mean_utilization - 0.25).abs() < 1e-9);
+        assert_eq!(r.mean_provisioning_secs, 5.0);
+        assert_eq!(r.groups.len(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let util = UtilizationTracker::new(8.0);
+        let r = SimulationReport::build(
+            &[],
+            0,
+            0,
+            0.0,
+            0,
+            0,
+            0.0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            &util,
+            100.0,
+            &[],
+            0,
+            CacheStats::default(),
+            0.0,
+            0,
+        );
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.goodput, 1.0);
+        assert_eq!(r.mean_utilization, 0.0);
+        assert_eq!(r.fairness, 1.0);
+    }
+}

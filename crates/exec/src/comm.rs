@@ -1,0 +1,225 @@
+//! Analytic communication models for distributed training.
+//!
+//! All models compute the time to synchronize `volume_mb` of gradients
+//! across `n` participants whose narrowest link runs at `bandwidth_gbps`.
+//! They are the standard α–β style cost models (bandwidth term only; the
+//! per-message latency term is folded into a fixed per-iteration overhead
+//! in [`crate::ExecModel`], since at gradient sizes of 10⁸ bytes the
+//! bandwidth term dominates).
+//!
+//! The shapes these models produce are what experiment F6 reproduces:
+//! ring all-reduce is bandwidth-optimal and flat in `n`; tree pays a log
+//! factor; the parameter server scales poorly past its shard count; and
+//! hierarchical all-reduce recovers single-node NVLink performance for the
+//! intra-node phase.
+
+use tacc_cluster::{BandwidthTier, Cluster, GpuModel, NodeId};
+
+/// Converts MiB to Gbit.
+fn mb_to_gbit(mb: f64) -> f64 {
+    mb * 8.0 / 1024.0
+}
+
+/// Time (seconds) for a ring all-reduce of `volume_mb` across `n` members
+/// over a `bandwidth_gbps` bottleneck: `2(n-1)/n · V / B`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `bandwidth_gbps <= 0`.
+pub fn ring_allreduce_secs(volume_mb: f64, n: u32, bandwidth_gbps: f64) -> f64 {
+    assert!(n > 0, "all-reduce needs at least one member");
+    assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+    if n == 1 {
+        return 0.0;
+    }
+    let nf = f64::from(n);
+    2.0 * (nf - 1.0) / nf * mb_to_gbit(volume_mb) / bandwidth_gbps
+}
+
+/// Time for a binary-tree all-reduce: `2·log2(n) · V / B`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `bandwidth_gbps <= 0`.
+pub fn tree_allreduce_secs(volume_mb: f64, n: u32, bandwidth_gbps: f64) -> f64 {
+    assert!(n > 0, "all-reduce needs at least one member");
+    assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+    if n == 1 {
+        return 0.0;
+    }
+    2.0 * f64::from(n).log2().ceil() * mb_to_gbit(volume_mb) / bandwidth_gbps
+}
+
+/// Time for a parameter-server round with `n` workers and `shards` server
+/// shards of aggregate ingress `bandwidth_gbps` each: every worker pushes
+/// and pulls the full volume, so the per-shard bottleneck moves
+/// `2·V·n / shards` bits: `2·V·n / (shards·B)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `shards == 0`, or `bandwidth_gbps <= 0`.
+pub fn parameter_server_secs(volume_mb: f64, n: u32, shards: u32, bandwidth_gbps: f64) -> f64 {
+    assert!(n > 0, "parameter server needs at least one worker");
+    assert!(shards > 0, "parameter server needs at least one shard");
+    assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+    if n == 1 {
+        return 0.0;
+    }
+    2.0 * mb_to_gbit(volume_mb) * f64::from(n) / (f64::from(shards) * bandwidth_gbps)
+}
+
+/// Time for an in-network (switch-aggregated) gradient round: every worker
+/// streams its gradients up to the rack switch while simultaneously
+/// receiving the running aggregate on the full-duplex downlink, so the
+/// round completes after one volume crosses each link: `V / B`, regardless
+/// of `n` — half of ring all-reduce's `2(n-1)/n · V / B`. This is the
+/// ATP-style "in-network computation" substrate the paper's execution
+/// layer lists.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `bandwidth_gbps <= 0`.
+pub fn in_network_allreduce_secs(volume_mb: f64, n: u32, bandwidth_gbps: f64) -> f64 {
+    assert!(n > 0, "aggregation needs at least one member");
+    assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+    if n == 1 {
+        return 0.0;
+    }
+    mb_to_gbit(volume_mb) / bandwidth_gbps
+}
+
+/// Time for a hierarchical all-reduce: intra-node ring over `gpus_per_node`
+/// members at `intra_gbps`, then an inter-node ring over `nodes` members at
+/// `inter_gbps` (on the reduced volume), then intra-node broadcast (folded
+/// into the first term's return path).
+///
+/// # Panics
+///
+/// Panics if any count is zero or any bandwidth nonpositive.
+pub fn hierarchical_allreduce_secs(
+    volume_mb: f64,
+    nodes: u32,
+    gpus_per_node: u32,
+    intra_gbps: f64,
+    inter_gbps: f64,
+) -> f64 {
+    assert!(nodes > 0 && gpus_per_node > 0, "need at least one member");
+    let intra = ring_allreduce_secs(volume_mb, gpus_per_node, intra_gbps);
+    let inter = ring_allreduce_secs(volume_mb, nodes, inter_gbps);
+    intra + inter
+}
+
+/// The narrowest bandwidth (Gbit/s) connecting a worker placement, taking
+/// the intra-node tier when all workers share one node.
+pub fn bottleneck_bandwidth_gbps(cluster: &Cluster, worker_nodes: &[NodeId]) -> f64 {
+    let tier = cluster.topology().bottleneck_tier(worker_nodes);
+    cluster.topology().speeds().bandwidth_gbps(tier)
+}
+
+/// Intra-node bandwidth (Gbit/s) for a given GPU model under the cluster's
+/// configured speeds (NVLink when present, PCIe otherwise).
+pub fn intra_node_bandwidth_gbps(cluster: &Cluster, gpu_model: GpuModel) -> f64 {
+    let speeds = cluster.topology().speeds();
+    if gpu_model.spec().has_nvlink {
+        speeds.bandwidth_gbps(BandwidthTier::IntraNodeNvlink)
+    } else {
+        speeds.bandwidth_gbps(BandwidthTier::IntraNodePcie)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_cluster::ClusterSpec;
+
+    #[test]
+    fn ring_is_bandwidth_optimal_and_flat() {
+        let t8 = ring_allreduce_secs(1000.0, 8, 100.0);
+        let t64 = ring_allreduce_secs(1000.0, 64, 100.0);
+        // 2(n-1)/n approaches 2: growing n barely increases time.
+        assert!(t64 / t8 < 1.15);
+        assert!(t64 > t8);
+        // Single member: no communication.
+        assert_eq!(ring_allreduce_secs(1000.0, 1, 100.0), 0.0);
+    }
+
+    #[test]
+    fn tree_pays_log_factor() {
+        let ring = ring_allreduce_secs(1000.0, 16, 100.0);
+        let tree = tree_allreduce_secs(1000.0, 16, 100.0);
+        // log2(16)=4 rounds vs <2 effective rounds for ring.
+        assert!(tree > 2.0 * ring);
+    }
+
+    #[test]
+    fn ps_scales_linearly_in_workers() {
+        let t4 = parameter_server_secs(1000.0, 4, 1, 100.0);
+        let t16 = parameter_server_secs(1000.0, 16, 1, 100.0);
+        assert!((t16 / t4 - 4.0).abs() < 1e-9);
+        // Sharding divides the bottleneck.
+        let sharded = parameter_server_secs(1000.0, 16, 4, 100.0);
+        assert!((t16 / sharded - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ps_crosses_over_ring_as_n_grows() {
+        // At small n a sharded PS can beat tree, but ring wins at scale.
+        let n = 32;
+        let ring = ring_allreduce_secs(1000.0, n, 100.0);
+        let ps = parameter_server_secs(1000.0, n, 2, 100.0);
+        assert!(ps > ring);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        // 4 nodes x 8 GPUs: flat ring over 32 members at inter-node speed
+        // vs NVLink intra + 4-member inter ring.
+        let flat = ring_allreduce_secs(1000.0, 32, 100.0);
+        let hier = hierarchical_allreduce_secs(1000.0, 4, 8, 600.0, 100.0);
+        assert!(hier < flat);
+    }
+
+    #[test]
+    fn in_network_is_flat_and_fast() {
+        let t2 = in_network_allreduce_secs(1000.0, 2, 100.0);
+        let t64 = in_network_allreduce_secs(1000.0, 64, 100.0);
+        assert_eq!(t2, t64, "switch aggregation is independent of n");
+        // Never slower than ring on the same link.
+        assert!(t64 <= ring_allreduce_secs(1000.0, 64, 100.0) + 1e-12);
+        assert_eq!(in_network_allreduce_secs(1000.0, 1, 100.0), 0.0);
+    }
+
+    #[test]
+    fn exact_ring_value() {
+        // V=1024 MiB = 8 Gbit, n=2, B=100: 2*(1/2)*8/100 = 0.08 s.
+        let t = ring_allreduce_secs(1024.0, 2, 100.0);
+        assert!((t - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_lookup_from_cluster() {
+        let c = Cluster::new(ClusterSpec::uniform(2, 2, GpuModel::A100, 8));
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        // Single node: NVLink.
+        assert_eq!(bottleneck_bandwidth_gbps(&c, &[n0]), 600.0);
+        // Same rack: 100 Gbps.
+        assert_eq!(bottleneck_bandwidth_gbps(&c, &[n0, n1]), 100.0);
+        // Cross rack: oversubscribed.
+        assert!((bottleneck_bandwidth_gbps(&c, &[n0, n2]) - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_node_respects_nvlink_presence() {
+        let c = Cluster::new(ClusterSpec::uniform(1, 1, GpuModel::A100, 8));
+        assert_eq!(intra_node_bandwidth_gbps(&c, GpuModel::A100), 600.0);
+        assert_eq!(intra_node_bandwidth_gbps(&c, GpuModel::Rtx3090), 128.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_rejected() {
+        ring_allreduce_secs(1.0, 0, 1.0);
+    }
+}

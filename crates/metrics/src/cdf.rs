@@ -1,0 +1,258 @@
+//! Empirical CDFs and histograms for trace characterization (experiment F1).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over f64 samples.
+///
+/// Built once, then queried for `F(x)` or for quantiles; also renders the
+/// `(x, F(x))` point series experiments plot.
+///
+/// # Example
+///
+/// ```
+/// use tacc_metrics::Cdf;
+/// let cdf = Cdf::from_samples(&[1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF from an unordered sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        Cdf { sorted }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (the empirical `F(x)`); 0 for an empty CDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample value `v` such that at least `q` (in `[0,1]`) of the
+    /// mass is `<= v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        crate::stats::percentile_of_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points for plotting.
+    ///
+    /// Returns at most `points` entries, always ending at the maximum sample
+    /// with fraction 1.0. Empty when the CDF is empty.
+    pub fn plot_points(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n.max(points) / points).max(1);
+        let mut out = Vec::with_capacity(points + 1);
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f < 1.0).unwrap_or(true) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// One bucket of a [`Histogram`]: the half-open range `[lo, hi)` and its count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: f64,
+    /// Exclusive upper bound of the bucket.
+    pub hi: f64,
+    /// Number of samples that fell in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// A fixed-bucket histogram, either linear or logarithmic (powers of a base).
+///
+/// Logarithmic bucketing is what trace-characterization figures use for
+/// heavy-tailed job durations (seconds → days on one axis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `lo >= hi`.
+    pub fn linear(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo < hi, "histogram range must be nonempty");
+        let width = (hi - lo) / buckets as f64;
+        let edges = (0..=buckets).map(|i| lo + width * i as f64).collect();
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Creates a histogram whose bucket edges are `lo * base^i`, covering
+    /// `buckets` buckets starting at `lo > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`, `lo <= 0`, or `base <= 1`.
+    pub fn logarithmic(lo: f64, base: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo > 0.0, "logarithmic histogram needs positive lower bound");
+        assert!(base > 1.0, "logarithmic base must exceed 1");
+        let edges = (0..=buckets).map(|i| lo * base.powi(i as i32)).collect();
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample. Samples below/above the range are counted in
+    /// dedicated under/overflow tallies rather than dropped.
+    pub fn record(&mut self, x: f64) {
+        let first = self.edges[0];
+        let last = *self.edges.last().expect("edges nonempty");
+        if x < first {
+            self.underflow += 1;
+        } else if x >= last {
+            self.overflow += 1;
+        } else {
+            // partition_point returns the first edge > x; bucket is that - 1.
+            let idx = self.edges.partition_point(|&e| e <= x) - 1;
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Samples that fell below the first bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates over the buckets in ascending order.
+    pub fn buckets(&self) -> impl Iterator<Item = HistogramBucket> + '_ {
+        self.counts.iter().enumerate().map(|(i, &count)| HistogramBucket {
+            lo: self.edges[i],
+            hi: self.edges[i + 1],
+            count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fraction_and_quantile() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(3.0), 0.6);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+        assert_eq!(cdf.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.plot_points(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_plot_points_end_at_one() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let pts = Cdf::from_samples(&samples).plot_points(20);
+        assert!(pts.len() <= 21);
+        let (x, f) = *pts.last().expect("nonempty");
+        assert_eq!(x, 999.0);
+        assert_eq!(f, 1.0);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn linear_histogram_buckets() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 55.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        let counts: Vec<u64> = h.buckets().map(|b| b.count).collect();
+        assert_eq!(counts, vec![2, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn log_histogram_spans_decades() {
+        let mut h = Histogram::logarithmic(1.0, 10.0, 4); // [1,10),[10,100),[100,1k),[1k,10k)
+        for x in [1.0, 5.0, 50.0, 500.0, 5000.0, 0.5] {
+            h.record(x);
+        }
+        let counts: Vec<u64> = h.buckets().map(|b| b.count).collect();
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn linear_histogram_rejects_bad_range() {
+        let _ = Histogram::linear(5.0, 5.0, 3);
+    }
+}

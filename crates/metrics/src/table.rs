@@ -1,0 +1,177 @@
+//! Plain-text table rendering for experiment harness output.
+//!
+//! Every `exp_*` binary prints its table/figure data through this renderer so
+//! the output format is uniform and diffable across runs.
+
+use std::fmt;
+
+/// One table cell: either text or a number formatted with fixed precision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A literal string cell.
+    Text(String),
+    /// A numeric cell rendered with the given number of decimal places.
+    Num(f64, usize),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v, prec) => format!("{v:.prec$}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v, 2)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Num(v as f64, 0)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Num(v as f64, 0)
+    }
+}
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use tacc_metrics::Table;
+/// let mut t = Table::new("T1: policy comparison", &["policy", "mean JCT"]);
+/// t.row(vec!["fifo".into(), 412.7.into()]);
+/// let out = t.to_string();
+/// assert!(out.contains("policy"));
+/// assert!(out.contains("412.70"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with a title line and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let head: Vec<String> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        writeln!(f, "{}", head.join("  "))?;
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(rule_len))?;
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["aaaa".into(), Cell::Num(1.5, 1)]);
+        t.row(vec!["b".into(), Cell::Num(22.26, 1)]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("22.3")); // rounded to 1 decimal
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from(3usize).render(), "3");
+        assert_eq!(Cell::from(2.0f64).render(), "2.00");
+        assert_eq!(Cell::from("x").render(), "x");
+    }
+}

@@ -1,0 +1,385 @@
+//! Gang placement strategies (experiment T2).
+
+use serde::{Deserialize, Serialize};
+
+use tacc_cluster::{Cluster, NodeId, ResourceVec};
+
+/// How the scheduler maps a gang's workers onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PlacementStrategy {
+    /// Best-fit packing: prefer the fullest nodes that still fit, keeping
+    /// large contiguous blocks free (low fragmentation).
+    #[default]
+    Pack,
+    /// Worst-fit spreading: prefer the emptiest nodes (low interference,
+    /// high fragmentation).
+    Spread,
+    /// Topology-aware: fit the gang on one node if possible, else within
+    /// one rack, else pack across as few racks as possible (fast
+    /// collectives for distributed jobs).
+    TopologyAware,
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlacementStrategy::Pack => "pack",
+            PlacementStrategy::Spread => "spread",
+            PlacementStrategy::TopologyAware => "topology-aware",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A placement planner: pure logic over a cluster snapshot, no state.
+///
+/// Returns, for a gang of `workers` each needing `per_worker`, the node of
+/// every worker — or `None` if the gang cannot be placed atomically right
+/// now (gang scheduling is all-or-nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Planner {
+    strategy: PlacementStrategy,
+}
+
+impl Planner {
+    /// Creates a planner with the given strategy.
+    pub fn new(strategy: PlacementStrategy) -> Self {
+        Planner { strategy }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Plans worker→node assignments for a gang, or `None` if it does not
+    /// fit. Does **not** allocate; the caller commits via
+    /// [`Cluster::allocate`].
+    pub fn plan(
+        &self,
+        cluster: &Cluster,
+        workers: u32,
+        per_worker: ResourceVec,
+    ) -> Option<Vec<NodeId>> {
+        if workers == 0 {
+            return Some(Vec::new());
+        }
+        match self.strategy {
+            PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false),
+            PlacementStrategy::Spread => self.plan_greedy(cluster, workers, per_worker, true),
+            PlacementStrategy::TopologyAware => self.plan_topology(cluster, workers, per_worker),
+        }
+    }
+
+    /// Greedy fill over nodes ordered by free GPUs (ascending for packing,
+    /// descending for spreading; free CPU breaks ties, node id makes the
+    /// order total and deterministic).
+    fn plan_greedy(
+        &self,
+        cluster: &Cluster,
+        workers: u32,
+        per_worker: ResourceVec,
+        spread: bool,
+    ) -> Option<Vec<NodeId>> {
+        let mut nodes: Vec<(NodeId, ResourceVec)> = cluster
+            .nodes()
+            .filter(|n| n.is_schedulable())
+            .map(|n| (n.id(), n.free()))
+            .filter(|(_, free)| per_worker.fits_in(free))
+            .collect();
+        nodes.sort_by_key(|&(id, free)| (free.gpus, free.cpu_cores, id));
+        if spread {
+            nodes.reverse();
+        }
+        let mut assignment = Vec::with_capacity(workers as usize);
+        if spread {
+            // Round-robin across the emptiest nodes: one worker per node
+            // first, wrapping only when every node has taken one.
+            let mut remaining: Vec<(NodeId, ResourceVec)> = nodes;
+            let mut placed = 0;
+            while placed < workers {
+                let mut progressed = false;
+                for (id, free) in remaining.iter_mut() {
+                    if placed == workers {
+                        break;
+                    }
+                    if per_worker.fits_in(free) {
+                        assignment.push(*id);
+                        *free = *free - per_worker;
+                        placed += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    return None;
+                }
+            }
+        } else {
+            // Packing: exhaust each node before moving to the next.
+            for (id, mut free) in nodes {
+                while assignment.len() < workers as usize && per_worker.fits_in(&free) {
+                    assignment.push(id);
+                    free -= per_worker;
+                }
+                if assignment.len() == workers as usize {
+                    break;
+                }
+            }
+            if assignment.len() < workers as usize {
+                return None;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Topology-aware: single node → single rack → fewest racks (greedy by
+    /// rack free capacity), packing within each tier.
+    fn plan_topology(
+        &self,
+        cluster: &Cluster,
+        workers: u32,
+        per_worker: ResourceVec,
+    ) -> Option<Vec<NodeId>> {
+        // Tier 1: whole gang on one node.
+        let mut single: Vec<NodeId> = cluster
+            .nodes()
+            .filter(|n| n.is_schedulable())
+            .filter(|n| {
+                let mut free = n.free();
+                let mut fit = 0;
+                while per_worker.fits_in(&free) && fit < workers {
+                    free -= per_worker;
+                    fit += 1;
+                }
+                fit == workers
+            })
+            .map(|n| n.id())
+            .collect();
+        // Among feasible single nodes, pick the fullest (pack).
+        single.sort_by_key(|&id| {
+            let n = cluster.node(id).expect("listed node exists");
+            (n.free().gpus, id)
+        });
+        if let Some(&node) = single.first() {
+            return Some(vec![node; workers as usize]);
+        }
+
+        // Tier 2: whole gang within one rack. Racks tried in ascending
+        // spare capacity that still fits (pack racks too).
+        let rack_count = cluster.topology().rack_count();
+        let mut rack_plans: Vec<(u32, Vec<NodeId>)> = Vec::new();
+        for rack in 0..rack_count {
+            let in_rack: Vec<NodeId> = cluster
+                .nodes()
+                .filter(|n| n.rack().index() == rack)
+                .map(|n| n.id())
+                .collect();
+            if let Some(plan) = self.plan_within(cluster, &in_rack, workers, per_worker) {
+                let rack_free: u32 = in_rack
+                    .iter()
+                    .map(|&id| cluster.node(id).expect("exists").free().gpus)
+                    .sum();
+                rack_plans.push((rack_free, plan));
+            }
+        }
+        rack_plans.sort_by_key(|&(free, _)| free);
+        if let Some((_, plan)) = rack_plans.into_iter().next() {
+            return Some(plan);
+        }
+
+        // Tier 3: fall back to cluster-wide packing (minimizes nodes, which
+        // correlates with fewer racks).
+        self.plan_greedy(cluster, workers, per_worker, false)
+    }
+
+    /// Packs a gang into an explicit node subset, or `None`.
+    fn plan_within(
+        &self,
+        cluster: &Cluster,
+        subset: &[NodeId],
+        workers: u32,
+        per_worker: ResourceVec,
+    ) -> Option<Vec<NodeId>> {
+        let mut nodes: Vec<(NodeId, ResourceVec)> = subset
+            .iter()
+            .map(|&id| cluster.node(id).expect("subset node exists"))
+            .filter(|n| n.is_schedulable())
+            .map(|n| (n.id(), n.free()))
+            .filter(|(_, free)| per_worker.fits_in(free))
+            .collect();
+        nodes.sort_by_key(|&(id, free)| (free.gpus, id));
+        let mut assignment = Vec::with_capacity(workers as usize);
+        for (id, mut free) in nodes {
+            while assignment.len() < workers as usize && per_worker.fits_in(&free) {
+                assignment.push(id);
+                free -= per_worker;
+            }
+        }
+        (assignment.len() == workers as usize).then_some(assignment)
+    }
+
+    /// Converts a worker→node assignment into per-node aggregate shares
+    /// suitable for [`Cluster::allocate`].
+    pub fn shares_for(
+        assignment: &[NodeId],
+        per_worker: ResourceVec,
+    ) -> Vec<(NodeId, ResourceVec)> {
+        assignment.iter().map(|&n| (n, per_worker)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_cluster::{ClusterSpec, GpuModel};
+
+    fn cluster() -> Cluster {
+        // 2 racks x 2 nodes x 8 GPUs.
+        Cluster::new(ClusterSpec::uniform(2, 2, GpuModel::A100, 8))
+    }
+
+    fn occupy(cluster: &mut Cluster, node: usize, gpus: u32) {
+        let id = NodeId::from_index(node);
+        cluster
+            .allocate(999, &[(id, ResourceVec::gpus_only(gpus))])
+            .expect("test occupancy fits");
+    }
+
+    #[test]
+    fn pack_prefers_fullest_node() {
+        let mut c = cluster();
+        occupy(&mut c, 1, 6); // node1 has 2 free
+        let plan = Planner::new(PlacementStrategy::Pack)
+            .plan(&c, 1, ResourceVec::gpus_only(2))
+            .expect("fits");
+        assert_eq!(plan, vec![NodeId::from_index(1)]);
+    }
+
+    #[test]
+    fn spread_prefers_emptiest_nodes() {
+        let mut c = cluster();
+        occupy(&mut c, 0, 4);
+        let plan = Planner::new(PlacementStrategy::Spread)
+            .plan(&c, 2, ResourceVec::gpus_only(2))
+            .expect("fits");
+        // Two workers land on two different empty nodes, not node 0.
+        assert_eq!(plan.len(), 2);
+        assert_ne!(plan[0], plan[1]);
+        assert!(!plan.contains(&NodeId::from_index(0)));
+    }
+
+    #[test]
+    fn pack_colocates_gang_on_one_node() {
+        let c = cluster();
+        let plan = Planner::new(PlacementStrategy::Pack)
+            .plan(&c, 2, ResourceVec::gpus_only(4))
+            .expect("fits");
+        assert_eq!(plan[0], plan[1]);
+    }
+
+    #[test]
+    fn gang_is_all_or_nothing() {
+        let mut c = cluster();
+        // Leave 7,7,7,7 free per node by occupying 1 each: 28 total free,
+        // but a 4x8 gang (needs 8 per node) cannot fit anywhere.
+        for i in 0..4 {
+            occupy(&mut c, i, 1);
+        }
+        for strategy in [
+            PlacementStrategy::Pack,
+            PlacementStrategy::Spread,
+            PlacementStrategy::TopologyAware,
+        ] {
+            assert_eq!(
+                Planner::new(strategy).plan(&c, 4, ResourceVec::gpus_only(8)),
+                None,
+                "{strategy} should refuse partial gangs"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_prefers_single_node_then_rack() {
+        let mut c = cluster();
+        let planner = Planner::new(PlacementStrategy::TopologyAware);
+        // 8 GPUs as 2x4: fits one node.
+        let plan = planner.plan(&c, 2, ResourceVec::gpus_only(4)).expect("fits");
+        assert_eq!(plan[0], plan[1]);
+        // Fill node0 fully, node1 partially: a 2x8 gang needs two full
+        // nodes; only rack1 (nodes 2,3) has them.
+        occupy(&mut c, 0, 8);
+        occupy(&mut c, 1, 2);
+        let plan = planner.plan(&c, 2, ResourceVec::gpus_only(8)).expect("fits");
+        let racks: Vec<usize> = plan
+            .iter()
+            .map(|&n| c.topology().rack_of(n).index())
+            .collect();
+        assert_eq!(racks, vec![1, 1]);
+    }
+
+    #[test]
+    fn topology_falls_back_across_racks() {
+        let mut c = cluster();
+        // One full node free per rack only.
+        occupy(&mut c, 1, 8);
+        occupy(&mut c, 3, 8);
+        let plan = Planner::new(PlacementStrategy::TopologyAware)
+            .plan(&c, 2, ResourceVec::gpus_only(8))
+            .expect("fits across racks");
+        assert_eq!(c.topology().racks_spanned(&plan), 2);
+    }
+
+    #[test]
+    fn drained_nodes_are_never_planned() {
+        let mut c = cluster();
+        c.drain(NodeId::from_index(0));
+        c.drain(NodeId::from_index(1));
+        for strategy in [
+            PlacementStrategy::Pack,
+            PlacementStrategy::Spread,
+            PlacementStrategy::TopologyAware,
+        ] {
+            let plan = Planner::new(strategy)
+                .plan(&c, 2, ResourceVec::gpus_only(8))
+                .expect("rack 1 still has two nodes");
+            assert!(!plan.contains(&NodeId::from_index(0)), "{strategy}");
+            assert!(!plan.contains(&NodeId::from_index(1)), "{strategy}");
+        }
+        // Drain everything: nothing places.
+        c.drain(NodeId::from_index(2));
+        c.drain(NodeId::from_index(3));
+        assert_eq!(
+            Planner::default().plan(&c, 1, ResourceVec::gpus_only(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let c = cluster();
+        let planner = Planner::new(PlacementStrategy::Pack);
+        assert_eq!(planner.plan(&c, 1, ResourceVec::gpus_only(9)), None);
+        assert_eq!(planner.plan(&c, 5, ResourceVec::gpus_only(8)), None);
+    }
+
+    #[test]
+    fn shares_align_with_assignment() {
+        let c = cluster();
+        let plan = Planner::new(PlacementStrategy::Pack)
+            .plan(&c, 2, ResourceVec::gpus_only(4))
+            .expect("fits");
+        let shares = Planner::shares_for(&plan, ResourceVec::gpus_only(4));
+        assert_eq!(shares.len(), 2);
+        let mut c2 = c.clone();
+        c2.allocate(1, &shares).expect("plan is allocatable");
+    }
+
+    #[test]
+    fn empty_gang_is_trivially_placed() {
+        let c = cluster();
+        assert_eq!(
+            Planner::default().plan(&c, 0, ResourceVec::gpus_only(1)),
+            Some(vec![])
+        );
+    }
+}

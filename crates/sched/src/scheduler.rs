@@ -1,0 +1,962 @@
+//! The scheduling-layer facade.
+
+use std::collections::BTreeMap;
+
+use tacc_cluster::{Cluster, ResourceVec};
+use tacc_workload::{GroupRoster, JobId, QosClass};
+
+use crate::backfill::{may_backfill, reserve, BackfillMode, Reservation};
+use crate::placement::{PlacementStrategy, Planner};
+use crate::policy::{order_queue, PolicyContext, PolicyKind};
+use crate::quota::{QuotaMode, QuotaTable};
+use crate::request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
+
+/// Configuration of a [`Scheduler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Queue-ordering policy.
+    pub policy: PolicyKind,
+    /// Gang placement strategy.
+    pub placement: PlacementStrategy,
+    /// Backfill variant.
+    pub backfill: BackfillMode,
+    /// Quota enforcement mode.
+    pub quota: QuotaMode,
+    /// Per-group GPU quotas (indexed by group). May be empty when quotas
+    /// are [`QuotaMode::Disabled`]; groups beyond the vector get quota 0.
+    pub quotas: Vec<u32>,
+    /// Number of groups the scheduler will see (sizes fair-share state).
+    pub group_count: usize,
+    /// Gang time-slicing quantum (Slurm's "gang scheduling (time-slicing
+    /// jobs)"): when set, a best-effort task that has run a full quantum
+    /// can be rotated out in favour of queued work via
+    /// [`Scheduler::rotate`]. `None` disables rotation.
+    pub time_slice_secs: Option<f64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            policy: PolicyKind::Fifo,
+            placement: PlacementStrategy::Pack,
+            backfill: BackfillMode::Easy,
+            quota: QuotaMode::Disabled,
+            quotas: Vec::new(),
+            group_count: 8,
+            time_slice_secs: None,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Derives quotas and group count from a roster.
+    pub fn with_roster(mut self, roster: &GroupRoster) -> Self {
+        self.quotas = roster.ids().map(|g| roster.quota(g)).collect();
+        self.group_count = roster.len();
+        self
+    }
+}
+
+/// The scheduling layer: a queue, the policy suite, and the bookkeeping
+/// linking running jobs to their cluster leases.
+///
+/// Drive it with four calls:
+///
+/// 1. [`Scheduler::submit`] when the compiler layer finishes a task;
+/// 2. [`Scheduler::schedule`] whenever state changed (submission,
+///    completion, or a timer) — it commits placements and returns them;
+/// 3. [`Scheduler::task_finished`] when the execution layer reports
+///    completion (releases the lease and quota charge);
+/// 4. [`Scheduler::cancel`] for user kills of queued tasks.
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    planner: Planner,
+    quota: QuotaTable,
+    queue: Vec<TaskRequest>,
+    running: BTreeMap<JobId, RunningTask>,
+    backfill_starts: u64,
+    preemptions: u64,
+    rounds: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler from a configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let mut quotas = config.quotas.clone();
+        if quotas.len() < config.group_count {
+            quotas.resize(config.group_count, 0);
+        }
+        Scheduler {
+            planner: Planner::new(config.placement),
+            quota: QuotaTable::from_quotas(quotas),
+            config,
+            queue: Vec::new(),
+            running: BTreeMap::new(),
+            backfill_starts: 0,
+            preemptions: 0,
+            rounds: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Tasks currently waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tasks currently running.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Iterates over running tasks.
+    pub fn running(&self) -> impl Iterator<Item = &RunningTask> {
+        self.running.values()
+    }
+
+    /// Looks up a running task.
+    pub fn running_task(&self, id: JobId) -> Option<&RunningTask> {
+        self.running.get(&id)
+    }
+
+    /// Total backfilled starts so far.
+    pub fn backfill_starts(&self) -> u64 {
+        self.backfill_starts
+    }
+
+    /// Total preemptions so far.
+    pub fn preemption_count(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Scheduling rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Read access to the quota table (experiment reporting).
+    pub fn quota_table(&self) -> &QuotaTable {
+        &self.quota
+    }
+
+    /// Gang time-slicing: if queued work exists and evicting the oldest
+    /// expired best-effort tasks (those that ran at least a full quantum)
+    /// would let some queued task start, rotate them out and re-run the
+    /// scheduler. Rotated tasks re-enter the queue as if submitted now, so
+    /// they take their turn at the back.
+    ///
+    /// Returns an empty outcome when time-slicing is disabled, nothing has
+    /// expired, or no eviction would help.
+    pub fn rotate(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        let Some(quantum) = self.config.time_slice_secs else {
+            return SchedOutcome::default();
+        };
+        if self.queue.is_empty() {
+            return SchedOutcome::default();
+        }
+        let mut expired: Vec<(f64, JobId)> = self
+            .running
+            .values()
+            .filter(|t| {
+                t.request.qos == QosClass::BestEffort && now_secs - t.start_secs >= quantum
+            })
+            .map(|t| (t.start_secs, t.request.id))
+            .collect();
+        if expired.is_empty() {
+            return SchedOutcome::default();
+        }
+        expired.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // How many evictions (oldest first) until some queued task fits?
+        let mut hypothetical = cluster.clone();
+        let mut needed = None;
+        for (i, &(_, id)) in expired.iter().enumerate() {
+            let lease = self.running[&id].lease_id;
+            hypothetical
+                .release(lease)
+                .expect("running task holds a valid lease");
+            let fits_someone = self.queue.iter().any(|r| {
+                self.quota.admits(self.config.quota, r)
+                    && self
+                        .planner
+                        .plan(&hypothetical, r.workers, r.per_worker)
+                        .is_some()
+            });
+            if fits_someone {
+                needed = Some(i + 1);
+                break;
+            }
+        }
+        let Some(count) = needed else {
+            return SchedOutcome::default();
+        };
+
+        let mut outcome = SchedOutcome::default();
+        for &(_, victim) in &expired[..count] {
+            let task = self
+                .task_finished(victim, cluster)
+                .expect("victim is running");
+            self.preemptions += 1;
+            outcome.decisions.push(Decision::Preempt {
+                id: victim,
+                reclaimed_for: task.request.group,
+            });
+            // Back of the queue: the rotated task waits its turn, with its
+            // originally requested gang size restored.
+            self.queue.push(TaskRequest {
+                submit_secs: now_secs,
+                workers: task.requested_workers,
+                ..task.request
+            });
+        }
+        let follow_up = self.schedule(now_secs, cluster);
+        outcome.decisions.extend(follow_up.decisions);
+        outcome
+    }
+
+    /// Whether `request` could **ever** be admitted under this scheduler's
+    /// quota configuration, regardless of current usage. Platforms use this
+    /// for admission control: a guaranteed request larger than its group's
+    /// whole quota would otherwise queue forever.
+    pub fn admissible_ever(&self, request: &TaskRequest) -> bool {
+        let quota = self.quota.quota(request.group);
+        match self.config.quota {
+            QuotaMode::Disabled => true,
+            QuotaMode::Static => request.total_gpus() <= quota,
+            QuotaMode::Borrowing => {
+                request.qos != QosClass::Guaranteed || request.total_gpus() <= quota
+            }
+        }
+    }
+
+    /// Adds a task to the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's group is outside the configured `group_count`,
+    /// or a task with the same id is already queued or running.
+    pub fn submit(&mut self, request: TaskRequest) {
+        assert!(
+            request.group.index() < self.config.group_count,
+            "group {} outside configured group_count {}",
+            request.group,
+            self.config.group_count
+        );
+        assert!(
+            !self.running.contains_key(&request.id)
+                && self.queue.iter().all(|r| r.id != request.id),
+            "duplicate submission of {}",
+            request.id
+        );
+        self.queue.push(request);
+    }
+
+    /// Removes a queued task. Returns `true` if it was found (running tasks
+    /// are not cancelled here — stop them via the platform, then call
+    /// [`Scheduler::task_finished`]).
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|r| r.id != id);
+        self.queue.len() < before
+    }
+
+    /// Reports that a running task finished (completed, failed or was
+    /// cancelled): releases its lease and quota charge.
+    ///
+    /// Returns the task's record, or `None` if it was not running.
+    pub fn task_finished(&mut self, id: JobId, cluster: &mut Cluster) -> Option<RunningTask> {
+        let task = self.running.remove(&id)?;
+        cluster
+            .release(task.lease_id)
+            .expect("running task holds a valid lease");
+        self.quota.release(&task.request);
+        Some(task)
+    }
+
+    /// Runs one scheduling round at time `now_secs`: orders the queue,
+    /// starts everything that fits (subject to quota, gang placement and
+    /// backfill rules), and preempts borrowers when guaranteed demand
+    /// reclaims quota.
+    pub fn schedule(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        self.rounds += 1;
+        let mut outcome = SchedOutcome::default();
+
+        // Order the queue under the configured policy.
+        let group_usage = self.quota.usage_by_group();
+        let group_usage_vec = self.group_usage_vectors();
+        let ctx = PolicyContext {
+            group_gpu_usage: &group_usage,
+            group_usage_vec: &group_usage_vec,
+            group_quota: self.quota.quotas(),
+            capacity: cluster.total_capacity(),
+        };
+        order_queue(self.config.policy, now_secs, &mut self.queue, &ctx);
+
+        let mut reservations: Vec<Reservation> = Vec::new();
+        let queue_snapshot = self.queue.clone();
+
+        for request in queue_snapshot {
+            // 1. Quota gate.
+            if !self.quota.admits(self.config.quota, &request) {
+                // Blocked on quota, not capacity: holds no capacity
+                // reservation. Under no-backfill the queue is strictly
+                // ordered, so later jobs stall behind it anyway.
+                if self.config.backfill == BackfillMode::None {
+                    break;
+                }
+                continue;
+            }
+
+            // 2. Backfill gate (someone ahead is capacity-blocked).
+            if !reservations.is_empty() {
+                let est_end = now_secs + request.est_secs;
+                let permitted = match self.config.backfill {
+                    BackfillMode::None => false,
+                    BackfillMode::Easy => {
+                        may_backfill(est_end, request.total_gpus(), &reservations[0])
+                    }
+                    BackfillMode::Conservative => reservations
+                        .iter()
+                        .all(|r| may_backfill(est_end, request.total_gpus(), r)),
+                };
+                if !permitted {
+                    if self.config.backfill == BackfillMode::Conservative {
+                        self.push_reservation(now_secs, &request, cluster, &mut reservations);
+                    }
+                    continue;
+                }
+            }
+
+            // 3. Placement (with quota reclaim if allowed).
+            let backfilled = !reservations.is_empty();
+            match self.try_place(now_secs, &request, cluster, &mut outcome) {
+                Some(start) => {
+                    if backfilled {
+                        self.backfill_starts += 1;
+                    }
+                    outcome.decisions.push(Decision::Start(StartedTask {
+                        backfilled,
+                        ..start
+                    }));
+                }
+                None => {
+                    // Capacity-blocked.
+                    match self.config.backfill {
+                        BackfillMode::None => break,
+                        BackfillMode::Easy => {
+                            if reservations.is_empty() {
+                                self.push_reservation(
+                                    now_secs,
+                                    &request,
+                                    cluster,
+                                    &mut reservations,
+                                );
+                            }
+                        }
+                        BackfillMode::Conservative => {
+                            self.push_reservation(now_secs, &request, cluster, &mut reservations);
+                        }
+                    }
+                }
+            }
+        }
+
+        outcome
+    }
+
+    /// Attempts to place `request`, preempting borrowers if the request is
+    /// guaranteed, quota-admitted, and the mode allows reclaim.
+    fn try_place(
+        &mut self,
+        now_secs: f64,
+        request: &TaskRequest,
+        cluster: &mut Cluster,
+        outcome: &mut SchedOutcome,
+    ) -> Option<StartedTask> {
+        if let Some(start) = self.commit_placement(now_secs, request, cluster) {
+            return Some(start);
+        }
+        // Reclaim path: guaranteed job within quota but no room — evict
+        // best-effort borrowers, youngest first, until it fits.
+        if self.config.quota != QuotaMode::Borrowing || request.qos != QosClass::Guaranteed {
+            return None;
+        }
+        let mut victims: Vec<(f64, JobId)> = self
+            .running
+            .values()
+            .filter(|t| t.request.qos == QosClass::BestEffort)
+            .map(|t| (t.start_secs, t.request.id))
+            .collect();
+        if victims.is_empty() {
+            return None;
+        }
+        // Pre-check on a hypothetical cluster with every borrower gone:
+        // evicting is only justified if the reclaim can actually succeed.
+        // (Evicting and then failing to place would destroy borrower
+        // progress for nothing — and could deadlock an otherwise idle
+        // cluster.)
+        let mut hypothetical = cluster.clone();
+        for t in self.running.values() {
+            if t.request.qos == QosClass::BestEffort {
+                hypothetical
+                    .release(t.lease_id)
+                    .expect("running borrower holds a valid lease");
+            }
+        }
+        self.planner
+            .plan(&hypothetical, request.workers, request.per_worker)?;
+
+        // Youngest first: least sunk work destroyed.
+        victims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, victim_id) in victims {
+            let task = self
+                .task_finished(victim_id, cluster)
+                .expect("victim is running");
+            self.preemptions += 1;
+            outcome.decisions.push(Decision::Preempt {
+                id: victim_id,
+                reclaimed_for: request.group,
+            });
+            // Re-queue the victim with its original submission time and
+            // its originally requested gang size.
+            self.queue.push(TaskRequest {
+                workers: task.requested_workers,
+                ..task.request
+            });
+            if let Some(start) = self.commit_placement(now_secs, request, cluster) {
+                return Some(start);
+            }
+        }
+        unreachable!("pre-checked reclaim must place once all borrowers are evicted")
+    }
+
+    /// Plans and commits a placement, charging quota and recording the
+    /// task. On success the request is removed from the queue immediately —
+    /// a later reclaim in the same round may re-queue this very job, and
+    /// that re-queued entry must survive the round.
+    fn commit_placement(
+        &mut self,
+        now_secs: f64,
+        request: &TaskRequest,
+        cluster: &mut Cluster,
+    ) -> Option<StartedTask> {
+        // Elastic tasks shrink by halving the gang until it fits (down to
+        // one worker); inelastic tasks place all-or-nothing.
+        let mut granted = request.workers;
+        let assignment = loop {
+            if let Some(a) = self.planner.plan(cluster, granted, request.per_worker) {
+                break a;
+            }
+            if !request.elastic || granted <= 1 {
+                return None;
+            }
+            granted = (granted / 2).max(1);
+        };
+        self.queue.retain(|r| r.id != request.id);
+        let shares = Planner::shares_for(&assignment, request.per_worker);
+        let lease = cluster
+            .allocate(request.id.value(), &shares)
+            .expect("planned placement must allocate");
+        let granted_request = TaskRequest {
+            workers: granted,
+            ..*request
+        };
+        self.quota.charge(&granted_request);
+        // A shrunken data-parallel gang runs proportionally longer.
+        let scale = f64::from(request.workers) / f64::from(granted);
+        self.running.insert(
+            request.id,
+            RunningTask {
+                request: granted_request,
+                requested_workers: request.workers,
+                lease_id: lease.id(),
+                worker_nodes: assignment.clone(),
+                start_secs: now_secs,
+                est_end_secs: now_secs + request.est_secs * scale,
+            },
+        );
+        Some(StartedTask {
+            request: *request,
+            granted_workers: granted,
+            lease,
+            worker_nodes: assignment,
+            backfilled: false,
+        })
+    }
+
+    /// Computes and appends the capacity reservation for a blocked request.
+    fn push_reservation(
+        &self,
+        now_secs: f64,
+        request: &TaskRequest,
+        cluster: &Cluster,
+        reservations: &mut Vec<Reservation>,
+    ) {
+        let mut running: Vec<(f64, u32)> = self
+            .running
+            .values()
+            .map(|t| (t.est_end_secs, t.request.total_gpus()))
+            .collect();
+        reservations.push(reserve(
+            now_secs,
+            request.total_gpus(),
+            cluster.free_gpus(),
+            &mut running,
+        ));
+    }
+
+    /// Per-group running resource vectors (for DRF).
+    fn group_usage_vectors(&self) -> Vec<ResourceVec> {
+        let mut usage = vec![ResourceVec::ZERO; self.config.group_count];
+        for task in self.running.values() {
+            usage[task.request.group.index()] += task.request.total_resources();
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_cluster::{ClusterSpec, GpuModel};
+    use tacc_workload::GroupId;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec::uniform(1, 4, GpuModel::A100, 8))
+    }
+
+    fn sched(config: SchedulerConfig) -> Scheduler {
+        Scheduler::new(config)
+    }
+
+    /// Single-worker request; `gpus` must fit one node (≤ 8 here).
+    fn simple_request(id: u64, group: usize, gpus: u32, est: f64, submit: f64) -> TaskRequest {
+        TaskRequest {
+            id: JobId::from_value(id),
+            group: GroupId::from_index(group),
+            qos: QosClass::Guaranteed,
+            workers: 1,
+            per_worker: ResourceVec::gpus_only(gpus),
+            est_secs: est,
+            submit_secs: submit,
+            elastic: false,
+        }
+    }
+
+    /// Gang request: `workers` × `per_gpu` GPUs.
+    fn gang_request(
+        id: u64,
+        group: usize,
+        workers: u32,
+        per_gpu: u32,
+        est: f64,
+        submit: f64,
+    ) -> TaskRequest {
+        TaskRequest {
+            workers,
+            per_worker: ResourceVec::gpus_only(per_gpu),
+            ..simple_request(id, group, 0, est, submit)
+        }
+    }
+
+    #[test]
+    fn starts_what_fits_fifo() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        for i in 0..3 {
+            s.submit(simple_request(i, 0, 8, 100.0, i as f64));
+        }
+        let out = s.schedule(10.0, &mut c);
+        assert_eq!(out.starts().count(), 3);
+        assert_eq!(s.running_len(), 3);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(c.free_gpus(), 8);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn finish_frees_resources() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        s.submit(gang_request(1, 0, 4, 8, 100.0, 0.0));
+        let out = s.schedule(0.0, &mut c);
+        assert_eq!(out.starts().count(), 1);
+        assert_eq!(c.free_gpus(), 0);
+        let done = s.task_finished(JobId::from_value(1), &mut c).expect("ran");
+        assert_eq!(done.request.id.value(), 1);
+        assert_eq!(c.free_gpus(), 32);
+        assert_eq!(s.running_len(), 0);
+        assert!(s.task_finished(JobId::from_value(1), &mut c).is_none());
+    }
+
+    #[test]
+    fn no_backfill_blocks_behind_head() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            backfill: BackfillMode::None,
+            ..SchedulerConfig::default()
+        });
+        // Fill 3 of 4 nodes; head needs 2 nodes (blocked), tiny job behind
+        // could fit but strict FIFO must stall.
+        s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
+        let filled = s.schedule(0.0, &mut c);
+        assert_eq!(filled.starts().count(), 1);
+        s.submit(gang_request(2, 0, 2, 8, 1000.0, 1.0));
+        s.submit(simple_request(3, 0, 1, 10.0, 2.0));
+        let out = s.schedule(5.0, &mut c);
+        assert!(out.starts().count() == 0, "strict FIFO must stall");
+    }
+
+    #[test]
+    fn easy_backfill_lets_short_jobs_through() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default()); // Easy
+        s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
+        s.schedule(0.0, &mut c);
+        // Head: a 2-node gang is blocked until t≈1000 (est). A short 4-GPU
+        // job finishes before the shadow: it backfills.
+        s.submit(gang_request(2, 0, 2, 8, 500.0, 1.0));
+        s.submit(simple_request(3, 0, 4, 100.0, 2.0));
+        let out = s.schedule(5.0, &mut c);
+        assert_eq!(out.starts().count(), 1);
+        assert_eq!(out.starts().next().expect("one start").request.id.value(), 3);
+        assert!(out.starts().next().expect("one start").backfilled);
+        assert_eq!(s.backfill_starts(), 1);
+    }
+
+    #[test]
+    fn easy_backfill_respects_shadow() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        // 24 GPUs busy until est t≈100; one node (8 GPUs) free.
+        s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
+        s.schedule(0.0, &mut c);
+        // Head blocked: needs the whole cluster, shadow at t≈100, extra 0.
+        s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0));
+        // Long small job: runs past the shadow and exceeds extra → refused.
+        s.submit(simple_request(3, 0, 4, 9999.0, 2.0));
+        // Short small job: finishes before the shadow → backfills.
+        s.submit(simple_request(4, 0, 4, 50.0, 3.0));
+        let out = s.schedule(5.0, &mut c);
+        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+        assert_eq!(started, vec![4]);
+    }
+
+    #[test]
+    fn conservative_respects_all_reservations() {
+        let mut c = cluster();
+        // Conservative: a candidate must clear every blocked job's shadow.
+        let mut s = sched(SchedulerConfig {
+            backfill: BackfillMode::Conservative,
+            ..SchedulerConfig::default()
+        });
+        s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
+        s.schedule(0.0, &mut c);
+        // Blocked #1: 2 nodes, shadow ≈ t=100, extra = 32-16 = 16.
+        s.submit(gang_request(2, 0, 2, 8, 50.0, 1.0));
+        // Blocked #2: whole cluster, shadow ≈ t=100, extra 0.
+        s.submit(gang_request(3, 0, 4, 8, 50.0, 2.0));
+        // Candidate: est 200s runs past both shadows; it fits in blocked
+        // #1's extra (4 ≤ 16) so EASY would admit it, but blocked #2 leaves
+        // zero extra ⇒ conservative refuses.
+        s.submit(simple_request(4, 0, 4, 200.0, 3.0));
+        let out = s.schedule(5.0, &mut c);
+        assert_eq!(out.starts().count(), 0);
+    }
+
+    #[test]
+    fn gang_places_atomically() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        let gang = TaskRequest {
+            workers: 4,
+            per_worker: ResourceVec::gpus_only(8),
+            ..simple_request(1, 0, 0, 100.0, 0.0)
+        };
+        s.submit(gang);
+        let out = s.schedule(0.0, &mut c);
+        assert_eq!(out.starts().count(), 1);
+        assert_eq!(out.starts().next().expect("one start").worker_nodes.len(), 4);
+        assert_eq!(c.free_gpus(), 0);
+    }
+
+    #[test]
+    fn static_quota_strands_idle_capacity() {
+        let mut c = cluster(); // 32 GPUs
+        let mut s = sched(SchedulerConfig {
+            quota: QuotaMode::Static,
+            quotas: vec![8, 24],
+            group_count: 2,
+            ..SchedulerConfig::default()
+        });
+        // Group 0 wants 16 GPUs: only 8 admitted even though 32 are free.
+        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+        s.submit(simple_request(2, 0, 8, 100.0, 1.0));
+        let out = s.schedule(0.0, &mut c);
+        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+        assert_eq!(started, vec![1]);
+        assert_eq!(c.free_gpus(), 24);
+    }
+
+    #[test]
+    fn borrowing_quota_lets_best_effort_use_idle() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            quota: QuotaMode::Borrowing,
+            quotas: vec![8, 24],
+            group_count: 2,
+            ..SchedulerConfig::default()
+        });
+        s.submit(simple_request(1, 0, 8, 100.0, 0.0)); // guaranteed, in quota
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..gang_request(2, 0, 2, 8, 100.0, 1.0) // borrows group 1's idle
+        });
+        let out = s.schedule(0.0, &mut c);
+        assert_eq!(out.starts().count(), 2);
+        assert_eq!(c.free_gpus(), 8);
+    }
+
+    #[test]
+    fn reclaim_preempts_youngest_borrower() {
+        let mut c = cluster(); // 32 GPUs
+        let mut s = sched(SchedulerConfig {
+            quota: QuotaMode::Borrowing,
+            quotas: vec![16, 16],
+            group_count: 2,
+            ..SchedulerConfig::default()
+        });
+        // Group 0 borrows the whole cluster with two 16-GPU best-effort gangs.
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..gang_request(1, 0, 2, 8, 1000.0, 0.0)
+        });
+        s.schedule(0.0, &mut c);
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..gang_request(2, 0, 2, 8, 1000.0, 10.0)
+        });
+        s.schedule(10.0, &mut c);
+        assert_eq!(c.free_gpus(), 0);
+        // Group 1 submits a guaranteed job: the *younger* borrower (job 2)
+        // is evicted.
+        s.submit(gang_request(3, 1, 2, 8, 500.0, 20.0));
+        let out = s.schedule(20.0, &mut c);
+        assert_eq!(out.preemptions().count(), 1);
+        assert_eq!(out.preemptions().next().expect("one preemption").0.value(), 2);
+        assert_eq!(out.starts().count(), 1);
+        assert_eq!(out.starts().next().expect("one start").request.id.value(), 3);
+        assert_eq!(s.preemption_count(), 1);
+        // The victim went back to the queue.
+        assert_eq!(s.queue_len(), 1);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn guaranteed_never_preempted() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            quota: QuotaMode::Borrowing,
+            quotas: vec![32, 32],
+            group_count: 2,
+            ..SchedulerConfig::default()
+        });
+        // Group 0 legitimately uses all 32 under guarantee (quota 32).
+        s.submit(gang_request(1, 0, 4, 8, 1000.0, 0.0));
+        s.schedule(0.0, &mut c);
+        // Group 1's guaranteed job finds no room and nothing preemptible.
+        s.submit(simple_request(2, 1, 8, 100.0, 1.0));
+        let out = s.schedule(1.0, &mut c);
+        assert_eq!(out.starts().count(), 0);
+        assert_eq!(out.preemptions().count(), 0);
+    }
+
+    #[test]
+    fn fair_share_alternates_groups() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            policy: PolicyKind::FairShare,
+            quotas: vec![16, 16],
+            group_count: 2,
+            ..SchedulerConfig::default()
+        });
+        // Group 0 floods; group 1 submits one job later. With fair share,
+        // group 1's job goes first once group 0 is running jobs.
+        s.submit(gang_request(1, 0, 2, 8, 100.0, 0.0));
+        s.schedule(0.0, &mut c);
+        s.submit(gang_request(2, 0, 2, 8, 100.0, 1.0));
+        s.submit(gang_request(3, 1, 2, 8, 100.0, 2.0));
+        let out = s.schedule(2.0, &mut c);
+        // Group 1's job jumps ahead of group 0's second job; the cluster is
+        // then full, so group 0's job keeps waiting.
+        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+        assert_eq!(started, vec![3]);
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_queued_only() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+        assert!(s.cancel(JobId::from_value(1)));
+        assert!(!s.cancel(JobId::from_value(1)));
+        let out = s.schedule(0.0, &mut c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rotation_gives_queued_work_a_turn() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            time_slice_secs: Some(600.0),
+            ..SchedulerConfig::default()
+        });
+        // A best-effort gang holds the whole cluster.
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
+        });
+        s.schedule(0.0, &mut c);
+        assert_eq!(c.free_gpus(), 0);
+        // A guaranteed job arrives and waits.
+        s.submit(simple_request(2, 1, 8, 600.0, 100.0));
+        assert!(s.schedule(100.0, &mut c).is_empty());
+        // Before the quantum expires, rotation is a no-op.
+        assert!(s.rotate(300.0, &mut c).is_empty());
+        // After the quantum, the gang rotates out and the queued job runs.
+        let out = s.rotate(700.0, &mut c);
+        let preempted: Vec<u64> = out.preemptions().map(|(id, _)| id.value()).collect();
+        assert_eq!(preempted, vec![1]);
+        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+        // The freed space admits the guaranteed job; the rotated gang may
+        // restart in the remainder.
+        assert!(started.contains(&2), "started: {started:?}");
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn rotation_never_evicts_in_vain() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            time_slice_secs: Some(600.0),
+            ..SchedulerConfig::default()
+        });
+        // Best-effort job on one node only.
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..simple_request(1, 0, 8, 10_000.0, 0.0)
+        });
+        s.schedule(0.0, &mut c);
+        // Queued gang needs the whole cluster — evicting the one BE job
+        // cannot help (3 nodes free + 1 evicted = 4 nodes, it WOULD fit).
+        // Use a 5-node request instead: infeasible even after eviction.
+        s.submit(gang_request(2, 1, 5, 8, 600.0, 100.0));
+        let out = s.rotate(700.0, &mut c);
+        assert!(out.is_empty(), "eviction would not let anything start");
+        assert_eq!(s.running_len(), 1);
+    }
+
+    #[test]
+    fn rotation_disabled_or_idle_is_noop() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default()); // no time slice
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..simple_request(1, 0, 8, 10_000.0, 0.0)
+        });
+        s.schedule(0.0, &mut c);
+        s.submit(gang_request(2, 1, 4, 8, 600.0, 100.0));
+        assert!(s.rotate(10_000.0, &mut c).is_empty());
+        // Enabled but empty queue: also a no-op.
+        let mut s2 = sched(SchedulerConfig {
+            time_slice_secs: Some(60.0),
+            ..SchedulerConfig::default()
+        });
+        let mut c2 = cluster();
+        s2.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..simple_request(3, 0, 8, 10_000.0, 0.0)
+        });
+        s2.schedule(0.0, &mut c2);
+        assert!(s2.rotate(10_000.0, &mut c2).is_empty());
+    }
+
+    #[test]
+    fn elastic_gang_shrinks_to_fit() {
+        let mut c = cluster(); // 4 nodes x 8
+        let mut s = sched(SchedulerConfig::default());
+        // Occupy 3 nodes; an elastic 4x8 gang shrinks to 1 worker.
+        s.submit(gang_request(1, 0, 3, 8, 10_000.0, 0.0));
+        s.schedule(0.0, &mut c);
+        s.submit(TaskRequest {
+            elastic: true,
+            ..gang_request(2, 0, 4, 8, 1000.0, 1.0)
+        });
+        let out = s.schedule(1.0, &mut c);
+        let start = out.starts().next().expect("elastic start");
+        assert_eq!(start.request.workers, 4);
+        assert_eq!(start.granted_workers, 1);
+        assert_eq!(c.free_gpus(), 0);
+        // The running record reflects the grant; est_end is scaled 4x.
+        let running = s.running_task(start.request.id).expect("running");
+        assert_eq!(running.request.workers, 1);
+        assert_eq!(running.requested_workers, 4);
+        assert!((running.est_end_secs - (1.0 + 4000.0)).abs() < 1e-9);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn inelastic_gang_still_all_or_nothing() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        s.submit(gang_request(1, 0, 3, 8, 10_000.0, 0.0));
+        s.schedule(0.0, &mut c);
+        s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0)); // not elastic
+        let out = s.schedule(1.0, &mut c);
+        assert_eq!(out.starts().count(), 0);
+    }
+
+    #[test]
+    fn preempted_elastic_task_requeues_full_size() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            quota: QuotaMode::Borrowing,
+            quotas: vec![16, 16],
+            group_count: 2,
+            ..SchedulerConfig::default()
+        });
+        // Elastic BE gang wants 4 workers, gets all 4 nodes.
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            elastic: true,
+            ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
+        });
+        s.schedule(0.0, &mut c);
+        // Guaranteed job reclaims: the elastic gang is evicted, restarts
+        // shrunk in the leftover space, still requesting 4 workers.
+        s.submit(gang_request(2, 1, 2, 8, 500.0, 10.0));
+        s.schedule(10.0, &mut c);
+        // The victim re-queued and (in a later round) restarts elastic.
+        let out2 = s.schedule(11.0, &mut c);
+        let restarted: Vec<_> = out2.starts().collect();
+        if let Some(start) = restarted.first() {
+            assert_eq!(start.request.workers, 4, "requeued at full size");
+            assert!(start.granted_workers < 4, "restarted shrunk");
+        }
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_submission_panics() {
+        let mut s = sched(SchedulerConfig::default());
+        s.submit(simple_request(1, 0, 1, 10.0, 0.0));
+        s.submit(simple_request(1, 0, 1, 10.0, 0.0));
+    }
+}

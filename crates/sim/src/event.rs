@@ -1,0 +1,167 @@
+//! The deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A future event: timestamp, insertion sequence number, payload.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; we invert the ordering to pop the earliest event,
+// breaking timestamp ties by insertion order (lower seq first). The FIFO
+// tie-break is what makes same-time event handling deterministic.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A priority queue of timestamped events with deterministic ordering.
+///
+/// Events pop in ascending timestamp order; events scheduled for the same
+/// instant pop in the order they were scheduled. Given identical inputs the
+/// pop sequence is identical, which is the foundation of reproducible
+/// experiments across the workspace.
+///
+/// # Example
+///
+/// ```
+/// use tacc_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2.0), "late");
+/// q.schedule(SimTime::from_secs(1.0), "early");
+/// q.schedule(SimTime::from_secs(1.0), "early-2");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early-2")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostic counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("scheduled_total", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, name) in [(3.0, "c"), (1.0, "a"), (2.0, "b")] {
+            q.schedule(SimTime::from_secs(t), name);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10.0), "x");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("x"));
+        // Scheduling after popping still orders correctly.
+        q.schedule(SimTime::from_secs(20.0), "z");
+        q.schedule(SimTime::from_secs(15.0), "y");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("y"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("z"));
+        assert_eq!(q.scheduled_total(), 3);
+    }
+}

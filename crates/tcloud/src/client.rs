@@ -1,0 +1,310 @@
+//! The tcloud client: profiles, submission, monitoring, kill.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tacc_core::{JobStatus, Platform, PlatformConfig};
+use tacc_sim::SimDuration;
+use tacc_workload::{JobId, JobState, TaskSchema};
+
+/// Errors the client surfaces to users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TcloudError {
+    /// No profile with that name is configured.
+    UnknownProfile(String),
+    /// The job id does not exist on the active cluster.
+    UnknownJob(u64),
+    /// The submitted task description was rejected.
+    InvalidTask(String),
+    /// A CLI command could not be parsed; the message explains usage.
+    Usage(String),
+}
+
+impl fmt::Display for TcloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcloudError::UnknownProfile(p) => write!(f, "unknown cluster profile '{p}'"),
+            TcloudError::UnknownJob(id) => write!(f, "no such job {id}"),
+            TcloudError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            TcloudError::Usage(msg) => write!(f, "usage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TcloudError {}
+
+/// The `tcloud` client: a registry of cluster profiles and a connection to
+/// the active one.
+///
+/// In the real system each profile is an SSH endpoint; here each profile
+/// owns a simulated [`Platform`]. Everything the client does goes through
+/// the same platform API a remote endpoint would expose.
+#[derive(Debug)]
+pub struct TcloudClient {
+    profiles: BTreeMap<String, Platform>,
+    active: String,
+}
+
+impl TcloudClient {
+    /// Creates a client with a single named profile.
+    pub fn with_profile(name: &str, config: PlatformConfig) -> Self {
+        let mut profiles = BTreeMap::new();
+        profiles.insert(name.to_owned(), Platform::new(config));
+        TcloudClient {
+            profiles,
+            active: name.to_owned(),
+        }
+    }
+
+    /// Registers another cluster profile.
+    pub fn add_profile(&mut self, name: &str, config: PlatformConfig) {
+        self.profiles.insert(name.to_owned(), Platform::new(config));
+    }
+
+    /// Switches the active cluster — the paper's "changing a line of
+    /// configuration".
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownProfile`] if no such profile exists.
+    pub fn use_profile(&mut self, name: &str) -> Result<(), TcloudError> {
+        if !self.profiles.contains_key(name) {
+            return Err(TcloudError::UnknownProfile(name.to_owned()));
+        }
+        self.active = name.to_owned();
+        Ok(())
+    }
+
+    /// The active profile's name.
+    pub fn active_profile(&self) -> &str {
+        &self.active
+    }
+
+    /// Names of all configured profiles.
+    pub fn profile_names(&self) -> Vec<&str> {
+        self.profiles.keys().map(String::as_str).collect()
+    }
+
+    /// The active platform (read-only; used by experiment harnesses).
+    pub fn platform(&self) -> &Platform {
+        self.profiles.get(&self.active).expect("active profile exists")
+    }
+
+    /// Mutable access to the active platform.
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        self.profiles
+            .get_mut(&self.active)
+            .expect("active profile exists")
+    }
+
+    /// Submits a task to the active cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::InvalidTask`] if the schema fails validation.
+    pub fn submit(&mut self, schema: TaskSchema, service_secs: f64) -> Result<JobId, TcloudError> {
+        schema.validate().map_err(TcloudError::InvalidTask)?;
+        Ok(self.platform_mut().submit_schema(schema, service_secs))
+    }
+
+    /// Submits a task described as JSON (the on-disk task schema format).
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::InvalidTask`] for malformed JSON or invalid schemas.
+    pub fn submit_json(&mut self, json: &str, service_secs: f64) -> Result<JobId, TcloudError> {
+        let schema: TaskSchema =
+            serde_json::from_str(json).map_err(|e| TcloudError::InvalidTask(e.to_string()))?;
+        self.submit(schema, service_secs)
+    }
+
+    /// Status of one job.
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist here.
+    pub fn status(&self, job: JobId) -> Result<JobStatus, TcloudError> {
+        self.platform()
+            .job_status(job)
+            .ok_or(TcloudError::UnknownJob(job.value()))
+    }
+
+    /// Status of every job on the active cluster (submission order).
+    pub fn list_jobs(&self) -> Vec<JobStatus> {
+        let p = self.platform();
+        p.job_ids()
+            .into_iter()
+            .filter_map(|id| p.job_status(id))
+            .collect()
+    }
+
+    /// Aggregated, time-ordered log of a job across all of its nodes.
+    ///
+    /// Each line is `[t=..s] message`, matching what the real tool prints
+    /// after collecting per-node files.
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist here.
+    pub fn logs(&self, job: JobId) -> Result<Vec<String>, TcloudError> {
+        let p = self.platform();
+        if p.job(job).is_none() {
+            return Err(TcloudError::UnknownJob(job.value()));
+        }
+        Ok(p.job_log(job)
+            .iter()
+            .map(|(t, msg)| format!("[t={t:.1}s] {msg}"))
+            .collect())
+    }
+
+    /// Kills a job on every node it occupies.
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist or is already
+    /// terminal.
+    pub fn kill(&mut self, job: JobId) -> Result<(), TcloudError> {
+        if self.platform_mut().cancel_job(job) {
+            Ok(())
+        } else {
+            Err(TcloudError::UnknownJob(job.value()))
+        }
+    }
+
+    /// Lets the active cluster advance `secs` of simulated time (the
+    /// client-side analogue of "come back later and check").
+    pub fn advance(&mut self, secs: f64) {
+        let until = self.platform().now() + SimDuration::from_secs(secs);
+        self.platform_mut().run_until(until);
+    }
+
+    /// Blocks until `job` reaches a terminal state (or the cluster goes
+    /// idle, whichever is first).
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist here.
+    pub fn wait(&mut self, job: JobId) -> Result<JobState, TcloudError> {
+        if self.platform().job(job).is_none() {
+            return Err(TcloudError::UnknownJob(job.value()));
+        }
+        loop {
+            let state = self
+                .platform()
+                .job(job)
+                .expect("checked above")
+                .state();
+            if state.is_terminal() {
+                return Ok(state);
+            }
+            if self.platform_mut().step().is_none() {
+                return Ok(self.platform().job(job).expect("checked above").state());
+            }
+        }
+    }
+
+    /// One-line description of the active cluster.
+    pub fn cluster_info(&self) -> String {
+        let p = self.platform();
+        format!(
+            "profile '{}': {} nodes / {} GPUs, {} free, {} queued, {} running, {}",
+            self.active,
+            p.cluster().node_count(),
+            p.cluster().total_gpus(),
+            p.cluster().free_gpus(),
+            p.scheduler().queue_len(),
+            p.scheduler().running_len(),
+            p.now(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_cluster::{ClusterSpec, GpuModel};
+    use tacc_workload::{GroupId, GroupRoster};
+
+    fn config() -> PlatformConfig {
+        PlatformConfig {
+            cluster: ClusterSpec::uniform(1, 2, GpuModel::A100, 8),
+            roster: GroupRoster::campus_default(16),
+            ..PlatformConfig::default()
+        }
+    }
+
+    fn schema() -> TaskSchema {
+        TaskSchema::builder("t", GroupId::from_index(0))
+            .est_duration_secs(300.0)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn submit_wait_logs_round_trip() {
+        let mut c = TcloudClient::with_profile("campus", config());
+        let job = c.submit(schema(), 300.0).expect("valid");
+        let state = c.wait(job).expect("exists");
+        assert_eq!(state, JobState::Completed);
+        let logs = c.logs(job).expect("exists");
+        assert!(logs.first().expect("nonempty").contains("submitted"));
+        assert!(logs.last().expect("nonempty").contains("completed"));
+    }
+
+    #[test]
+    fn submit_json_validates() {
+        let mut c = TcloudClient::with_profile("campus", config());
+        let json = serde_json::to_string(&schema()).expect("serializes");
+        assert!(c.submit_json(&json, 300.0).is_ok());
+        assert!(matches!(
+            c.submit_json("{bad", 300.0),
+            Err(TcloudError::InvalidTask(_))
+        ));
+    }
+
+    #[test]
+    fn kill_running_job() {
+        let mut c = TcloudClient::with_profile("campus", config());
+        let job = c.submit(schema(), 1e6).expect("valid");
+        c.advance(3600.0);
+        assert_eq!(c.status(job).expect("exists").state, JobState::Running);
+        c.kill(job).expect("running job killable");
+        assert_eq!(c.status(job).expect("exists").state, JobState::Cancelled);
+        // Killing again errors.
+        assert!(c.kill(job).is_err());
+    }
+
+    #[test]
+    fn multi_cluster_profiles() {
+        let mut c = TcloudClient::with_profile("campus", config());
+        c.add_profile("lab", config());
+        let j1 = c.submit(schema(), 300.0).expect("valid");
+        c.use_profile("lab").expect("exists");
+        // The lab cluster has no jobs; the campus job is invisible here.
+        assert!(c.status(j1).is_err());
+        assert_eq!(c.list_jobs().len(), 0);
+        c.use_profile("campus").expect("exists");
+        assert_eq!(c.list_jobs().len(), 1);
+        assert!(matches!(
+            c.use_profile("nope"),
+            Err(TcloudError::UnknownProfile(_))
+        ));
+        assert_eq!(c.profile_names(), vec!["campus", "lab"]);
+    }
+
+    #[test]
+    fn cluster_info_summarizes() {
+        let c = TcloudClient::with_profile("campus", config());
+        let info = c.cluster_info();
+        assert!(info.contains("2 nodes / 16 GPUs"));
+        assert!(info.contains("campus"));
+    }
+
+    #[test]
+    fn unknown_job_errors() {
+        let c = TcloudClient::with_profile("campus", config());
+        assert!(c.status(JobId::from_value(7)).is_err());
+        assert!(c.logs(JobId::from_value(7)).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # tacc-tcloud
+//!
+//! The client layer of the reproduction: `tcloud`, the local CLI tool TACC
+//! users drive the cluster with (paper §4).
+//!
+//! The paper highlights three properties, all modelled here:
+//!
+//! * **Serverless experience** — users submit tasks from anywhere and never
+//!   maintain experiment environments: [`TcloudClient::submit`] takes a
+//!   self-contained [`TaskSchema`] and returns a job handle immediately.
+//! * **Distributed monitoring** — `tcloud` "can aggregate program status
+//!   and output log files from all running nodes": [`TcloudClient::logs`]
+//!   merges the per-node event streams of a job into one ordered view, and
+//!   [`TcloudClient::kill`] stops a job across every node it runs on.
+//! * **Cross-platform portability / multi-cluster** — "a user can submit
+//!   their tasks to different cluster instances of TACC by simply changing
+//!   a line of configuration": clients hold a registry of named cluster
+//!   profiles and switch with [`TcloudClient::use_profile`].
+//!
+//! A small CLI-style command surface ([`TcloudClient::run_command`]) parses
+//! `submit` / `ps` / `logs` / `get` / `kill` / `wait` / `info` / `quota` /
+//! `top` / `drain` / `undrain` / `use` commands, so examples read like real
+//! terminal sessions — including the paper's "retrieve files ...
+//! simultaneously on multiple nodes" (`get`) and the operator's
+//! maintenance workflow (`drain`).
+//!
+//! ## Example
+//!
+//! ```
+//! use tacc_core::PlatformConfig;
+//! use tacc_tcloud::TcloudClient;
+//! use tacc_workload::{GroupId, TaskSchema};
+//!
+//! let mut client = TcloudClient::with_profile("campus", PlatformConfig::default());
+//! let schema = TaskSchema::builder("demo", GroupId::from_index(0))
+//!     .build().expect("valid");
+//! let job = client.submit(schema, 600.0).expect("submits");
+//! client.wait(job).expect("job exists");
+//! let logs = client.logs(job).expect("job exists");
+//! assert!(logs.iter().any(|l| l.contains("completed")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cli;
+mod client;
+
+pub use cli::CommandOutput;
+pub use client::{TcloudClient, TcloudError};
+
+// Re-exported so downstream code can name the schema type without another
+// direct dependency.
+pub use tacc_workload::TaskSchema;

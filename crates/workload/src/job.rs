@@ -1,0 +1,428 @@
+//! Jobs: submitted task schemas with a lifecycle state machine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::schema::TaskSchema;
+
+/// Identifier of a submitted job. Dense per platform instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Raw value (used as the cluster lease owner tag).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs a job id from a raw value (trace replay and tests).
+    pub fn from_value(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Lifecycle state of a job.
+///
+/// ```text
+/// Submitted ─compile→ Queued ─place→ Running ─→ Completed
+///                       ↑               │ ├──→ Failed (fatal)
+///                       └── Preempted ←─┘ └──→ (failure w/ restart) Queued
+/// ```
+///
+/// Any non-terminal state may transition to `Cancelled` (user kill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted; the compiler layer is preparing the task instruction.
+    Submitted,
+    /// Instruction ready; waiting in the scheduling queue.
+    Queued,
+    /// Placed and executing.
+    Running,
+    /// Evicted by the scheduler; awaiting requeue.
+    Preempted,
+    /// Finished all its work.
+    Completed,
+    /// Terminated with an unrecoverable error.
+    Failed,
+    /// Killed by the user.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for states a job can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Submitted => "submitted",
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Preempted => "preempted",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A submitted job: its schema, its (oracle) service requirement, and its
+/// progress through the lifecycle.
+///
+/// Times are simulation seconds. The *service requirement* is the wall time
+/// the job needs on its requested allocation at nominal speed; the
+/// execution layer stretches it by a slowdown factor reflecting placement
+/// and hardware. The scheduler never reads the true service time — only the
+/// user's (noisy) estimate in the schema — mirroring reality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    id: JobId,
+    schema: TaskSchema,
+    submit_secs: f64,
+    service_secs: f64,
+    state: JobState,
+    remaining_secs: f64,
+    first_start_secs: Option<f64>,
+    last_start_secs: Option<f64>,
+    finish_secs: Option<f64>,
+    preemptions: u32,
+    restarts: u32,
+    wasted_secs: f64,
+}
+
+impl Job {
+    /// Creates a job in the `Submitted` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_secs` is not positive and finite, or the schema
+    /// fails validation.
+    pub fn new(id: JobId, schema: TaskSchema, submit_secs: f64, service_secs: f64) -> Self {
+        assert!(
+            service_secs > 0.0 && service_secs.is_finite(),
+            "service time must be positive"
+        );
+        schema
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid schema for {id}: {e}"));
+        Job {
+            id,
+            schema,
+            submit_secs,
+            service_secs,
+            state: JobState::Submitted,
+            remaining_secs: service_secs,
+            first_start_secs: None,
+            last_start_secs: None,
+            finish_secs: None,
+            preemptions: 0,
+            restarts: 0,
+            wasted_secs: 0.0,
+        }
+    }
+
+    /// The job identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The task schema this job was submitted with.
+    pub fn schema(&self) -> &TaskSchema {
+        &self.schema
+    }
+
+    /// Submission time (simulation seconds).
+    pub fn submit_secs(&self) -> f64 {
+        self.submit_secs
+    }
+
+    /// Oracle service requirement in seconds (not visible to the scheduler).
+    pub fn service_secs(&self) -> f64 {
+        self.service_secs
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.state
+    }
+
+    /// Remaining service in seconds.
+    pub fn remaining_secs(&self) -> f64 {
+        self.remaining_secs
+    }
+
+    /// Times this job was preempted.
+    pub fn preemptions(&self) -> u32 {
+        self.preemptions
+    }
+
+    /// Times this job restarted after a failure.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// GPU-seconds of lost progress from preemptions/failures.
+    pub fn wasted_secs(&self) -> f64 {
+        self.wasted_secs
+    }
+
+    /// When the job first started running, if it ever did.
+    pub fn first_start_secs(&self) -> Option<f64> {
+        self.first_start_secs
+    }
+
+    /// When the job reached a terminal state.
+    pub fn finish_secs(&self) -> Option<f64> {
+        self.finish_secs
+    }
+
+    /// Delay from submission to first start (`None` if it never started).
+    pub fn queueing_delay_secs(&self) -> Option<f64> {
+        self.first_start_secs.map(|s| s - self.submit_secs)
+    }
+
+    /// Job completion time: submission to terminal state (`None` while live).
+    pub fn jct_secs(&self) -> Option<f64> {
+        self.finish_secs.map(|f| f - self.submit_secs)
+    }
+
+    fn assert_state(&self, expected: &[JobState], op: &str) {
+        assert!(
+            expected.contains(&self.state),
+            "{}: invalid {op} from state {}",
+            self.id,
+            self.state
+        );
+    }
+
+    /// Compiler layer finished; the job enters the scheduling queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Submitted` or `Preempted`.
+    pub fn enqueue(&mut self) {
+        self.assert_state(&[JobState::Submitted, JobState::Preempted], "enqueue");
+        self.state = JobState::Queued;
+    }
+
+    /// The job starts (or resumes) running at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Queued`.
+    pub fn start(&mut self, t: f64) {
+        self.assert_state(&[JobState::Queued], "start");
+        if self.first_start_secs.is_none() {
+            self.first_start_secs = Some(t);
+        }
+        self.last_start_secs = Some(t);
+        self.state = JobState::Running;
+    }
+
+    /// Records `elapsed` seconds of useful progress (called when the job is
+    /// suspended or finishes).
+    fn credit_progress(&mut self, elapsed: f64, lost: f64) {
+        let useful = (elapsed - lost).max(0.0);
+        self.remaining_secs = (self.remaining_secs - useful).max(0.0);
+        self.wasted_secs += lost.min(elapsed).max(0.0);
+    }
+
+    /// The scheduler preempts the job at `t`. `progress_secs` is how long it
+    /// ran since its last start; `lost_secs` of that is discarded (work since
+    /// the last checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Running`.
+    pub fn preempt(&mut self, _t: f64, progress_secs: f64, lost_secs: f64) {
+        self.assert_state(&[JobState::Running], "preempt");
+        self.credit_progress(progress_secs, lost_secs);
+        self.preemptions += 1;
+        self.state = JobState::Preempted;
+    }
+
+    /// A node failure interrupts the job at `t`; it loses `lost_secs` of the
+    /// `progress_secs` it ran and goes back to `Preempted` for requeueing.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Running`.
+    pub fn interrupt_for_restart(&mut self, _t: f64, progress_secs: f64, lost_secs: f64) {
+        self.assert_state(&[JobState::Running], "interrupt");
+        self.credit_progress(progress_secs, lost_secs);
+        self.restarts += 1;
+        self.state = JobState::Preempted;
+    }
+
+    /// The platform rejects the job at admission (e.g. its gang can never
+    /// fit the cluster): `Submitted` → `Failed` without ever running.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Submitted`.
+    pub fn reject(&mut self, t: f64) {
+        self.assert_state(&[JobState::Submitted], "reject");
+        self.finish_secs = Some(t);
+        self.state = JobState::Failed;
+    }
+
+    /// The job finishes successfully at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Running`.
+    pub fn complete(&mut self, t: f64) {
+        self.assert_state(&[JobState::Running], "complete");
+        self.remaining_secs = 0.0;
+        self.finish_secs = Some(t);
+        self.state = JobState::Completed;
+    }
+
+    /// The job dies with an unrecoverable error at `t` after `progress_secs`
+    /// of execution (all of it wasted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the job is `Running`.
+    pub fn fail(&mut self, t: f64, progress_secs: f64) {
+        self.assert_state(&[JobState::Running], "fail");
+        self.wasted_secs += progress_secs.max(0.0);
+        self.finish_secs = Some(t);
+        self.state = JobState::Failed;
+    }
+
+    /// The user cancels the job at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is already terminal.
+    pub fn cancel(&mut self, t: f64) {
+        assert!(
+            !self.state.is_terminal(),
+            "{}: cancel on terminal state {}",
+            self.id,
+            self.state
+        );
+        self.finish_secs = Some(t);
+        self.state = JobState::Cancelled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+
+    fn job() -> Job {
+        let schema = TaskSchema::builder("t", GroupId::from_index(0))
+            .build()
+            .expect("valid");
+        Job::new(JobId::from_value(1), schema, 100.0, 600.0)
+    }
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let mut j = job();
+        assert_eq!(j.state(), JobState::Submitted);
+        j.enqueue();
+        assert_eq!(j.state(), JobState::Queued);
+        j.start(150.0);
+        assert_eq!(j.state(), JobState::Running);
+        j.complete(750.0);
+        assert_eq!(j.state(), JobState::Completed);
+        assert_eq!(j.queueing_delay_secs(), Some(50.0));
+        assert_eq!(j.jct_secs(), Some(650.0));
+        assert_eq!(j.remaining_secs(), 0.0);
+        assert!(j.state().is_terminal());
+    }
+
+    #[test]
+    fn preemption_keeps_checkpointed_progress() {
+        let mut j = job();
+        j.enqueue();
+        j.start(0.0);
+        // Ran 200s, lost the 50s since the last checkpoint.
+        j.preempt(200.0, 200.0, 50.0);
+        assert_eq!(j.state(), JobState::Preempted);
+        assert_eq!(j.preemptions(), 1);
+        assert_eq!(j.remaining_secs(), 600.0 - 150.0);
+        assert_eq!(j.wasted_secs(), 50.0);
+        // Requeue and resume.
+        j.enqueue();
+        j.start(300.0);
+        assert_eq!(j.first_start_secs(), Some(0.0)); // first start preserved
+        j.complete(750.0);
+        assert_eq!(j.jct_secs(), Some(650.0));
+    }
+
+    #[test]
+    fn failure_restart_counts_waste() {
+        let mut j = job();
+        j.enqueue();
+        j.start(0.0);
+        j.interrupt_for_restart(100.0, 100.0, 100.0); // no checkpoint: all lost
+        assert_eq!(j.restarts(), 1);
+        assert_eq!(j.remaining_secs(), 600.0);
+        assert_eq!(j.wasted_secs(), 100.0);
+    }
+
+    #[test]
+    fn fatal_failure() {
+        let mut j = job();
+        j.enqueue();
+        j.start(150.0);
+        j.fail(180.0, 30.0);
+        assert_eq!(j.state(), JobState::Failed);
+        assert_eq!(j.wasted_secs(), 30.0);
+        assert_eq!(j.jct_secs(), Some(80.0));
+    }
+
+    #[test]
+    fn cancel_from_queue() {
+        let mut j = job();
+        j.enqueue();
+        j.cancel(500.0);
+        assert_eq!(j.state(), JobState::Cancelled);
+        assert_eq!(j.queueing_delay_secs(), None);
+        assert_eq!(j.jct_secs(), Some(400.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid start")]
+    fn start_requires_queued() {
+        let mut j = job();
+        j.start(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal")]
+    fn cancel_twice_panics() {
+        let mut j = job();
+        j.cancel(1.0);
+        j.cancel(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_service_rejected() {
+        let schema = TaskSchema::builder("t", GroupId::from_index(0))
+            .build()
+            .expect("valid");
+        let _ = Job::new(JobId::from_value(1), schema, 0.0, 0.0);
+    }
+}

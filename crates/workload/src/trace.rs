@@ -1,0 +1,215 @@
+//! Trace files: the serializable record of a workload.
+
+use serde::{Deserialize, Serialize};
+
+use tacc_metrics::{Cdf, Summary};
+
+use crate::schema::TaskSchema;
+
+/// One submission in a trace: when, what, and how long it would truly run.
+///
+/// `service_secs` is the oracle service requirement used by the execution
+/// model; schedulers only ever see `schema.est_duration_secs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Submission time in seconds from trace start.
+    pub submit_secs: f64,
+    /// The full, self-contained task schema.
+    pub schema: TaskSchema,
+    /// True service requirement in seconds.
+    pub service_secs: f64,
+    /// If set, the user kills this job this many seconds after submitting
+    /// it (campus traces show a sizeable cancelled fraction).
+    #[serde(default)]
+    pub cancel_after_secs: Option<f64>,
+}
+
+/// A workload trace: submissions ordered by time.
+///
+/// Serializable to JSON so traces can be saved, shared and replayed — the
+/// workload-side counterpart of the paper's reproducible task execution.
+///
+/// # Example
+///
+/// ```
+/// use tacc_workload::{GenParams, TraceGenerator};
+/// let trace = TraceGenerator::new(GenParams::default(), 7).generate_days(0.5);
+/// let json = trace.to_json().expect("serializes");
+/// let back = tacc_workload::Trace::from_json(&json).expect("parses");
+/// assert_eq!(trace.len(), back.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates a trace from records, sorting them by submission time.
+    pub fn new(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by(|a, b| {
+            a.submit_secs
+                .partial_cmp(&b.submit_secs)
+                .expect("finite submit times")
+        });
+        Trace { records }
+    }
+
+    /// The records in submission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of submissions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace has no submissions.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Time of the last submission (0 for an empty trace).
+    pub fn horizon_secs(&self) -> f64 {
+        self.records.last().map(|r| r.submit_secs).unwrap_or(0.0)
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (effectively unreachable for
+    /// well-formed traces).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a trace from JSON produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let t: Trace = serde_json::from_str(json)?;
+        Ok(Trace::new(t.records))
+    }
+
+    /// Scales all submission times by `factor` (>1 spreads load out, <1
+    /// compresses it) — the load-factor knob of experiment F3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn with_time_scale(&self, factor: f64) -> Trace {
+        assert!(factor > 0.0 && factor.is_finite(), "bad time scale");
+        let records = self
+            .records
+            .iter()
+            .map(|r| TraceRecord {
+                submit_secs: r.submit_secs * factor,
+                schema: r.schema.clone(),
+                service_secs: r.service_secs,
+                cancel_after_secs: r.cancel_after_secs,
+            })
+            .collect();
+        Trace::new(records)
+    }
+
+    /// Characterization statistics for experiment F1.
+    pub fn stats(&self) -> TraceStats {
+        let durations: Vec<f64> = self.records.iter().map(|r| r.service_secs).collect();
+        let gpus: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| f64::from(r.schema.total_gpus()))
+            .collect();
+        let gpu_hours: f64 = self
+            .records
+            .iter()
+            .map(|r| f64::from(r.schema.total_gpus()) * r.service_secs / 3600.0)
+            .sum();
+        TraceStats {
+            submissions: self.records.len(),
+            duration_summary: Summary::from_samples(&durations),
+            duration_cdf: Cdf::from_samples(&durations),
+            gpu_demand_summary: Summary::from_samples(&gpus),
+            total_gpu_hours: gpu_hours,
+        }
+    }
+}
+
+/// Aggregate characterization of a trace (experiment F1's data).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of submissions.
+    pub submissions: usize,
+    /// Summary of true service times (seconds).
+    pub duration_summary: Summary,
+    /// CDF of true service times (seconds).
+    pub duration_cdf: Cdf,
+    /// Summary of total GPU demand per job.
+    pub gpu_demand_summary: Summary,
+    /// Total work in the trace, GPU-hours.
+    pub total_gpu_hours: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use crate::schema::TaskSchema;
+
+    fn record(t: f64, service: f64) -> TraceRecord {
+        TraceRecord {
+            submit_secs: t,
+            schema: TaskSchema::builder("x", GroupId::from_index(0))
+                .build()
+                .expect("valid"),
+            service_secs: service,
+            cancel_after_secs: None,
+        }
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let t = Trace::new(vec![record(5.0, 10.0), record(1.0, 10.0), record(3.0, 10.0)]);
+        let times: Vec<f64> = t.records().iter().map(|r| r.submit_secs).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+        assert_eq!(t.horizon_secs(), 5.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::new(vec![record(1.0, 60.0), record(2.0, 120.0)]);
+        let json = t.to_json().expect("serializes");
+        let back = Trace::from_json(&json).expect("parses");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn time_scale_stretches_arrivals() {
+        let t = Trace::new(vec![record(10.0, 60.0), record(20.0, 60.0)]);
+        let slow = t.with_time_scale(2.0);
+        assert_eq!(slow.records()[1].submit_secs, 40.0);
+        // Service times unchanged.
+        assert_eq!(slow.records()[1].service_secs, 60.0);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let t = Trace::new(vec![record(0.0, 3600.0), record(1.0, 7200.0)]);
+        let s = t.stats();
+        assert_eq!(s.submissions, 2);
+        assert_eq!(s.duration_summary.count(), 2);
+        // Each job asks 1 GPU: 1h + 2h = 3 GPU-hours.
+        assert!((s.total_gpu_hours - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.horizon_secs(), 0.0);
+        assert_eq!(t.stats().submissions, 0);
+    }
+}

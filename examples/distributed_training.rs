@@ -1,0 +1,73 @@
+//! Distributed-training scaling on the execution layer.
+//!
+//! Plans the same two models (ResNet-50-like and GPT-2-like) at 1–64 GPUs
+//! under the all-reduce and parameter-server runtimes, on the RDMA fabric
+//! and on a legacy TCP fabric, and prints the scaling-efficiency series —
+//! the data behind experiment F6.
+//!
+//! ```sh
+//! cargo run --release --example distributed_training
+//! ```
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, LinkSpeeds, NodeId};
+use tacc_exec::{ExecConfig, ExecModel};
+use tacc_metrics::Table;
+use tacc_workload::{ModelProfile, RuntimePreference};
+
+fn cluster_with(speeds: LinkSpeeds) -> Cluster {
+    Cluster::new(
+        ClusterSpec::builder()
+            .pool(GpuModel::A100, 2, 4, 8)
+            .speeds(speeds)
+            .build(),
+    )
+}
+
+/// Nodes a packed gang of `gpus` GPUs occupies (8 per node).
+fn placement(gpus: u32) -> Vec<NodeId> {
+    let nodes = gpus.div_ceil(8).max(1);
+    (0..nodes as usize).map(NodeId::from_index).collect()
+}
+
+fn main() {
+    let model = ExecModel::new(ExecConfig::default());
+    let rdma = cluster_with(LinkSpeeds::campus_default());
+    let tcp = cluster_with(LinkSpeeds::tcp_legacy());
+
+    for (name, profile) in [
+        ("ResNet-50-like (100 MiB grads)", ModelProfile::resnet50_like()),
+        ("GPT-2-like (1.5 GiB grads)", ModelProfile::gpt2_like()),
+    ] {
+        let mut table = Table::new(
+            &format!("scaling efficiency — {name}"),
+            &[
+                "GPUs",
+                "allreduce/RDMA",
+                "allreduce/TCP",
+                "param-server/RDMA",
+            ],
+        );
+        for gpus in [1u32, 2, 4, 8, 16, 32, 64] {
+            let nodes = placement(gpus);
+            let eff = |cluster: &Cluster, runtime| {
+                let plan = model.plan_training(
+                    cluster,
+                    runtime,
+                    &nodes,
+                    gpus,
+                    GpuModel::A100,
+                    &profile,
+                );
+                plan.efficiency * 100.0
+            };
+            table.row(vec![
+                (gpus as usize).into(),
+                eff(&rdma, RuntimePreference::AllReduce).into(),
+                eff(&tcp, RuntimePreference::AllReduce).into(),
+                eff(&rdma, RuntimePreference::ParameterServer).into(),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!("efficiency = compute / (compute + communication) per iteration, %");
+}

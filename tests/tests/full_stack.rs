@@ -1,0 +1,198 @@
+//! End-to-end integration tests: trace → compile → schedule → execute →
+//! report, across all four layers.
+
+use tacc_core::Platform;
+use tacc_sched::QuotaMode;
+use tacc_tests::{config_with, small_trace};
+use tacc_workload::JobState;
+
+/// Every submission must end in exactly one terminal state, the cluster
+/// must drain completely, and per-node accounting must balance.
+#[test]
+fn conservation_across_the_stack() {
+    let trace = small_trace(77, 2.0, 3.0);
+    for quota in [QuotaMode::Disabled, QuotaMode::Static, QuotaMode::Borrowing] {
+        let mut platform = Platform::new(config_with(|c| {
+            c.scheduler.quota = quota;
+        }));
+        let report = platform.run_trace(&trace);
+        assert_eq!(report.submitted, trace.len(), "{quota}: submissions lost");
+        assert_eq!(
+            report.completed
+                + (report.failed + report.rejected + report.cancelled) as usize,
+            trace.len(),
+            "{quota}: jobs leaked in non-terminal states"
+        );
+        for id in platform.job_ids() {
+            let state = platform.job(id).expect("listed job exists").state();
+            assert!(state.is_terminal(), "{quota}: {id} stuck in {state}");
+        }
+        assert_eq!(platform.cluster().free_gpus(), 256, "{quota}: GPUs leaked");
+        assert!(platform.cluster().check_invariants());
+        assert_eq!(platform.scheduler().queue_len(), 0);
+        assert_eq!(platform.scheduler().running_len(), 0);
+    }
+}
+
+/// The same configuration and trace must reproduce bit-identical reports.
+#[test]
+fn end_to_end_determinism() {
+    let trace = small_trace(78, 1.0, 3.0);
+    let run = || {
+        Platform::new(config_with(|c| {
+            c.scheduler.quota = QuotaMode::Borrowing;
+            c.node_mtbf_secs = Some(20.0 * 86_400.0);
+        }))
+        .run_trace(&trace)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+/// Static partitioning strands capacity a single shared pool would use:
+/// utilization under static quotas never exceeds the shared pool's.
+#[test]
+fn static_partitioning_strands_capacity() {
+    let trace = small_trace(79, 3.0, 4.0);
+    let shared = Platform::new(config_with(|_| {})).run_trace(&trace);
+    let partitioned = Platform::new(config_with(|c| {
+        c.scheduler.quota = QuotaMode::Static;
+    }))
+    .run_trace(&trace);
+    assert!(
+        partitioned.mean_utilization <= shared.mean_utilization + 0.02,
+        "static {:.3} vs shared {:.3}",
+        partitioned.mean_utilization,
+        shared.mean_utilization
+    );
+    assert_eq!(shared.preemptions, 0);
+    assert_eq!(partitioned.preemptions, 0);
+}
+
+/// Borrowing produces reclaim preemptions under contention, and the waste
+/// they cause stays small when jobs checkpoint.
+#[test]
+fn borrowing_reclaims_with_bounded_waste() {
+    let trace = small_trace(80, 3.0, 4.0);
+    let report = Platform::new(config_with(|c| {
+        c.scheduler.quota = QuotaMode::Borrowing;
+    }))
+    .run_trace(&trace);
+    assert!(report.preemptions > 0, "contended borrowing must reclaim");
+    assert!(
+        report.goodput > 0.95,
+        "checkpointed preemption should waste little: {}",
+        report.goodput
+    );
+}
+
+/// Jobs preempted mid-run still finish, and their completion records carry
+/// the preemption counts.
+#[test]
+fn preempted_jobs_complete_eventually() {
+    let trace = small_trace(81, 3.0, 4.0);
+    let report = Platform::new(config_with(|c| {
+        c.scheduler.quota = QuotaMode::Borrowing;
+    }))
+    .run_trace(&trace);
+    let preempted: Vec<_> = report.jobs.iter().filter(|j| j.preemptions > 0).collect();
+    assert!(!preempted.is_empty());
+    for j in &preempted {
+        assert!(j.jct_secs > 0.0);
+        assert!(j.wasted_secs >= 0.0);
+    }
+}
+
+/// With failure injection and fail-safe switching on, no job dies and every
+/// fault is absorbed.
+#[test]
+fn failover_absorbs_every_fault() {
+    let trace = small_trace(82, 2.0, 2.0);
+    let report = Platform::new(config_with(|c| {
+        c.node_mtbf_secs = Some(5.0 * 86_400.0);
+    }))
+    .run_trace(&trace);
+    assert!(report.faults > 0, "MTBF of 5 days must fault something");
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.failovers, report.faults);
+}
+
+/// Elastic traces behave like rigid ones on the conservation invariant
+/// and never waste goodput on shrink alone.
+#[test]
+fn elastic_trace_conserves_jobs() {
+    use tacc_workload::{GenParams, TraceGenerator};
+    let params = GenParams {
+        elastic_fraction: 1.0,
+        best_effort_fraction: 0.6,
+        ..GenParams::default().with_load_factor(2.0).with_multi_node_fraction(0.3)
+    };
+    let trace = TraceGenerator::new(params, 301).generate_days(2.0);
+    let mut platform = Platform::new(config_with(|_| {}));
+    let report = platform.run_trace(&trace);
+    assert_eq!(
+        report.completed + (report.failed + report.rejected + report.cancelled) as usize,
+        trace.len()
+    );
+    assert_eq!(platform.cluster().free_gpus(), 256);
+    assert!(platform.cluster().check_invariants());
+}
+
+/// Draining nodes mid-run never corrupts accounting; undraining restores
+/// full capacity to the scheduler.
+#[test]
+fn maintenance_drain_mid_trace() {
+    let trace = small_trace(302, 1.0, 2.0);
+    let mut platform = Platform::new(config_with(|_| {}));
+    platform.load_trace(&trace);
+    platform.run_until(tacc_sim::SimTime::from_hours(4.0));
+    // Drain a whole rack (nodes 0..8).
+    for i in 0..8 {
+        assert!(platform.drain_node(tacc_cluster::NodeId::from_index(i)));
+    }
+    platform.run_until(tacc_sim::SimTime::from_hours(12.0));
+    for i in 0..8 {
+        let node = platform
+            .cluster()
+            .node(tacc_cluster::NodeId::from_index(i))
+            .expect("exists");
+        assert!(!node.is_schedulable());
+    }
+    for i in 0..8 {
+        assert!(platform.undrain_node(tacc_cluster::NodeId::from_index(i)));
+    }
+    platform.run_until_idle();
+    let report = platform.report();
+    assert_eq!(
+        report.completed + (report.failed + report.rejected + report.cancelled) as usize,
+        trace.len()
+    );
+    assert!(platform.cluster().check_invariants());
+    assert_eq!(platform.cluster().free_gpus(), 256);
+}
+
+/// Interactive submission interleaves with a background trace.
+#[test]
+fn interactive_submission_over_live_cluster() {
+    let trace = small_trace(83, 0.5, 2.0);
+    let mut platform = Platform::new(config_with(|_| {}));
+    platform.load_trace(&trace);
+    platform.run_until(tacc_sim::SimTime::from_hours(6.0));
+    let schema = tacc_workload::TaskSchema::builder(
+        "interactive-probe",
+        tacc_workload::GroupId::from_index(3),
+    )
+    .est_duration_secs(1200.0)
+    .build()
+    .expect("valid");
+    let id = platform.submit_schema(schema, 1200.0);
+    platform.run_until_idle();
+    assert_eq!(
+        platform.job(id).expect("submitted").state(),
+        JobState::Completed
+    );
+    // The interleaved job is included in the final report.
+    let report = platform.report();
+    assert_eq!(report.submitted, trace.len() + 1);
+}

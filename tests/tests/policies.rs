@@ -1,0 +1,134 @@
+//! Cross-crate behavioural tests of the scheduling policy suite: the
+//! orderings the experiment tables rely on must hold on fresh seeds.
+
+use tacc_core::Platform;
+use tacc_sched::{BackfillMode, PlacementStrategy, PolicyKind};
+use tacc_tests::{config_with, small_trace};
+use tacc_workload::{GenParams, TraceGenerator};
+
+/// SJF (even on noisy estimates) beats FIFO on mean JCT under contention.
+#[test]
+fn sjf_beats_fifo_on_mean_jct() {
+    let trace = small_trace(101, 3.0, 4.0);
+    let fifo = Platform::new(config_with(|c| c.scheduler.policy = PolicyKind::Fifo))
+        .run_trace(&trace);
+    let sjf = Platform::new(config_with(|c| c.scheduler.policy = PolicyKind::Sjf))
+        .run_trace(&trace);
+    assert!(
+        sjf.jct.mean() < fifo.jct.mean(),
+        "sjf {:.0}s vs fifo {:.0}s",
+        sjf.jct.mean(),
+        fifo.jct.mean()
+    );
+}
+
+/// EASY backfill recovers utilization lost to head-of-line blocking when
+/// multi-node gangs are common.
+#[test]
+fn backfill_recovers_utilization() {
+    let params = GenParams::default()
+        .with_load_factor(1.5)
+        .with_multi_node_fraction(0.4);
+    let trace = TraceGenerator::new(params, 102).generate_days(3.0);
+    let none = Platform::new(config_with(|c| {
+        c.scheduler.backfill = BackfillMode::None;
+    }))
+    .run_trace(&trace);
+    let easy = Platform::new(config_with(|c| {
+        c.scheduler.backfill = BackfillMode::Easy;
+    }))
+    .run_trace(&trace);
+    assert!(easy.backfill_starts > 0);
+    assert_eq!(none.backfill_starts, 0);
+    assert!(
+        easy.mean_utilization >= none.mean_utilization,
+        "easy {:.3} vs none {:.3}",
+        easy.mean_utilization,
+        none.mean_utilization
+    );
+    assert!(
+        easy.queue_delay.p95() <= none.queue_delay.p95(),
+        "easy p95 {:.0}s vs none {:.0}s",
+        easy.queue_delay.p95(),
+        none.queue_delay.p95()
+    );
+}
+
+/// Conservative backfill is never more aggressive than EASY.
+#[test]
+fn conservative_backfills_no_more_than_easy() {
+    let params = GenParams::default()
+        .with_load_factor(1.5)
+        .with_multi_node_fraction(0.3);
+    let trace = TraceGenerator::new(params, 103).generate_days(2.0);
+    let easy = Platform::new(config_with(|c| {
+        c.scheduler.backfill = BackfillMode::Easy;
+    }))
+    .run_trace(&trace);
+    let conservative = Platform::new(config_with(|c| {
+        c.scheduler.backfill = BackfillMode::Conservative;
+    }))
+    .run_trace(&trace);
+    // Both backfill; EASY's single-reservation rule admits at least as much
+    // as checking every reservation.
+    assert!(conservative.backfill_starts > 0);
+    assert!(
+        easy.mean_utilization + 0.03 >= conservative.mean_utilization,
+        "easy {:.3} vs conservative {:.3}",
+        easy.mean_utilization,
+        conservative.mean_utilization
+    );
+}
+
+/// Topology-aware placement gives distributed jobs lower execution
+/// slowdown than spreading.
+#[test]
+fn topology_placement_beats_spread_on_comm() {
+    let params = GenParams::default()
+        .with_load_factor(1.2)
+        .with_multi_node_fraction(0.25);
+    let trace = TraceGenerator::new(params, 104).generate_days(3.0);
+    let exec_slowdown = |strategy| {
+        let report = Platform::new(config_with(|c| {
+            c.scheduler.placement = strategy;
+        }))
+        .run_trace(&trace);
+        let xs: Vec<f64> = report
+            .jobs
+            .iter()
+            .filter(|j| j.gpus >= 16)
+            .map(|j| ((j.jct_secs - j.queue_delay_secs) / j.service_secs).max(1.0))
+            .collect();
+        assert!(!xs.is_empty());
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let topo = exec_slowdown(PlacementStrategy::TopologyAware);
+    let spread = exec_slowdown(PlacementStrategy::Spread);
+    assert!(topo <= spread, "topo {topo:.3} vs spread {spread:.3}");
+}
+
+/// Fair-share keeps the light groups' waits bounded relative to FIFO under
+/// heavy load from the big groups.
+#[test]
+fn fair_share_protects_small_groups() {
+    let trace = small_trace(105, 3.0, 4.0);
+    let worst_wait = |policy| {
+        let report = Platform::new(config_with(|c| {
+            c.scheduler.policy = policy;
+        }))
+        .run_trace(&trace);
+        report
+            .groups
+            .iter()
+            .map(|g| g.mean_queue_delay_secs)
+            .fold(0.0f64, f64::max)
+    };
+    let fifo = worst_wait(PolicyKind::Fifo);
+    let fair = worst_wait(PolicyKind::FairShare);
+    // Weak form (seeds vary): fair-share must not make the worst group
+    // dramatically worse than FIFO does.
+    assert!(
+        fair <= fifo * 1.5,
+        "fair-share worst-group wait {fair:.0}s vs fifo {fifo:.0}s"
+    );
+}

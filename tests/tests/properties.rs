@@ -1,0 +1,186 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, NodeId, ResourceVec};
+use tacc_metrics::{jain_index, percentile, StepSeries, Summary};
+use tacc_sim::{dist, EventQueue, SeedStream, SimTime};
+use tacc_workload::{GenParams, TraceGenerator};
+
+// ---------------------------------------------------------------------
+// Cluster allocator
+// ---------------------------------------------------------------------
+
+/// One step of a random allocate/release workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { node: usize, gpus: u32 },
+    Release { slot: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 1u32..=8).prop_map(|(node, gpus)| Op::Alloc { node, gpus }),
+        (0usize..16).prop_map(|slot| Op::Release { slot }),
+    ]
+}
+
+proptest! {
+    /// Under any interleaving of allocations and releases, per-node
+    /// accounting balances and free never exceeds capacity.
+    #[test]
+    fn allocator_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut cluster = Cluster::new(ClusterSpec::uniform(2, 4, GpuModel::A100, 8));
+        let mut live: Vec<tacc_cluster::LeaseId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { node, gpus } => {
+                    let shares = [(NodeId::from_index(node), ResourceVec::gpus_only(gpus))];
+                    if let Ok(lease) = cluster.allocate(0, &shares) {
+                        live.push(lease.id());
+                    }
+                }
+                Op::Release { slot } => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(slot % live.len());
+                        cluster.release(id).expect("live lease releases");
+                    }
+                }
+            }
+            prop_assert!(cluster.check_invariants());
+            prop_assert!(cluster.free_gpus() <= cluster.total_gpus());
+        }
+        // Releasing everything restores the empty cluster.
+        for id in live {
+            cluster.release(id).expect("live lease releases");
+        }
+        prop_assert_eq!(cluster.free_gpus(), cluster.total_gpus());
+        prop_assert_eq!(cluster.lease_count(), 0);
+    }
+
+    /// Fragmentation is always a fraction and zero for chunk size 1.
+    #[test]
+    fn fragmentation_bounds(allocs in prop::collection::vec((0usize..8, 1u32..=8), 0..8)) {
+        let mut cluster = Cluster::new(ClusterSpec::uniform(2, 4, GpuModel::A100, 8));
+        for (node, gpus) in allocs {
+            let _ = cluster.allocate(0, &[(NodeId::from_index(node), ResourceVec::gpus_only(gpus))]);
+        }
+        for chunk in [1u32, 2, 4, 8] {
+            let f = cluster.fragmentation(chunk);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        prop_assert_eq!(cluster.fragmentation(1), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+                           p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        xs.iter_mut().for_each(|x| *x = x.trunc()); // avoid float-compare noise
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&xs, lo);
+        let b = percentile(&xs, hi);
+        prop_assert!(a <= b);
+        let s = Summary::from_samples(&xs);
+        prop_assert!(s.min() <= a && b <= s.max());
+    }
+
+    /// A step series' time-weighted mean lies within the value range seen
+    /// (plus the implicit leading zero).
+    #[test]
+    fn step_series_mean_bounded(values in prop::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut series = StepSeries::new();
+        for (i, &v) in values.iter().enumerate() {
+            series.set(i as f64, v);
+        }
+        let end = values.len() as f64;
+        let mean = series.time_weighted_mean(0.0, end);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(mean >= 0.0 && mean <= max + 1e-9);
+    }
+
+    /// Jain's index is scale-invariant and within (0, 1].
+    #[test]
+    fn jain_bounds_and_scale(xs in prop::collection::vec(0.0f64..1e6, 1..40), k in 0.001f64..1000.0) {
+        let j = jain_index(&xs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation engine
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The event queue pops in nondecreasing time order with FIFO ties,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u32..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(f64::from(t)), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, (_, i))) = q.pop() {
+            if let Some((prev_at, prev_i)) = last {
+                prop_assert!(at >= prev_at);
+                if at == prev_at {
+                    prop_assert!(i > prev_i, "same-time events must pop FIFO");
+                }
+            }
+            last = Some((at, i));
+        }
+    }
+
+    /// Distribution samplers respect their supports for any seed.
+    #[test]
+    fn samplers_respect_supports(seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed).stream("prop");
+        for _ in 0..50 {
+            prop_assert!(dist::exponential(&mut rng, 2.0) >= 0.0);
+            prop_assert!(dist::log_normal(&mut rng, 1.0, 1.0) > 0.0);
+            let u = dist::uniform(&mut rng, -3.0, 9.0);
+            prop_assert!((-3.0..9.0).contains(&u));
+            let p = dist::bounded_pareto(&mut rng, 1.5, 2.0, 50.0);
+            prop_assert!((2.0..=50.0).contains(&p));
+            let w = dist::weighted_index(&mut rng, &[0.2, 0.0, 0.8]);
+            prop_assert!(w == 0 || w == 2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload generator
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// For any seed and moderate load, every generated schema validates,
+    /// submissions are time-ordered, and gangs are node-shaped.
+    #[test]
+    fn generator_produces_valid_traces(seed in any::<u64>(), load in 0.2f64..3.0) {
+        let params = GenParams::default().with_load_factor(load);
+        let trace = TraceGenerator::new(params, seed).generate_days(0.3);
+        let mut last = 0.0;
+        for r in trace.records() {
+            prop_assert!(r.submit_secs >= last);
+            last = r.submit_secs;
+            prop_assert!(r.schema.validate().is_ok());
+            prop_assert!(r.service_secs > 0.0);
+            if r.schema.workers > 1 {
+                prop_assert_eq!(r.schema.resources.gpus, 8);
+            }
+        }
+        // Serde round-trip preserves the trace exactly.
+        let json = trace.to_json().expect("serializes");
+        prop_assert_eq!(tacc_workload::Trace::from_json(&json).expect("parses"), trace);
+    }
+}

@@ -1,0 +1,143 @@
+//! Stateful property test: the scheduler + cluster pair under arbitrary
+//! interleavings of submissions, completions, rotations and reclaims must
+//! never corrupt accounting.
+
+use proptest::prelude::*;
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, ResourceVec};
+use tacc_sched::{BackfillMode, PolicyKind, QuotaMode, Scheduler, SchedulerConfig, TaskRequest};
+use tacc_workload::{GroupId, JobId, QosClass};
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Submit a job with the given shape.
+    Submit {
+        group: usize,
+        workers: u32,
+        gpus: u32,
+        qos_best_effort: bool,
+        elastic: bool,
+        est: f64,
+    },
+    /// Finish the k-th currently running job (mod running count).
+    Finish { k: usize },
+    /// Run a scheduling round.
+    Round,
+    /// Attempt a time-slice rotation.
+    Rotate,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (0usize..4, 1u32..=4, 1u32..=8, any::<bool>(), any::<bool>(), 60.0f64..7200.0)
+            .prop_map(|(group, workers, gpus, qos_best_effort, elastic, est)| Action::Submit {
+                group,
+                workers,
+                gpus,
+                qos_best_effort,
+                elastic,
+                est,
+            }),
+        3 => (0usize..64).prop_map(|k| Action::Finish { k }),
+        2 => Just(Action::Round),
+        1 => Just(Action::Rotate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn scheduler_never_corrupts_accounting(
+        actions in prop::collection::vec(action_strategy(), 1..120),
+        quota_mode in prop_oneof![
+            Just(QuotaMode::Disabled),
+            Just(QuotaMode::Static),
+            Just(QuotaMode::Borrowing),
+        ],
+    ) {
+        let mut cluster = Cluster::new(ClusterSpec::uniform(2, 4, GpuModel::A100, 8));
+        let total = cluster.total_gpus();
+        let mut sched = Scheduler::new(SchedulerConfig {
+            policy: PolicyKind::MultiFactor,
+            backfill: BackfillMode::Easy,
+            quota: quota_mode,
+            quotas: vec![16, 16, 16, 16],
+            group_count: 4,
+            time_slice_secs: Some(600.0),
+            ..SchedulerConfig::default()
+        });
+        let mut next_id: u64 = 0;
+        let mut now = 0.0f64;
+        let mut submitted = 0usize;
+        let mut finished = 0usize;
+
+        for action in actions {
+            now += 1.0;
+            match action {
+                Action::Submit { group, workers, gpus, qos_best_effort, elastic, est } => {
+                    // Keep requests physically feasible so they are not a
+                    // quota/fit dead letter for the whole run.
+                    let request = TaskRequest {
+                        id: JobId::from_value(next_id),
+                        group: GroupId::from_index(group),
+                        qos: if qos_best_effort { QosClass::BestEffort } else { QosClass::Guaranteed },
+                        workers,
+                        per_worker: ResourceVec::gpus_only(gpus),
+                        est_secs: est,
+                        submit_secs: now,
+                        elastic,
+                    };
+                    next_id += 1;
+                    submitted += 1;
+                    sched.submit(request);
+                }
+                Action::Finish { k } => {
+                    let running: Vec<JobId> =
+                        sched.running().map(|t| t.request.id).collect();
+                    if !running.is_empty() {
+                        let victim = running[k % running.len()];
+                        let done = sched.task_finished(victim, &mut cluster);
+                        prop_assert!(done.is_some());
+                        finished += 1;
+                    }
+                }
+                Action::Round => {
+                    let _ = sched.schedule(now, &mut cluster);
+                }
+                Action::Rotate => {
+                    let _ = sched.rotate(now, &mut cluster);
+                }
+            }
+            // Invariants after every step.
+            prop_assert!(cluster.check_invariants());
+            prop_assert!(cluster.free_gpus() <= total);
+            prop_assert_eq!(cluster.lease_count(), sched.running_len());
+            // Quota usage never exceeds physically allocated GPUs.
+            let quota_used: u32 = (0..4)
+                .map(|g| sched.quota_table().total_used(GroupId::from_index(g)))
+                .sum();
+            prop_assert_eq!(quota_used, total - cluster.free_gpus());
+        }
+
+        // Drain: finish everything that runs, then rounds start the rest
+        // or leave them legitimately queued; accounting stays balanced.
+        for _ in 0..2 * submitted {
+            let running: Vec<JobId> = sched.running().map(|t| t.request.id).collect();
+            if running.is_empty() {
+                break;
+            }
+            sched.task_finished(running[0], &mut cluster);
+            finished += 1;
+            now += 1.0;
+            let _ = sched.schedule(now, &mut cluster);
+        }
+        prop_assert!(cluster.check_invariants());
+        prop_assert!(finished <= submitted);
+        prop_assert_eq!(cluster.lease_count(), sched.running_len());
+        // Everything still in the system is queued or running, not lost.
+        prop_assert_eq!(
+            sched.queue_len() + sched.running_len() + finished,
+            submitted
+        );
+    }
+}
