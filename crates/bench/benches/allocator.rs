@@ -46,13 +46,7 @@ fn bench_planning(c: &mut Criterion) {
             let planner = Planner::new(strategy);
             let id = BenchmarkId::new(strategy.to_string(), nodes);
             group.bench_function(id, |b| {
-                b.iter(|| {
-                    criterion::black_box(planner.plan(
-                        &cl,
-                        4,
-                        ResourceVec::gpus_only(2),
-                    ))
-                });
+                b.iter(|| criterion::black_box(planner.plan(&cl, 4, ResourceVec::gpus_only(2))));
             });
         }
     }
@@ -64,7 +58,10 @@ fn bench_fragmentation(c: &mut Criterion) {
     for i in 0..128usize {
         cl.allocate(
             i as u64,
-            &[(NodeId::from_index(i), ResourceVec::gpus_only((i % 8) as u32 + 1))],
+            &[(
+                NodeId::from_index(i),
+                ResourceVec::gpus_only((i % 8) as u32 + 1),
+            )],
         )
         .expect("fits");
     }
@@ -73,5 +70,10 @@ fn bench_fragmentation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_allocate_release, bench_planning, bench_fragmentation);
+criterion_group!(
+    benches,
+    bench_allocate_release,
+    bench_planning,
+    bench_fragmentation
+);
 criterion_main!(benches);

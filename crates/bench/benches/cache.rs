@@ -48,7 +48,9 @@ fn bench_chunk_ops(c: &mut Criterion) {
     c.bench_function("chunk_fetch_evicting", |b| {
         // Cache of 10 chunks: every fetch of a rotating set evicts.
         let mut cache = ChunkCache::new(5_000);
-        let ids: Vec<ChunkId> = (0..20).map(|i| ChunkId::of(&format!("c{i}"), 500)).collect();
+        let ids: Vec<ChunkId> = (0..20)
+            .map(|i| ChunkId::of(&format!("c{i}"), 500))
+            .collect();
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 1) % ids.len();

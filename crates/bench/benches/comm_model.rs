@@ -37,7 +37,9 @@ fn bench_raw_collectives(c: &mut Criterion) {
     });
     c.bench_function("hierarchical_allreduce_cost", |b| {
         b.iter(|| {
-            criterion::black_box(comm::hierarchical_allreduce_secs(1500.0, 8, 8, 600.0, 100.0))
+            criterion::black_box(comm::hierarchical_allreduce_secs(
+                1500.0, 8, 8, 600.0, 100.0,
+            ))
         });
     });
 }

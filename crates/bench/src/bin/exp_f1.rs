@@ -19,10 +19,7 @@ fn main() {
     );
 
     // --- Panel (a): duration CDF ------------------------------------
-    let mut cdf_table = Table::new(
-        "F1a: job duration CDF",
-        &["duration", "P(X <= x)"],
-    );
+    let mut cdf_table = Table::new("F1a: job duration CDF", &["duration", "P(X <= x)"]);
     for (label, secs) in [
         ("1 min", 60.0),
         ("5 min", 300.0),

@@ -15,7 +15,10 @@ use tacc_sched::QuotaMode;
 
 fn main() {
     let trace = standard_trace(7.0, 3.0);
-    println!("F2: {} submissions over 7 days, 256 GPUs, load 3\n", trace.len());
+    println!(
+        "F2: {} submissions over 7 days, 256 GPUs, load 3\n",
+        trace.len()
+    );
 
     let mut summary = Table::new(
         "F2: sharing regimes",

@@ -36,7 +36,14 @@ fn main() {
     // --- Raw collective costs (pure comm model) ---------------------
     let mut raw = Table::new(
         "F6a: synchronization time per round (ms), 100 Gbps bottleneck",
-        &["n", "ring", "tree", "hierarchical(4x8)", "in-network", "PS (4 shards)"],
+        &[
+            "n",
+            "ring",
+            "tree",
+            "hierarchical(4x8)",
+            "in-network",
+            "PS (4 shards)",
+        ],
     );
     for n in [2u32, 4, 8, 16, 32, 64] {
         let hier = if n >= 8 {

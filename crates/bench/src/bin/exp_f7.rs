@@ -36,8 +36,8 @@ fn main() {
                 c.failover = policy;
             });
             let report = Platform::new(config).run_trace(&trace);
-            let done = report.completed as f64
-                / (report.completed as f64 + report.failed as f64).max(1.0);
+            let done =
+                report.completed as f64 / (report.completed as f64 + report.failed as f64).max(1.0);
             table.row(vec![
                 label.into(),
                 match policy {

@@ -73,7 +73,12 @@ fn main() {
         bw.row(vec![
             format!("{aggregate:.0}").into(),
             report.mean_staging_secs.into(),
-            if aggregate >= 20_000.0 { "client-capped" } else { "backend-capped" }.into(),
+            if aggregate >= 20_000.0 {
+                "client-capped"
+            } else {
+                "backend-capped"
+            }
+            .into(),
         ]);
     }
     println!("{bw}");

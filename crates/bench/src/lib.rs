@@ -51,8 +51,7 @@ pub const TRACE_SEED: u64 = 20_240_601;
 /// The canonical moderately-contended workload: `days` days at `load`×
 /// the default arrival rate on the 256-GPU campus cluster.
 pub fn standard_trace(days: f64, load: f64) -> Trace {
-    TraceGenerator::new(GenParams::default().with_load_factor(load), TRACE_SEED)
-        .generate_days(days)
+    TraceGenerator::new(GenParams::default().with_load_factor(load), TRACE_SEED).generate_days(days)
 }
 
 /// A trace with a controlled multi-node (≥16 GPU) job fraction.

@@ -11,9 +11,7 @@ use crate::resources::ResourceVec;
 use crate::topology::{LinkSpeeds, RackId, Topology};
 
 /// Identifier of a resource lease issued by [`Cluster::allocate`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LeaseId(u64);
 
 impl LeaseId {
@@ -230,6 +228,7 @@ pub struct Cluster {
     topology: Topology,
     leases: BTreeMap<LeaseId, Lease>,
     next_lease: u64,
+    alloc_failures: u64,
 }
 
 impl Cluster {
@@ -260,7 +259,14 @@ impl Cluster {
             topology: Topology::new(racks, nvlink, spec.speeds),
             leases: BTreeMap::new(),
             next_lease: 0,
+            alloc_failures: 0,
         }
+    }
+
+    /// Number of failed [`Cluster::allocate`] calls over this cluster's
+    /// lifetime (operational counter; clones inherit the current value).
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
     }
 
     /// The network/rack topology.
@@ -330,18 +336,21 @@ impl Cluster {
         shares: &[(NodeId, ResourceVec)],
     ) -> Result<Lease, ClusterError> {
         if shares.is_empty() {
+            self.alloc_failures += 1;
             return Err(ClusterError::EmptyRequest);
         }
         // Validate the whole placement first (shares may repeat a node).
         let mut needed: BTreeMap<NodeId, ResourceVec> = BTreeMap::new();
         for &(node, demand) in shares {
             if node.index() >= self.nodes.len() {
+                self.alloc_failures += 1;
                 return Err(ClusterError::UnknownNode(node));
             }
             *needed.entry(node).or_insert(ResourceVec::ZERO) += demand;
         }
         for (&node, total) in &needed {
             if !self.nodes[node.index()].can_fit(total) {
+                self.alloc_failures += 1;
                 return Err(ClusterError::InsufficientResources { node });
             }
         }
@@ -502,7 +511,8 @@ mod tests {
         let n0 = NodeId::from_index(0);
         let n1 = NodeId::from_index(1);
         // First fill node 1 completely.
-        c.allocate(1, &[(n1, ResourceVec::gpus_only(8))]).expect("fits");
+        c.allocate(1, &[(n1, ResourceVec::gpus_only(8))])
+            .expect("fits");
         // Multi-node request where the second share cannot fit must not
         // touch node 0 either.
         let err = c
@@ -551,7 +561,10 @@ mod tests {
     #[test]
     fn errors_for_bad_inputs() {
         let mut c = small();
-        assert_eq!(c.allocate(1, &[]).expect_err("empty"), ClusterError::EmptyRequest);
+        assert_eq!(
+            c.allocate(1, &[]).expect_err("empty"),
+            ClusterError::EmptyRequest
+        );
         let ghost = NodeId::from_index(99);
         assert_eq!(
             c.allocate(1, &[(ghost, ResourceVec::gpus_only(1))])
@@ -562,13 +575,31 @@ mod tests {
             c.release(LeaseId::for_tests(42)).expect_err("no lease"),
             ClusterError::UnknownLease(LeaseId::for_tests(42))
         );
+        // Every failed allocate bumped the operational counter; failed
+        // releases do not.
+        assert_eq!(c.alloc_failures(), 2);
+    }
+
+    #[test]
+    fn alloc_failures_counts_capacity_misses() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        assert_eq!(c.alloc_failures(), 0);
+        c.allocate(1, &[(n0, ResourceVec::gpus_only(8))])
+            .expect("fits");
+        assert_eq!(c.alloc_failures(), 0);
+        c.allocate(2, &[(n0, ResourceVec::gpus_only(1))])
+            .expect_err("node full");
+        assert_eq!(c.alloc_failures(), 1);
     }
 
     #[test]
     fn double_release_fails() {
         let mut c = small();
         let n0 = NodeId::from_index(0);
-        let lease = c.allocate(1, &[(n0, ResourceVec::gpus_only(1))]).expect("fits");
+        let lease = c
+            .allocate(1, &[(n0, ResourceVec::gpus_only(1))])
+            .expect("fits");
         c.release(lease.id()).expect("first release");
         assert!(c.release(lease.id()).is_err());
     }
@@ -577,7 +608,9 @@ mod tests {
     fn drained_nodes_reject_new_work_only() {
         let mut c = small();
         let n0 = NodeId::from_index(0);
-        let lease = c.allocate(1, &[(n0, ResourceVec::gpus_only(2))]).expect("fits");
+        let lease = c
+            .allocate(1, &[(n0, ResourceVec::gpus_only(2))])
+            .expect("fits");
         assert!(c.drain(n0));
         assert_eq!(c.drained_count(), 1);
         // New work on the drained node fails even though capacity is free.
@@ -598,8 +631,11 @@ mod tests {
         assert_eq!(c.fragmentation(8), 0.0);
         // Take 5 GPUs on each of two nodes: each has 3 free, stranded for chunk=8.
         for i in 0..2 {
-            c.allocate(i, &[(NodeId::from_index(i as usize), ResourceVec::gpus_only(5))])
-                .expect("fits");
+            c.allocate(
+                i,
+                &[(NodeId::from_index(i as usize), ResourceVec::gpus_only(5))],
+            )
+            .expect("fits");
         }
         let frag = c.fragmentation(8);
         // free = 3+3+8+8 = 22; stranded = 6.

@@ -12,9 +12,7 @@ use crate::topology::RackId;
 
 /// Identifier of a node within a [`crate::Cluster`]. Dense, assigned at
 /// cluster construction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {

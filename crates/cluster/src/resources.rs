@@ -71,9 +71,7 @@ impl ResourceVec {
 
     /// True when every dimension fits inside `other`.
     pub fn fits_in(&self, other: &ResourceVec) -> bool {
-        self.gpus <= other.gpus
-            && self.cpu_cores <= other.cpu_cores
-            && self.mem_gb <= other.mem_gb
+        self.gpus <= other.gpus && self.cpu_cores <= other.cpu_cores && self.mem_gb <= other.mem_gb
     }
 
     /// True when every dimension is zero.
@@ -113,11 +111,7 @@ impl ResourceVec {
 
 impl fmt::Display for ResourceVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}g/{}c/{}G",
-            self.gpus, self.cpu_cores, self.mem_gb
-        )
+        write!(f, "{}g/{}c/{}G", self.gpus, self.cpu_cores, self.mem_gb)
     }
 }
 
@@ -149,10 +143,7 @@ impl Sub for ResourceVec {
     type Output = ResourceVec;
 
     fn sub(self, rhs: ResourceVec) -> ResourceVec {
-        assert!(
-            rhs.fits_in(&self),
-            "resource underflow: {self} - {rhs}"
-        );
+        assert!(rhs.fits_in(&self), "resource underflow: {self} - {rhs}");
         ResourceVec {
             gpus: self.gpus - rhs.gpus,
             cpu_cores: self.cpu_cores - rhs.cpu_cores,

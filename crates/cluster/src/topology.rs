@@ -11,9 +11,7 @@ use std::fmt;
 use crate::node::NodeId;
 
 /// Identifier of a rack.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RackId(pub(crate) u32);
 
 impl RackId {
@@ -107,11 +105,7 @@ pub struct Topology {
 impl Topology {
     pub(crate) fn new(node_racks: Vec<RackId>, nvlink: Vec<bool>, speeds: LinkSpeeds) -> Self {
         assert_eq!(node_racks.len(), nvlink.len());
-        let rack_count = node_racks
-            .iter()
-            .map(|r| r.0 + 1)
-            .max()
-            .unwrap_or(0);
+        let rack_count = node_racks.iter().map(|r| r.0 + 1).max().unwrap_or(0);
         Topology {
             node_racks,
             rack_count,

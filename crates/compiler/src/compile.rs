@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use tacc_workload::{RuntimePreference, TaskKind, TaskSchema};
+use tacc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use tacc_workload::{RuntimePreference, TaskSchema};
 
 use crate::cache::{ChunkCache, ChunkId};
 use crate::instruction::{CompiledTask, ExecutionInstruction, InstructionKind, Provisioning};
@@ -66,6 +67,18 @@ pub struct Compiler {
     config: CompilerConfig,
     cache: ChunkCache,
     compilations: u64,
+    metrics: Option<CompilerMetrics>,
+}
+
+/// Handles into an attached [`MetricsRegistry`] (`tacc_compiler_*` series).
+#[derive(Debug)]
+struct CompilerMetrics {
+    compilations: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    transferred_mb: Counter,
+    cache_hit_rate: Gauge,
+    provisioning_latency: Histogram,
 }
 
 /// Base image sizes in MiB; looked up by name, defaulting for unknown images.
@@ -86,7 +99,24 @@ impl Compiler {
             cache: ChunkCache::new(config.cache_capacity_mb),
             config,
             compilations: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches operational metrics: subsequent compilations update the
+    /// `tacc_compiler_*` series in `registry` (compilation and chunk
+    /// hit/miss counters, MiB transferred, byte hit-rate gauge, and a
+    /// provisioning-latency histogram in simulated seconds).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(CompilerMetrics {
+            compilations: registry.counter("tacc_compiler_compilations_total", &[]),
+            cache_hits: registry.counter("tacc_compiler_cache_hits_total", &[]),
+            cache_misses: registry.counter("tacc_compiler_cache_misses_total", &[]),
+            transferred_mb: registry.counter("tacc_compiler_transferred_mb_total", &[]),
+            cache_hit_rate: registry.gauge("tacc_compiler_cache_byte_hit_rate", &[]),
+            provisioning_latency: registry
+                .histogram("tacc_compiler_provisioning_latency_seconds", &[]),
+        });
     }
 
     /// The configuration in use.
@@ -123,9 +153,7 @@ impl Compiler {
     ///
     /// [`CompileError::InvalidSchema`] if the schema fails validation.
     pub fn compile(&mut self, schema: &TaskSchema) -> Result<CompiledTask, CompileError> {
-        schema
-            .validate()
-            .map_err(CompileError::InvalidSchema)?;
+        schema.validate().map_err(CompileError::InvalidSchema)?;
         self.compilations += 1;
 
         let kind = Self::instruction_kind(schema);
@@ -149,7 +177,11 @@ impl Compiler {
 
         if kind == InstructionKind::ContainerImage {
             let img_mb = image_size_mb(&schema.env.image);
-            pull(&mut self.cache, &format!("image:{}", schema.env.image), img_mb);
+            pull(
+                &mut self.cache,
+                &format!("image:{}", schema.env.image),
+                img_mb,
+            );
         }
         for (dep, size) in &schema.env.dependencies {
             pull(&mut self.cache, &format!("dep:{dep}"), *size);
@@ -163,11 +195,7 @@ impl Compiler {
             }
             let tail = size % shard;
             if tail > 0 {
-                pull(
-                    &mut self.cache,
-                    &format!("dataset:{dataset}:tail"),
-                    tail,
-                );
+                pull(&mut self.cache, &format!("dataset:{dataset}:tail"), tail);
             }
         }
         // User code is unique per submission: always transferred, never cached.
@@ -176,6 +204,15 @@ impl Compiler {
 
         let latency_secs =
             self.config.base_latency_secs + transferred_mb / self.config.fetch_bandwidth_mbps;
+
+        if let Some(m) = &self.metrics {
+            m.compilations.inc();
+            m.cache_hits.inc_by(u64::from(hits));
+            m.cache_misses.inc_by(u64::from(misses));
+            m.transferred_mb.inc_by(transferred_mb.round() as u64);
+            m.cache_hit_rate.set(self.cache.stats().byte_hit_rate());
+            m.provisioning_latency.observe(latency_secs);
+        }
 
         Ok(CompiledTask {
             schema: schema.clone(),
@@ -214,8 +251,6 @@ impl Compiler {
             RuntimePreference::Auto => {
                 if schema.workers > 1 || schema.resources.gpus > 1 {
                     RuntimePreference::AllReduce
-                } else if schema.kind == TaskKind::Training {
-                    RuntimePreference::SingleProcess
                 } else {
                     RuntimePreference::SingleProcess
                 }
@@ -229,7 +264,7 @@ impl Compiler {
 mod tests {
     use super::*;
     use tacc_cluster::ResourceVec;
-    use tacc_workload::{GroupId, RuntimeEnv};
+    use tacc_workload::{GroupId, RuntimeEnv, TaskKind};
 
     fn schema() -> TaskSchema {
         TaskSchema::builder("t", GroupId::from_index(0))
@@ -383,6 +418,35 @@ mod tests {
             (a, b)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn attached_registry_sees_cache_traffic() {
+        let registry = MetricsRegistry::new();
+        let mut c = Compiler::new(CompilerConfig::default());
+        c.attach_registry(&registry);
+        c.compile(&schema()).expect("compiles");
+        c.compile(&schema()).expect("compiles");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tacc_compiler_compilations_total"), Some(2));
+        // Cold run misses everything, warm run hits everything.
+        let hits = snap
+            .counter("tacc_compiler_cache_hits_total")
+            .expect("hits");
+        let misses = snap
+            .counter("tacc_compiler_cache_misses_total")
+            .expect("misses");
+        assert!(hits > 0 && misses > 0 && hits == misses);
+        assert!(
+            snap.gauge("tacc_compiler_cache_byte_hit_rate")
+                .expect("rate")
+                > 0.0
+        );
+        assert_eq!(
+            snap.histogram("tacc_compiler_provisioning_latency_seconds")
+                .map(|h| h.count),
+            Some(2)
+        );
     }
 
     #[test]

@@ -4,8 +4,12 @@ use std::collections::BTreeMap;
 
 use tacc_cluster::{Cluster, GpuModel, NodeId};
 use tacc_compiler::Compiler;
-use tacc_exec::{CheckpointPolicy, ExecModel, FailoverPolicy, FailureInjector};
+use tacc_exec::{CheckpointPolicy, ExecModel, ExecTelemetry, FailoverPolicy, FailureInjector};
 use tacc_metrics::UtilizationTracker;
+use tacc_obs::{
+    Counter, EventBus, EventRecord, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    PlatformEvent, RejectReason,
+};
 use tacc_sched::{Scheduler, TaskRequest};
 use tacc_sim::{Clock, EventQueue, SimDuration, SimTime};
 use tacc_storage::{SharedStore, Staging};
@@ -14,7 +18,7 @@ use tacc_workload::{
 };
 
 use crate::config::PlatformConfig;
-use crate::report::{CompletedJob, SimulationReport};
+use crate::report::{CompletedJob, ReportInputs, SimulationReport};
 
 /// Events the platform processes.
 #[derive(Debug)]
@@ -26,7 +30,11 @@ enum Event {
     /// A running job's execution plan predicts completion now.
     Finish { job: JobId, token: u64 },
     /// A node under a running job faults now.
-    Fault { job: JobId, token: u64, node: NodeId },
+    Fault {
+        job: JobId,
+        token: u64,
+        node: NodeId,
+    },
     /// The user kills this job now (from the trace's cancellation field).
     Cancel { job: JobId },
     /// A gang time-slice quantum expired; consider rotating.
@@ -69,6 +77,47 @@ pub struct JobStatus {
     pub preemptions: u32,
 }
 
+/// One job's bounded platform-side log: rendered event lines plus a
+/// count of lines evicted once the ring filled.
+#[derive(Debug, Default)]
+struct JobLog {
+    lines: Vec<(f64, String)>,
+    dropped: u64,
+}
+
+/// Handles for the `tacc_core_*` and `tacc_cluster_*` metric series the
+/// platform maintains itself (the other layers register their own).
+#[derive(Debug)]
+struct CoreMetrics {
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    jobs_rejected: Counter,
+    jobs_cancelled: Counter,
+    queue_delay: Histogram,
+    free_gpus: Gauge,
+    largest_free_block: Gauge,
+    fragmentation: Gauge,
+    alloc_failures: Counter,
+}
+
+impl CoreMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        CoreMetrics {
+            jobs_submitted: registry.counter("tacc_core_jobs_submitted_total", &[]),
+            jobs_completed: registry.counter("tacc_core_jobs_completed_total", &[]),
+            jobs_failed: registry.counter("tacc_core_jobs_failed_total", &[]),
+            jobs_rejected: registry.counter("tacc_core_jobs_rejected_total", &[]),
+            jobs_cancelled: registry.counter("tacc_core_jobs_cancelled_total", &[]),
+            queue_delay: registry.histogram("tacc_core_queue_delay_seconds", &[]),
+            free_gpus: registry.gauge("tacc_cluster_free_gpus", &[]),
+            largest_free_block: registry.gauge("tacc_cluster_largest_free_block", &[]),
+            fragmentation: registry.gauge("tacc_cluster_fragmentation", &[]),
+            alloc_failures: registry.counter("tacc_cluster_alloc_failures_total", &[]),
+        }
+    }
+}
+
 /// The full-stack platform.
 ///
 /// See the crate docs for the layer map. All methods are deterministic for
@@ -94,8 +143,14 @@ pub struct Platform {
     /// Last nodes each job ran on (survives completion, for `tcloud get`).
     last_nodes: BTreeMap<JobId, Vec<NodeId>>,
     tokens: BTreeMap<JobId, u64>,
-    logs: BTreeMap<JobId, Vec<(f64, String)>>,
+    logs: BTreeMap<JobId, JobLog>,
     next_job: u64,
+
+    bus: EventBus,
+    registry: MetricsRegistry,
+    exec_telemetry: ExecTelemetry,
+    metrics: CoreMetrics,
+    last_alloc_failures: u64,
 
     util: UtilizationTracker,
     group_busy: Vec<f64>,
@@ -119,7 +174,14 @@ impl Platform {
     pub fn new(config: PlatformConfig) -> Self {
         let cluster = Cluster::new(config.cluster.clone());
         let total_gpus = f64::from(cluster.total_gpus());
-        let scheduler = Scheduler::new(config.resolved_scheduler());
+        let registry = MetricsRegistry::new();
+        let mut scheduler = Scheduler::new(config.resolved_scheduler());
+        scheduler.attach_registry(&registry);
+        let mut compiler = Compiler::new(config.compiler);
+        compiler.attach_registry(&registry);
+        let exec_telemetry = ExecTelemetry::new(&registry);
+        let metrics = CoreMetrics::new(&registry);
+        let bus = EventBus::new(config.event_buffer_capacity);
         let injector = config
             .node_mtbf_secs
             .map(|mtbf| FailureInjector::new(mtbf, config.seed ^ 0xFA17));
@@ -128,7 +190,7 @@ impl Platform {
             .map(|cfg| SharedStore::new(cfg, cluster.node_count()));
         let groups = config.roster.len();
         Platform {
-            compiler: Compiler::new(config.compiler),
+            compiler,
             exec: ExecModel::new(config.exec),
             checkpoint: config.checkpoint,
             failover: config.failover,
@@ -146,6 +208,11 @@ impl Platform {
             tokens: BTreeMap::new(),
             logs: BTreeMap::new(),
             next_job: 0,
+            bus,
+            registry,
+            exec_telemetry,
+            metrics,
+            last_alloc_failures: 0,
             util: UtilizationTracker::new(total_gpus),
             group_busy: vec![0.0; groups],
             group_gpu_secs: vec![0.0; groups],
@@ -211,14 +278,14 @@ impl Platform {
         let Some(job) = self.jobs.get(&id) else {
             return Vec::new();
         };
-        let checkpoint_mb = job
-            .schema()
-            .model
-            .map(|m| m.param_mb as u32)
-            .unwrap_or(50);
+        let checkpoint_mb = job.schema().model.map(|m| m.param_mb as u32).unwrap_or(50);
         let mut out = Vec::new();
         for (rank, &node) in nodes.iter().enumerate() {
-            out.push((node, format!("worker-{rank}.log"), 1 + (id.value() % 7) as u32));
+            out.push((
+                node,
+                format!("worker-{rank}.log"),
+                1 + (id.value() % 7) as u32,
+            ));
             if rank == 0 {
                 out.push((node, "checkpoint.pt".to_owned(), checkpoint_mb));
                 out.push((node, "metrics.jsonl".to_owned(), 2));
@@ -270,8 +337,65 @@ impl Platform {
     }
 
     /// The platform-side log of a job (what `tcloud logs` aggregates).
+    /// Bounded: once a job accumulates more than
+    /// [`PlatformConfig::log_lines_per_job`] lines, the oldest are
+    /// evicted ([`Self::job_log_dropped`] counts them).
     pub fn job_log(&self, id: JobId) -> &[(f64, String)] {
-        self.logs.get(&id).map(Vec::as_slice).unwrap_or(&[])
+        self.logs
+            .get(&id)
+            .map(|l| l.lines.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Lines evicted from the job's bounded log ring.
+    pub fn job_log_dropped(&self, id: JobId) -> u64 {
+        self.logs.get(&id).map(|l| l.dropped).unwrap_or(0)
+    }
+
+    /// The platform event bus: every job state transition so far, stamped
+    /// with simulated time and a monotone sequence number.
+    pub fn events(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// All buffered events for one job, oldest first.
+    pub fn job_events(&self, id: JobId) -> Vec<EventRecord> {
+        self.bus.for_job(id)
+    }
+
+    /// Snapshot of every operational metric registered by the four layers
+    /// (`tacc_core_*`, `tacc_sched_*`, `tacc_compiler_*`, `tacc_exec_*`,
+    /// `tacc_cluster_*`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Prometheus text exposition of every operational metric.
+    pub fn metrics_text(&self) -> String {
+        self.registry.expose()
+    }
+
+    /// Explains a job's current situation — the answer `tcloud why`
+    /// prints. For a waiting job this is the scheduler's most recent skip
+    /// reason (quota exhausted, no feasible placement, blocked backfill
+    /// window, head-of-line blocking); otherwise the last recorded event.
+    pub fn why(&self, id: JobId) -> Option<String> {
+        let job = self.jobs.get(&id)?;
+        match job.state() {
+            JobState::Submitted => {
+                Some("provisioning: the compiler layer is preparing the task".to_owned())
+            }
+            JobState::Queued | JobState::Preempted => {
+                match self.scheduler.decision_trace().latest_skip(id) {
+                    Some((at, reason)) => Some(format!("waiting since t={at:.0}s: {reason}")),
+                    None => Some("queued: no scheduling round has evaluated it yet".to_owned()),
+                }
+            }
+            _ => match self.bus.for_job(id).last() {
+                Some(rec) => Some(format!("t={:.0}s: {}", rec.at_secs, rec.event)),
+                None => Some(format!("{:?}", job.state())),
+            },
+        }
     }
 
     /// Cancels a job (user kill). Queued jobs are dequeued; running jobs
@@ -294,7 +418,8 @@ impl Platform {
         let job = self.jobs.get_mut(&id).expect("checked above");
         job.cancel(now);
         self.cancelled += 1;
-        self.push_log(id, now, "cancelled by user");
+        self.metrics.jobs_cancelled.inc();
+        self.emit(now, PlatformEvent::Cancelled { job: id });
         self.run_round();
         true
     }
@@ -380,27 +505,36 @@ impl Platform {
     /// Builds the simulation report for everything processed so far.
     pub fn report(&self) -> SimulationReport {
         let horizon = self.clock.now().as_secs().max(1e-9);
-        SimulationReport::build(
-            &self.completed,
-            self.jobs.len(),
-            self.failed,
-            self.failed_waste_gpu_secs / 3600.0,
-            self.rejected,
-            self.cancelled,
-            self.staging_secs_total,
-            self.stagings,
-            self.faults,
-            self.failovers,
-            self.scheduler.preemption_count(),
-            self.scheduler.backfill_starts(),
-            &self.util,
-            horizon,
-            &self.group_gpu_secs,
-            self.config.roster.len(),
-            self.compiler.cache().stats(),
-            self.provisioning_latency_total,
-            self.compiler.compilations(),
-        )
+        let snapshot = self.registry.snapshot();
+        let round_latency = snapshot
+            .histogram("tacc_sched_round_latency_seconds")
+            .cloned()
+            .unwrap_or_default();
+        SimulationReport::build(ReportInputs {
+            completed: &self.completed,
+            submitted: self.jobs.len(),
+            failed: self.failed,
+            failed_waste_gpu_hours: self.failed_waste_gpu_secs / 3600.0,
+            rejected: self.rejected,
+            cancelled: self.cancelled,
+            staging_secs_total: self.staging_secs_total,
+            stagings: self.stagings,
+            faults: self.faults,
+            failovers: self.failovers,
+            preemptions: self.scheduler.preemption_count(),
+            backfill_starts: self.scheduler.backfill_starts(),
+            util: &self.util,
+            horizon_secs: horizon,
+            group_gpu_secs: &self.group_gpu_secs,
+            group_count: self.config.roster.len(),
+            cache: self.compiler.cache().stats(),
+            provisioning_latency_total: self.provisioning_latency_total,
+            compilations: self.compiler.compilations(),
+            rounds: self.scheduler.rounds(),
+            round_latency,
+            events_recorded: self.bus.recorded(),
+            events_dropped: self.bus.dropped(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -444,7 +578,15 @@ impl Platform {
         self.next_job += 1;
         let job = Job::new(id, record.schema.clone(), now, record.service_secs);
         self.jobs.insert(id, job);
-        self.push_log(id, now, "submitted");
+        self.metrics.jobs_submitted.inc();
+        self.emit(
+            now,
+            PlatformEvent::Submitted {
+                job: id,
+                group: record.schema.group,
+                name: record.schema.name.clone(),
+            },
+        );
 
         // Layer 2: compile. Provisioning latency delays queue entry.
         let compiled = self
@@ -453,15 +595,17 @@ impl Platform {
             .expect("trace schemas are pre-validated");
         self.runtimes.insert(id, compiled.instruction.runtime);
         self.provisioning_latency_total += compiled.provisioning.latency_secs;
-        self.push_log(
-            id,
+        self.emit(
             now,
-            &format!(
-                "compiled: {} instruction, {:.0} MiB payload, {:.0} MiB transferred",
-                compiled.instruction.kind,
-                compiled.provisioning.total_mb,
-                compiled.provisioning.transferred_mb
-            ),
+            PlatformEvent::Compiled {
+                job: id,
+                instruction: compiled.instruction.kind.to_string(),
+                payload_mb: compiled.provisioning.total_mb,
+                transferred_mb: compiled.provisioning.transferred_mb,
+                chunk_hits: u64::from(compiled.provisioning.chunk_hits),
+                chunk_misses: u64::from(compiled.provisioning.chunk_misses),
+                provisioning_secs: compiled.provisioning.latency_secs,
+            },
         );
         self.events.schedule(
             SimTime::from_secs(now) + SimDuration::from_secs(compiled.provisioning.latency_secs),
@@ -496,14 +640,28 @@ impl Platform {
         // forever.
         if !self.gang_feasible(schema) {
             self.rejected += 1;
-            self.push_log(id, now, "rejected: gang can never fit this cluster");
+            self.metrics.jobs_rejected.inc();
+            self.emit(
+                now,
+                PlatformEvent::Rejected {
+                    job: id,
+                    reason: RejectReason::GangNeverFits,
+                },
+            );
             let job = self.jobs.get_mut(&id).expect("compiled job exists");
             job.reject(now);
             return;
         }
         if !self.scheduler.admissible_ever(&request) {
             self.rejected += 1;
-            self.push_log(id, now, "rejected: request exceeds the group's quota");
+            self.metrics.jobs_rejected.inc();
+            self.emit(
+                now,
+                PlatformEvent::Rejected {
+                    job: id,
+                    reason: RejectReason::ExceedsGroupQuota,
+                },
+            );
             let job = self.jobs.get_mut(&id).expect("compiled job exists");
             job.reject(now);
             return;
@@ -511,7 +669,7 @@ impl Platform {
         let job = self.jobs.get_mut(&id).expect("compiled job exists");
         job.enqueue();
         self.scheduler.submit(request);
-        self.push_log(id, now, "queued");
+        self.emit(now, PlatformEvent::Queued { job: id });
         self.run_round();
     }
 
@@ -531,6 +689,7 @@ impl Platform {
             }
             self.apply_decisions(&outcome, now);
         }
+        self.refresh_cluster_gauges();
     }
 
     fn apply_decisions(&mut self, outcome: &tacc_sched::SchedOutcome, now: f64) {
@@ -538,21 +697,28 @@ impl Platform {
             match decision {
                 tacc_sched::Decision::Preempt { id, reclaimed_for } => {
                     self.on_preempted(*id, now);
-                    self.push_log(
-                        *id,
+                    self.emit(
                         now,
-                        &format!("preempted (quota reclaimed by {reclaimed_for})"),
+                        PlatformEvent::Preempted {
+                            job: *id,
+                            reclaimed_for: *reclaimed_for,
+                        },
                     );
                 }
                 tacc_sched::Decision::Start(started) => {
-                    self.on_started(started.request.id, &started.worker_nodes, now);
+                    self.on_started(
+                        started.request.id,
+                        &started.worker_nodes,
+                        started.backfilled,
+                        now,
+                    );
                 }
                 _ => {}
             }
         }
     }
 
-    fn on_started(&mut self, id: JobId, worker_nodes: &[NodeId], now: f64) {
+    fn on_started(&mut self, id: JobId, worker_nodes: &[NodeId], backfilled: bool, now: f64) {
         let job = self.jobs.get_mut(&id).expect("started job exists");
         job.start(now);
         let schema = job.schema().clone();
@@ -562,8 +728,9 @@ impl Platform {
         // Elastic tasks may have been granted fewer workers than requested
         // (one entry in `worker_nodes` per granted worker); a shrunken
         // data-parallel gang runs proportionally longer.
-        let granted_workers =
-            u32::try_from(worker_nodes.len()).expect("worker count fits u32").max(1);
+        let granted_workers = u32::try_from(worker_nodes.len())
+            .expect("worker count fits u32")
+            .max(1);
         let granted_gpus = schema.resources.gpus * granted_workers; // 0 for CPU tasks
         let shrink = f64::from(schema.workers) / f64::from(granted_workers);
 
@@ -672,18 +839,18 @@ impl Platform {
             n.dedup();
             n.len()
         };
-        let grant_note = if granted_workers < schema.workers {
-            format!(" (elastic: {granted_workers}/{} workers)", schema.workers)
-        } else {
-            String::new()
-        };
-        self.push_log(
-            id,
+        self.exec_telemetry.note_plan(&plan);
+        self.emit(
             now,
-            &format!(
-                "started on {distinct_nodes} node(s) via {:?} runtime (slowdown {:.2}){grant_note}",
-                plan.runtime, plan.slowdown
-            ),
+            PlatformEvent::Placed {
+                job: id,
+                nodes: distinct_nodes as u64,
+                runtime: format!("{:?}", plan.runtime),
+                slowdown: plan.slowdown,
+                granted_workers: u64::from(granted_workers),
+                requested_workers: u64::from(schema.workers),
+                backfilled,
+            },
         );
     }
 
@@ -701,7 +868,13 @@ impl Platform {
     fn release_run(&mut self, id: JobId, now: f64) -> ActiveRun {
         let run = self.active.remove(&id).expect("job was running");
         self.bump_token(id);
-        let group = self.jobs.get(&id).expect("job exists").schema().group.index();
+        let group = self
+            .jobs
+            .get(&id)
+            .expect("job exists")
+            .schema()
+            .group
+            .index();
         self.accrue_group_time(now);
         self.util.release(now, run.gpus);
         self.group_busy[group] -= run.gpus;
@@ -723,23 +896,27 @@ impl Platform {
         let now = self.clock.now().as_secs();
         let run = self.release_run(id, now);
         self.scheduler.task_finished(id, &mut self.cluster);
-        self.push_log(id, now, "completed");
         let job = self.jobs.get_mut(&id).expect("finished job exists");
         job.complete(now);
         let schema = job.schema();
+        let jct_secs = job.jct_secs().expect("completed job has JCT");
+        let queue_delay_secs = job.queueing_delay_secs().unwrap_or(0.0);
         self.completed.push(CompletedJob {
             id,
             group: schema.group,
             gpus: schema.total_gpus(),
             kind: schema.kind,
             submit_secs: job.submit_secs(),
-            queue_delay_secs: job.queueing_delay_secs().unwrap_or(0.0),
-            jct_secs: job.jct_secs().expect("completed job has JCT"),
+            queue_delay_secs,
+            jct_secs,
             service_secs: job.service_secs(),
             preemptions: job.preemptions(),
             restarts: job.restarts(),
             wasted_secs: job.wasted_secs(),
         });
+        self.metrics.jobs_completed.inc();
+        self.metrics.queue_delay.observe(queue_delay_secs);
+        self.emit(now, PlatformEvent::Completed { job: id, jct_secs });
         let _ = run;
         self.run_round();
     }
@@ -750,12 +927,14 @@ impl Platform {
         }
         let now = self.clock.now().as_secs();
         self.faults += 1;
+        self.exec_telemetry.note_fault();
         let run = self.release_run(id, now);
         self.scheduler.task_finished(id, &mut self.cluster);
         let (progress, lost) = self.interruption_amounts(&run, now);
         match self.failover.fallback_for(run.runtime) {
             Some(fallback) => {
                 self.failovers += 1;
+                self.exec_telemetry.note_failover();
                 self.runtimes.insert(id, fallback);
                 let job = self.jobs.get_mut(&id).expect("faulted job exists");
                 job.interrupt_for_restart(now, progress, lost);
@@ -771,23 +950,31 @@ impl Platform {
                     submit_secs: job.submit_secs(),
                     elastic: schema.elastic,
                 });
-                self.push_log(
-                    id,
+                self.emit(
                     now,
-                    &format!("node {node} faulted; switching runtime to {fallback:?} and requeueing"),
+                    PlatformEvent::FailedOver {
+                        job: id,
+                        node: node.to_string(),
+                        fallback: format!("{fallback:?}"),
+                    },
                 );
             }
             None => {
                 self.failed += 1;
+                self.metrics.jobs_failed.inc();
                 let job = self.jobs.get_mut(&id).expect("faulted job exists");
                 job.fail(now, progress);
                 // Everything a failed job ever consumed is waste: service
                 // it completed (now useless) plus all interruption losses.
-                let consumed =
-                    (job.service_secs() - job.remaining_secs()) + job.wasted_secs();
-                self.failed_waste_gpu_secs +=
-                    f64::from(job.schema().total_gpus()) * consumed;
-                self.push_log(id, now, &format!("node {node} faulted; job failed"));
+                let consumed = (job.service_secs() - job.remaining_secs()) + job.wasted_secs();
+                self.failed_waste_gpu_secs += f64::from(job.schema().total_gpus()) * consumed;
+                self.emit(
+                    now,
+                    PlatformEvent::Failed {
+                        job: id,
+                        node: node.to_string(),
+                    },
+                );
             }
         }
         self.run_round();
@@ -804,14 +991,14 @@ impl Platform {
         for node in self.cluster.nodes() {
             let cap = node.capacity();
             let mut k = u32::MAX;
-            if per.gpus > 0 {
-                k = k.min(cap.gpus / per.gpus);
+            if let Some(q) = cap.gpus.checked_div(per.gpus) {
+                k = k.min(q);
             }
-            if per.cpu_cores > 0 {
-                k = k.min(cap.cpu_cores / per.cpu_cores);
+            if let Some(q) = cap.cpu_cores.checked_div(per.cpu_cores) {
+                k = k.min(q);
             }
-            if per.mem_gb > 0 {
-                k = k.min(cap.mem_gb / per.mem_gb);
+            if let Some(q) = cap.mem_gb.checked_div(per.mem_gb) {
+                k = k.min(q);
             }
             if k == u32::MAX {
                 k = 0; // zero-resource schemas are rejected by validation
@@ -840,11 +1027,43 @@ impl Platform {
         self.group_last_update = now;
     }
 
-    fn push_log(&mut self, id: JobId, at: f64, message: &str) {
-        self.logs
-            .entry(id)
-            .or_default()
-            .push((at, message.to_owned()));
+    /// Records `event` on the bus and renders it into the job's bounded
+    /// log ring — the single source of truth for `tcloud logs` lines.
+    fn emit(&mut self, at: f64, event: PlatformEvent) {
+        let job = event.job();
+        let line = event.to_string();
+        self.bus.record(at, event);
+        let log = self.logs.entry(job).or_default();
+        if self.config.log_lines_per_job == 0 {
+            log.dropped += 1;
+            return;
+        }
+        if log.lines.len() >= self.config.log_lines_per_job {
+            log.lines.remove(0);
+            log.dropped += 1;
+        }
+        log.lines.push((at, line));
+    }
+
+    /// Refreshes the `tacc_cluster_*` gauges from current cluster state.
+    /// Fragmentation is the fraction of free GPUs outside the largest
+    /// single free block — 0 when all free capacity is contiguous.
+    fn refresh_cluster_gauges(&mut self) {
+        let free = f64::from(self.cluster.free_gpus());
+        let largest = f64::from(self.cluster.largest_free_block());
+        self.metrics.free_gpus.set(free);
+        self.metrics.largest_free_block.set(largest);
+        let fragmentation = if free > 0.0 {
+            1.0 - largest / free
+        } else {
+            0.0
+        };
+        self.metrics.fragmentation.set(fragmentation);
+        let failures = self.cluster.alloc_failures();
+        self.metrics
+            .alloc_failures
+            .inc_by(failures.saturating_sub(self.last_alloc_failures));
+        self.last_alloc_failures = failures;
     }
 }
 
@@ -904,8 +1123,7 @@ mod tests {
         let report = p.run_trace(&trace);
         assert_eq!(report.submitted, trace.len());
         assert_eq!(
-            report.completed
-                + (report.failed + report.rejected + report.cancelled) as usize,
+            report.completed + (report.failed + report.rejected + report.cancelled) as usize,
             trace.len()
         );
         assert!(report.mean_utilization > 0.0);
@@ -937,10 +1155,7 @@ mod tests {
         assert_eq!(p.job(id).expect("exists").state(), JobState::Failed);
         let report = p.report();
         assert_eq!(report.rejected, 1);
-        assert!(p
-            .job_log(id)
-            .iter()
-            .any(|(_, m)| m.contains("rejected")));
+        assert!(p.job_log(id).iter().any(|(_, m)| m.contains("rejected")));
     }
 
     #[test]
@@ -1091,7 +1306,7 @@ mod tests {
     #[test]
     fn elastic_job_starts_shrunk_and_runs_longer() {
         let mut p = Platform::new(tiny_config()); // 2 nodes x 8
-        // Occupy one node for a long time.
+                                                  // Occupy one node for a long time.
         p.submit_schema(
             TaskSchema::builder("filler", GroupId::from_index(0))
                 .resources(ResourceVec::gpus_only(8))
@@ -1125,8 +1340,8 @@ mod tests {
         // Runtime is ~2x the 3600 s service (plus small overheads).
         p.run_until_idle();
         let job = p.job(id).expect("exists");
-        let run_time = job.jct_secs().expect("completed")
-            - job.queueing_delay_secs().expect("started");
+        let run_time =
+            job.jct_secs().expect("completed") - job.queueing_delay_secs().expect("started");
         assert!(run_time > 7000.0, "shrunk gang must run ~2x: {run_time}");
         assert!(run_time < 9000.0, "but not much more: {run_time}");
     }
@@ -1153,6 +1368,95 @@ mod tests {
         assert!(report.faults >= 1, "expected at least one injected fault");
         assert_eq!(report.failovers, report.faults);
         assert!(job.restarts() >= 1);
+    }
+
+    #[test]
+    fn event_bus_satisfies_conservation() {
+        let mut p = Platform::new(tiny_config());
+        let trace = TraceGenerator::new(
+            GenParams {
+                roster: tacc_workload::GroupRoster::campus_default(16),
+                peak_jobs_per_hour: 6.0,
+                ..GenParams::default()
+            },
+            7,
+        )
+        .generate_days(0.5);
+        let report = p.run_trace(&trace);
+        let records: Vec<_> = p.events().records().cloned().collect();
+        let check = tacc_obs::conservation(&records);
+        assert!(check.balanced(), "unbalanced: {check:?}");
+        assert_eq!(check.submitted, trace.len() as u64);
+        assert_eq!(check.completed as usize, report.completed);
+        assert_eq!(report.events_recorded as usize, records.len());
+        assert_eq!(report.events_dropped, 0);
+        // The JSONL export round-trips losslessly.
+        let parsed = tacc_obs::EventBus::parse_jsonl(&p.events().to_jsonl()).expect("valid JSONL");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn job_log_is_bounded_and_counts_drops() {
+        let mut cfg = tiny_config();
+        cfg.log_lines_per_job = 2;
+        let mut p = Platform::new(cfg);
+        let id = p.submit_schema(one_gpu_schema(0), 600.0);
+        p.run_until_idle();
+        // The lifecycle emits at least submitted/compiled/queued/started/
+        // completed; only the newest two lines survive.
+        assert_eq!(p.job_log(id).len(), 2);
+        assert!(p.job_log_dropped(id) >= 3);
+        assert!(p.job_log(id).iter().any(|(_, m)| m == "completed"));
+        // The event bus is bounded separately: full history remains here.
+        assert!(p.job_events(id).len() >= 5);
+    }
+
+    #[test]
+    fn why_explains_a_stuck_job() {
+        let mut p = Platform::new(tiny_config());
+        let filler = TaskSchema::builder("filler", GroupId::from_index(0))
+            .workers(2)
+            .resources(ResourceVec::gpus_only(8))
+            .est_duration_secs(1e6)
+            .build()
+            .expect("valid");
+        p.submit_schema(filler, 1e6);
+        p.run_until(SimTime::from_secs(1000.0));
+        let id = p.submit_schema(one_gpu_schema(1), 600.0);
+        p.run_until(SimTime::from_secs(2000.0));
+        assert_eq!(p.job(id).expect("exists").state(), JobState::Queued);
+        let why = p.why(id).expect("known job");
+        assert!(why.contains("no feasible placement"), "why: {why}");
+        p.run_until_idle();
+        let why = p.why(id).expect("known job");
+        assert!(why.contains("completed"), "why: {why}");
+        assert_eq!(p.why(JobId::from_value(999)), None);
+    }
+
+    #[test]
+    fn metrics_span_all_layers() {
+        let mut p = Platform::new(tiny_config());
+        p.submit_schema(one_gpu_schema(0), 600.0);
+        p.run_until_idle();
+        let snap = p.metrics();
+        assert_eq!(snap.counter("tacc_core_jobs_submitted_total"), Some(1));
+        assert_eq!(snap.counter("tacc_core_jobs_completed_total"), Some(1));
+        assert!(snap.counter("tacc_sched_rounds_total").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("tacc_compiler_compilations_total"), Some(1));
+        assert_eq!(snap.counter("tacc_exec_plans_total"), Some(1));
+        assert_eq!(snap.gauge("tacc_cluster_free_gpus"), Some(16.0));
+        let hist = snap
+            .histogram("tacc_sched_round_latency_seconds")
+            .expect("round latency histogram");
+        assert!(hist.count > 0);
+        let text = p.metrics_text();
+        assert!(text.contains("# TYPE"));
+        assert!(text.contains("tacc_core_jobs_submitted_total"));
+        assert!(text.contains("tacc_cluster_free_gpus"));
+        let report = p.report();
+        assert_eq!(Some(report.rounds), snap.counter("tacc_sched_rounds_total"));
+        assert!(report.round_latency.count > 0);
+        assert!(report.events_recorded >= 5);
     }
 
     #[test]

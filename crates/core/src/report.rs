@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use tacc_compiler::CacheStats;
 use tacc_metrics::{jain_index, Summary, UtilizationTracker};
+use tacc_obs::HistogramSnapshot;
 use tacc_workload::{GroupId, JobId, TaskKind};
 
 /// Per-job completion record.
@@ -49,7 +50,12 @@ pub struct GroupReport {
 }
 
 /// The aggregate outcome of a platform run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality is manual, not derived: every field participates except the
+/// wall-clock-measured parts of [`round_latency`](Self::round_latency),
+/// so the determinism guarantee ("same config + trace ⇒ equal reports")
+/// keeps holding even though host timing varies between runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimulationReport {
     /// Jobs submitted.
     pub submitted: usize,
@@ -100,33 +106,144 @@ pub struct SimulationReport {
     pub cache_byte_hit_rate: f64,
     /// Mean provisioning latency per compilation, seconds.
     pub mean_provisioning_secs: f64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Wall-clock scheduler round latency distribution, seconds. This is
+    /// measured host time (experiment T4), not simulated time, so it is
+    /// excluded from determinism comparisons.
+    pub round_latency: HistogramSnapshot,
+    /// Platform events recorded on the bus over the run.
+    pub events_recorded: u64,
+    /// Events dropped from the bounded bus ring.
+    pub events_dropped: u64,
     /// The per-job completion records (for CDFs in figure harnesses).
     pub jobs: Vec<CompletedJob>,
 }
 
+impl PartialEq for SimulationReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Destructure so that adding a field without deciding whether it
+        // participates in determinism comparisons fails to compile.
+        let SimulationReport {
+            submitted,
+            completed,
+            failed,
+            rejected,
+            cancelled,
+            mean_staging_secs,
+            stagings,
+            faults,
+            failovers,
+            preemptions,
+            backfill_starts,
+            jct,
+            queue_delay,
+            slowdown,
+            mean_utilization,
+            useful_gpu_hours,
+            wasted_gpu_hours,
+            goodput,
+            groups,
+            fairness,
+            cache_hits,
+            cache_misses,
+            cache_byte_hit_rate,
+            mean_provisioning_secs,
+            rounds,
+            round_latency,
+            events_recorded,
+            events_dropped,
+            jobs,
+        } = self;
+        *submitted == other.submitted
+            && *completed == other.completed
+            && *failed == other.failed
+            && *rejected == other.rejected
+            && *cancelled == other.cancelled
+            && *mean_staging_secs == other.mean_staging_secs
+            && *stagings == other.stagings
+            && *faults == other.faults
+            && *failovers == other.failovers
+            && *preemptions == other.preemptions
+            && *backfill_starts == other.backfill_starts
+            && *jct == other.jct
+            && *queue_delay == other.queue_delay
+            && *slowdown == other.slowdown
+            && *mean_utilization == other.mean_utilization
+            && *useful_gpu_hours == other.useful_gpu_hours
+            && *wasted_gpu_hours == other.wasted_gpu_hours
+            && *goodput == other.goodput
+            && *groups == other.groups
+            && *fairness == other.fairness
+            && *cache_hits == other.cache_hits
+            && *cache_misses == other.cache_misses
+            && *cache_byte_hit_rate == other.cache_byte_hit_rate
+            && *mean_provisioning_secs == other.mean_provisioning_secs
+            && *rounds == other.rounds
+            // Only the observation count of the round-latency histogram is
+            // deterministic; the bucket placement and sum are host time.
+            && round_latency.count == other.round_latency.count
+            && *events_recorded == other.events_recorded
+            && *events_dropped == other.events_dropped
+            && *jobs == other.jobs
+    }
+}
+
+/// Everything [`SimulationReport::build`] aggregates, gathered by the
+/// platform at report time.
+pub(crate) struct ReportInputs<'a> {
+    pub completed: &'a [CompletedJob],
+    pub submitted: usize,
+    pub failed: u64,
+    pub failed_waste_gpu_hours: f64,
+    pub rejected: u64,
+    pub cancelled: u64,
+    pub staging_secs_total: f64,
+    pub stagings: u64,
+    pub faults: u64,
+    pub failovers: u64,
+    pub preemptions: u64,
+    pub backfill_starts: u64,
+    pub util: &'a UtilizationTracker,
+    pub horizon_secs: f64,
+    pub group_gpu_secs: &'a [f64],
+    pub group_count: usize,
+    pub cache: CacheStats,
+    pub provisioning_latency_total: f64,
+    pub compilations: u64,
+    pub rounds: u64,
+    pub round_latency: HistogramSnapshot,
+    pub events_recorded: u64,
+    pub events_dropped: u64,
+}
+
 impl SimulationReport {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn build(
-        completed: &[CompletedJob],
-        submitted: usize,
-        failed: u64,
-        failed_waste_gpu_hours: f64,
-        rejected: u64,
-        cancelled: u64,
-        staging_secs_total: f64,
-        stagings: u64,
-        faults: u64,
-        failovers: u64,
-        preemptions: u64,
-        backfill_starts: u64,
-        util: &UtilizationTracker,
-        horizon_secs: f64,
-        group_gpu_secs: &[f64],
-        group_count: usize,
-        cache: CacheStats,
-        provisioning_latency_total: f64,
-        compilations: u64,
-    ) -> Self {
+    pub(crate) fn build(inputs: ReportInputs<'_>) -> Self {
+        let ReportInputs {
+            completed,
+            submitted,
+            failed,
+            failed_waste_gpu_hours,
+            rejected,
+            cancelled,
+            staging_secs_total,
+            stagings,
+            faults,
+            failovers,
+            preemptions,
+            backfill_starts,
+            util,
+            horizon_secs,
+            group_gpu_secs,
+            group_count,
+            cache,
+            provisioning_latency_total,
+            compilations,
+            rounds,
+            round_latency,
+            events_recorded,
+            events_dropped,
+        } = inputs;
         let jct: Vec<f64> = completed.iter().map(|j| j.jct_secs).collect();
         let delay: Vec<f64> = completed.iter().map(|j| j.queue_delay_secs).collect();
         let slowdown: Vec<f64> = completed
@@ -200,6 +317,10 @@ impl SimulationReport {
             } else {
                 0.0
             },
+            rounds,
+            round_latency,
+            events_recorded,
+            events_dropped,
             jobs: completed.to_vec(),
         }
     }
@@ -235,27 +356,33 @@ mod tests {
             job(1, 2, 3600.0, 1800.0, 1800.0),
         ];
         let group_secs = vec![3600.0 * 2.0, 3600.0 * 2.0];
-        let r = SimulationReport::build(
-            &completed,
-            2,
-            0,
-            0.0,
-            0,
-            0,
-            0.0,
-            0,
-            0,
-            0,
-            1,
-            0,
-            &util,
-            3600.0,
-            &group_secs,
-            2,
-            CacheStats::default(),
-            10.0,
-            2,
-        );
+        let r = SimulationReport::build(ReportInputs {
+            completed: &completed,
+            submitted: 2,
+            failed: 0,
+            failed_waste_gpu_hours: 0.0,
+            rejected: 0,
+            cancelled: 0,
+            staging_secs_total: 0.0,
+            stagings: 0,
+            faults: 0,
+            failovers: 0,
+            preemptions: 1,
+            backfill_starts: 0,
+            util: &util,
+            horizon_secs: 3600.0,
+            group_gpu_secs: &group_secs,
+            group_count: 2,
+            cache: CacheStats::default(),
+            provisioning_latency_total: 10.0,
+            compilations: 2,
+            rounds: 4,
+            round_latency: HistogramSnapshot::default(),
+            events_recorded: 9,
+            events_dropped: 0,
+        });
+        assert_eq!(r.rounds, 4);
+        assert_eq!(r.events_recorded, 9);
         assert_eq!(r.completed, 2);
         assert_eq!(r.jct.count(), 2);
         // useful = 2*(2*1800/3600) = 2 gpu-hours; wasted = 2*1800/3600 = 1.
@@ -273,27 +400,31 @@ mod tests {
     #[test]
     fn empty_report_is_sane() {
         let util = UtilizationTracker::new(8.0);
-        let r = SimulationReport::build(
-            &[],
-            0,
-            0,
-            0.0,
-            0,
-            0,
-            0.0,
-            0,
-            0,
-            0,
-            0,
-            0,
-            &util,
-            100.0,
-            &[],
-            0,
-            CacheStats::default(),
-            0.0,
-            0,
-        );
+        let r = SimulationReport::build(ReportInputs {
+            completed: &[],
+            submitted: 0,
+            failed: 0,
+            failed_waste_gpu_hours: 0.0,
+            rejected: 0,
+            cancelled: 0,
+            staging_secs_total: 0.0,
+            stagings: 0,
+            faults: 0,
+            failovers: 0,
+            preemptions: 0,
+            backfill_starts: 0,
+            util: &util,
+            horizon_secs: 100.0,
+            group_gpu_secs: &[],
+            group_count: 0,
+            cache: CacheStats::default(),
+            provisioning_latency_total: 0.0,
+            compilations: 0,
+            rounds: 0,
+            round_latency: HistogramSnapshot::default(),
+            events_recorded: 0,
+            events_dropped: 0,
+        });
         assert_eq!(r.completed, 0);
         assert_eq!(r.goodput, 1.0);
         assert_eq!(r.mean_utilization, 0.0);

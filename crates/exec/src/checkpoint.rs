@@ -121,7 +121,10 @@ mod tests {
         assert_eq!(p.lost_on_interrupt(600.0), 0.0);
         assert_eq!(p.lost_on_interrupt(1450.0), 250.0);
         // Disabled: everything is lost.
-        assert_eq!(CheckpointPolicy::disabled().lost_on_interrupt(1450.0), 1450.0);
+        assert_eq!(
+            CheckpointPolicy::disabled().lost_on_interrupt(1450.0),
+            1450.0
+        );
     }
 
     #[test]

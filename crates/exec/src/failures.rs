@@ -110,8 +110,10 @@ impl FailureInjector {
         // Quantize the epoch so the stream label is stable for a given call
         // site but distinct across resumption points.
         let epoch_ms = (epoch_secs * 1000.0).round() as u64;
-        self.seeds
-            .indexed_stream("node-failure", (node.index() as u64) << 32 | (epoch_ms & 0xFFFF_FFFF))
+        self.seeds.indexed_stream(
+            "node-failure",
+            (node.index() as u64) << 32 | (epoch_ms & 0xFFFF_FFFF),
+        )
     }
 }
 
@@ -153,7 +155,9 @@ mod tests {
         let inj = FailureInjector::new(1000.0, 7);
         let nodes: Vec<NodeId> = (0..16).map(NodeId::from_index).collect();
         // With 16 nodes and MTBF 1000 s, a fault within 10_000 s is near-certain.
-        let fault = inj.first_fault(&nodes, 0.0, 10_000.0).expect("fault expected");
+        let fault = inj
+            .first_fault(&nodes, 0.0, 10_000.0)
+            .expect("fault expected");
         assert!(fault.at_secs <= 10_000.0);
         assert!(nodes.contains(&fault.node));
         // Tiny horizon: almost surely no fault.

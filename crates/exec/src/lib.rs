@@ -50,7 +50,9 @@ mod checkpoint;
 pub mod comm;
 mod failures;
 mod model;
+mod telemetry;
 
 pub use checkpoint::CheckpointPolicy;
-pub use failures::{FailureInjector, FailoverPolicy, RuntimeFault};
+pub use failures::{FailoverPolicy, FailureInjector, RuntimeFault};
 pub use model::{ExecConfig, ExecModel, ExecutionPlan};
+pub use telemetry::ExecTelemetry;

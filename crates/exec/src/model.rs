@@ -105,8 +105,7 @@ impl ExecModel {
 
         // Compute: reference iteration time scaled by hardware speed.
         let reference = GpuModel::A100.relative_speed();
-        let compute_secs =
-            profile.compute_secs_per_iter * reference / gpu_model.relative_speed();
+        let compute_secs = profile.compute_secs_per_iter * reference / gpu_model.relative_speed();
 
         let comm_secs = match runtime {
             RuntimePreference::SingleProcess => 0.0,
@@ -115,12 +114,7 @@ impl ExecModel {
             }
             RuntimePreference::ParameterServer => {
                 let bw = comm::bottleneck_bandwidth_gbps(cluster, &nodes);
-                comm::parameter_server_secs(
-                    profile.param_mb,
-                    total_gpus,
-                    self.config.ps_shards,
-                    bw,
-                )
+                comm::parameter_server_secs(profile.param_mb, total_gpus, self.config.ps_shards, bw)
             }
             RuntimePreference::InNetworkAggregation => {
                 // Switch aggregation works at the rack's ToR: single-rack
@@ -346,7 +340,12 @@ mod tests {
             GpuModel::A100,
             &profile,
         );
-        assert!(atp.comm_secs < ar.comm_secs, "atp {} vs ar {}", atp.comm_secs, ar.comm_secs);
+        assert!(
+            atp.comm_secs < ar.comm_secs,
+            "atp {} vs ar {}",
+            atp.comm_secs,
+            ar.comm_secs
+        );
         // Cross-rack placement falls back to the all-reduce cost.
         let wide = nodes(&[0, 4]);
         let atp_wide = m.plan_training(
@@ -448,18 +447,22 @@ mod tests {
         let m = ExecModel::default();
         let n0 = NodeId::from_index(0);
         // Exclusive node: no interference (the job's own lease doesn't count).
-        c.allocate(1, &[(n0, ResourceVec::gpus_only(2))]).expect("fits");
+        c.allocate(1, &[(n0, ResourceVec::gpus_only(2))])
+            .expect("fits");
         assert_eq!(m.interference_factor(&c, &[n0]), 1.0);
         // Two co-tenants: 2 × 3% slowdown.
-        c.allocate(2, &[(n0, ResourceVec::gpus_only(2))]).expect("fits");
-        c.allocate(3, &[(n0, ResourceVec::gpus_only(2))]).expect("fits");
+        c.allocate(2, &[(n0, ResourceVec::gpus_only(2))])
+            .expect("fits");
+        c.allocate(3, &[(n0, ResourceVec::gpus_only(2))])
+            .expect("fits");
         assert!((m.interference_factor(&c, &[n0]) - 1.06).abs() < 1e-12);
         // Mixed placement averages across nodes.
         let n1 = NodeId::from_index(1);
-        c.allocate(4, &[(n1, ResourceVec::gpus_only(8))]).expect("fits");
+        c.allocate(4, &[(n1, ResourceVec::gpus_only(8))])
+            .expect("fits");
         let f = m.interference_factor(&c, &[n0, n1]);
         assert!((f - (1.0 + 0.03 * 1.0)).abs() < 1e-12); // (2 + 0)/2 co-tenants
-        // Disabled via config.
+                                                         // Disabled via config.
         let off = ExecModel::new(ExecConfig {
             interference_per_cotenant: 0.0,
             ..ExecConfig::default()

@@ -180,11 +180,14 @@ impl Histogram {
 
     /// Iterates over the buckets in ascending order.
     pub fn buckets(&self) -> impl Iterator<Item = HistogramBucket> + '_ {
-        self.counts.iter().enumerate().map(|(i, &count)| HistogramBucket {
-            lo: self.edges[i],
-            hi: self.edges[i + 1],
-            count,
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| HistogramBucket {
+                lo: self.edges[i],
+                hi: self.edges[i + 1],
+                count,
+            })
     }
 }
 

@@ -45,7 +45,10 @@ pub fn max_min_ratio(allocations: &[f64]) -> f64 {
     if allocations.is_empty() {
         return 1.0;
     }
-    let max = allocations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = allocations
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     if max == 0.0 {
         return 1.0;
     }

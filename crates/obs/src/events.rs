@@ -1,0 +1,536 @@
+//! Typed platform events: the single source of truth for job lifecycle
+//! telemetry. Human-readable job logs are *rendered* from these events
+//! (via `Display`), so the log strings and the structured record can
+//! never drift apart.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use tacc_workload::{GroupId, JobId};
+
+/// Why the platform refused a job at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The gang shape can never fit the cluster, even when empty.
+    GangNeverFits,
+    /// The request exceeds the owning group's quota and can never be
+    /// admitted under the active quota mode.
+    ExceedsGroupQuota,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::GangNeverFits => f.write_str("gang can never fit this cluster"),
+            RejectReason::ExceedsGroupQuota => f.write_str("request exceeds the group's quota"),
+        }
+    }
+}
+
+/// One lifecycle transition somewhere in the platform stack.
+///
+/// `Display` renders the exact human-readable line that appears in the
+/// per-job log (`tcloud logs`), so events are the one source of truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformEvent {
+    /// Job accepted by the front door; compilation begins.
+    Submitted {
+        /// The job.
+        job: JobId,
+        /// Owning research group.
+        group: GroupId,
+        /// Human-readable job name.
+        name: String,
+    },
+    /// The compiler produced a task instruction and staged its payload.
+    Compiled {
+        /// The job.
+        job: JobId,
+        /// Instruction kind chosen by the compiler (e.g. `Training`).
+        instruction: String,
+        /// Total payload size in MiB.
+        payload_mb: f64,
+        /// Bytes actually moved (cache misses) in MiB.
+        transferred_mb: f64,
+        /// Chunk-cache hits during provisioning.
+        chunk_hits: u64,
+        /// Chunk-cache misses during provisioning.
+        chunk_misses: u64,
+        /// Provisioning latency in simulated seconds.
+        provisioning_secs: f64,
+    },
+    /// Admission control refused the job.
+    Rejected {
+        /// The job.
+        job: JobId,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+    /// Job entered the scheduling queue.
+    Queued {
+        /// The job.
+        job: JobId,
+    },
+    /// The scheduler placed the job and it started running.
+    Placed {
+        /// The job.
+        job: JobId,
+        /// Number of nodes in the placement.
+        nodes: u64,
+        /// Runtime the executor chose (debug rendering).
+        runtime: String,
+        /// Executor slowdown factor versus ideal.
+        slowdown: f64,
+        /// Workers actually granted (elastic shrink may reduce this).
+        granted_workers: u64,
+        /// Workers originally requested.
+        requested_workers: u64,
+        /// True when the start came through a backfill window.
+        backfilled: bool,
+    },
+    /// The scheduler evicted the job to reclaim quota.
+    Preempted {
+        /// The job.
+        job: JobId,
+        /// Group whose guaranteed quota forced the reclaim.
+        reclaimed_for: GroupId,
+    },
+    /// Job finished all its work.
+    Completed {
+        /// The job.
+        job: JobId,
+        /// Job completion time (submit to finish) in simulated seconds.
+        jct_secs: f64,
+    },
+    /// A node fault hit the job but a fallback runtime exists: requeue.
+    FailedOver {
+        /// The job.
+        job: JobId,
+        /// Faulted node (display form).
+        node: String,
+        /// Fallback runtime chosen (debug rendering).
+        fallback: String,
+    },
+    /// A node fault killed the job for good.
+    Failed {
+        /// The job.
+        job: JobId,
+        /// Faulted node (display form).
+        node: String,
+    },
+    /// The user cancelled the job.
+    Cancelled {
+        /// The job.
+        job: JobId,
+    },
+}
+
+impl PlatformEvent {
+    /// The job this event concerns.
+    pub fn job(&self) -> JobId {
+        match self {
+            PlatformEvent::Submitted { job, .. }
+            | PlatformEvent::Compiled { job, .. }
+            | PlatformEvent::Rejected { job, .. }
+            | PlatformEvent::Queued { job }
+            | PlatformEvent::Placed { job, .. }
+            | PlatformEvent::Preempted { job, .. }
+            | PlatformEvent::Completed { job, .. }
+            | PlatformEvent::FailedOver { job, .. }
+            | PlatformEvent::Failed { job, .. }
+            | PlatformEvent::Cancelled { job } => *job,
+        }
+    }
+
+    /// Stable machine-readable kind tag (used for per-kind counts and
+    /// the conservation check).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlatformEvent::Submitted { .. } => "submitted",
+            PlatformEvent::Compiled { .. } => "compiled",
+            PlatformEvent::Rejected { .. } => "rejected",
+            PlatformEvent::Queued { .. } => "queued",
+            PlatformEvent::Placed { .. } => "placed",
+            PlatformEvent::Preempted { .. } => "preempted",
+            PlatformEvent::Completed { .. } => "completed",
+            PlatformEvent::FailedOver { .. } => "failed_over",
+            PlatformEvent::Failed { .. } => "failed",
+            PlatformEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for PlatformEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformEvent::Submitted { .. } => f.write_str("submitted"),
+            PlatformEvent::Compiled {
+                instruction,
+                payload_mb,
+                transferred_mb,
+                ..
+            } => write!(
+                f,
+                "compiled: {instruction} instruction, {payload_mb:.0} MiB payload, \
+                 {transferred_mb:.0} MiB transferred"
+            ),
+            PlatformEvent::Rejected { reason, .. } => write!(f, "rejected: {reason}"),
+            PlatformEvent::Queued { .. } => f.write_str("queued"),
+            PlatformEvent::Placed {
+                nodes,
+                runtime,
+                slowdown,
+                granted_workers,
+                requested_workers,
+                backfilled,
+                ..
+            } => {
+                write!(
+                    f,
+                    "started on {nodes} node(s) via {runtime} runtime (slowdown {slowdown:.2})"
+                )?;
+                if granted_workers < requested_workers {
+                    write!(
+                        f,
+                        " (elastic: {granted_workers}/{requested_workers} workers)"
+                    )?;
+                }
+                if *backfilled {
+                    f.write_str(" [backfill]")?;
+                }
+                Ok(())
+            }
+            PlatformEvent::Preempted { reclaimed_for, .. } => {
+                write!(f, "preempted (quota reclaimed by {reclaimed_for})")
+            }
+            PlatformEvent::Completed { .. } => f.write_str("completed"),
+            PlatformEvent::FailedOver { node, fallback, .. } => write!(
+                f,
+                "node {node} faulted; switching runtime to {fallback} and requeueing"
+            ),
+            PlatformEvent::Failed { node, .. } => {
+                write!(f, "node {node} faulted; job failed")
+            }
+            PlatformEvent::Cancelled { .. } => f.write_str("cancelled by user"),
+        }
+    }
+}
+
+/// A [`PlatformEvent`] as recorded on the bus: stamped with a sequence
+/// number and the simulated time of the transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotonically increasing sequence number (never reused, even
+    /// after old records are dropped from the ring).
+    pub seq: u64,
+    /// Simulated time of the transition, seconds.
+    pub at_secs: f64,
+    /// The transition itself.
+    pub event: PlatformEvent,
+}
+
+/// Bounded ring of [`EventRecord`]s with JSONL export.
+///
+/// When the ring is full the *oldest* record is dropped and a drop
+/// counter is bumped; recording never fails and never reorders.
+/// Timestamps are clamped to be monotone non-decreasing in simulated
+/// time, matching the discrete-event loop's processing order.
+#[derive(Debug)]
+pub struct EventBus {
+    capacity: usize,
+    buf: VecDeque<EventRecord>,
+    next_seq: u64,
+    last_at: f64,
+    dropped: u64,
+    kind_counts: BTreeMap<&'static str, u64>,
+}
+
+impl EventBus {
+    /// New bus retaining at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EventBus {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            next_seq: 0,
+            last_at: 0.0,
+            dropped: 0,
+            kind_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Records `event` at simulated time `at` (seconds) and returns its
+    /// sequence number. Non-monotone timestamps are clamped forward.
+    pub fn record(&mut self, at: f64, event: PlatformEvent) -> u64 {
+        let at = if at.is_finite() { at } else { self.last_at };
+        let at = at.max(self.last_at);
+        self.last_at = at;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        *self.kind_counts.entry(event.kind()).or_insert(0) += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(EventRecord {
+            seq,
+            at_secs: at,
+            event,
+        });
+        seq
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records evicted from the ring to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EventRecord> {
+        self.buf.iter()
+    }
+
+    /// Retained records concerning `job`, oldest first.
+    pub fn for_job(&self, job: JobId) -> Vec<EventRecord> {
+        self.buf
+            .iter()
+            .filter(|r| r.event.job() == job)
+            .cloned()
+            .collect()
+    }
+
+    /// Lifetime count of events of `kind` (survives ring eviction).
+    pub fn kind_count(&self, kind: &str) -> u64 {
+        self.kind_counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Serializes the retained records as JSON Lines (one record per
+    /// line, oldest first).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.buf {
+            out.push_str(&serde_json::to_string(r).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL export back into records (blank lines skipped).
+    pub fn parse_jsonl(text: &str) -> Result<Vec<EventRecord>, serde_json::Error> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+}
+
+/// Lifecycle conservation tally recounted purely from events: every
+/// submitted job must end in exactly one terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConservationCheck {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Jobs rejected at admission.
+    pub rejected: u64,
+    /// Jobs cancelled by the user.
+    pub cancelled: u64,
+}
+
+impl ConservationCheck {
+    /// True when `submitted = completed + failed + rejected + cancelled`.
+    pub fn balanced(&self) -> bool {
+        self.submitted == self.completed + self.failed + self.rejected + self.cancelled
+    }
+}
+
+/// Recounts the lifecycle conservation invariant from `records` alone.
+pub fn conservation(records: &[EventRecord]) -> ConservationCheck {
+    let mut c = ConservationCheck {
+        submitted: 0,
+        completed: 0,
+        failed: 0,
+        rejected: 0,
+        cancelled: 0,
+    };
+    for r in records {
+        match r.event {
+            PlatformEvent::Submitted { .. } => c.submitted += 1,
+            PlatformEvent::Completed { .. } => c.completed += 1,
+            PlatformEvent::Failed { .. } => c.failed += 1,
+            PlatformEvent::Rejected { .. } => c.rejected += 1,
+            PlatformEvent::Cancelled { .. } => c.cancelled += 1,
+            _ => {}
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(n: u64) -> JobId {
+        JobId::from_value(n)
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let mut bus = EventBus::new(3);
+        for i in 0..5 {
+            bus.record(i as f64, PlatformEvent::Queued { job: job(i) });
+        }
+        assert_eq!(bus.len(), 3);
+        assert_eq!(bus.dropped(), 2);
+        assert_eq!(bus.recorded(), 5);
+        // Oldest retained record is seq 2; seq numbers never reused.
+        assert_eq!(bus.records().next().map(|r| r.seq), Some(2));
+        assert_eq!(bus.kind_count("queued"), 5);
+    }
+
+    #[test]
+    fn timestamps_clamped_monotone() {
+        let mut bus = EventBus::new(16);
+        bus.record(5.0, PlatformEvent::Queued { job: job(1) });
+        bus.record(3.0, PlatformEvent::Queued { job: job(2) });
+        bus.record(f64::NAN, PlatformEvent::Queued { job: job(3) });
+        bus.record(7.0, PlatformEvent::Queued { job: job(4) });
+        let ts: Vec<f64> = bus.records().map(|r| r.at_secs).collect();
+        assert_eq!(ts, vec![5.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn for_job_filters() {
+        let mut bus = EventBus::new(16);
+        bus.record(0.0, PlatformEvent::Queued { job: job(1) });
+        bus.record(1.0, PlatformEvent::Queued { job: job(2) });
+        bus.record(
+            2.0,
+            PlatformEvent::Completed {
+                job: job(1),
+                jct_secs: 2.0,
+            },
+        );
+        let evs = bus.for_job(job(1));
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|r| r.event.job() == job(1)));
+    }
+
+    #[test]
+    fn display_matches_legacy_log_lines() {
+        let e = PlatformEvent::Compiled {
+            job: job(1),
+            instruction: "Training".into(),
+            payload_mb: 512.0,
+            transferred_mb: 128.4,
+            chunk_hits: 3,
+            chunk_misses: 1,
+            provisioning_secs: 2.0,
+        };
+        assert_eq!(
+            e.to_string(),
+            "compiled: Training instruction, 512 MiB payload, 128 MiB transferred"
+        );
+        let e = PlatformEvent::Placed {
+            job: job(1),
+            nodes: 2,
+            runtime: "MultiProcess".into(),
+            slowdown: 1.07,
+            granted_workers: 1,
+            requested_workers: 2,
+            backfilled: false,
+        };
+        assert_eq!(
+            e.to_string(),
+            "started on 2 node(s) via MultiProcess runtime (slowdown 1.07) \
+             (elastic: 1/2 workers)"
+        );
+        let e = PlatformEvent::Rejected {
+            job: job(1),
+            reason: RejectReason::GangNeverFits,
+        };
+        assert_eq!(e.to_string(), "rejected: gang can never fit this cluster");
+        let e = PlatformEvent::Failed {
+            job: job(1),
+            node: "node3".into(),
+        };
+        assert_eq!(e.to_string(), "node node3 faulted; job failed");
+    }
+
+    #[test]
+    fn conservation_balances() {
+        let mut bus = EventBus::new(64);
+        bus.record(
+            0.0,
+            PlatformEvent::Submitted {
+                job: job(1),
+                group: GroupId::from_index(0),
+                name: "a".into(),
+            },
+        );
+        bus.record(
+            0.0,
+            PlatformEvent::Submitted {
+                job: job(2),
+                group: GroupId::from_index(0),
+                name: "b".into(),
+            },
+        );
+        bus.record(
+            1.0,
+            PlatformEvent::Completed {
+                job: job(1),
+                jct_secs: 1.0,
+            },
+        );
+        bus.record(2.0, PlatformEvent::Cancelled { job: job(2) });
+        let records: Vec<EventRecord> = bus.records().cloned().collect();
+        let c = conservation(&records);
+        assert!(c.balanced(), "{c:?}");
+        assert_eq!(c.submitted, 2);
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.cancelled, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut bus = EventBus::new(8);
+        bus.record(
+            0.5,
+            PlatformEvent::Submitted {
+                job: job(7),
+                group: GroupId::from_index(2),
+                name: "train".into(),
+            },
+        );
+        bus.record(
+            1.5,
+            PlatformEvent::Preempted {
+                job: job(7),
+                reclaimed_for: GroupId::from_index(1),
+            },
+        );
+        let text = bus.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let parsed = EventBus::parse_jsonl(&text).expect("parses");
+        let original: Vec<EventRecord> = bus.records().cloned().collect();
+        assert_eq!(parsed, original);
+    }
+}

@@ -1,0 +1,60 @@
+//! # tacc-obs
+//!
+//! Structured telemetry for the `tacc-rs` platform: the observability
+//! substrate the operational sections of the paper lean on ("why is my
+//! job not running", per-layer counters, scheduler decision latency).
+//!
+//! Three pillars:
+//!
+//! * **Typed event bus** ([`EventBus`], [`PlatformEvent`]): every job
+//!   lifecycle transition (submitted, compiled, queued, placed,
+//!   preempted, completed, ...) is recorded as a typed event stamped
+//!   with simulated time and a monotonically increasing sequence
+//!   number. The bus is a bounded ring — old records are dropped, never
+//!   new ones lost silently (a drop counter is kept) — and exports to
+//!   JSONL for offline analysis.
+//! * **Operational metrics registry** ([`MetricsRegistry`]): counters,
+//!   gauges and log-scale histograms keyed by name + labels, with a
+//!   [`MetricsRegistry::snapshot`] API and Prometheus-style text
+//!   exposition. Metric names follow the `tacc_<layer>_<name>`
+//!   convention.
+//! * **Scheduler decision tracing** ([`RoundTrace`], [`SkipReason`],
+//!   [`DecisionTraceLog`]): every scheduling round records what
+//!   started, what was preempted and — crucially — *why each queued
+//!   job was skipped*, plus the wall-clock latency of the round.
+//!
+//! ## Example
+//!
+//! ```
+//! use tacc_obs::{EventBus, MetricsRegistry, PlatformEvent};
+//! use tacc_workload::{GroupId, JobId};
+//!
+//! let mut bus = EventBus::new(1024);
+//! bus.record(0.0, PlatformEvent::Submitted {
+//!     job: JobId::from_value(1),
+//!     group: GroupId::from_index(0),
+//!     name: "train-llm".to_string(),
+//! });
+//! assert_eq!(bus.len(), 1);
+//!
+//! let reg = MetricsRegistry::new();
+//! let jobs = reg.counter("tacc_core_jobs_submitted_total", &[]);
+//! jobs.inc();
+//! assert!(reg.expose().contains("tacc_core_jobs_submitted_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod metrics;
+mod trace;
+
+pub use events::{
+    conservation, ConservationCheck, EventBus, EventRecord, PlatformEvent, RejectReason,
+};
+pub use metrics::{
+    BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    ScrapedCounter, ScrapedGauge, ScrapedHistogram,
+};
+pub use trace::{DecisionTraceLog, JobSkip, RoundTrace, SkipReason};

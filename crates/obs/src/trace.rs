@@ -1,0 +1,297 @@
+//! Scheduler decision tracing: per-round records of what started, what
+//! was preempted, and *why every examined job was skipped*, plus the
+//! wall-clock latency of the round. This is the substrate behind
+//! `tcloud why <job>`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use tacc_workload::{GroupId, JobId};
+
+/// Why the scheduler passed over a queued job in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// The owning group's quota (plus any borrowable headroom) cannot
+    /// cover the request right now.
+    QuotaExhausted {
+        /// Owning group.
+        group: GroupId,
+        /// GPUs the group is currently using.
+        used: u32,
+        /// The group's guaranteed GPU quota.
+        quota: u32,
+        /// GPUs this request would add.
+        demand: u32,
+    },
+    /// No placement exists on the current free capacity.
+    NoFeasiblePlacement {
+        /// Workers requested.
+        workers: u32,
+        /// GPUs per worker requested.
+        gpus_per_worker: u32,
+        /// Total free GPUs cluster-wide.
+        free_gpus: u32,
+        /// Largest contiguous free block on any single node.
+        largest_free_block: u32,
+    },
+    /// A backfill start would overrun a blocked job's reservation.
+    BackfillBlocked {
+        /// Simulated time this job would end if started now (absolute).
+        est_end_secs: f64,
+        /// Expected start of the blocked job holding the reservation
+        /// (absolute simulated time).
+        shadow_secs: f64,
+    },
+    /// Strict FIFO (no backfill): a job ahead in the queue is stuck, so
+    /// everything behind it waits.
+    HeadOfLineBlocked {
+        /// The job blocking the head of the queue.
+        behind: JobId,
+    },
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::QuotaExhausted {
+                group,
+                used,
+                quota,
+                demand,
+            } => write!(
+                f,
+                "quota exhausted: {group} using {used}/{quota} GPUs, +{demand} requested"
+            ),
+            SkipReason::NoFeasiblePlacement {
+                workers,
+                gpus_per_worker,
+                free_gpus,
+                largest_free_block,
+            } => write!(
+                f,
+                "no feasible placement: needs {workers}x{gpus_per_worker} GPUs, \
+                 {free_gpus} free (largest block {largest_free_block})"
+            ),
+            SkipReason::BackfillBlocked {
+                est_end_secs,
+                shadow_secs,
+            } => write!(
+                f,
+                "backfill window blocked: would run until t={est_end_secs:.0}s, \
+                 past the reservation shadow at t={shadow_secs:.0}s"
+            ),
+            SkipReason::HeadOfLineBlocked { behind } => {
+                write!(
+                    f,
+                    "head-of-line blocked behind {behind} (backfill disabled)"
+                )
+            }
+        }
+    }
+}
+
+/// One skipped job in a round, with the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSkip {
+    /// The skipped job.
+    pub job: JobId,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
+/// Everything one scheduling round decided.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Scheduler round counter at the time of the trace.
+    pub round: u64,
+    /// Simulated time of the round, seconds.
+    pub at_secs: f64,
+    /// Wall-clock latency of the round, microseconds (real time spent
+    /// deciding, the T4 measurement).
+    pub wall_micros: u64,
+    /// Queue depth when the round began.
+    pub queue_len: u64,
+    /// Jobs started this round.
+    pub started: Vec<JobId>,
+    /// Jobs preempted this round.
+    pub preempted: Vec<JobId>,
+    /// Jobs examined and skipped this round, with reasons.
+    pub skips: Vec<JobSkip>,
+}
+
+/// Bounded log of [`RoundTrace`]s plus the latest skip reason per job
+/// (kept even after the round itself ages out of the ring), so
+/// "why is my job not running" always has an answer.
+#[derive(Debug)]
+pub struct DecisionTraceLog {
+    capacity: usize,
+    rounds: VecDeque<RoundTrace>,
+    dropped: u64,
+    latest_skip: BTreeMap<JobId, (f64, SkipReason)>,
+}
+
+impl DecisionTraceLog {
+    /// New log retaining at most `capacity` round traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        DecisionTraceLog {
+            capacity: capacity.max(1),
+            rounds: VecDeque::new(),
+            dropped: 0,
+            latest_skip: BTreeMap::new(),
+        }
+    }
+
+    /// Records a round. Jobs that started stop being "skipped"; jobs in
+    /// `trace.skips` get their latest reason updated.
+    pub fn push(&mut self, trace: RoundTrace) {
+        for id in &trace.started {
+            self.latest_skip.remove(id);
+        }
+        for s in &trace.skips {
+            self.latest_skip.insert(s.job, (trace.at_secs, s.reason));
+        }
+        if self.rounds.len() == self.capacity {
+            self.rounds.pop_front();
+            self.dropped += 1;
+        }
+        self.rounds.push_back(trace);
+    }
+
+    /// Forgets a job's latest skip reason (terminal state reached).
+    pub fn forget_job(&mut self, job: JobId) {
+        self.latest_skip.remove(&job);
+    }
+
+    /// Most recent skip reason for `job`, with the simulated time it
+    /// was recorded.
+    pub fn latest_skip(&self, job: JobId) -> Option<(f64, SkipReason)> {
+        self.latest_skip.get(&job).copied()
+    }
+
+    /// Retained round traces, oldest first.
+    pub fn rounds(&self) -> impl Iterator<Item = &RoundTrace> {
+        self.rounds.iter()
+    }
+
+    /// The `n` most recent round traces, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<&RoundTrace> {
+        let skip = self.rounds.len().saturating_sub(n);
+        self.rounds.iter().skip(skip).collect()
+    }
+
+    /// Round traces evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained round traces.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when no round has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(n: u64) -> JobId {
+        JobId::from_value(n)
+    }
+
+    fn round(n: u64, at: f64, started: Vec<JobId>, skips: Vec<JobSkip>) -> RoundTrace {
+        RoundTrace {
+            round: n,
+            at_secs: at,
+            wall_micros: 10,
+            queue_len: skips.len() as u64,
+            started,
+            preempted: vec![],
+            skips,
+        }
+    }
+
+    #[test]
+    fn latest_skip_tracks_and_clears() {
+        let mut log = DecisionTraceLog::new(8);
+        let reason = SkipReason::QuotaExhausted {
+            group: GroupId::from_index(3),
+            used: 40,
+            quota: 32,
+            demand: 8,
+        };
+        log.push(round(
+            1,
+            10.0,
+            vec![],
+            vec![JobSkip {
+                job: job(1),
+                reason,
+            }],
+        ));
+        let (at, r) = log.latest_skip(job(1)).expect("skip recorded");
+        assert_eq!(at, 10.0);
+        assert!(r.to_string().contains("using 40/32 GPUs"));
+        // The job starts in a later round: no longer skipped.
+        log.push(round(2, 20.0, vec![job(1)], vec![]));
+        assert!(log.latest_skip(job(1)).is_none());
+    }
+
+    #[test]
+    fn ring_bounds_rounds_but_keeps_latest_skip() {
+        let mut log = DecisionTraceLog::new(2);
+        let reason = SkipReason::HeadOfLineBlocked { behind: job(9) };
+        log.push(round(
+            1,
+            1.0,
+            vec![],
+            vec![JobSkip {
+                job: job(5),
+                reason,
+            }],
+        ));
+        log.push(round(2, 2.0, vec![], vec![]));
+        log.push(round(3, 3.0, vec![], vec![]));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        // The skip from the evicted round is still queryable.
+        assert!(log.latest_skip(job(5)).is_some());
+        log.forget_job(job(5));
+        assert!(log.latest_skip(job(5)).is_none());
+    }
+
+    #[test]
+    fn skip_reason_rendering() {
+        let r = SkipReason::NoFeasiblePlacement {
+            workers: 4,
+            gpus_per_worker: 8,
+            free_gpus: 12,
+            largest_free_block: 6,
+        };
+        assert_eq!(
+            r.to_string(),
+            "no feasible placement: needs 4x8 GPUs, 12 free (largest block 6)"
+        );
+        let r = SkipReason::BackfillBlocked {
+            est_end_secs: 3600.0,
+            shadow_secs: 1200.0,
+        };
+        assert!(r.to_string().contains("reservation shadow at t=1200s"));
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let mut log = DecisionTraceLog::new(8);
+        for n in 1..=5 {
+            log.push(round(n, n as f64, vec![], vec![]));
+        }
+        let tail = log.recent(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].round, 4);
+        assert_eq!(tail[1].round, 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the event bus: timestamps are monotone
+//! non-decreasing in simulated time regardless of input, the ring
+//! respects its capacity, and JSONL export round-trips via serde.
+
+use proptest::prelude::*;
+use tacc_obs::{EventBus, EventRecord, PlatformEvent, RejectReason};
+use tacc_workload::{GroupId, JobId};
+
+/// Deterministically maps a small discriminant + job number to an event,
+/// covering every variant of [`PlatformEvent`].
+fn mk_event(kind: u8, j: u64) -> PlatformEvent {
+    let job = JobId::from_value(j);
+    let group = GroupId::from_index((j % 7) as usize);
+    match kind % 10 {
+        0 => PlatformEvent::Submitted {
+            job,
+            group,
+            name: format!("job-{j}"),
+        },
+        1 => PlatformEvent::Compiled {
+            job,
+            instruction: "Training".to_string(),
+            payload_mb: j as f64 * 0.5,
+            transferred_mb: j as f64 * 0.25,
+            chunk_hits: j % 5,
+            chunk_misses: j % 3,
+            provisioning_secs: j as f64 * 0.125,
+        },
+        2 => PlatformEvent::Rejected {
+            job,
+            reason: if j.is_multiple_of(2) {
+                RejectReason::GangNeverFits
+            } else {
+                RejectReason::ExceedsGroupQuota
+            },
+        },
+        3 => PlatformEvent::Queued { job },
+        4 => PlatformEvent::Placed {
+            job,
+            nodes: 1 + j % 4,
+            runtime: "SingleProcess".to_string(),
+            slowdown: 1.0 + (j % 10) as f64 * 0.125,
+            granted_workers: 1 + j % 2,
+            requested_workers: 2,
+            backfilled: j.is_multiple_of(2),
+        },
+        5 => PlatformEvent::Preempted {
+            job,
+            reclaimed_for: group,
+        },
+        6 => PlatformEvent::Completed {
+            job,
+            jct_secs: j as f64 * 2.0,
+        },
+        7 => PlatformEvent::FailedOver {
+            job,
+            node: format!("node{}", j % 8),
+            fallback: "SingleProcess".to_string(),
+        },
+        8 => PlatformEvent::Failed {
+            job,
+            node: format!("node{}", j % 8),
+        },
+        _ => PlatformEvent::Cancelled { job },
+    }
+}
+
+proptest! {
+    #[test]
+    fn timestamps_monotone_and_ring_bounded(
+        raw in proptest::collection::vec((any::<f64>(), 0u8..10, 0u64..100), 0..128),
+        cap in 1usize..64,
+    ) {
+        let mut bus = EventBus::new(cap);
+        for &(at, kind, j) in &raw {
+            bus.record(at, mk_event(kind, j));
+        }
+        let recs: Vec<EventRecord> = bus.records().cloned().collect();
+        for w in recs.windows(2) {
+            assert!(
+                w[0].at_secs <= w[1].at_secs,
+                "timestamps regressed: {} then {}",
+                w[0].at_secs,
+                w[1].at_secs
+            );
+            assert!(w[0].seq < w[1].seq, "sequence numbers not increasing");
+        }
+        for r in &recs {
+            assert!(r.at_secs.is_finite(), "recorded timestamp must be finite");
+        }
+        assert!(bus.len() <= cap);
+        assert_eq!(bus.recorded(), raw.len() as u64);
+        assert_eq!(bus.dropped() as usize, raw.len().saturating_sub(bus.len()));
+    }
+
+    #[test]
+    fn jsonl_round_trips(
+        raw in proptest::collection::vec((0.0f64..1e9, 0u8..10, 0u64..100), 0..64),
+    ) {
+        let mut bus = EventBus::new(1024);
+        for &(at, kind, j) in &raw {
+            bus.record(at, mk_event(kind, j));
+        }
+        let text = bus.to_jsonl();
+        assert_eq!(text.lines().count(), bus.len());
+        let parsed = EventBus::parse_jsonl(&text).expect("JSONL export parses back");
+        let original: Vec<EventRecord> = bus.records().cloned().collect();
+        assert_eq!(parsed, original);
+    }
+}

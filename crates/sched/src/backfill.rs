@@ -65,7 +65,7 @@ pub(crate) fn reserve(
     now_secs: f64,
     demand_gpus: u32,
     free_gpus: u32,
-    running: &mut Vec<(f64, u32)>,
+    running: &mut [(f64, u32)],
 ) -> Reservation {
     if demand_gpus <= free_gpus {
         return Reservation {
@@ -100,8 +100,7 @@ pub(crate) fn may_backfill(
     candidate_gpus: u32,
     reservation: &Reservation,
 ) -> bool {
-    candidate_est_end_secs <= reservation.shadow_secs
-        || candidate_gpus <= reservation.extra_gpus
+    candidate_est_end_secs <= reservation.shadow_secs || candidate_gpus <= reservation.extra_gpus
 }
 
 #[cfg(test)]

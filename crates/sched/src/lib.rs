@@ -67,3 +67,6 @@ pub use policy::PolicyKind;
 pub use quota::{QuotaMode, QuotaTable};
 pub use request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
 pub use scheduler::{Scheduler, SchedulerConfig};
+// Decision-tracing vocabulary, re-exported so scheduler callers need not
+// depend on `tacc-obs` directly.
+pub use tacc_obs::{DecisionTraceLog, JobSkip, RoundTrace, SkipReason};

@@ -105,7 +105,7 @@ impl Planner {
                     }
                     if per_worker.fits_in(free) {
                         assignment.push(*id);
-                        *free = *free - per_worker;
+                        *free -= per_worker;
                         placed += 1;
                         progressed = true;
                     }
@@ -303,13 +303,17 @@ mod tests {
         let mut c = cluster();
         let planner = Planner::new(PlacementStrategy::TopologyAware);
         // 8 GPUs as 2x4: fits one node.
-        let plan = planner.plan(&c, 2, ResourceVec::gpus_only(4)).expect("fits");
+        let plan = planner
+            .plan(&c, 2, ResourceVec::gpus_only(4))
+            .expect("fits");
         assert_eq!(plan[0], plan[1]);
         // Fill node0 fully, node1 partially: a 2x8 gang needs two full
         // nodes; only rack1 (nodes 2,3) has them.
         occupy(&mut c, 0, 8);
         occupy(&mut c, 1, 2);
-        let plan = planner.plan(&c, 2, ResourceVec::gpus_only(8)).expect("fits");
+        let plan = planner
+            .plan(&c, 2, ResourceVec::gpus_only(8))
+            .expect("fits");
         let racks: Vec<usize> = plan
             .iter()
             .map(|&n| c.topology().rack_of(n).index())

@@ -180,7 +180,11 @@ mod tests {
 
     #[test]
     fn fifo_orders_by_submit() {
-        let mut q = vec![req(1, 0, 30.0, 1.0), req(2, 0, 10.0, 9.0), req(3, 0, 20.0, 5.0)];
+        let mut q = vec![
+            req(1, 0, 30.0, 1.0),
+            req(2, 0, 10.0, 9.0),
+            req(3, 0, 20.0, 5.0),
+        ];
         let usage = [0u32; 1];
         let uv = [ResourceVec::ZERO; 1];
         let quota = [10u32; 1];
@@ -190,7 +194,11 @@ mod tests {
 
     #[test]
     fn sjf_orders_by_estimate() {
-        let mut q = vec![req(1, 0, 0.0, 500.0), req(2, 0, 1.0, 100.0), req(3, 0, 2.0, 300.0)];
+        let mut q = vec![
+            req(1, 0, 0.0, 500.0),
+            req(2, 0, 1.0, 100.0),
+            req(3, 0, 2.0, 300.0),
+        ];
         let usage = [0u32; 1];
         let uv = [ResourceVec::ZERO; 1];
         let quota = [10u32; 1];
@@ -205,7 +213,12 @@ mod tests {
         let uv = [ResourceVec::gpus_only(8), ResourceVec::gpus_only(1)];
         let quota = [10u32, 10];
         let mut q = vec![req(1, 0, 0.0, 10.0), req(2, 1, 5.0, 10.0)];
-        order_queue(PolicyKind::FairShare, 10.0, &mut q, &ctx(&usage, &uv, &quota));
+        order_queue(
+            PolicyKind::FairShare,
+            10.0,
+            &mut q,
+            &ctx(&usage, &uv, &quota),
+        );
         assert_eq!(ids(&q), vec![2, 1]);
     }
 
@@ -216,7 +229,12 @@ mod tests {
         let uv = [ResourceVec::gpus_only(4), ResourceVec::gpus_only(4)];
         let quota = [40u32, 8];
         let mut q = vec![req(1, 1, 0.0, 10.0), req(2, 0, 5.0, 10.0)];
-        order_queue(PolicyKind::FairShare, 10.0, &mut q, &ctx(&usage, &uv, &quota));
+        order_queue(
+            PolicyKind::FairShare,
+            10.0,
+            &mut q,
+            &ctx(&usage, &uv, &quota),
+        );
         assert_eq!(ids(&q), vec![2, 1]);
     }
 
@@ -224,10 +242,7 @@ mod tests {
     fn drf_orders_by_dominant_share() {
         // Group 0: gpu-dominant 10/100 = 0.1; group 1: cpu 300/1000 = 0.3.
         let usage = [10u32, 0];
-        let uv = [
-            ResourceVec::new(10, 50, 100),
-            ResourceVec::new(0, 300, 100),
-        ];
+        let uv = [ResourceVec::new(10, 50, 100), ResourceVec::new(0, 300, 100)];
         let quota = [10u32, 10];
         let mut q = vec![req(1, 1, 0.0, 10.0), req(2, 0, 5.0, 10.0)];
         order_queue(PolicyKind::Drf, 10.0, &mut q, &ctx(&usage, &uv, &quota));
@@ -249,12 +264,22 @@ mod tests {
         assert!(score_old > score_fresh);
 
         let mut q = vec![old_long, fresh_short];
-        order_queue(PolicyKind::MultiFactor, 3600.0 * 24.0, &mut q, &ctx(&usage, &uv, &quota));
+        order_queue(
+            PolicyKind::MultiFactor,
+            3600.0 * 24.0,
+            &mut q,
+            &ctx(&usage, &uv, &quota),
+        );
         assert_eq!(ids(&q), vec![1, 2]);
 
         // Same submit times, long queue: the short job jumps ahead.
         let mut q2 = vec![req(3, 0, 0.0, 50_000.0), req(4, 0, 0.0, 120.0)];
-        order_queue(PolicyKind::MultiFactor, 100.0, &mut q2, &ctx(&usage, &uv, &quota));
+        order_queue(
+            PolicyKind::MultiFactor,
+            100.0,
+            &mut q2,
+            &ctx(&usage, &uv, &quota),
+        );
         assert_eq!(ids(&q2), vec![4, 3]);
     }
 

@@ -143,7 +143,10 @@ impl QuotaTable {
                 self.guaranteed_used[g] = self.guaranteed_used[g].saturating_sub(demand);
             }
             QosClass::BestEffort => {
-                debug_assert!(self.best_effort_used[g] >= demand, "quota release underflow");
+                debug_assert!(
+                    self.best_effort_used[g] >= demand,
+                    "quota release underflow"
+                );
                 self.best_effort_used[g] = self.best_effort_used[g].saturating_sub(demand);
             }
         }

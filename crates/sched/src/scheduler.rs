@@ -1,8 +1,12 @@
 //! The scheduling-layer facade.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use tacc_cluster::{Cluster, ResourceVec};
+use tacc_obs::{
+    Counter, DecisionTraceLog, Gauge, Histogram, JobSkip, MetricsRegistry, RoundTrace, SkipReason,
+};
 use tacc_workload::{GroupRoster, JobId, QosClass};
 
 use crate::backfill::{may_backfill, reserve, BackfillMode, Reservation};
@@ -32,6 +36,9 @@ pub struct SchedulerConfig {
     /// can be rotated out in favour of queued work via
     /// [`Scheduler::rotate`]. `None` disables rotation.
     pub time_slice_secs: Option<f64>,
+    /// How many [`RoundTrace`]s the decision trace ring retains. The
+    /// latest per-job skip reason survives ring eviction regardless.
+    pub decision_trace_capacity: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -44,6 +51,7 @@ impl Default for SchedulerConfig {
             quotas: Vec::new(),
             group_count: 8,
             time_slice_secs: None,
+            decision_trace_capacity: 2048,
         }
     }
 }
@@ -78,6 +86,19 @@ pub struct Scheduler {
     backfill_starts: u64,
     preemptions: u64,
     rounds: u64,
+    trace: DecisionTraceLog,
+    metrics: Option<SchedMetrics>,
+}
+
+/// Handles into an attached [`MetricsRegistry`] (`tacc_sched_*` series).
+#[derive(Debug)]
+struct SchedMetrics {
+    rounds: Counter,
+    round_latency: Histogram,
+    queue_depth: Gauge,
+    running_tasks: Gauge,
+    preemptions: Counter,
+    backfill_starts: Counter,
 }
 
 impl Scheduler {
@@ -90,13 +111,36 @@ impl Scheduler {
         Scheduler {
             planner: Planner::new(config.placement),
             quota: QuotaTable::from_quotas(quotas),
+            trace: DecisionTraceLog::new(config.decision_trace_capacity),
             config,
             queue: Vec::new(),
             running: BTreeMap::new(),
             backfill_starts: 0,
             preemptions: 0,
             rounds: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches operational metrics: subsequent rounds update the
+    /// `tacc_sched_*` series in `registry` (round counter, wall-clock
+    /// round latency histogram, queue depth and running-task gauges,
+    /// preemption and backfill counters).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(SchedMetrics {
+            rounds: registry.counter("tacc_sched_rounds_total", &[]),
+            round_latency: registry.histogram("tacc_sched_round_latency_seconds", &[]),
+            queue_depth: registry.gauge("tacc_sched_queue_depth", &[]),
+            running_tasks: registry.gauge("tacc_sched_running_tasks", &[]),
+            preemptions: registry.counter("tacc_sched_preemptions_total", &[]),
+            backfill_starts: registry.counter("tacc_sched_backfill_starts_total", &[]),
+        });
+    }
+
+    /// The decision trace: recent [`RoundTrace`]s plus the latest skip
+    /// reason per still-waiting job ("why is my job not running").
+    pub fn decision_trace(&self) -> &DecisionTraceLog {
+        &self.trace
     }
 
     /// The configuration in use.
@@ -153,6 +197,7 @@ impl Scheduler {
     /// Returns an empty outcome when time-slicing is disabled, nothing has
     /// expired, or no eviction would help.
     pub fn rotate(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        let rotate_start = Instant::now();
         let Some(quantum) = self.config.time_slice_secs else {
             return SchedOutcome::default();
         };
@@ -162,9 +207,7 @@ impl Scheduler {
         let mut expired: Vec<(f64, JobId)> = self
             .running
             .values()
-            .filter(|t| {
-                t.request.qos == QosClass::BestEffort && now_secs - t.start_secs >= quantum
-            })
+            .filter(|t| t.request.qos == QosClass::BestEffort && now_secs - t.start_secs >= quantum)
             .map(|t| (t.start_secs, t.request.id))
             .collect();
         if expired.is_empty() {
@@ -202,6 +245,9 @@ impl Scheduler {
                 .task_finished(victim, cluster)
                 .expect("victim is running");
             self.preemptions += 1;
+            if let Some(m) = &self.metrics {
+                m.preemptions.inc();
+            }
             outcome.decisions.push(Decision::Preempt {
                 id: victim,
                 reclaimed_for: task.request.group,
@@ -214,6 +260,17 @@ impl Scheduler {
                 ..task.request
             });
         }
+        // Trace the rotation decision itself; the follow-up schedule call
+        // records its own round (placements and skip reasons).
+        self.trace.push(RoundTrace {
+            round: self.rounds,
+            at_secs: now_secs,
+            wall_micros: rotate_start.elapsed().as_micros() as u64,
+            queue_len: self.queue.len() as u64,
+            started: Vec::new(),
+            preempted: outcome.preemptions().map(|(id, _)| id).collect(),
+            skips: Vec::new(),
+        });
         let follow_up = self.schedule(now_secs, cluster);
         outcome.decisions.extend(follow_up.decisions);
         outcome
@@ -262,7 +319,11 @@ impl Scheduler {
     pub fn cancel(&mut self, id: JobId) -> bool {
         let before = self.queue.len();
         self.queue.retain(|r| r.id != id);
-        self.queue.len() < before
+        let found = self.queue.len() < before;
+        if found {
+            self.trace.forget_job(id);
+        }
+        found
     }
 
     /// Reports that a running task finished (completed, failed or was
@@ -275,6 +336,7 @@ impl Scheduler {
             .release(task.lease_id)
             .expect("running task holds a valid lease");
         self.quota.release(&task.request);
+        self.trace.forget_job(id);
         Some(task)
     }
 
@@ -283,7 +345,10 @@ impl Scheduler {
     /// backfill rules), and preempts borrowers when guaranteed demand
     /// reclaims quota.
     pub fn schedule(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        let round_start = Instant::now();
         self.rounds += 1;
+        let queue_len_at_start = self.queue.len() as u64;
+        let mut skips: Vec<JobSkip> = Vec::new();
         let mut outcome = SchedOutcome::default();
 
         // Order the queue under the configured policy.
@@ -300,13 +365,23 @@ impl Scheduler {
         let mut reservations: Vec<Reservation> = Vec::new();
         let queue_snapshot = self.queue.clone();
 
-        for request in queue_snapshot {
+        for (pos, request) in queue_snapshot.iter().enumerate() {
             // 1. Quota gate.
-            if !self.quota.admits(self.config.quota, &request) {
+            if !self.quota.admits(self.config.quota, request) {
+                skips.push(JobSkip {
+                    job: request.id,
+                    reason: SkipReason::QuotaExhausted {
+                        group: request.group,
+                        used: self.quota.total_used(request.group),
+                        quota: self.quota.quota(request.group),
+                        demand: request.total_gpus(),
+                    },
+                });
                 // Blocked on quota, not capacity: holds no capacity
                 // reservation. Under no-backfill the queue is strictly
                 // ordered, so later jobs stall behind it anyway.
                 if self.config.backfill == BackfillMode::None {
+                    skip_tail(&mut skips, &queue_snapshot[pos + 1..], request.id);
                     break;
                 }
                 continue;
@@ -325,8 +400,19 @@ impl Scheduler {
                         .all(|r| may_backfill(est_end, request.total_gpus(), r)),
                 };
                 if !permitted {
+                    let blocking = reservations
+                        .iter()
+                        .find(|r| !may_backfill(est_end, request.total_gpus(), r))
+                        .unwrap_or(&reservations[0]);
+                    skips.push(JobSkip {
+                        job: request.id,
+                        reason: SkipReason::BackfillBlocked {
+                            est_end_secs: est_end,
+                            shadow_secs: blocking.shadow_secs,
+                        },
+                    });
                     if self.config.backfill == BackfillMode::Conservative {
-                        self.push_reservation(now_secs, &request, cluster, &mut reservations);
+                        self.push_reservation(now_secs, request, cluster, &mut reservations);
                     }
                     continue;
                 }
@@ -334,10 +420,13 @@ impl Scheduler {
 
             // 3. Placement (with quota reclaim if allowed).
             let backfilled = !reservations.is_empty();
-            match self.try_place(now_secs, &request, cluster, &mut outcome) {
+            match self.try_place(now_secs, request, cluster, &mut outcome) {
                 Some(start) => {
                     if backfilled {
                         self.backfill_starts += 1;
+                        if let Some(m) = &self.metrics {
+                            m.backfill_starts.inc();
+                        }
                     }
                     outcome.decisions.push(Decision::Start(StartedTask {
                         backfilled,
@@ -346,24 +435,57 @@ impl Scheduler {
                 }
                 None => {
                     // Capacity-blocked.
+                    skips.push(JobSkip {
+                        job: request.id,
+                        reason: SkipReason::NoFeasiblePlacement {
+                            workers: request.workers,
+                            gpus_per_worker: request.per_worker.gpus,
+                            free_gpus: cluster.free_gpus(),
+                            largest_free_block: cluster.largest_free_block(),
+                        },
+                    });
                     match self.config.backfill {
-                        BackfillMode::None => break,
+                        BackfillMode::None => {
+                            skip_tail(&mut skips, &queue_snapshot[pos + 1..], request.id);
+                            break;
+                        }
                         BackfillMode::Easy => {
                             if reservations.is_empty() {
                                 self.push_reservation(
                                     now_secs,
-                                    &request,
+                                    request,
                                     cluster,
                                     &mut reservations,
                                 );
                             }
                         }
                         BackfillMode::Conservative => {
-                            self.push_reservation(now_secs, &request, cluster, &mut reservations);
+                            self.push_reservation(now_secs, request, cluster, &mut reservations);
                         }
                     }
                 }
             }
+        }
+
+        let wall = round_start.elapsed();
+        if let Some(m) = &self.metrics {
+            m.rounds.inc();
+            m.round_latency.observe(wall.as_secs_f64());
+            m.queue_depth.set(self.queue.len() as f64);
+            m.running_tasks.set(self.running.len() as f64);
+        }
+        // Idle rounds (nothing queued, nothing decided) are not traced:
+        // the platform's fixpoint loop would otherwise flood the ring.
+        if queue_len_at_start > 0 || !outcome.is_empty() {
+            self.trace.push(RoundTrace {
+                round: self.rounds,
+                at_secs: now_secs,
+                wall_micros: wall.as_micros() as u64,
+                queue_len: queue_len_at_start,
+                started: outcome.starts().map(|t| t.request.id).collect(),
+                preempted: outcome.preemptions().map(|(id, _)| id).collect(),
+                skips,
+            });
         }
 
         outcome
@@ -418,6 +540,9 @@ impl Scheduler {
                 .task_finished(victim_id, cluster)
                 .expect("victim is running");
             self.preemptions += 1;
+            if let Some(m) = &self.metrics {
+                m.preemptions.inc();
+            }
             outcome.decisions.push(Decision::Preempt {
                 id: victim_id,
                 reclaimed_for: request.group,
@@ -517,6 +642,17 @@ impl Scheduler {
             usage[task.request.group.index()] += task.request.total_resources();
         }
         usage
+    }
+}
+
+/// Records a head-of-line skip for every request in `rest`: under strict
+/// FIFO (no backfill) a blocked job stalls everything behind it.
+fn skip_tail(skips: &mut Vec<JobSkip>, rest: &[TaskRequest], behind: JobId) {
+    for r in rest {
+        skips.push(JobSkip {
+            job: r.id,
+            reason: SkipReason::HeadOfLineBlocked { behind },
+        });
     }
 }
 
@@ -624,7 +760,10 @@ mod tests {
         s.submit(simple_request(3, 0, 4, 100.0, 2.0));
         let out = s.schedule(5.0, &mut c);
         assert_eq!(out.starts().count(), 1);
-        assert_eq!(out.starts().next().expect("one start").request.id.value(), 3);
+        assert_eq!(
+            out.starts().next().expect("one start").request.id.value(),
+            3
+        );
         assert!(out.starts().next().expect("one start").backfilled);
         assert_eq!(s.backfill_starts(), 1);
     }
@@ -681,7 +820,10 @@ mod tests {
         s.submit(gang);
         let out = s.schedule(0.0, &mut c);
         assert_eq!(out.starts().count(), 1);
-        assert_eq!(out.starts().next().expect("one start").worker_nodes.len(), 4);
+        assert_eq!(
+            out.starts().next().expect("one start").worker_nodes.len(),
+            4
+        );
         assert_eq!(c.free_gpus(), 0);
     }
 
@@ -748,9 +890,15 @@ mod tests {
         s.submit(gang_request(3, 1, 2, 8, 500.0, 20.0));
         let out = s.schedule(20.0, &mut c);
         assert_eq!(out.preemptions().count(), 1);
-        assert_eq!(out.preemptions().next().expect("one preemption").0.value(), 2);
+        assert_eq!(
+            out.preemptions().next().expect("one preemption").0.value(),
+            2
+        );
         assert_eq!(out.starts().count(), 1);
-        assert_eq!(out.starts().next().expect("one start").request.id.value(), 3);
+        assert_eq!(
+            out.starts().next().expect("one start").request.id.value(),
+            3
+        );
         assert_eq!(s.preemption_count(), 1);
         // The victim went back to the queue.
         assert_eq!(s.queue_len(), 1);
@@ -958,5 +1106,151 @@ mod tests {
         let mut s = sched(SchedulerConfig::default());
         s.submit(simple_request(1, 0, 1, 10.0, 0.0));
         s.submit(simple_request(1, 0, 1, 10.0, 0.0));
+    }
+
+    #[test]
+    fn trace_records_quota_skip_reason() {
+        let mut c = cluster(); // 32 GPUs
+        let mut s = sched(SchedulerConfig {
+            quota: QuotaMode::Static,
+            quotas: vec![8],
+            group_count: 1,
+            ..SchedulerConfig::default()
+        });
+        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+        s.submit(simple_request(2, 0, 8, 100.0, 1.0));
+        s.schedule(0.0, &mut c);
+        // Job 1 started; job 2 is quota-blocked and must say so.
+        assert!(s
+            .decision_trace()
+            .latest_skip(JobId::from_value(1))
+            .is_none());
+        let (at, reason) = s
+            .decision_trace()
+            .latest_skip(JobId::from_value(2))
+            .expect("job 2 skipped");
+        assert_eq!(at, 0.0);
+        let text = reason.to_string();
+        assert!(
+            text.contains("quota exhausted") && text.contains("8/8"),
+            "unexpected reason: {text}"
+        );
+    }
+
+    #[test]
+    fn trace_records_placement_and_head_of_line_skips() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            backfill: BackfillMode::None,
+            ..SchedulerConfig::default()
+        });
+        s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
+        s.schedule(0.0, &mut c);
+        s.submit(gang_request(2, 0, 2, 8, 1000.0, 1.0));
+        s.submit(simple_request(3, 0, 1, 10.0, 2.0));
+        s.schedule(5.0, &mut c);
+        let (_, head) = s
+            .decision_trace()
+            .latest_skip(JobId::from_value(2))
+            .expect("head is capacity-blocked");
+        assert!(
+            matches!(head, SkipReason::NoFeasiblePlacement { free_gpus: 8, .. }),
+            "unexpected: {head:?}"
+        );
+        let (_, tail) = s
+            .decision_trace()
+            .latest_skip(JobId::from_value(3))
+            .expect("tail stalls behind head");
+        assert!(
+            matches!(tail, SkipReason::HeadOfLineBlocked { behind } if behind.value() == 2),
+            "unexpected: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn trace_records_backfill_blocked() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default()); // Easy backfill
+        s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
+        s.schedule(0.0, &mut c);
+        s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0)); // blocked head
+        s.submit(simple_request(3, 0, 4, 9999.0, 2.0)); // too long to backfill
+        s.schedule(5.0, &mut c);
+        let (_, reason) = s
+            .decision_trace()
+            .latest_skip(JobId::from_value(3))
+            .expect("long job refused backfill");
+        assert!(
+            matches!(reason, SkipReason::BackfillBlocked { .. }),
+            "unexpected: {reason:?}"
+        );
+        // Once the job starts, the skip entry clears.
+        s.task_finished(JobId::from_value(1), &mut c);
+        s.schedule(100.0, &mut c);
+        assert!(s
+            .decision_trace()
+            .latest_skip(JobId::from_value(2))
+            .is_none());
+    }
+
+    #[test]
+    fn trace_round_has_latency_and_queue_depth() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+        s.schedule(0.0, &mut c);
+        let rounds: Vec<_> = s.decision_trace().rounds().collect();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].queue_len, 1);
+        assert_eq!(rounds[0].started, vec![JobId::from_value(1)]);
+        assert!(rounds[0].skips.is_empty());
+        // Idle rounds are not traced.
+        s.schedule(1.0, &mut c);
+        assert_eq!(s.decision_trace().len(), 1);
+    }
+
+    #[test]
+    fn attached_registry_sees_round_metrics() {
+        use tacc_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig::default());
+        s.attach_registry(&registry);
+        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+        s.schedule(0.0, &mut c);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tacc_sched_rounds_total"), Some(1));
+        assert_eq!(
+            snap.histogram("tacc_sched_round_latency_seconds")
+                .map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.gauge("tacc_sched_running_tasks"), Some(1.0));
+        assert_eq!(snap.gauge("tacc_sched_queue_depth"), Some(0.0));
+    }
+
+    #[test]
+    fn rotation_is_traced() {
+        let mut c = cluster();
+        let mut s = sched(SchedulerConfig {
+            time_slice_secs: Some(600.0),
+            ..SchedulerConfig::default()
+        });
+        s.submit(TaskRequest {
+            qos: QosClass::BestEffort,
+            ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
+        });
+        s.schedule(0.0, &mut c);
+        s.submit(simple_request(2, 1, 8, 600.0, 100.0));
+        s.schedule(100.0, &mut c);
+        s.rotate(700.0, &mut c);
+        let preempted_in_trace = s
+            .decision_trace()
+            .rounds()
+            .any(|r| r.preempted.contains(&JobId::from_value(1)));
+        assert!(
+            preempted_in_trace,
+            "rotation eviction must appear in the trace"
+        );
     }
 }

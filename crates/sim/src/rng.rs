@@ -113,7 +113,10 @@ mod tests {
         assert_ne!(a.next_u64(), b.next_u64());
         // But reproducible.
         let mut a2 = s.indexed_stream("node", 0);
-        assert_eq!(a2.next_u64(), SeedStream::new(9).indexed_stream("node", 0).next_u64());
+        assert_eq!(
+            a2.next_u64(),
+            SeedStream::new(9).indexed_stream("node", 0).next_u64()
+        );
     }
 
     #[test]

@@ -259,7 +259,12 @@ impl Clock {
     ///
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(t >= self.now, "clock moved backwards: {} -> {}", self.now, t);
+        assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
         self.now = t;
     }
 }
@@ -323,7 +328,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),

@@ -376,7 +376,6 @@ mod tests {
             aggregate_mbps: 6_000.0,
             per_client_mbps: 3_000.0,
             node_cache_mb: 0, // force every read to the backend
-            ..StorageConfig::default()
         };
         let mut s = SharedStore::new(config, 4);
         // Three concurrent readers: each sees 6000/3 = 2000 MiB/s.

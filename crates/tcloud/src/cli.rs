@@ -31,6 +31,9 @@ impl TcloudClient {
     /// tcloud submit <schema-json> [--service <secs>]
     /// tcloud ps
     /// tcloud logs <job-id>
+    /// tcloud events <job-id>
+    /// tcloud why <job-id>
+    /// tcloud metrics
     /// tcloud kill <job-id>
     /// tcloud wait <job-id>
     /// tcloud info
@@ -56,6 +59,20 @@ impl TcloudClient {
                     lines: self.logs(job)?,
                 })
             }
+            ["events", id] => {
+                let job = parse_job(id)?;
+                Ok(CommandOutput {
+                    lines: self.events(job)?,
+                })
+            }
+            ["why", id] => {
+                let job = parse_job(id)?;
+                let reason = self.why(job)?;
+                Ok(CommandOutput::one(format!("job {}: {reason}", job.value())))
+            }
+            ["metrics"] => Ok(CommandOutput {
+                lines: self.metrics_text().lines().map(str::to_owned).collect(),
+            }),
             ["kill", id] => {
                 let job = parse_job(id)?;
                 self.kill(job)?;
@@ -97,7 +114,8 @@ impl TcloudClient {
                 Ok(CommandOutput::one(format!("switched to profile '{profile}'")))
             }
             _ => Err(TcloudError::Usage(
-                "tcloud submit|ps|logs|kill|wait|info|quota|top|get|drain|undrain|use".to_owned(),
+                "tcloud submit|ps|logs|events|why|metrics|kill|wait|info|quota|top|get|drain|undrain|use"
+                    .to_owned(),
             )),
         }
     }
@@ -357,7 +375,8 @@ mod tests {
             .build()
             .expect("valid");
         let json = serde_json::to_string(&schema).expect("serializes");
-        c.run_command(&["submit", &json, "--service", "300"]).expect("submits");
+        c.run_command(&["submit", &json, "--service", "300"])
+            .expect("submits");
         // Before it runs: nothing to fetch.
         let early = c.run_command(&["get", "0"]).expect("get works");
         assert!(early.text().contains("nothing to fetch"));
@@ -379,6 +398,54 @@ mod tests {
         c.run_command(&["undrain", "node0"]).expect("undrains");
         assert!(c.run_command(&["drain", "99"]).is_err());
         assert!(c.run_command(&["drain", "not-a-node"]).is_err());
+    }
+
+    #[test]
+    fn events_why_and_metrics_commands() {
+        let mut c = client();
+        // Saturate the 16-GPU cluster, then queue a 1-GPU job behind it.
+        let filler = TaskSchema::builder("filler", GroupId::from_index(0))
+            .workers(2)
+            .resources(tacc_cluster::ResourceVec::gpus_only(8))
+            .est_duration_secs(1e6)
+            .build()
+            .expect("valid");
+        let fj = serde_json::to_string(&filler).expect("serializes");
+        c.run_command(&["submit", &fj, "--service", "1000000"])
+            .expect("submits");
+        c.advance(1000.0);
+        let blocked = TaskSchema::builder("blocked", GroupId::from_index(1))
+            .resources(tacc_cluster::ResourceVec::gpus_only(1))
+            .est_duration_secs(120.0)
+            .build()
+            .expect("valid");
+        let bj = serde_json::to_string(&blocked).expect("serializes");
+        c.run_command(&["submit", &bj, "--service", "120"])
+            .expect("submits");
+        c.advance(1000.0);
+
+        // `why` names the concrete skip reason the scheduler recorded.
+        let why = c.run_command(&["why", "1"]).expect("why works");
+        assert!(
+            why.text().contains("no feasible placement"),
+            "{}",
+            why.text()
+        );
+
+        // `events` shows the typed per-job event stream.
+        let events = c.run_command(&["events", "1"]).expect("events work");
+        assert!(events.text().contains("submitted"));
+        assert!(events.text().contains("queued"));
+
+        // `metrics` exposes series from several layers.
+        let metrics = c.run_command(&["metrics"]).expect("metrics work");
+        assert!(metrics.text().contains("tacc_core_jobs_submitted_total"));
+        assert!(metrics.text().contains("tacc_sched_round_latency_seconds"));
+        assert!(metrics.text().contains("tacc_cluster_free_gpus"));
+
+        assert!(c.run_command(&["why", "42"]).is_err());
+        assert!(c.run_command(&["events", "42"]).is_err());
+        assert!(c.run_command(&["why", "not-a-number"]).is_err());
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl TcloudClient {
 
     /// The active platform (read-only; used by experiment harnesses).
     pub fn platform(&self) -> &Platform {
-        self.profiles.get(&self.active).expect("active profile exists")
+        self.profiles
+            .get(&self.active)
+            .expect("active profile exists")
     }
 
     /// Mutable access to the active platform.
@@ -158,6 +160,51 @@ impl TcloudClient {
             .collect())
     }
 
+    /// Time-ordered platform events for a job, rendered one per line —
+    /// what `tcloud events` prints. Unlike [`Self::logs`] this is the
+    /// typed event stream: each line carries the bus sequence number and
+    /// machine-readable kind tag.
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist here.
+    pub fn events(&self, job: JobId) -> Result<Vec<String>, TcloudError> {
+        let p = self.platform();
+        if p.job(job).is_none() {
+            return Err(TcloudError::UnknownJob(job.value()));
+        }
+        Ok(p.job_events(job)
+            .iter()
+            .map(|r| {
+                format!(
+                    "[t={:.1}s] #{} {}: {}",
+                    r.at_secs,
+                    r.seq,
+                    r.event.kind(),
+                    r.event
+                )
+            })
+            .collect())
+    }
+
+    /// Explains a job's current situation — for a waiting job, the
+    /// scheduler's most recent skip reason (what `tcloud why` prints).
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist here.
+    pub fn why(&self, job: JobId) -> Result<String, TcloudError> {
+        self.platform()
+            .why(job)
+            .ok_or(TcloudError::UnknownJob(job.value()))
+    }
+
+    /// Prometheus text exposition of every operational metric on the
+    /// active cluster (what `tcloud metrics` prints).
+    pub fn metrics_text(&self) -> String {
+        self.platform().metrics_text()
+    }
+
     /// Kills a job on every node it occupies.
     ///
     /// # Errors
@@ -190,11 +237,7 @@ impl TcloudClient {
             return Err(TcloudError::UnknownJob(job.value()));
         }
         loop {
-            let state = self
-                .platform()
-                .job(job)
-                .expect("checked above")
-                .state();
+            let state = self.platform().job(job).expect("checked above").state();
             if state.is_terminal() {
                 return Ok(state);
             }

@@ -18,11 +18,15 @@
 //!   profiles and switch with [`TcloudClient::use_profile`].
 //!
 //! A small CLI-style command surface ([`TcloudClient::run_command`]) parses
-//! `submit` / `ps` / `logs` / `get` / `kill` / `wait` / `info` / `quota` /
-//! `top` / `drain` / `undrain` / `use` commands, so examples read like real
-//! terminal sessions — including the paper's "retrieve files ...
-//! simultaneously on multiple nodes" (`get`) and the operator's
-//! maintenance workflow (`drain`).
+//! `submit` / `ps` / `logs` / `events` / `why` / `metrics` / `get` / `kill`
+//! / `wait` / `info` / `quota` / `top` / `drain` / `undrain` / `use`
+//! commands, so examples read like real terminal sessions — including the
+//! paper's "retrieve files ... simultaneously on multiple nodes" (`get`),
+//! the operator's maintenance workflow (`drain`), and the observability
+//! surface: `events` prints a job's typed event stream, `why` explains why
+//! a job is waiting (quota exhausted, no feasible placement, blocked
+//! backfill window), and `metrics` dumps the Prometheus text exposition of
+//! every operational metric.
 //!
 //! ## Example
 //!

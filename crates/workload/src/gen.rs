@@ -272,8 +272,8 @@ impl TraceGenerator {
                     ("librispeech", 28_000),
                     ("private-lab-data", 4_000),
                 ];
-                let (name, size) =
-                    datasets[dist::weighted_index(&mut self.shape_rng, &[0.3, 0.2, 0.25, 0.1, 0.15])];
+                let (name, size) = datasets
+                    [dist::weighted_index(&mut self.shape_rng, &[0.3, 0.2, 0.25, 0.1, 0.15])];
                 Some((name.to_owned(), size))
             }
             _ => None,
@@ -374,8 +374,7 @@ impl TraceGenerator {
         );
         // A slice of jobs gets killed by its user — sometimes while still
         // queued, sometimes mid-run.
-        let cancel_after_secs = if dist::coin(&mut self.shape_rng, self.params.cancel_fraction)
-        {
+        let cancel_after_secs = if dist::coin(&mut self.shape_rng, self.params.cancel_fraction) {
             Some(service * dist::uniform(&mut self.shape_rng, 0.05, 1.2))
         } else {
             None

@@ -6,9 +6,7 @@ use std::fmt;
 use crate::schema::TaskSchema;
 
 /// Identifier of a submitted job. Dense per platform instance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(u64);
 
 impl JobId {

@@ -125,7 +125,11 @@ impl RuntimeEnv {
     /// Total bytes the compiler would have to materialize with no cache, in MiB.
     pub fn total_mb(&self) -> u64 {
         let deps: u64 = self.dependencies.iter().map(|&(_, s)| u64::from(s)).sum();
-        let data: u64 = self.dataset.as_ref().map(|&(_, s)| u64::from(s)).unwrap_or(0);
+        let data: u64 = self
+            .dataset
+            .as_ref()
+            .map(|&(_, s)| u64::from(s))
+            .unwrap_or(0);
         deps + data + u64::from(self.code_mb)
     }
 }
@@ -420,10 +424,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_schemas() {
         assert!(base().workers(0).build().is_err());
-        assert!(base()
-            .resources(ResourceVec::ZERO)
-            .build()
-            .is_err());
+        assert!(base().resources(ResourceVec::ZERO).build().is_err());
         assert!(base().est_duration_secs(0.0).build().is_err());
         assert!(base().est_duration_secs(f64::NAN).build().is_err());
     }

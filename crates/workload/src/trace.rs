@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn new_sorts_by_time() {
-        let t = Trace::new(vec![record(5.0, 10.0), record(1.0, 10.0), record(3.0, 10.0)]);
+        let t = Trace::new(vec![
+            record(5.0, 10.0),
+            record(1.0, 10.0),
+            record(3.0, 10.0),
+        ]);
         let times: Vec<f64> = t.records().iter().map(|r| r.submit_secs).collect();
         assert_eq!(times, vec![1.0, 3.0, 5.0]);
         assert_eq!(t.horizon_secs(), 5.0);

@@ -15,8 +15,8 @@ use tacc_workload::{GenParams, TraceGenerator};
 
 fn main() {
     let days = 14.0;
-    let trace = TraceGenerator::new(GenParams::default().with_load_factor(3.0), 2024)
-        .generate_days(days);
+    let trace =
+        TraceGenerator::new(GenParams::default().with_load_factor(3.0), 2024).generate_days(days);
     println!(
         "replaying {} submissions over {days} days on 256 GPUs (load factor 3)\n",
         trace.len()

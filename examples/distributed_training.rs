@@ -35,7 +35,10 @@ fn main() {
     let tcp = cluster_with(LinkSpeeds::tcp_legacy());
 
     for (name, profile) in [
-        ("ResNet-50-like (100 MiB grads)", ModelProfile::resnet50_like()),
+        (
+            "ResNet-50-like (100 MiB grads)",
+            ModelProfile::resnet50_like(),
+        ),
         ("GPT-2-like (1.5 GiB grads)", ModelProfile::gpt2_like()),
     ] {
         let mut table = Table::new(
@@ -50,14 +53,8 @@ fn main() {
         for gpus in [1u32, 2, 4, 8, 16, 32, 64] {
             let nodes = placement(gpus);
             let eff = |cluster: &Cluster, runtime| {
-                let plan = model.plan_training(
-                    cluster,
-                    runtime,
-                    &nodes,
-                    gpus,
-                    GpuModel::A100,
-                    &profile,
-                );
+                let plan =
+                    model.plan_training(cluster, runtime, &nodes, gpus, GpuModel::A100, &profile);
                 plan.efficiency * 100.0
             };
             table.row(vec![

@@ -55,8 +55,14 @@ fn main() {
     let runaway_json = serde_json::to_string(&runaway).expect("serializes");
 
     run(&mut client, &["info"]);
-    run(&mut client, &["submit", &training_json, "--service", "1800"]);
-    run(&mut client, &["submit", &runaway_json, "--service", "72000"]);
+    run(
+        &mut client,
+        &["submit", &training_json, "--service", "1800"],
+    );
+    run(
+        &mut client,
+        &["submit", &runaway_json, "--service", "72000"],
+    );
     run(&mut client, &["ps"]);
 
     // Let the cluster work for an hour, then look again.
@@ -85,6 +91,9 @@ fn main() {
     // Same workflow, different cluster: one line of configuration.
     run(&mut client, &["use", "lab-cluster"]);
     run(&mut client, &["info"]);
-    run(&mut client, &["submit", &training_json, "--service", "1800"]);
+    run(
+        &mut client,
+        &["submit", &training_json, "--service", "1800"],
+    );
     run(&mut client, &["wait", "0"]);
 }

@@ -18,8 +18,7 @@ fn conservation_across_the_stack() {
         let report = platform.run_trace(&trace);
         assert_eq!(report.submitted, trace.len(), "{quota}: submissions lost");
         assert_eq!(
-            report.completed
-                + (report.failed + report.rejected + report.cancelled) as usize,
+            report.completed + (report.failed + report.rejected + report.cancelled) as usize,
             trace.len(),
             "{quota}: jobs leaked in non-terminal states"
         );
@@ -126,7 +125,9 @@ fn elastic_trace_conserves_jobs() {
     let params = GenParams {
         elastic_fraction: 1.0,
         best_effort_fraction: 0.6,
-        ..GenParams::default().with_load_factor(2.0).with_multi_node_fraction(0.3)
+        ..GenParams::default()
+            .with_load_factor(2.0)
+            .with_multi_node_fraction(0.3)
     };
     let trace = TraceGenerator::new(params, 301).generate_days(2.0);
     let mut platform = Platform::new(config_with(|_| {}));

@@ -45,11 +45,19 @@ fn cache_warms_over_a_real_stream() {
     let half = schemas.len() / 2;
     let mut cold = 0.0;
     for s in &schemas[..half] {
-        cold += compiler.compile(s).expect("valid").provisioning.transferred_mb;
+        cold += compiler
+            .compile(s)
+            .expect("valid")
+            .provisioning
+            .transferred_mb;
     }
     let mut warm = 0.0;
     for s in &schemas[half..] {
-        warm += compiler.compile(s).expect("valid").provisioning.transferred_mb;
+        warm += compiler
+            .compile(s)
+            .expect("valid")
+            .provisioning
+            .transferred_mb;
     }
     assert!(
         warm < cold * 0.5,
@@ -73,15 +81,42 @@ fn execution_model_crossovers() {
     let profile = ModelProfile::gpt2_like();
     let nodes: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
 
-    let ar = model.plan_training(&rdma, RuntimePreference::AllReduce, &nodes, 32, GpuModel::A100, &profile);
-    let ps = model.plan_training(&rdma, RuntimePreference::ParameterServer, &nodes, 32, GpuModel::A100, &profile);
-    assert!(ar.efficiency > ps.efficiency, "ring must beat PS at 32 GPUs");
+    let ar = model.plan_training(
+        &rdma,
+        RuntimePreference::AllReduce,
+        &nodes,
+        32,
+        GpuModel::A100,
+        &profile,
+    );
+    let ps = model.plan_training(
+        &rdma,
+        RuntimePreference::ParameterServer,
+        &nodes,
+        32,
+        GpuModel::A100,
+        &profile,
+    );
+    assert!(
+        ar.efficiency > ps.efficiency,
+        "ring must beat PS at 32 GPUs"
+    );
 
-    let tcp_ar = model.plan_training(&tcp, RuntimePreference::AllReduce, &nodes, 32, GpuModel::A100, &profile);
+    let tcp_ar = model.plan_training(
+        &tcp,
+        RuntimePreference::AllReduce,
+        &nodes,
+        32,
+        GpuModel::A100,
+        &profile,
+    );
     assert!(ar.efficiency > tcp_ar.efficiency, "RDMA must beat TCP");
 
     // Raw model sanity at both extremes.
-    assert!(comm::ring_allreduce_secs(1500.0, 64, 100.0) < comm::parameter_server_secs(1500.0, 64, 4, 100.0));
+    assert!(
+        comm::ring_allreduce_secs(1500.0, 64, 100.0)
+            < comm::parameter_server_secs(1500.0, 64, 4, 100.0)
+    );
     assert!(comm::ring_allreduce_secs(1500.0, 2, 100.0) > 0.0);
 }
 

@@ -10,10 +10,10 @@ use tacc_workload::{GenParams, TraceGenerator};
 #[test]
 fn sjf_beats_fifo_on_mean_jct() {
     let trace = small_trace(101, 3.0, 4.0);
-    let fifo = Platform::new(config_with(|c| c.scheduler.policy = PolicyKind::Fifo))
-        .run_trace(&trace);
-    let sjf = Platform::new(config_with(|c| c.scheduler.policy = PolicyKind::Sjf))
-        .run_trace(&trace);
+    let fifo =
+        Platform::new(config_with(|c| c.scheduler.policy = PolicyKind::Fifo)).run_trace(&trace);
+    let sjf =
+        Platform::new(config_with(|c| c.scheduler.policy = PolicyKind::Sjf)).run_trace(&trace);
     assert!(
         sjf.jct.mean() < fifo.jct.mean(),
         "sjf {:.0}s vs fifo {:.0}s",
