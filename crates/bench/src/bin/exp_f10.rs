@@ -1,52 +1,9 @@
-//! Experiment F10 — capacity planning.
+//! Experiment F10 — capacity planning curve.
 //!
-//! The operator's question: how many GPUs does this campus workload need
-//! before queueing becomes acceptable? Replays the same demand against
-//! cluster sizes from 128 to 512 GPUs (quotas scaled proportionally) and
-//! reports the wait/utilization curve. See EXPERIMENTS.md § F10.
-
-use tacc_bench::{hours, standard_trace};
-use tacc_cluster::{ClusterSpec, GpuModel};
-use tacc_core::{Platform, PlatformConfig};
-use tacc_metrics::Table;
-use tacc_workload::GroupRoster;
+//! Thin shim: the body lives in `tacc_bench::experiments::f10` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments f10` (or `--check`) for golden-gated runs.
 
 fn main() {
-    let trace = standard_trace(7.0, 3.0);
-    println!(
-        "F10: capacity sweep for a fixed demand ({} submissions, 7 days)\n",
-        trace.len()
-    );
-
-    let mut table = Table::new(
-        "F10: cluster size vs service quality",
-        &[
-            "GPUs",
-            "racks x nodes",
-            "util %",
-            "mean JCT (h)",
-            "p95 wait (h)",
-            "p99 wait (h)",
-        ],
-    );
-    for racks in [2u32, 3, 4, 6, 8] {
-        let gpus = racks * 8 * 8;
-        let config = PlatformConfig {
-            cluster: ClusterSpec::uniform(racks, 8, GpuModel::A100, 8),
-            roster: GroupRoster::campus_default(gpus),
-            ..PlatformConfig::default()
-        };
-        let report = Platform::new(config).run_trace(&trace);
-        table.row(vec![
-            (gpus as usize).into(),
-            format!("{racks} x 8").into(),
-            (report.mean_utilization * 100.0).into(),
-            hours(report.jct.mean()).into(),
-            hours(report.queue_delay.p95()).into(),
-            hours(report.queue_delay.p99()).into(),
-        ]);
-    }
-    println!("{table}");
-    println!("(the knee of the p95-wait curve is the provisioning answer: beyond it,");
-    println!(" extra GPUs buy idle capacity; before it, researchers queue for hours)");
+    tacc_bench::registry::run_binary("f10");
 }

@@ -1,73 +1,9 @@
-//! Experiment F2 — quota borrowing vs static partitioning.
+//! Experiment F2 — utilization: static partition vs borrowing.
 //!
-//! The core operational argument of the shared-cluster paper: hard
-//! per-group partitions strand capacity whenever group demand is bursty;
-//! quota-with-borrowing lets best-effort work soak up idle GPUs and
-//! reclaims them by preemption when owners return. This harness replays a
-//! 7-day contended trace under the three regimes and prints both the
-//! summary table and the daily utilization series (the figure's line data).
-//! See EXPERIMENTS.md § F2.
-
-use tacc_bench::{campus_config, hours, standard_trace};
-use tacc_core::Platform;
-use tacc_metrics::Table;
-use tacc_sched::QuotaMode;
+//! Thin shim: the body lives in `tacc_bench::experiments::f2` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments f2` (or `--check`) for golden-gated runs.
 
 fn main() {
-    let trace = standard_trace(7.0, 3.0);
-    println!(
-        "F2: {} submissions over 7 days, 256 GPUs, load 3\n",
-        trace.len()
-    );
-
-    let mut summary = Table::new(
-        "F2: sharing regimes",
-        &[
-            "regime",
-            "util %",
-            "mean JCT (h)",
-            "p95 wait (h)",
-            "preempts",
-            "goodput %",
-            "fairness",
-        ],
-    );
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-
-    for quota in [QuotaMode::Disabled, QuotaMode::Static, QuotaMode::Borrowing] {
-        let config = campus_config(|c| {
-            c.scheduler.quota = quota;
-        });
-        let mut platform = Platform::new(config);
-        let report = platform.run_trace(&trace);
-        summary.row(vec![
-            quota.to_string().into(),
-            (report.mean_utilization * 100.0).into(),
-            hours(report.jct.mean()).into(),
-            hours(report.queue_delay.p95()).into(),
-            report.preemptions.into(),
-            (report.goodput * 100.0).into(),
-            report.fairness.into(),
-        ]);
-        // Daily group GPU-hours give the per-group service shape.
-        let per_group: Vec<f64> = report.groups.iter().map(|g| g.gpu_hours).collect();
-        series.push((quota.to_string(), per_group));
-    }
-    println!("{summary}");
-
-    let mut groups = Table::new(
-        "F2b: GPU-hours delivered per group (quota share in parentheses)",
-        &["group", "disabled", "static", "borrowing"],
-    );
-    let quotas = tacc_workload::GroupRoster::campus_default(256);
-    for gi in 0..8 {
-        let gid = tacc_workload::GroupId::from_index(gi);
-        groups.row(vec![
-            format!("{} (q={})", quotas.name(gid), quotas.quota(gid)).into(),
-            series[0].1[gi].into(),
-            series[1].1[gi].into(),
-            series[2].1[gi].into(),
-        ]);
-    }
-    println!("{groups}");
+    tacc_bench::registry::run_binary("f2");
 }

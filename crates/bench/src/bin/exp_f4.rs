@@ -1,53 +1,9 @@
 //! Experiment F4 — backfill effectiveness.
 //!
-//! Sweeps the multi-node job fraction (the knob that creates head-of-line
-//! blocking) and compares no-backfill, EASY and conservative backfill on
-//! utilization and p95 wait. See EXPERIMENTS.md § F4.
-
-use tacc_bench::{campus_config, hours, multinode_trace};
-use tacc_core::Platform;
-use tacc_metrics::Table;
-use tacc_sched::BackfillMode;
+//! Thin shim: the body lives in `tacc_bench::experiments::f4` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments f4` (or `--check`) for golden-gated runs.
 
 fn main() {
-    println!("F4: backfill vs multi-node job fraction, 7-day traces, load 1.5\n");
-
-    let mut util = Table::new(
-        "F4a: cluster utilization (%) vs multi-node fraction",
-        &["multi-node %", "none", "easy", "conservative"],
-    );
-    let mut wait = Table::new(
-        "F4b: p95 wait (h) vs multi-node fraction",
-        &["multi-node %", "none", "easy", "conservative"],
-    );
-    let mut backfills = Table::new(
-        "F4c: backfilled starts",
-        &["multi-node %", "none", "easy", "conservative"],
-    );
-
-    for frac in [0.05, 0.10, 0.20, 0.40] {
-        let trace = multinode_trace(7.0, 1.5, frac);
-        let mut u = vec![format!("{:.0}%", frac * 100.0).into()];
-        let mut w = vec![format!("{:.0}%", frac * 100.0).into()];
-        let mut b = vec![format!("{:.0}%", frac * 100.0).into()];
-        for mode in [
-            BackfillMode::None,
-            BackfillMode::Easy,
-            BackfillMode::Conservative,
-        ] {
-            let config = campus_config(|c| {
-                c.scheduler.backfill = mode;
-            });
-            let report = Platform::new(config).run_trace(&trace);
-            u.push((report.mean_utilization * 100.0).into());
-            w.push(hours(report.queue_delay.p95()).into());
-            b.push(report.backfill_starts.into());
-        }
-        util.row(u);
-        wait.row(w);
-        backfills.row(b);
-    }
-    println!("{util}");
-    println!("{wait}");
-    println!("{backfills}");
+    tacc_bench::registry::run_binary("f4");
 }

@@ -1,59 +1,9 @@
-//! Experiment F7 — failure injection and fail-safe runtime switching.
+//! Experiment F7 — failure injection & fail-safe switching.
 //!
-//! Sweeps per-node MTBF and compares the execution layer with and without
-//! fail-safe switching (paper Table 1): completion rate, faults absorbed,
-//! wasted GPU-hours and mean JCT. See EXPERIMENTS.md § F7.
-
-use tacc_bench::{campus_config, hours, standard_trace};
-use tacc_core::Platform;
-use tacc_exec::FailoverPolicy;
-use tacc_metrics::Table;
+//! Thin shim: the body lives in `tacc_bench::experiments::f7` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments f7` (or `--check`) for golden-gated runs.
 
 fn main() {
-    let trace = standard_trace(7.0, 2.0);
-    println!(
-        "F7: node-failure sweep ({} submissions, 7 days, 32 nodes)\n",
-        trace.len()
-    );
-
-    let mut table = Table::new(
-        "F7: failover vs fail-job under node faults",
-        &[
-            "MTBF/node",
-            "policy",
-            "faults",
-            "failed jobs",
-            "completion %",
-            "wasted GPU-h",
-            "mean JCT (h)",
-        ],
-    );
-
-    for (label, mtbf_days) in [("30 days", 30.0), ("10 days", 10.0), ("3 days", 3.0)] {
-        for policy in [FailoverPolicy::FailJob, FailoverPolicy::SwitchRuntime] {
-            let config = campus_config(|c| {
-                c.node_mtbf_secs = Some(mtbf_days * 86_400.0);
-                c.failover = policy;
-            });
-            let report = Platform::new(config).run_trace(&trace);
-            let done =
-                report.completed as f64 / (report.completed as f64 + report.failed as f64).max(1.0);
-            table.row(vec![
-                label.into(),
-                match policy {
-                    FailoverPolicy::FailJob => "fail-job",
-                    FailoverPolicy::SwitchRuntime => "switch-runtime",
-                }
-                .into(),
-                report.faults.into(),
-                report.failed.into(),
-                (done * 100.0).into(),
-                report.wasted_gpu_hours.into(),
-                hours(report.jct.mean()).into(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("(with switching, a faulted all-reduce job restarts from checkpoint on the");
-    println!(" parameter-server runtime instead of dying; waste = lost progress + re-work)");
+    tacc_bench::registry::run_binary("f7");
 }

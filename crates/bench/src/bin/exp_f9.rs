@@ -1,64 +1,9 @@
 //! Experiment F9 — gang time-slicing.
 //!
-//! With long best-effort gangs monopolizing the machine, short guaranteed
-//! work can wait hours. Time-slicing (Slurm's gang scheduling) rotates
-//! expired best-effort tasks out when queued work could use the space.
-//! This harness sweeps the quantum and reports short-job wait, rotation
-//! count, and the goodput cost of the extra checkpoint round-trips. See
-//! EXPERIMENTS.md § F9.
-
-use tacc_bench::{campus_config, hours, standard_trace};
-use tacc_core::Platform;
-use tacc_metrics::{Summary, Table};
+//! Thin shim: the body lives in `tacc_bench::experiments::f9` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments f9` (or `--check`) for golden-gated runs.
 
 fn main() {
-    let trace = standard_trace(7.0, 3.0);
-    println!(
-        "F9: time-slicing quantum sweep ({} submissions, load 3)\n",
-        trace.len()
-    );
-
-    let mut table = Table::new(
-        "F9: gang time-slicing",
-        &[
-            "quantum",
-            "rotations",
-            "short-job p95 wait (h)",
-            "long-job mean JCT (h)",
-            "goodput %",
-        ],
-    );
-    for (label, quantum) in [
-        ("disabled", None),
-        ("30 min", Some(1800.0)),
-        ("2 h", Some(7200.0)),
-        ("8 h", Some(28_800.0)),
-    ] {
-        let config = campus_config(|c| {
-            c.scheduler.time_slice_secs = quantum;
-        });
-        let report = Platform::new(config).run_trace(&trace);
-        let short_waits: Vec<f64> = report
-            .jobs
-            .iter()
-            .filter(|j| j.service_secs < 1800.0)
-            .map(|j| j.queue_delay_secs)
-            .collect();
-        let long_jct: Vec<f64> = report
-            .jobs
-            .iter()
-            .filter(|j| j.service_secs > 6.0 * 3600.0)
-            .map(|j| j.jct_secs)
-            .collect();
-        table.row(vec![
-            label.into(),
-            report.preemptions.into(),
-            hours(Summary::from_samples(&short_waits).p95()).into(),
-            hours(Summary::from_samples(&long_jct).mean()).into(),
-            (report.goodput * 100.0).into(),
-        ]);
-    }
-    println!("{table}");
-    println!("(tighter quanta cut short-job waits at the price of more rotations —");
-    println!(" each one a checkpoint/restore round-trip charged to the rotated gang)");
+    tacc_bench::registry::run_binary("f9");
 }

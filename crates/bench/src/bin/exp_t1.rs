@@ -1,54 +1,9 @@
 //! Experiment T1 — scheduling policy comparison.
 //!
-//! Replays the same contended 7-day trace under FIFO, SJF, fair-share and
-//! DRF ordering (all with EASY backfill and packing placement, quotas off)
-//! and reports the policy-facing metrics. See EXPERIMENTS.md § T1.
-
-use tacc_bench::{campus_config, hours, standard_trace};
-use tacc_core::Platform;
-use tacc_metrics::Table;
-use tacc_sched::PolicyKind;
+//! Thin shim: the body lives in `tacc_bench::experiments::t1` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments t1` (or `--check`) for golden-gated runs.
 
 fn main() {
-    let trace = standard_trace(7.0, 4.0);
-    println!(
-        "T1: {} submissions over 7 days, 256 GPUs, load factor 4\n",
-        trace.len()
-    );
-
-    let mut table = Table::new(
-        "T1: queue-ordering policy comparison",
-        &[
-            "policy",
-            "mean JCT (h)",
-            "p50 JCT (h)",
-            "p95 JCT (h)",
-            "p95 wait (h)",
-            "util %",
-            "backfills",
-        ],
-    );
-    for policy in [
-        PolicyKind::Fifo,
-        PolicyKind::Sjf,
-        PolicyKind::FairShare,
-        PolicyKind::Drf,
-        PolicyKind::MultiFactor,
-    ] {
-        let config = campus_config(|c| {
-            c.scheduler.policy = policy;
-        });
-        let report = Platform::new(config).run_trace(&trace);
-        table.row(vec![
-            policy.to_string().into(),
-            hours(report.jct.mean()).into(),
-            hours(report.jct.p50()).into(),
-            hours(report.jct.p95()).into(),
-            hours(report.queue_delay.p95()).into(),
-            (report.mean_utilization * 100.0).into(),
-            report.backfill_starts.into(),
-        ]);
-    }
-    println!("{table}");
-    println!("(SJF sorts on the user's noisy estimate, not the oracle duration)");
+    tacc_bench::registry::run_binary("t1");
 }

@@ -1,0 +1,341 @@
+//! The unified experiment runner: regenerates any subset of the
+//! EXPERIMENTS.md evaluation in parallel and gates it against golden JSON
+//! snapshots.
+//!
+//! ```text
+//! experiments [IDS...] [OPTIONS]
+//!
+//!   IDS                 experiment ids (f1..f10, t1..t6); default: tier selection
+//!   --list              list registered experiments and exit
+//!   --check             compare fresh runs against crates/bench/golden/ (byte equality)
+//!   --bless             rewrite the golden snapshots from fresh runs
+//!   --tier fast|long|all  which tier to run when no ids are given (default: all)
+//!   --jobs N            max concurrently-computing sweep cells (default: all cores)
+//!   --serial            shorthand for --jobs 1
+//!   --quiet             suppress per-experiment text output
+//!   --sweep-out PATH    where to write the aggregate timing JSON
+//!                       (default: BENCH_sweep.json; "none" disables)
+//!   --determinism [DAYS]  run the canonical simulation twice and compare the
+//!                       exported event streams byte-for-byte (default 30 days)
+//!   --export PATH       with --determinism: also write the export stream to PATH
+//! ```
+//!
+//! The simulator is bit-deterministic, so `--check` uses tolerance-free
+//! equality: any diff is a real behavior change — either a regression, or
+//! an intended change that should be re-blessed and reviewed.
+
+use std::process::ExitCode;
+
+use tacc_bench::determinism::{campus_determinism_export, DEFAULT_DETERMINISM_DAYS};
+use tacc_bench::json::Json;
+use tacc_bench::par;
+use tacc_bench::registry::{self, ExperimentSpec, RunOutcome, Tier};
+
+/// Golden snapshots live next to the crate so `--bless` output is a normal
+/// reviewable diff.
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TierFilter {
+    Fast,
+    Long,
+    All,
+}
+
+#[derive(Debug)]
+struct Options {
+    ids: Vec<String>,
+    list: bool,
+    check: bool,
+    bless: bool,
+    tier: TierFilter,
+    jobs: Option<usize>,
+    quiet: bool,
+    sweep_out: Option<String>,
+    determinism: Option<f64>,
+    export: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        ids: Vec::new(),
+        list: false,
+        check: false,
+        bless: false,
+        tier: TierFilter::All,
+        jobs: None,
+        quiet: false,
+        sweep_out: None,
+        determinism: None,
+        export: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--check" => opts.check = true,
+            "--bless" => opts.bless = true,
+            "--quiet" => opts.quiet = true,
+            "--serial" => opts.jobs = Some(1),
+            "--tier" => {
+                let v = args.next().ok_or("--tier needs a value")?;
+                opts.tier = match v.as_str() {
+                    "fast" => TierFilter::Fast,
+                    "long" => TierFilter::Long,
+                    "all" => TierFilter::All,
+                    other => return Err(format!("unknown tier `{other}`")),
+                };
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                opts.jobs = Some(v.parse().map_err(|_| format!("bad --jobs `{v}`"))?);
+            }
+            "--sweep-out" => {
+                opts.sweep_out = Some(args.next().ok_or("--sweep-out needs a path")?);
+            }
+            "--determinism" => {
+                // Optional numeric operand: `--determinism 7`.
+                let days = match args.peek().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(d) => {
+                        args.next();
+                        d
+                    }
+                    None => DEFAULT_DETERMINISM_DAYS,
+                };
+                opts.determinism = Some(days);
+            }
+            "--export" => {
+                opts.export = Some(args.next().ok_or("--export needs a path")?);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            id => opts.ids.push(id.to_ascii_lowercase()),
+        }
+    }
+    if opts.check && opts.bless {
+        return Err("--check and --bless are mutually exclusive".to_owned());
+    }
+    Ok(opts)
+}
+
+fn selected(opts: &Options) -> Result<Vec<&'static ExperimentSpec>, String> {
+    if !opts.ids.is_empty() {
+        for id in &opts.ids {
+            if registry::find(id).is_none() {
+                return Err(format!(
+                    "unknown experiment `{id}` (use --list to see the registry)"
+                ));
+            }
+        }
+        // Keep registry (EXPERIMENTS.md) order regardless of argument order.
+        return Ok(registry::ALL
+            .iter()
+            .filter(|spec| opts.ids.iter().any(|id| id == spec.id))
+            .collect());
+    }
+    Ok(registry::ALL
+        .iter()
+        .filter(|spec| match opts.tier {
+            TierFilter::Fast => spec.tier == Tier::Fast,
+            TierFilter::Long => spec.tier == Tier::Long,
+            TierFilter::All => true,
+        })
+        .collect())
+}
+
+fn list() {
+    println!("registered experiments (run subset: `experiments f3 t1 ...`):");
+    for spec in registry::ALL {
+        println!("  {:<4} {:<5} {}", spec.id, spec.tier.label(), spec.title);
+    }
+}
+
+fn golden_path(id: &str) -> std::path::PathBuf {
+    std::path::Path::new(GOLDEN_DIR).join(format!("{id}.json"))
+}
+
+/// Reports the first differing line between a golden file and a fresh run.
+fn first_diff(golden: &str, fresh: &str) -> String {
+    for (i, (g, f)) in golden.lines().zip(fresh.lines()).enumerate() {
+        if g != f {
+            return format!("line {}: golden `{g}` != fresh `{f}`", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden {} lines, fresh {}",
+        golden.lines().count(),
+        fresh.lines().count()
+    )
+}
+
+fn check_outcome(outcome: &RunOutcome) -> Result<(), String> {
+    let path = golden_path(outcome.spec.id);
+    let fresh = outcome.json.to_pretty();
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == fresh => Ok(()),
+        Ok(golden) => Err(format!(
+            "golden mismatch for `{}` ({}):\n    {}\n    (intended change? re-run with --bless)",
+            outcome.spec.id,
+            path.display(),
+            first_diff(&golden, &fresh)
+        )),
+        Err(e) => Err(format!(
+            "missing/unreadable golden for `{}` ({}): {e}\n    (bootstrap with --bless)",
+            outcome.spec.id,
+            path.display()
+        )),
+    }
+}
+
+fn write_sweep(path: &str, outcomes: &[RunOutcome], wall_secs: f64, jobs: usize) {
+    // `busy_secs` counts only slot-held computation (parents waiting on
+    // nested sweeps donate their slot), so it is the honest serial-sum
+    // estimate; per-experiment `wall_secs` are concurrent spans and
+    // overlap each other.
+    let serial_sum = par::busy_secs();
+    let per_exp = outcomes
+        .iter()
+        .map(|o| {
+            Json::obj()
+                .set("id", o.spec.id.into())
+                .set("span_secs", o.wall_secs.into())
+        })
+        .collect();
+    let doc = Json::obj()
+        .set("suite", "tacc-bench experiments".into())
+        .set("jobs", jobs.into())
+        .set("experiments", Json::Arr(per_exp))
+        .set("serial_sum_secs", serial_sum.into())
+        .set("wall_secs", wall_secs.into())
+        .set(
+            "speedup_vs_serial",
+            if wall_secs > 0.0 {
+                (serial_sum / wall_secs).into()
+            } else {
+                Json::Null
+            },
+        );
+    if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+        eprintln!("warning: could not write sweep summary {path}: {e}");
+    } else {
+        println!(
+            "wrote {path}: {} experiments, serial sum {serial_sum:.1}s, wall {wall_secs:.1}s",
+            outcomes.len()
+        );
+    }
+}
+
+fn run_determinism(days: f64, export: Option<&str>) -> ExitCode {
+    println!("determinism: canonical {days}-day simulation, two fresh replays");
+    let runs = par::par_map(vec![(), ()], |()| campus_determinism_export(days));
+    let (a, b) = (&runs[0], &runs[1]);
+    if let Some(path) = export {
+        if let Err(e) = std::fs::write(path, a) {
+            eprintln!("error: could not write export {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("exported {} bytes to {path}", a.len());
+    }
+    if a == b {
+        println!(
+            "determinism: OK — {} bytes of event stream + report fingerprint identical",
+            a.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let pos = a
+            .bytes()
+            .zip(b.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.len().min(b.len()));
+        eprintln!(
+            "determinism: FAILED — runs diverge at byte {pos} (lengths {} vs {})",
+            a.len(),
+            b.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.list {
+        list();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(jobs) = opts.jobs {
+        par::set_parallelism(jobs);
+    }
+    if let Some(days) = opts.determinism {
+        return run_determinism(days, opts.export.as_deref());
+    }
+
+    let specs = match selected(&opts) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if specs.is_empty() {
+        eprintln!("error: selection matched no experiments");
+        return ExitCode::FAILURE;
+    }
+
+    let start = std::time::Instant::now();
+    let outcomes = par::par_map(specs, registry::run_recorded);
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    if !opts.quiet && !opts.check {
+        for outcome in &outcomes {
+            print!("{}", outcome.text);
+        }
+    }
+
+    let mut failures = 0u32;
+    if opts.bless {
+        if let Err(e) = std::fs::create_dir_all(GOLDEN_DIR) {
+            eprintln!("error: could not create {GOLDEN_DIR}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for outcome in &outcomes {
+            let path = golden_path(outcome.spec.id);
+            match std::fs::write(&path, outcome.json.to_pretty()) {
+                Ok(()) => println!("blessed {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: could not write {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    } else if opts.check {
+        for outcome in &outcomes {
+            match check_outcome(outcome) {
+                Ok(()) => println!("ok   {:<4} ({:.1}s)", outcome.spec.id, outcome.wall_secs),
+                Err(e) => {
+                    println!("FAIL {:<4} ({:.1}s)", outcome.spec.id, outcome.wall_secs);
+                    eprintln!("  {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    match opts.sweep_out.as_deref() {
+        Some("none") => {}
+        Some(path) => write_sweep(path, &outcomes, wall_secs, par::parallelism()),
+        None => write_sweep("BENCH_sweep.json", &outcomes, wall_secs, par::parallelism()),
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) diverged from golden snapshots");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

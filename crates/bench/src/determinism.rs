@@ -1,0 +1,124 @@
+//! The canonical determinism probe: one simulation that exercises every
+//! subsystem, exported as a byte-comparable stream.
+//!
+//! The simulator's contract is "same config + same trace ⇒ same bytes".
+//! CI enforces it by running [`campus_determinism_export`] twice (in
+//! separate processes) and `cmp`-ing the outputs; `experiments
+//! --determinism` does the same in-process. The export is the full
+//! event-bus JSONL stream followed by one line with the report
+//! fingerprint, so both the event sequencing and the aggregate math are
+//! pinned.
+
+use crate::json::Json;
+use crate::{campus_config, standard_trace};
+use tacc_core::{Platform, SimulationReport};
+use tacc_metrics::Summary;
+use tacc_sched::QuotaMode;
+use tacc_storage::StorageConfig;
+
+/// Days simulated by the canonical determinism run.
+pub const DEFAULT_DETERMINISM_DAYS: f64 = 30.0;
+
+/// Runs the canonical determinism simulation and returns its export
+/// stream: event-bus JSONL, then a one-line report fingerprint.
+///
+/// The configuration deliberately switches on the noisy subsystems —
+/// quota borrowing (preemption/reclaim), fault injection, and dataset
+/// staging — so nondeterminism anywhere in the platform shows up as a
+/// byte difference.
+pub fn campus_determinism_export(days: f64) -> String {
+    let trace = standard_trace(days, 2.0);
+    let config = campus_config(|c| {
+        c.scheduler.quota = QuotaMode::Borrowing;
+        c.node_mtbf_secs = Some(10.0 * 86_400.0);
+        c.storage = Some(StorageConfig::default());
+        // Keep the whole event history: a bounded ring would still be
+        // deterministic, but a complete stream localizes divergences.
+        c.event_buffer_capacity = 1 << 22;
+    });
+    let mut platform = Platform::new(config);
+    let report = platform.run_trace(&trace);
+    let mut out = platform.events().to_jsonl();
+    out.push_str(&report_fingerprint(&report).to_compact());
+    out.push('\n');
+    out
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj()
+        .set("count", s.count().into())
+        .set("mean", s.mean().into())
+        .set("min", s.min().into())
+        .set("max", s.max().into())
+        .set("p50", s.p50().into())
+        .set("p90", s.p90().into())
+        .set("p95", s.p95().into())
+        .set("p99", s.p99().into())
+}
+
+/// Serializes every deterministic field of a report (the wall-clock
+/// round-latency histogram contributes only its observation count, mirroring
+/// `SimulationReport`'s `PartialEq`).
+pub fn report_fingerprint(report: &SimulationReport) -> Json {
+    let groups = report
+        .groups
+        .iter()
+        .map(|g| {
+            Json::obj()
+                .set("group", g.group.index().into())
+                .set("completed", g.completed.into())
+                .set("mean_queue_delay_secs", g.mean_queue_delay_secs.into())
+                .set("p95_queue_delay_secs", g.p95_queue_delay_secs.into())
+                .set("gpu_hours", g.gpu_hours.into())
+        })
+        .collect();
+    Json::obj()
+        .set("submitted", report.submitted.into())
+        .set("completed", report.completed.into())
+        .set("failed", report.failed.into())
+        .set("rejected", report.rejected.into())
+        .set("cancelled", report.cancelled.into())
+        .set("mean_staging_secs", report.mean_staging_secs.into())
+        .set("stagings", report.stagings.into())
+        .set("faults", report.faults.into())
+        .set("failovers", report.failovers.into())
+        .set("preemptions", report.preemptions.into())
+        .set("backfill_starts", report.backfill_starts.into())
+        .set("jct", summary_json(&report.jct))
+        .set("queue_delay", summary_json(&report.queue_delay))
+        .set("slowdown", summary_json(&report.slowdown))
+        .set("mean_utilization", report.mean_utilization.into())
+        .set("useful_gpu_hours", report.useful_gpu_hours.into())
+        .set("wasted_gpu_hours", report.wasted_gpu_hours.into())
+        .set("goodput", report.goodput.into())
+        .set("groups", Json::Arr(groups))
+        .set("fairness", report.fairness.into())
+        .set("cache_hits", report.cache_hits.into())
+        .set("cache_misses", report.cache_misses.into())
+        .set("cache_byte_hit_rate", report.cache_byte_hit_rate.into())
+        .set(
+            "mean_provisioning_secs",
+            report.mean_provisioning_secs.into(),
+        )
+        .set("rounds", report.rounds.into())
+        .set("round_latency_count", report.round_latency.count.into())
+        .set("events_recorded", report.events_recorded.into())
+        .set("events_dropped", report.events_dropped.into())
+        .set("jobs", report.jobs.len().into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_export_is_reproducible() {
+        let a = campus_determinism_export(0.25);
+        let b = campus_determinism_export(0.25);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        // Last line is the fingerprint object.
+        let last = a.lines().last().unwrap();
+        assert!(last.starts_with("{\"submitted\":"), "{last}");
+    }
+}

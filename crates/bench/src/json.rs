@@ -1,0 +1,259 @@
+//! A minimal deterministic JSON value for experiment results and golden
+//! snapshots.
+//!
+//! The experiment runner compares fresh runs against checked-in goldens
+//! with *byte* equality, so the serializer here is the contract: object
+//! keys keep insertion order, floats print in Rust's shortest round-trip
+//! form (bit-deterministic for a bit-deterministic simulator), and the
+//! pretty printer always emits the same bytes for the same value. Using
+//! our own writer (rather than an external serializer) keeps the golden
+//! format independent of dependency versions.
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (construct via [`Json::num`] to handle NaN/inf).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Wraps a float, mapping non-finite values to descriptive strings
+    /// (JSON has no NaN/inf; experiments may legitimately produce them,
+    /// e.g. the mean of an empty sample set).
+    pub fn num(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else if v.is_nan() {
+            Json::Str("NaN".to_owned())
+        } else if v > 0.0 {
+            Json::Str("+inf".to_owned())
+        } else {
+            Json::Str("-inf".to_owned())
+        }
+    }
+
+    /// An empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object; panics on non-objects.
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_owned(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline — the
+    /// golden-file format.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                // Arrays of scalars stay on one line; nested structures
+                // get one element per line.
+                let scalar = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if scalar {
+                    self.write_compact(out);
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "Json::Num holds only finite values");
+    // Rust's Display for f64 is the shortest string that round-trips,
+    // which is deterministic and stable across platforms.
+    let _ = write!(out, "{v}");
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_shapes() {
+        let v = Json::obj()
+            .set("a", Json::num(1.5))
+            .set("b", Json::Arr(vec![Json::num(1.0), "x".into()]))
+            .set("c", Json::Bool(true));
+        assert_eq!(v.to_compact(), r#"{"a":1.5,"b":[1,"x"],"c":true}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".to_owned());
+        assert_eq!(v.to_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_becomes_string() {
+        assert_eq!(Json::num(f64::NAN), Json::Str("NaN".into()));
+        assert_eq!(Json::num(f64::INFINITY), Json::Str("+inf".into()));
+        assert_eq!(Json::num(f64::NEG_INFINITY), Json::Str("-inf".into()));
+    }
+
+    #[test]
+    fn pretty_is_deterministic_and_ends_with_newline() {
+        let v = Json::obj().set(
+            "rows",
+            Json::Arr(vec![Json::Arr(vec![Json::num(1.0)]), Json::Arr(vec![])]),
+        );
+        let a = v.to_pretty();
+        assert_eq!(a, v.to_pretty());
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"rows\": [\n"));
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats() {
+        assert_eq!(Json::num(512.0).to_compact(), "512");
+        assert_eq!(Json::num(0.1).to_compact(), "0.1");
+        assert_eq!(Json::num(1.0 / 3.0).to_compact(), "0.3333333333333333");
+    }
+}

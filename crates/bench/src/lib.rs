@@ -25,21 +25,32 @@
 //! | `exp_t6` | T6 — heterogeneous GPU pools |
 //! | `cargo bench` | T4 — scheduler/allocator/cache/comm/engine latency |
 //!
-//! Run all of them with:
+//! The `exp_*` binaries are thin shims over the [`registry`]: each
+//! experiment body lives in [`experiments`] as a pure
+//! `fn(&mut dyn Reporter) -> ExperimentResult`. The preferred entry point
+//! is the unified runner, which fans experiments and their sweep cells out
+//! across threads and gates results against golden JSON snapshots in
+//! `crates/bench/golden/`:
 //!
 //! ```sh
-//! for e in f1 t1 f2 f3 f4 f5 t2 t3 f6 f7 f8 f9 t5 f10 t6; do
-//!   cargo run --release -p tacc-bench --bin exp_$e
-//! done
-//! cargo bench -p tacc-bench
+//! cargo run --release -p tacc-bench --bin experiments -- --check   # regression gate
+//! cargo run --release -p tacc-bench --bin experiments -- --bless   # update goldens
+//! cargo bench -p tacc-bench                                        # T4
 //! ```
 //!
-//! This library holds the small amount of shared setup the binaries use so
-//! that every experiment runs on the same canonical cluster and trace
-//! definitions.
+//! This library holds the shared setup (canonical cluster and trace
+//! definitions), the experiment registry, and the runner's supporting
+//! machinery (bounded parallelism, output capture, deterministic JSON).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod determinism;
+pub mod experiments;
+pub mod json;
+pub mod par;
+pub mod registry;
+pub mod report;
 
 use tacc_core::PlatformConfig;
 use tacc_workload::{GenParams, Trace, TraceGenerator};

@@ -1,0 +1,181 @@
+//! Bounded fork–join parallelism for the experiment runner.
+//!
+//! [`par_map`] runs one closure per item on its own thread, with a global
+//! slot pool bounding how many closures *compute* at once. Calls nest:
+//! the runner fans out over experiments while an experiment fans out over
+//! its sweep cells. A thread that is only waiting for children donates its
+//! slot back to the pool, so nesting cannot deadlock and total active
+//! computation never exceeds the configured parallelism.
+//!
+//! Results come back in item order regardless of completion order, so
+//! parallel and serial runs produce byte-identical output.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.available.wait(permits).unwrap();
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.available.notify_one();
+    }
+}
+
+static SLOTS: OnceLock<Semaphore> = OnceLock::new();
+static CONFIGURED: Mutex<Option<usize>> = Mutex::new(None);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static HELD_SINCE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+fn holds_slot() -> bool {
+    HELD_SINCE.with(|h| h.get()).is_some()
+}
+
+fn note_acquired() {
+    HELD_SINCE.with(|h| h.set(Some(Instant::now())));
+}
+
+fn note_released() {
+    if let Some(since) = HELD_SINCE.with(|h| h.take()) {
+        BUSY_NANOS.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Sets the global parallelism (number of concurrently-computing closures).
+///
+/// Must be called before the first [`par_map`]; later calls are ignored and
+/// return `false`.
+pub fn set_parallelism(n: usize) -> bool {
+    let mut configured = CONFIGURED.lock().unwrap();
+    if SLOTS.get().is_some() {
+        return false;
+    }
+    *configured = Some(n.max(1));
+    true
+}
+
+/// The effective parallelism: the configured value, or every available core.
+pub fn parallelism() -> usize {
+    let configured = *CONFIGURED.lock().unwrap();
+    configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+fn slots() -> &'static Semaphore {
+    SLOTS.get_or_init(|| Semaphore {
+        permits: Mutex::new(parallelism()),
+        available: Condvar::new(),
+    })
+}
+
+/// Total time spent *holding* a computation slot, in seconds.
+///
+/// Slots are held only while a closure actively computes (waiting parents
+/// donate theirs), so this is the suite's aggregate compute time — the
+/// honest estimate of what a fully serial run would cost, regardless of
+/// how much the concurrent per-item spans overlap.
+pub fn busy_secs() -> f64 {
+    BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9
+}
+
+/// Holds one computation slot; released on drop so a panicking closure
+/// cannot strand the pool.
+struct SlotGuard;
+
+impl SlotGuard {
+    fn acquire() -> SlotGuard {
+        slots().acquire();
+        note_acquired();
+        SlotGuard
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        note_released();
+        slots().release();
+    }
+}
+
+/// Maps `f` over `items` in parallel, returning results in item order.
+///
+/// Each item gets its own scoped thread; the global slot pool decides how
+/// many run at once. Safe to call from inside another `par_map` closure
+/// (the caller's slot is donated while it waits).
+///
+/// # Panics
+///
+/// Re-raises the first panicking closure's payload after all threads
+/// finish.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let donated = holds_slot();
+    if donated {
+        note_released();
+        slots().release();
+    }
+    let f = &f;
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| {
+                scope.spawn(move || {
+                    let _slot = SlotGuard::acquire();
+                    f(item)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+    });
+    let out = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+        .collect();
+    if donated {
+        slots().acquire();
+        note_acquired();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let out = par_map((0..32).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nests_without_deadlock() {
+        let out = par_map((0..4).collect(), |i: i32| {
+            par_map((0..4).collect(), move |j: i32| i * 10 + j)
+        });
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+    }
+}

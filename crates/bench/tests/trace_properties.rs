@@ -1,0 +1,87 @@
+//! Property tests pinning the F1 invariants of the shared trace
+//! generator.
+//!
+//! Every golden snapshot downstream of `tacc_bench::standard_trace`
+//! assumes the campus workload shape the paper characterizes: job
+//! durations are heavy-tailed (mean ≫ median), single-GPU jobs dominate
+//! the demand histogram, and arrivals swing diurnally. A generator change
+//! that breaks one of these would not necessarily fail any unit test —
+//! it would just silently re-bless a different workload — so these
+//! properties hold across seeds and loads, not only the canonical
+//! `TRACE_SEED`.
+//!
+//! Bounds are deliberately loose relative to measured margins (over 300
+//! sampled traces: mean/median ≥ 2.6, 1-GPU fraction ≥ 0.67, diurnal
+//! peak/trough ≥ 2.6) so they fail on shape changes, not on unlucky
+//! seeds.
+
+use proptest::prelude::*;
+use tacc_workload::{GenParams, Trace, TraceGenerator};
+
+fn trace(seed: u64, load: f64, days: f64) -> Trace {
+    TraceGenerator::new(GenParams::default().with_load_factor(load), seed).generate_days(days)
+}
+
+/// Per-job GPU demand of the GPU-using jobs.
+fn gpu_demands(trace: &Trace) -> Vec<u32> {
+    trace
+        .records()
+        .iter()
+        .filter(|r| !r.schema.kind.is_cpu_only())
+        .map(|r| r.schema.total_gpus())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// F1a: durations are heavy-tailed — the mean sits far above the
+    /// median.
+    #[test]
+    fn durations_heavy_tailed(seed in any::<u64>(), load in 0.5f64..2.0) {
+        let t = trace(seed, load, 2.0);
+        let s = t.stats();
+        prop_assert!(t.len() > 100, "degenerate trace: {} records", t.len());
+        prop_assert!(
+            s.duration_summary.mean() > 1.5 * s.duration_summary.p50(),
+            "mean {:.0}s not >> median {:.0}s",
+            s.duration_summary.mean(),
+            s.duration_summary.p50()
+        );
+    }
+
+    /// F1b: single-GPU jobs dominate — they are both the strict mode of
+    /// the demand histogram and at least half of all GPU jobs.
+    #[test]
+    fn single_gpu_dominates(seed in any::<u64>(), load in 0.5f64..2.0) {
+        let t = trace(seed, load, 2.0);
+        let demands = gpu_demands(&t);
+        let ones = demands.iter().filter(|&&g| g == 1).count();
+        prop_assert!(
+            ones as f64 > 0.5 * demands.len() as f64,
+            "1-GPU jobs are only {ones}/{} of GPU demand",
+            demands.len()
+        );
+        for target in [2u32, 4, 8, 16, 32, 64] {
+            let count = demands.iter().filter(|&&g| g == target).count();
+            prop_assert!(count < ones, "{target}-GPU bucket ({count}) rivals 1-GPU ({ones})");
+        }
+    }
+
+    /// F1c: arrivals swing with the hour of day — the busiest hour sees
+    /// well over the quietest hour's traffic.
+    #[test]
+    fn arrivals_swing_diurnally(seed in any::<u64>(), load in 0.5f64..2.0) {
+        let t = trace(seed, load, 4.0);
+        let mut by_hour = [0u64; 24];
+        for r in t.records() {
+            by_hour[((r.submit_secs / 3600.0) % 24.0) as usize] += 1;
+        }
+        let peak = *by_hour.iter().max().unwrap() as f64;
+        let trough = *by_hour.iter().min().unwrap() as f64;
+        prop_assert!(
+            peak > 1.5 * trough.max(1.0),
+            "diurnal swing too flat: peak {peak} vs trough {trough}"
+        );
+    }
+}

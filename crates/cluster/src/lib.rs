@@ -50,3 +50,12 @@ pub use gpu::{GpuModel, GpuSpec};
 pub use node::{Node, NodeId};
 pub use resources::ResourceVec;
 pub use topology::{BandwidthTier, LinkSpeeds, RackId, Topology};
+
+// Cluster state crosses threads inside the parallel experiment runner;
+// this guard keeps it `Send + Sync`.
+const _: () = {
+    const fn shareable<T: Send + Sync>() {}
+    shareable::<Cluster>();
+    shareable::<ClusterSpec>();
+    shareable::<Topology>();
+};

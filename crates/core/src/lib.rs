@@ -43,3 +43,14 @@ mod report;
 pub use config::PlatformConfig;
 pub use platform::{JobStatus, Platform};
 pub use report::{GroupReport, SimulationReport};
+
+// The parallel experiment runner (tacc-bench) replays platforms on worker
+// threads; these guards fail the build if simulation state ever stops
+// being thread-portable (e.g. by acquiring an `Rc` or a raw pointer).
+const _: () = {
+    const fn sendable<T: Send>() {}
+    const fn shareable<T: Send + Sync>() {}
+    sendable::<Platform>();
+    shareable::<SimulationReport>();
+    shareable::<PlatformConfig>();
+};

@@ -15,7 +15,8 @@ pub enum Cell {
 }
 
 impl Cell {
-    fn render(&self) -> String {
+    /// Renders the cell exactly as the text table prints it.
+    pub fn render(&self) -> String {
         match self {
             Cell::Text(s) => s.clone(),
             Cell::Num(v, prec) => format!("{v:.prec$}"),
@@ -97,6 +98,21 @@ impl Table {
         );
         self.rows.push(cells);
         self
+    }
+
+    /// The table title line.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers, in display order.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
     }
 
     /// Number of data rows.

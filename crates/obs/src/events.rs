@@ -229,6 +229,160 @@ pub struct EventRecord {
     pub event: PlatformEvent,
 }
 
+/// Appends a JSON string literal (with escaping) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` in shortest round-trip form.
+///
+/// # Panics
+///
+/// Panics on non-finite values — JSON has no representation for them and
+/// no platform event may carry one (matching `serde_json`'s refusal).
+fn push_json_f64(out: &mut String, v: f64) {
+    assert!(v.is_finite(), "non-finite float in platform event: {v}");
+    out.push_str(&format!("{v}"));
+}
+
+impl EventRecord {
+    /// Appends this record as one compact JSON object, in the exact
+    /// shape the serde derive produces structurally:
+    /// `{"seq":N,"at_secs":T,"event":{"Variant":{...}}}`.
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!("{{\"seq\":{},\"at_secs\":", self.seq));
+        push_json_f64(out, self.at_secs);
+        out.push_str(",\"event\":");
+        self.event.write_json(out);
+        out.push('}');
+    }
+}
+
+impl PlatformEvent {
+    /// Appends the externally-tagged JSON encoding of this event.
+    fn write_json(&self, out: &mut String) {
+        match self {
+            PlatformEvent::Submitted { job, group, name } => {
+                out.push_str(&format!(
+                    "{{\"Submitted\":{{\"job\":{},\"group\":{},\"name\":",
+                    job.value(),
+                    group.index()
+                ));
+                push_json_str(out, name);
+                out.push_str("}}");
+            }
+            PlatformEvent::Compiled {
+                job,
+                instruction,
+                payload_mb,
+                transferred_mb,
+                chunk_hits,
+                chunk_misses,
+                provisioning_secs,
+            } => {
+                out.push_str(&format!(
+                    "{{\"Compiled\":{{\"job\":{},\"instruction\":",
+                    job.value()
+                ));
+                push_json_str(out, instruction);
+                out.push_str(",\"payload_mb\":");
+                push_json_f64(out, *payload_mb);
+                out.push_str(",\"transferred_mb\":");
+                push_json_f64(out, *transferred_mb);
+                out.push_str(&format!(
+                    ",\"chunk_hits\":{chunk_hits},\"chunk_misses\":{chunk_misses},\"provisioning_secs\":"
+                ));
+                push_json_f64(out, *provisioning_secs);
+                out.push_str("}}");
+            }
+            PlatformEvent::Rejected { job, reason } => {
+                let tag = match reason {
+                    RejectReason::GangNeverFits => "GangNeverFits",
+                    RejectReason::ExceedsGroupQuota => "ExceedsGroupQuota",
+                };
+                out.push_str(&format!(
+                    "{{\"Rejected\":{{\"job\":{},\"reason\":\"{tag}\"}}}}",
+                    job.value()
+                ));
+            }
+            PlatformEvent::Queued { job } => {
+                out.push_str(&format!("{{\"Queued\":{{\"job\":{}}}}}", job.value()));
+            }
+            PlatformEvent::Placed {
+                job,
+                nodes,
+                runtime,
+                slowdown,
+                granted_workers,
+                requested_workers,
+                backfilled,
+            } => {
+                out.push_str(&format!(
+                    "{{\"Placed\":{{\"job\":{},\"nodes\":{nodes},\"runtime\":",
+                    job.value()
+                ));
+                push_json_str(out, runtime);
+                out.push_str(",\"slowdown\":");
+                push_json_f64(out, *slowdown);
+                out.push_str(&format!(
+                    ",\"granted_workers\":{granted_workers},\"requested_workers\":{requested_workers},\"backfilled\":{backfilled}}}}}"
+                ));
+            }
+            PlatformEvent::Preempted { job, reclaimed_for } => {
+                out.push_str(&format!(
+                    "{{\"Preempted\":{{\"job\":{},\"reclaimed_for\":{}}}}}",
+                    job.value(),
+                    reclaimed_for.index()
+                ));
+            }
+            PlatformEvent::Completed { job, jct_secs } => {
+                out.push_str(&format!(
+                    "{{\"Completed\":{{\"job\":{},\"jct_secs\":",
+                    job.value()
+                ));
+                push_json_f64(out, *jct_secs);
+                out.push_str("}}");
+            }
+            PlatformEvent::FailedOver {
+                job,
+                node,
+                fallback,
+            } => {
+                out.push_str(&format!(
+                    "{{\"FailedOver\":{{\"job\":{},\"node\":",
+                    job.value()
+                ));
+                push_json_str(out, node);
+                out.push_str(",\"fallback\":");
+                push_json_str(out, fallback);
+                out.push_str("}}");
+            }
+            PlatformEvent::Failed { job, node } => {
+                out.push_str(&format!("{{\"Failed\":{{\"job\":{},\"node\":", job.value()));
+                push_json_str(out, node);
+                out.push_str("}}");
+            }
+            PlatformEvent::Cancelled { job } => {
+                out.push_str(&format!("{{\"Cancelled\":{{\"job\":{}}}}}", job.value()));
+            }
+        }
+    }
+}
+
 /// Bounded ring of [`EventRecord`]s with JSONL export.
 ///
 /// When the ring is full the *oldest* record is dropped and a drop
@@ -320,10 +474,16 @@ impl EventBus {
 
     /// Serializes the retained records as JSON Lines (one record per
     /// line, oldest first).
+    ///
+    /// The writer is hand-rolled (field-for-field compatible with the
+    /// serde derives [`parse_jsonl`](Self::parse_jsonl) reads back), so
+    /// exporting is dependency-free and byte-deterministic: the same bus
+    /// contents always produce the same bytes. Floats print in Rust's
+    /// shortest round-trip form.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.buf {
-            out.push_str(&serde_json::to_string(r).expect("event serializes"));
+            r.write_json(&mut out);
             out.push('\n');
         }
         out
@@ -507,6 +667,37 @@ mod tests {
         assert_eq!(c.submitted, 2);
         assert_eq!(c.completed, 1);
         assert_eq!(c.cancelled, 1);
+    }
+
+    #[test]
+    fn jsonl_bytes_are_stable() {
+        let mut bus = EventBus::new(8);
+        bus.record(
+            0.5,
+            PlatformEvent::Submitted {
+                job: job(7),
+                group: GroupId::from_index(2),
+                name: "train \"v2\"\n".into(),
+            },
+        );
+        bus.record(1.5, PlatformEvent::Queued { job: job(7) });
+        bus.record(
+            2.25,
+            PlatformEvent::Completed {
+                job: job(7),
+                jct_secs: 1.75,
+            },
+        );
+        let text = bus.to_jsonl();
+        let expected = concat!(
+            "{\"seq\":0,\"at_secs\":0.5,\"event\":{\"Submitted\":{\"job\":7,\"group\":2,",
+            "\"name\":\"train \\\"v2\\\"\\n\"}}}\n",
+            "{\"seq\":1,\"at_secs\":1.5,\"event\":{\"Queued\":{\"job\":7}}}\n",
+            "{\"seq\":2,\"at_secs\":2.25,\"event\":{\"Completed\":{\"job\":7,\"jct_secs\":1.75}}}\n",
+        );
+        assert_eq!(text, expected);
+        // Byte determinism: the same contents always export identically.
+        assert_eq!(text, bus.to_jsonl());
     }
 
     #[test]

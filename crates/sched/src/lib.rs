@@ -70,3 +70,11 @@ pub use scheduler::{Scheduler, SchedulerConfig};
 // Decision-tracing vocabulary, re-exported so scheduler callers need not
 // depend on `tacc-obs` directly.
 pub use tacc_obs::{DecisionTraceLog, JobSkip, RoundTrace, SkipReason};
+
+// Schedulers run inside per-thread platforms in the parallel experiment
+// runner; this guard keeps the scheduler state thread-portable.
+const _: () = {
+    const fn sendable<T: Send>() {}
+    sendable::<Scheduler>();
+    sendable::<SchedulerConfig>();
+};

@@ -57,3 +57,13 @@ pub use event::EventQueue;
 pub use prng::DetRng;
 pub use rng::SeedStream;
 pub use time::{Clock, SimDuration, SimTime};
+
+// The deterministic PRNG and event queue are owned per-platform but move
+// across threads with it; this guard keeps the engine thread-portable.
+const _: () = {
+    const fn sendable<T: Send>() {}
+    sendable::<DetRng>();
+    sendable::<SeedStream>();
+    sendable::<Clock>();
+    sendable::<EventQueue<u64>>();
+};

@@ -49,3 +49,13 @@ pub use schema::{
     ModelProfile, QosClass, RuntimeEnv, RuntimePreference, TaskKind, TaskSchema, TaskSchemaBuilder,
 };
 pub use trace::{Trace, TraceRecord, TraceStats};
+
+// Traces and rosters are shared by reference across the experiment
+// runner's worker threads; this guard keeps them `Send + Sync`.
+const _: () = {
+    const fn shareable<T: Send + Sync>() {}
+    shareable::<Trace>();
+    shareable::<TaskSchema>();
+    shareable::<GroupRoster>();
+    shareable::<TraceGenerator>();
+};
