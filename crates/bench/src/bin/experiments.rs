@@ -24,6 +24,9 @@
 //! equality: any diff is a real behavior change — either a regression, or
 //! an intended change that should be re-blessed and reviewed.
 
+// CLI surface: progress lines and experiment text go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 use tacc_bench::determinism::{campus_determinism_export, DEFAULT_DETERMINISM_DAYS};

@@ -48,9 +48,10 @@
 pub mod determinism;
 pub mod experiments;
 pub mod json;
-pub mod par;
 pub mod registry;
 pub mod report;
+
+pub use tacc_par as par;
 
 use tacc_core::PlatformConfig;
 use tacc_workload::{GenParams, Trace, TraceGenerator};

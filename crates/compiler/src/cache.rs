@@ -1,6 +1,6 @@
 //! The content-addressed chunk cache behind delta provisioning.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Content address of a chunk: a stable 64-bit digest of its identity.
@@ -82,8 +82,10 @@ impl CacheStats {
 pub struct ChunkCache {
     capacity_mb: u64,
     used_mb: u64,
-    /// chunk -> (size, last-use tick)
-    resident: HashMap<ChunkId, (u32, u64)>,
+    /// chunk -> (size, last-use tick). Ordered map: `evict_lru` iterates
+    /// it, and iteration order must not depend on a hasher
+    /// (the hash-iter lint).
+    resident: BTreeMap<ChunkId, (u32, u64)>,
     tick: u64,
     stats: CacheStats,
 }
@@ -99,7 +101,7 @@ impl ChunkCache {
         ChunkCache {
             capacity_mb,
             used_mb: 0,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
         }

@@ -415,7 +415,7 @@ impl Platform {
         } else {
             self.scheduler.cancel(id);
         }
-        let job = self.jobs.get_mut(&id).expect("checked above");
+        let job = self.job_mut(id);
         job.cancel(now);
         self.cancelled += 1;
         self.metrics.jobs_cancelled.inc();
@@ -571,6 +571,22 @@ impl Platform {
         }
     }
 
+    /// The tracked job behind an id the platform produced itself (active
+    /// runs, scheduler decisions, event payloads). Absence is a platform
+    /// bug, so this is the single place that invariant may panic.
+    fn job_ref(&self, id: JobId) -> &Job {
+        self.jobs
+            .get(&id)
+            .expect("platform invariant: live job ids stay in the job table")
+    }
+
+    /// Mutable sibling of [`Platform::job_ref`].
+    fn job_mut(&mut self, id: JobId) -> &mut Job {
+        self.jobs
+            .get_mut(&id)
+            .expect("platform invariant: live job ids stay in the job table")
+    }
+
     fn do_submit(&mut self, record_idx: usize) -> JobId {
         let now = self.clock.now().as_secs();
         let record = self.pending_records[record_idx].clone();
@@ -619,7 +635,7 @@ impl Platform {
 
     fn on_compile_done(&mut self, id: JobId) {
         let now = self.clock.now().as_secs();
-        let job = self.jobs.get(&id).expect("compiled job exists");
+        let job = self.job_ref(id);
         if job.state().is_terminal() {
             return; // cancelled during provisioning
         }
@@ -648,7 +664,7 @@ impl Platform {
                     reason: RejectReason::GangNeverFits,
                 },
             );
-            let job = self.jobs.get_mut(&id).expect("compiled job exists");
+            let job = self.job_mut(id);
             job.reject(now);
             return;
         }
@@ -662,11 +678,11 @@ impl Platform {
                     reason: RejectReason::ExceedsGroupQuota,
                 },
             );
-            let job = self.jobs.get_mut(&id).expect("compiled job exists");
+            let job = self.job_mut(id);
             job.reject(now);
             return;
         }
-        let job = self.jobs.get_mut(&id).expect("compiled job exists");
+        let job = self.job_mut(id);
         job.enqueue();
         self.scheduler.submit(request);
         self.emit(now, PlatformEvent::Queued { job: id });
@@ -719,7 +735,7 @@ impl Platform {
     }
 
     fn on_started(&mut self, id: JobId, worker_nodes: &[NodeId], backfilled: bool, now: f64) {
-        let job = self.jobs.get_mut(&id).expect("started job exists");
+        let job = self.job_mut(id);
         job.start(now);
         let schema = job.schema().clone();
         let remaining = job.remaining_secs();
@@ -868,13 +884,7 @@ impl Platform {
     fn release_run(&mut self, id: JobId, now: f64) -> ActiveRun {
         let run = self.active.remove(&id).expect("job was running");
         self.bump_token(id);
-        let group = self
-            .jobs
-            .get(&id)
-            .expect("job exists")
-            .schema()
-            .group
-            .index();
+        let group = self.job_ref(id).schema().group.index();
         self.accrue_group_time(now);
         self.util.release(now, run.gpus);
         self.group_busy[group] -= run.gpus;
@@ -884,7 +894,7 @@ impl Platform {
     fn on_preempted(&mut self, id: JobId, now: f64) {
         let run = self.release_run(id, now);
         let (progress, lost) = self.interruption_amounts(&run, now);
-        let job = self.jobs.get_mut(&id).expect("preempted job exists");
+        let job = self.job_mut(id);
         job.preempt(now, progress, lost);
         job.enqueue(); // scheduler already holds the re-queued request
     }
@@ -896,7 +906,11 @@ impl Platform {
         let now = self.clock.now().as_secs();
         let run = self.release_run(id, now);
         self.scheduler.task_finished(id, &mut self.cluster);
-        let job = self.jobs.get_mut(&id).expect("finished job exists");
+        // Field access (not `job_mut`) so `self.completed` stays borrowable.
+        let job = self
+            .jobs
+            .get_mut(&id)
+            .expect("platform invariant: live job ids stay in the job table");
         job.complete(now);
         let schema = job.schema();
         let jct_secs = job.jct_secs().expect("completed job has JCT");
@@ -936,7 +950,12 @@ impl Platform {
                 self.failovers += 1;
                 self.exec_telemetry.note_failover();
                 self.runtimes.insert(id, fallback);
-                let job = self.jobs.get_mut(&id).expect("faulted job exists");
+                // Field access (not `job_mut`) so `self.scheduler` stays
+                // borrowable for the resubmission below.
+                let job = self
+                    .jobs
+                    .get_mut(&id)
+                    .expect("platform invariant: live job ids stay in the job table");
                 job.interrupt_for_restart(now, progress, lost);
                 job.enqueue();
                 let schema = job.schema();
@@ -962,7 +981,7 @@ impl Platform {
             None => {
                 self.failed += 1;
                 self.metrics.jobs_failed.inc();
-                let job = self.jobs.get_mut(&id).expect("faulted job exists");
+                let job = self.job_mut(id);
                 job.fail(now, progress);
                 // Everything a failed job ever consumed is waste: service
                 // it completed (now useless) plus all interruption losses.

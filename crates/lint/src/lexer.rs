@@ -1,0 +1,381 @@
+//! A minimal comment/string/ident-aware lexer for Rust source.
+//!
+//! The lint pass needs to tell an identifier in code apart from the same
+//! word inside a string literal, a doc comment, or a `#[cfg(test)]` block
+//! — nothing more. So this is not a full Rust lexer: numbers, lifetimes
+//! and char literals are recognised only far enough to not corrupt the
+//! token stream (e.g. `'a'` vs `'a`, `r#"…"#` raw strings, nested block
+//! comments), and every remaining byte becomes a single-character punct
+//! token. Line numbers are tracked for diagnostics and suppression
+//! matching.
+
+/// What a token is; identifiers and string literals carry their text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A string literal (content without quotes; raw and byte strings
+    /// included).
+    Str(String),
+    /// A character literal (content discarded).
+    Char,
+    /// A lifetime such as `'a` (name discarded).
+    Lifetime,
+    /// A numeric literal (value discarded).
+    Num,
+    /// Any other single character (`{`, `!`, `:`, …).
+    Punct(char),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (kept separate: suppression directives
+    /// live here, and lint patterns must never match inside them).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into code tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident_or_raw_string(),
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    self.push(TokKind::Punct(c as char));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.src[start..self.pos].to_owned(),
+            line: self.line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.src[start..self.pos].to_owned(),
+            line: start_line,
+        });
+    }
+
+    /// A `"…"` literal with escapes (also reached after a `b` ident for
+    /// byte strings, whose escape rules are identical for our purposes).
+    fn string_literal(&mut self) {
+        let start_line = self.line;
+        self.pos += 1;
+        let content_start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2, // skip the escaped byte
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let content_end = self.pos.min(self.bytes.len());
+        self.pos = content_end + 1;
+        self.out.tokens.push(Token {
+            kind: TokKind::Str(
+                self.src
+                    .get(content_start..content_end)
+                    .unwrap_or_default()
+                    .to_owned(),
+            ),
+            line: start_line,
+        });
+    }
+
+    /// `'a'` (char) vs `'a` (lifetime) vs `'\n'` (escaped char).
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.pos += 2;
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'\\' => self.pos += 2,
+                        b'\'' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                self.push(TokKind::Char);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // Ident-ish: `'a'` is a char, `'a` a lifetime.
+                let mut end = self.pos + 1;
+                while end < self.bytes.len()
+                    && (self.bytes[end] == b'_' || self.bytes[end].is_ascii_alphanumeric())
+                {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.push(TokKind::Char);
+                    self.pos = end + 1;
+                } else {
+                    self.push(TokKind::Lifetime);
+                    self.pos = end;
+                }
+            }
+            Some(_) if self.peek(2) == Some(b'\'') => {
+                // `' '`, `'0'`, `'{'` …
+                self.push(TokKind::Char);
+                self.pos += 3;
+            }
+            _ => {
+                self.push(TokKind::Punct('\''));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn ident_or_raw_string(&mut self) {
+        let start = self.pos;
+        let mut end = self.pos;
+        while end < self.bytes.len()
+            && (self.bytes[end] == b'_' || self.bytes[end].is_ascii_alphanumeric())
+        {
+            end += 1;
+        }
+        let word = &self.src[start..end];
+        if matches!(word, "r" | "br") {
+            // Candidate raw string: `r"…"`, `r#"…"#`, `br##"…"##`, …
+            let mut hashes = 0usize;
+            let mut j = end;
+            while self.bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if self.bytes.get(j) == Some(&b'"') {
+                self.raw_string(j + 1, hashes);
+                return;
+            }
+            if word == "r" && hashes == 1 {
+                // Raw identifier `r#foo`: emit the identifier itself.
+                self.pos = end + 1;
+                self.ident_or_raw_string();
+                return;
+            }
+        }
+        self.push(TokKind::Ident(word.to_owned()));
+        self.pos = end;
+    }
+
+    /// Scans a raw string whose content starts at `content_start`,
+    /// terminated by `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self, content_start: usize, hashes: usize) {
+        let start_line = self.line;
+        let mut i = content_start;
+        let end = loop {
+            match self.bytes.get(i) {
+                None => break i,
+                Some(b'\n') => {
+                    self.line += 1;
+                    i += 1;
+                }
+                Some(b'"') => {
+                    let closes = self.bytes[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&b| b == b'#')
+                        .count();
+                    if closes == hashes {
+                        break i;
+                    }
+                    i += 1;
+                }
+                Some(_) => i += 1,
+            }
+        };
+        self.pos = (end + 1 + hashes).min(self.bytes.len());
+        self.out.tokens.push(Token {
+            kind: TokKind::Str(
+                self.src
+                    .get(content_start..end)
+                    .unwrap_or_default()
+                    .to_owned(),
+            ),
+            line: start_line,
+        });
+    }
+
+    fn number(&mut self) {
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos] == b'_' || self.bytes[self.pos].is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_not_matched_in_strings_or_comments() {
+        let src = String::from("// HashMap in a comment\n")
+            + "/* Instant::now in a block /* nested */ comment */\n"
+            + "let s = \"HashMap::new()\";\n"
+            + "let t = r#\"raw HashMap\"#;\n"
+            + "let real = foo;\n";
+        let ids = idents(&src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(ids.contains(&"foo".to_owned()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("let c = 'x'; fn f<'a>(v: &'a str) {} let nl = '\\n';");
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "/* a\nb */\n\"x\ny\"\nfoo";
+        let lexed = lex(src);
+        let foo = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("foo".into()))
+            .map(|t| t.line);
+        assert_eq!(foo, Some(5));
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = "let s = r##\"contains \"# quote\"##; after";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let".to_owned(), "s".into(), "after".into()]);
+    }
+
+    #[test]
+    fn byte_strings_scan_like_strings() {
+        let src = "let b = b\"Instant::now\\\"\"; tail";
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_owned()));
+        assert!(!ids.contains(&"Instant".to_owned()));
+    }
+}

@@ -1,0 +1,262 @@
+//! # tacc-lint
+//!
+//! The workspace determinism & architecture static-analysis pass.
+//!
+//! The reconstructed evaluation rests on two invariants nothing in the
+//! compiler enforces: the simulator is *bit-deterministic* (golden
+//! snapshots and the 30-day replay depend on it), and the 4-layer
+//! architecture is a *strict DAG* (DESIGN.md documents it). `tacc-lint`
+//! makes both machine-checked: a dependency-free, hand-rolled source
+//! scanner (comment/string/ident-aware lexer — no `syn`) walks every
+//! crate and enforces six lint families:
+//!
+//! | Lint | Guards against |
+//! |---|---|
+//! | `hash-iter` | `HashMap`/`HashSet`/`RandomState` in sim-path crates |
+//! | `wall-clock` | `Instant::now` / `SystemTime` outside annotated sites |
+//! | `ambient-rng` | `thread_rng` / `rand::random` bypassing `DetRng` |
+//! | `layer-dag` | dependency edges violating the documented layer DAG |
+//! | `panic-surface` | `unwrap`/`expect`/`panic!`/`todo!` growth vs baseline |
+//! | `metric-name` | registry literals not shaped `tacc_<layer>_<name>` |
+//!
+//! Legitimate exceptions carry an inline
+//! `// tacc-lint: allow(<lint>, reason = "...")` with a mandatory reason;
+//! suppressions are reported, and stale or malformed ones are findings
+//! themselves, so the suppression surface can never silently rot.
+//!
+//! File scans fan out over [`tacc_par::par_map`] and findings render as
+//! deterministic text or byte-stable JSON, so `--check` output diffs in
+//! CI artifacts are always real regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod manifest;
+pub mod render;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lints::{FileKind, Lint, ScanCtx};
+use render::{Finding, Report};
+
+/// Engine options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Recompute the panic-surface baseline instead of enforcing it; the
+    /// fresh content is returned in [`Report::blessed_baseline`].
+    pub bless_baseline: bool,
+}
+
+/// One file queued for scanning.
+struct FileJob {
+    crate_name: String,
+    kind: FileKind,
+    rel_path: String,
+    abs_path: PathBuf,
+}
+
+/// Scans the workspace rooted at `root` (the directory containing
+/// `crates/`) and returns the full report.
+///
+/// # Errors
+///
+/// Fails when the root has no `crates/` directory or a source file
+/// cannot be read.
+pub fn run(root: &Path, opts: &Options) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory — pass the workspace root via --root",
+            root.display()
+        ));
+    }
+
+    let mut report = Report::default();
+    let mut jobs: Vec<FileJob> = Vec::new();
+
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let Ok(manifest_text) = fs::read_to_string(&manifest_path) else {
+            continue; // not a crate (stray directory)
+        };
+        let manifest = manifest::parse(&manifest_text);
+        if manifest.package.is_empty() {
+            continue;
+        }
+        let rel_manifest = rel(root, &manifest_path);
+
+        // L4 over the declared dependency edges.
+        for (dep, line) in &manifest.deps {
+            if !manifest::edge_allowed(&manifest.package, dep) {
+                report.findings.push(Finding {
+                    file: rel_manifest.clone(),
+                    line: *line,
+                    lint: Lint::LayerDag.name(),
+                    message: format!(
+                        "`{}` must not depend on `tacc-{dep}`: the edge violates the \
+                         documented layer DAG (see DESIGN.md)",
+                        manifest.package
+                    ),
+                });
+            }
+        }
+
+        let src_dir = crate_dir.join("src");
+        if src_dir.is_dir() {
+            collect_rs_files(root, &manifest.package, &src_dir, &mut jobs)?;
+        }
+    }
+
+    report.files_scanned = jobs.len();
+
+    // Fan the file scans out across the slot-donating pool; results come
+    // back in item order, so the report stays deterministic.
+    let scans = tacc_par::par_map(jobs, |job| {
+        let src = fs::read_to_string(&job.abs_path)
+            .map_err(|e| format!("reading {}: {e}", job.rel_path))?;
+        let scan = {
+            let ctx = ScanCtx {
+                crate_name: &job.crate_name,
+                kind: job.kind,
+                rel_path: &job.rel_path,
+                dep_allowed: &manifest::edge_allowed,
+            };
+            lints::scan_source(&ctx, &src)
+        };
+        Ok::<_, String>((job, scan))
+    });
+
+    let loaded_baseline = load_baseline(root, opts)?;
+    let mut panic_counts: BTreeMap<String, u64> = BTreeMap::new();
+
+    for scan in scans {
+        let (job, scan) = scan?;
+        report.findings.extend(scan.findings);
+        report.suppressed.extend(scan.suppressed);
+        if !scan.panic_lines.is_empty() {
+            panic_counts.insert(job.rel_path.clone(), scan.panic_lines.len() as u64);
+            budget_panic_sites(
+                &job.rel_path,
+                &scan.panic_lines,
+                &loaded_baseline,
+                opts,
+                &mut report,
+            );
+        }
+    }
+
+    // Budgeted files that disappeared (or dropped to zero) show up as
+    // shrinkage so the baseline can be ratcheted down.
+    for (file, budget) in &loaded_baseline.panic_surface {
+        if *budget > 0 && !panic_counts.contains_key(file) {
+            report.baseline_shrunk.push((file.clone(), 0, *budget));
+        }
+    }
+
+    if opts.bless_baseline {
+        report.blessed_baseline = Some(baseline::render(&panic_counts));
+    }
+
+    report.findings.sort();
+    report.suppressed.sort();
+    report.baseline_shrunk.sort();
+    Ok(report)
+}
+
+fn load_baseline(root: &Path, opts: &Options) -> Result<baseline::Baseline, String> {
+    if opts.bless_baseline {
+        return Ok(baseline::Baseline::default());
+    }
+    match fs::read_to_string(root.join("lint-baseline.json")) {
+        Ok(text) => baseline::parse(&text),
+        Err(_) => Ok(baseline::Baseline::default()),
+    }
+}
+
+fn budget_panic_sites(
+    rel_path: &str,
+    lines: &[u32],
+    loaded: &baseline::Baseline,
+    opts: &Options,
+    report: &mut Report,
+) {
+    if opts.bless_baseline {
+        return;
+    }
+    let found = lines.len() as u64;
+    let budget = loaded.panic_surface.get(rel_path).copied().unwrap_or(0);
+    if found > budget {
+        report.findings.push(Finding {
+            file: rel_path.to_owned(),
+            line: lines[0],
+            lint: Lint::PanicSurface.name(),
+            message: format!(
+                "{found} panic site(s) (unwrap/expect/panic!/todo!) exceed the committed \
+                 baseline budget of {budget} — handle the error, annotate with \
+                 tacc-lint: allow(panic-surface, ...), or re-bless lint-baseline.json"
+            ),
+        });
+    } else if found < budget {
+        report
+            .baseline_shrunk
+            .push((rel_path.to_owned(), found, budget));
+    }
+}
+
+/// Child directories of `dir`, sorted by name for deterministic output.
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted), classifying
+/// `src/bin/**` as binary targets.
+fn collect_rs_files(
+    root: &Path,
+    crate_name: &str,
+    dir: &Path,
+    jobs: &mut Vec<FileJob>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(root, crate_name, &path, jobs)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel_path = rel(root, &path);
+            let kind = if rel_path.contains("/src/bin/") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            jobs.push(FileJob {
+                crate_name: crate_name.to_owned(),
+                kind,
+                rel_path,
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+fn rel(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

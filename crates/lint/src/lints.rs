@@ -1,0 +1,664 @@
+//! The six lint families, the `#[cfg(test)]` region tracker, and the
+//! `// tacc-lint: allow(...)` suppression grammar.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::render::{Finding, Suppressed};
+
+/// A lint family enforced by the scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// L1: `HashMap`/`HashSet`/`RandomState` in a simulation-path crate.
+    HashIter,
+    /// L2: `Instant::now` / `SystemTime` outside designated sites.
+    WallClock,
+    /// L3: ambient randomness (`thread_rng`, `rand::random`).
+    AmbientRng,
+    /// L4: a dependency edge that violates the layer DAG.
+    LayerDag,
+    /// L5: `unwrap`/`expect`/`panic!`/`todo!` in non-test library code,
+    /// budgeted against `lint-baseline.json`.
+    PanicSurface,
+    /// L6: metric registration literal not shaped `tacc_<layer>_<name>`.
+    MetricName,
+    /// Meta: a malformed, unknown, or unused suppression comment.
+    Allow,
+}
+
+impl Lint {
+    /// The lint's stable name (used in reports and allow comments).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::HashIter => "hash-iter",
+            Lint::WallClock => "wall-clock",
+            Lint::AmbientRng => "ambient-rng",
+            Lint::LayerDag => "layer-dag",
+            Lint::PanicSurface => "panic-surface",
+            Lint::MetricName => "metric-name",
+            Lint::Allow => "allow",
+        }
+    }
+
+    /// Parses a name as used inside an allow comment. The meta `allow`
+    /// family cannot itself be suppressed.
+    pub fn suppressible_from_name(name: &str) -> Option<Lint> {
+        match name {
+            "hash-iter" => Some(Lint::HashIter),
+            "wall-clock" => Some(Lint::WallClock),
+            "ambient-rng" => Some(Lint::AmbientRng),
+            "layer-dag" => Some(Lint::LayerDag),
+            "panic-surface" => Some(Lint::PanicSurface),
+            "metric-name" => Some(Lint::MetricName),
+            _ => None,
+        }
+    }
+}
+
+/// Every lint family, in report order.
+pub const ALL_LINTS: [Lint; 7] = [
+    Lint::Allow,
+    Lint::AmbientRng,
+    Lint::HashIter,
+    Lint::LayerDag,
+    Lint::MetricName,
+    Lint::PanicSurface,
+    Lint::WallClock,
+];
+
+/// Crates whose decision paths feed the bit-deterministic simulation:
+/// unordered-iteration containers are banned here (L1).
+pub const SIM_PATH_CRATES: [&str; 6] = ["storage", "compiler", "sched", "exec", "cluster", "core"];
+
+/// Crates exempt from the wall-clock lint: the bench harness and the
+/// fork–join pool measure *host* time by design and never feed it back
+/// into simulated decisions.
+pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 2] = ["bench", "par"];
+
+/// Layer names accepted as the second segment of a metric name (L6).
+pub const METRIC_LAYERS: [&str; 15] = [
+    "bench", "cluster", "compiler", "core", "exec", "lint", "metrics", "obs", "par", "sched",
+    "sim", "storage", "tcloud", "test", "workload",
+];
+
+/// How a source file participates in the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all families apply.
+    Lib,
+    /// A binary target (`src/bin/…`): tooling entry points; exempt from
+    /// the library-only families (L1/L2/L5/L6) but not from ambient
+    /// randomness or the layer DAG.
+    Bin,
+}
+
+/// Per-file scan context.
+pub struct ScanCtx<'a> {
+    /// Short crate name (`core`, `sched`, …) the file belongs to.
+    pub crate_name: &'a str,
+    /// Library or binary target.
+    pub kind: FileKind,
+    /// Workspace-relative path used in findings.
+    pub rel_path: &'a str,
+    /// Whether `crate_name` may depend on the given crate (L4).
+    pub dep_allowed: &'a (dyn Fn(&str, &str) -> bool + Sync),
+}
+
+/// The outcome of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Hard findings (everything except budgeted panic-surface sites).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a well-formed allow comment.
+    pub suppressed: Vec<Suppressed>,
+    /// Unsuppressed panic-surface site lines (library files only); the
+    /// engine budgets these against the committed baseline.
+    pub panic_lines: Vec<u32>,
+}
+
+/// A parsed `tacc-lint: allow(...)` directive.
+struct AllowDirective {
+    line: u32,
+    lint: Lint,
+    reason: String,
+    used: bool,
+}
+
+/// Scans one file's source under `ctx`. Pure: no filesystem access, so
+/// fixture tests can drive every family from string literals.
+pub fn scan_source(ctx: &ScanCtx<'_>, src: &str) -> FileScan {
+    let lexed = lex(src);
+    let test_ranges = test_ranges(&lexed.tokens);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut scan = FileScan::default();
+    let mut allows = parse_allows(ctx.rel_path, &lexed.comments, &mut scan.findings);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    let toks: Vec<&Token> = lexed.tokens.iter().filter(|t| !in_test(t.line)).collect();
+    lint_tokens(ctx, &toks, &mut raw);
+
+    // Suppression: an allow on the finding's line, or on the line above.
+    for finding in raw {
+        let hit = allows.iter_mut().find(|a| {
+            a.lint.name() == finding.lint && (a.line == finding.line || a.line + 1 == finding.line)
+        });
+        match hit {
+            Some(allow) => {
+                allow.used = true;
+                scan.suppressed.push(Suppressed {
+                    reason: allow.reason.clone(),
+                    finding,
+                });
+            }
+            None if finding.lint == Lint::PanicSurface.name() => {
+                scan.panic_lines.push(finding.line);
+            }
+            None => scan.findings.push(finding),
+        }
+    }
+
+    for allow in allows.iter().filter(|a| !a.used) {
+        scan.findings.push(Finding {
+            lint: Lint::Allow.name(),
+            file: ctx.rel_path.to_owned(),
+            line: allow.line,
+            message: format!(
+                "stale suppression: allow({}) matches no finding on this or the next line",
+                allow.lint.name()
+            ),
+        });
+    }
+    scan.findings.sort();
+    scan.suppressed.sort();
+    scan
+}
+
+fn finding(ctx: &ScanCtx<'_>, lint: Lint, line: u32, message: String) -> Finding {
+    Finding {
+        lint: lint.name(),
+        file: ctx.rel_path.to_owned(),
+        line,
+        message,
+    }
+}
+
+fn lint_tokens(ctx: &ScanCtx<'_>, toks: &[&Token], out: &mut Vec<Finding>) {
+    let lib = ctx.kind == FileKind::Lib;
+    let sim_path = SIM_PATH_CRATES.contains(&ctx.crate_name);
+    let wall_clock = lib && !WALL_CLOCK_EXEMPT_CRATES.contains(&ctx.crate_name);
+
+    let ident = |i: usize| match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, c: char| matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c);
+    let string = |i: usize| match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Str(s)) => Some(s.as_str()),
+        _ => None,
+    };
+
+    // Lookahead (`i + 1`…) drives the matching, so an index loop is the idiom.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        let Some(word) = ident(i) else { continue };
+
+        // L1 hash-iter.
+        if lib && sim_path && matches!(word, "HashMap" | "HashSet" | "RandomState") {
+            out.push(finding(
+                ctx,
+                Lint::HashIter,
+                line,
+                format!(
+                    "{word} in simulation-path crate `{}`: unordered iteration can leak \
+                     into decisions — use BTreeMap/BTreeSet or prove non-iteration",
+                    ctx.crate_name
+                ),
+            ));
+        }
+
+        // L2 wall-clock.
+        if wall_clock {
+            if word == "Instant"
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && ident(i + 3) == Some("now")
+            {
+                out.push(finding(
+                    ctx,
+                    Lint::WallClock,
+                    line,
+                    "Instant::now() in a simulation path: wall-clock reads break replay \
+                     determinism — use the virtual clock, or annotate a measurement-only site"
+                        .to_owned(),
+                ));
+            }
+            if word == "SystemTime" {
+                out.push(finding(
+                    ctx,
+                    Lint::WallClock,
+                    line,
+                    "SystemTime in a simulation path: wall-clock reads break replay \
+                     determinism — use the virtual clock"
+                        .to_owned(),
+                ));
+            }
+        }
+
+        // L3 ambient-rng (applies to bins too: a random tool flag would
+        // still poison reproducibility).
+        if word == "thread_rng"
+            || (word == "rand"
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && ident(i + 3) == Some("random"))
+        {
+            out.push(finding(
+                ctx,
+                Lint::AmbientRng,
+                line,
+                "ambient randomness: all randomness must flow from seeded tacc_sim::DetRng \
+                 streams"
+                    .to_owned(),
+            ));
+        }
+
+        // L4 layer-dag (source-level `tacc_*` references).
+        if lib || ctx.kind == FileKind::Bin {
+            if let Some(target) = word.strip_prefix("tacc_") {
+                if !target.is_empty()
+                    && target != ctx.crate_name
+                    && crate::manifest::rank(target).is_some()
+                    && !(ctx.dep_allowed)(ctx.crate_name, target)
+                {
+                    out.push(finding(
+                        ctx,
+                        Lint::LayerDag,
+                        line,
+                        format!(
+                            "`{}` must not reference `tacc_{target}`: the edge violates the \
+                             documented layer DAG (see DESIGN.md)",
+                            ctx.crate_name
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // L5 panic-surface.
+        if lib {
+            let call = punct(i + 1, '(');
+            let bang = punct(i + 1, '!');
+            let hit = match word {
+                "unwrap" | "expect" if call => true,
+                "panic" | "todo" | "unimplemented" if bang => true,
+                _ => false,
+            };
+            if hit {
+                out.push(finding(
+                    ctx,
+                    Lint::PanicSurface,
+                    line,
+                    format!("panic site `{word}` in non-test library code"),
+                ));
+            }
+        }
+
+        // L6 metric-naming.
+        if lib && matches!(word, "counter" | "gauge" | "histogram") && punct(i + 1, '(') {
+            if let Some(name) = string(i + 2) {
+                if !valid_metric_name(name) {
+                    out.push(finding(
+                        ctx,
+                        Lint::MetricName,
+                        line,
+                        format!(
+                            "metric name \"{name}\" does not match tacc_<layer>_<name> \
+                             (lowercase, layer one of the workspace crates)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `tacc_<layer>_<name>`: lowercase snake case, known layer, non-empty
+/// trailing name.
+pub fn valid_metric_name(name: &str) -> bool {
+    if !name
+        .bytes()
+        .all(|b| b == b'_' || b.is_ascii_lowercase() || b.is_ascii_digit())
+    {
+        return false;
+    }
+    let mut segments = name.split('_');
+    if segments.next() != Some("tacc") {
+        return false;
+    }
+    let Some(layer) = segments.next() else {
+        return false;
+    };
+    if !METRIC_LAYERS.contains(&layer) {
+        return false;
+    }
+    segments.clone().count() >= 1 && segments.all(|s| !s.is_empty())
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` or `#[test]` items.
+fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(is_punct(toks, i, '#') && is_punct(toks, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let close = match matching_bracket(toks, i + 1) {
+            Some(c) => c,
+            None => break,
+        };
+        if !is_test_attr(&toks[i + 2..close]) {
+            i = close + 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes on the same item.
+        let mut k = close + 1;
+        while is_punct(toks, k, '#') && is_punct(toks, k + 1, '[') {
+            match matching_bracket(toks, k + 1) {
+                Some(c) => k = c + 1,
+                None => return ranges,
+            }
+        }
+        // The item ends at the matching `}` of its first block, or at the
+        // first top-level `;` (e.g. `#[cfg(test)] use …;`).
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while k < toks.len() {
+            match toks[k].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = toks[k].line;
+            k += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+/// `test` or `cfg(test)` as the exact attribute body.
+fn is_test_attr(body: &[Token]) -> bool {
+    let kinds: Vec<&TokKind> = body.iter().map(|t| &t.kind).collect();
+    match kinds.as_slice() {
+        [TokKind::Ident(t)] => t == "test",
+        [TokKind::Ident(cfg), TokKind::Punct('('), TokKind::Ident(t), TokKind::Punct(')')] => {
+            cfg == "cfg" && t == "test"
+        }
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses every comment that *is* a `tacc-lint:` directive (the marker
+/// must open the comment); malformed ones become `allow` findings
+/// immediately.
+fn parse_allows(
+    rel_path: &str,
+    comments: &[Comment],
+    findings: &mut Vec<Finding>,
+) -> Vec<AllowDirective> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        // A directive is the whole comment: `// tacc-lint: allow(...)`.
+        // Mid-sentence mentions (docs quoting the grammar) don't count.
+        let trimmed = comment
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start();
+        let Some(rest) = trimmed.strip_prefix("tacc-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        match parse_allow_body(rest) {
+            Ok((lint, reason)) => allows.push(AllowDirective {
+                line: comment.line,
+                lint,
+                reason,
+                used: false,
+            }),
+            Err(why) => findings.push(Finding {
+                lint: Lint::Allow.name(),
+                file: rel_path.to_owned(),
+                line: comment.line,
+                message: format!("malformed suppression: {why}"),
+            }),
+        }
+    }
+    allows
+}
+
+/// Grammar: `allow(<lint>, reason = "<non-empty>")`.
+fn parse_allow_body(body: &str) -> Result<(Lint, String), String> {
+    let Some(args) = body.strip_prefix("allow(") else {
+        return Err("expected `allow(<lint>, reason = \"...\")`".to_owned());
+    };
+    let Some((name, rest)) = args.split_once(',') else {
+        return Err(
+            "missing `, reason = \"...\"` — every suppression must be explained".to_owned(),
+        );
+    };
+    let name = name.trim();
+    let Some(lint) = Lint::suppressible_from_name(name) else {
+        return Err(format!("unknown lint `{name}`"));
+    };
+    let rest = rest.trim_start();
+    let Some(q) = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('"'))
+    else {
+        return Err("expected `reason = \"...\"`".to_owned());
+    };
+    let Some(end) = q.rfind('"') else {
+        return Err("unterminated reason string".to_owned());
+    };
+    let reason = &q[..end];
+    if reason.trim().is_empty() {
+        return Err("empty reason — every suppression must be explained".to_owned());
+    }
+    if !q[end + 1..].trim_start().starts_with(')') {
+        return Err("expected closing `)`".to_owned());
+    }
+    Ok((lint, reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(crate_name: &'a str, kind: FileKind) -> ScanCtx<'a> {
+        ScanCtx {
+            crate_name,
+            kind,
+            rel_path: "crates/x/src/lib.rs",
+            dep_allowed: &crate::manifest::edge_allowed,
+        }
+    }
+
+    fn lints_of(scan: &FileScan) -> Vec<&str> {
+        scan.findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn l1_hash_iter_flags_sim_path_crates_only() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        let in_core = scan_source(&ctx("core", FileKind::Lib), src);
+        assert_eq!(lints_of(&in_core), vec!["hash-iter", "hash-iter"]);
+        assert_eq!(in_core.findings[0].line, 1);
+        assert_eq!(in_core.findings[1].line, 2);
+        let in_bench = scan_source(&ctx("bench", FileKind::Lib), src);
+        assert!(in_bench.findings.is_empty());
+    }
+
+    #[test]
+    fn l2_wall_clock_flags_instant_now_not_the_import() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let scan = scan_source(&ctx("sched", FileKind::Lib), src);
+        assert_eq!(lints_of(&scan), vec!["wall-clock"]);
+        assert_eq!(scan.findings[0].line, 2);
+        // Exempt harness crates run clean.
+        assert!(scan_source(&ctx("bench", FileKind::Lib), src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn l2_allow_comment_suppresses_with_reason() {
+        let src = "// tacc-lint: allow(wall-clock, reason = \"measurement-only site\")\n\
+                   let t = Instant::now();\n";
+        let scan = scan_source(&ctx("sched", FileKind::Lib), src);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.suppressed.len(), 1);
+        assert_eq!(scan.suppressed[0].reason, "measurement-only site");
+    }
+
+    #[test]
+    fn l3_ambient_rng_flags_thread_rng_and_rand_random() {
+        let src = "let a = thread_rng().gen::<u8>();\nlet b: f64 = rand::random();\n";
+        let scan = scan_source(&ctx("workload", FileKind::Lib), src);
+        assert_eq!(lints_of(&scan), vec!["ambient-rng", "ambient-rng"]);
+        // Bins are covered too.
+        let scan = scan_source(&ctx("bench", FileKind::Bin), src);
+        assert_eq!(scan.findings.len(), 2);
+    }
+
+    #[test]
+    fn l4_layer_dag_flags_upward_source_references() {
+        let src = "use tacc_tcloud::Client;\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert_eq!(lints_of(&scan), vec!["layer-dag"]);
+        // Downward edges are fine.
+        let ok = scan_source(&ctx("core", FileKind::Lib), "use tacc_sched::Scheduler;\n");
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn l5_panic_surface_counts_sites_not_lookalikes() {
+        let src = "fn f(o: Option<u8>) -> u8 {\n\
+                   let a = o.unwrap();\n\
+                   let b = o.expect(\"msg\");\n\
+                   let c = o.unwrap_or_else(|| 0);\n\
+                   if a == 0 { panic!(\"zero\") }\n\
+                   todo!()\n\
+                   }\n";
+        let scan = scan_source(&ctx("metrics", FileKind::Lib), src);
+        assert!(
+            scan.findings.is_empty(),
+            "panic sites are budgeted, not hard findings"
+        );
+        assert_eq!(scan.panic_lines, vec![2, 3, 5, 6]);
+        // Bins are exempt.
+        assert!(scan_source(&ctx("bench", FileKind::Bin), src)
+            .panic_lines
+            .is_empty());
+    }
+
+    #[test]
+    fn l6_metric_name_validates_registration_literals() {
+        let good = "let c = registry.counter(\"tacc_sched_rounds_total\", &[]);\n";
+        assert!(scan_source(&ctx("sched", FileKind::Lib), good)
+            .findings
+            .is_empty());
+        let bad = "let c = registry.counter(\"sched_rounds\", &[]);\n\
+                   let g = registry.gauge(\"tacc_Sched_depth\", &[]);\n\
+                   let h = registry.histogram(\"tacc_nosuchlayer_x\", &[]);\n";
+        let scan = scan_source(&ctx("sched", FileKind::Lib), bad);
+        assert_eq!(
+            lints_of(&scan),
+            vec!["metric-name", "metric-name", "metric-name"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   use std::collections::HashMap;\n\
+                   #[test]\n\
+                   fn t() { let x = Instant::now(); x.unwrap(); }\n\
+                   }\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert!(scan.findings.is_empty());
+        assert!(scan.panic_lines.is_empty());
+    }
+
+    #[test]
+    fn test_attr_on_bare_fn_is_exempt() {
+        let src = "#[test]\nfn t() { let m: HashMap<u8, u8> = HashMap::new(); }\n\
+                   fn lib() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert_eq!(scan.findings.len(), 2); // only the two sites in `lib`
+        assert!(scan.findings.iter().all(|f| f.line == 3));
+    }
+
+    #[test]
+    fn malformed_and_stale_allows_are_findings() {
+        let src = "// tacc-lint: allow(wall-clock)\n\
+                   // tacc-lint: allow(no-such-lint, reason = \"x\")\n\
+                   // tacc-lint: allow(hash-iter, reason = \"nothing here\")\n\
+                   fn f() {}\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert_eq!(lints_of(&scan), vec!["allow", "allow", "allow"]);
+        assert!(scan.findings[0].message.contains("reason"));
+        assert!(scan.findings[1].message.contains("unknown lint"));
+        assert!(scan.findings[2].message.contains("stale"));
+    }
+
+    #[test]
+    fn metric_name_shape() {
+        assert!(valid_metric_name("tacc_sched_rounds_total"));
+        assert!(valid_metric_name("tacc_core_queue_delay_seconds"));
+        assert!(!valid_metric_name("tacc_sched"));
+        assert!(!valid_metric_name("sched_rounds"));
+        assert!(!valid_metric_name("tacc_Sched_rounds"));
+        assert!(!valid_metric_name("tacc_sched__total")); // empty segment
+        assert!(!valid_metric_name("tacc_unknown_rounds"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Cargo manifest parsing (line-based, no TOML dependency) and the
+//! documented layer DAG from DESIGN.md.
+//!
+//! The DAG, bottom-up:
+//!
+//! ```text
+//! {par, metrics} → sim → cluster → {storage, workload} → obs
+//!   → {compiler, exec, sched} → core → tcloud → {bench, lint} → tests
+//! ```
+//!
+//! A crate may depend only on crates at strictly lower layers; same-layer
+//! edges (e.g. `compiler` → `sched`) are violations. `lint` is special:
+//! although it sits at tooling level, it is kept dependency-light by
+//! construction and may reach only `par`.
+
+/// One parsed crate manifest: the package's short name and its `tacc-*`
+/// `[dependencies]` edges with their line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Short crate name (`core` for `tacc-core`).
+    pub package: String,
+    /// `(short dep name, 1-based manifest line)` for each `tacc-*`
+    /// dependency. Dev-dependencies are exempt: test-only edges (e.g.
+    /// `core`'s tests driving `tcloud`) do not ship in the library graph.
+    pub deps: Vec<(String, u32)>,
+}
+
+/// Parses the `[package] name` and `[dependencies] tacc-*` entries out of
+/// a manifest. Line-based on purpose: workspace manifests are simple, and
+/// a TOML parser would break the no-new-deps constraint.
+pub fn parse(text: &str) -> Manifest {
+    let mut package = String::new();
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').to_owned();
+            continue;
+        }
+        if section == "package" && package.is_empty() {
+            if let Some(value) = line.strip_prefix("name") {
+                let value = value.trim_start().trim_start_matches('=').trim();
+                package = value.trim_matches('"').to_owned();
+            }
+        }
+        if section == "dependencies" {
+            if let Some(rest) = line.strip_prefix("tacc-") {
+                let short: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                    .collect();
+                if !short.is_empty() {
+                    deps.push((short, idx as u32 + 1));
+                }
+            }
+        }
+    }
+    Manifest {
+        package: package.strip_prefix("tacc-").unwrap_or(&package).to_owned(),
+        deps,
+    }
+}
+
+/// The crate's layer in the documented DAG (lower builds first). `None`
+/// for names outside the workspace.
+pub fn rank(short: &str) -> Option<u32> {
+    Some(match short {
+        "par" | "metrics" => 0,
+        "sim" => 1,
+        "cluster" => 2,
+        "storage" | "workload" => 3,
+        "obs" => 4,
+        "compiler" | "exec" | "sched" => 5,
+        "core" => 6,
+        "tcloud" => 7,
+        "bench" | "lint" => 8,
+        "tests" => 9,
+        _ => return None,
+    })
+}
+
+/// Whether `from` may depend on `to` under the layer DAG.
+pub fn edge_allowed(from: &str, to: &str) -> bool {
+    if from == to {
+        return true; // self-references (e.g. a bin naming its own crate)
+    }
+    if from == "lint" {
+        // The lint pass must stay dependency-light: it scans the
+        // simulator, it must never link it.
+        return to == "par";
+    }
+    match (rank(from), rank(to)) {
+        (Some(f), Some(t)) => t < f,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_tacc_deps_with_lines() {
+        let toml = "[package]\nname = \"tacc-sched\"\n\n[dependencies]\n\
+                    serde.workspace = true\ntacc-cluster.workspace = true\n\
+                    tacc-workload = { workspace = true }\n\n[dev-dependencies]\n\
+                    tacc-core.workspace = true\n";
+        let m = parse(toml);
+        assert_eq!(m.package, "sched");
+        assert_eq!(
+            m.deps,
+            vec![("cluster".to_owned(), 6), ("workload".to_owned(), 7)]
+        );
+    }
+
+    #[test]
+    fn dag_accepts_documented_edges_and_rejects_inversions() {
+        assert!(edge_allowed("core", "sched"));
+        assert!(edge_allowed("sched", "obs"));
+        assert!(edge_allowed("bench", "core"));
+        assert!(edge_allowed("tcloud", "core"));
+        // Upward and same-layer edges are violations.
+        assert!(!edge_allowed("core", "tcloud"));
+        assert!(!edge_allowed("sched", "core"));
+        assert!(!edge_allowed("compiler", "sched"));
+        assert!(!edge_allowed("storage", "workload"));
+        assert!(!edge_allowed("sim", "cluster"));
+    }
+
+    #[test]
+    fn lint_may_only_reach_par() {
+        assert!(edge_allowed("lint", "par"));
+        assert!(!edge_allowed("lint", "metrics"));
+        assert!(!edge_allowed("lint", "core"));
+        assert!(!edge_allowed("lint", "bench"));
+    }
+}

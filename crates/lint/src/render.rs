@@ -1,0 +1,219 @@
+//! Finding types plus deterministic text and JSON rendering.
+//!
+//! The JSON writer follows the same contract as `tacc-bench`'s golden
+//! serializer: insertion-ordered keys, byte-stable output for identical
+//! findings, trailing newline — so a CI artifact diff is always a real
+//! behavior change, never formatting noise.
+
+use std::fmt::Write as _;
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable lint family name (`hash-iter`, `wall-clock`, …).
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A finding silenced by a well-formed `tacc-lint: allow(...)` comment.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppressed {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The justification from the allow comment.
+    pub reason: String,
+}
+
+/// The full scan outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Hard findings, sorted by (file, line, lint, message).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings with their reasons, same order.
+    pub suppressed: Vec<Suppressed>,
+    /// Baseline entries whose budget exceeds the current count:
+    /// `(file, found, budget)` — an invitation to re-bless tighter.
+    pub baseline_shrunk: Vec<(String, u64, u64)>,
+    /// Fresh baseline content when blessing was requested.
+    pub blessed_baseline: Option<String>,
+}
+
+impl Report {
+    /// True when the workspace passes (no hard findings).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+        }
+        for (file, found, budget) in &self.baseline_shrunk {
+            let _ = writeln!(
+                out,
+                "note: {file}: panic-surface count {found} is below the baseline budget \
+                 {budget} — run with --bless-baseline to ratchet down"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "tacc-lint: {} file(s) scanned, {} finding(s), {} suppression(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len()
+        );
+        out
+    }
+
+    /// Renders the byte-stable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+
+        out.push_str("  \"findings\": [");
+        write_findings(&mut out, self.findings.iter().map(|f| (f, None)));
+        out.push_str("],\n");
+
+        out.push_str("  \"suppressed\": [");
+        write_findings(
+            &mut out,
+            self.suppressed
+                .iter()
+                .map(|s| (&s.finding, Some(s.reason.as_str()))),
+        );
+        out.push_str("],\n");
+
+        out.push_str("  \"summary\": {");
+        let mut first = true;
+        for lint in crate::lints::ALL_LINTS {
+            let n = self
+                .findings
+                .iter()
+                .filter(|f| f.lint == lint.name())
+                .count();
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {n}", lint.name());
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn write_findings<'a>(
+    out: &mut String,
+    items: impl Iterator<Item = (&'a Finding, Option<&'a str>)>,
+) {
+    let mut any = false;
+    let mut it = items.peekable();
+    while let Some((f, reason)) = it.next() {
+        any = true;
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+            json_str(f.lint),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+        if let Some(reason) = reason {
+            let _ = write!(out, ", \"reason\": {}", json_str(reason));
+        }
+        out.push('}');
+        if it.peek().is_some() {
+            out.push(',');
+        }
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+/// Escapes a string as a JSON literal (same escape set as the bench
+/// golden serializer).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 2,
+            findings: vec![Finding {
+                file: "crates/core/src/lib.rs".into(),
+                line: 7,
+                lint: "hash-iter",
+                message: "HashMap in simulation-path crate".into(),
+            }],
+            suppressed: vec![Suppressed {
+                finding: Finding {
+                    file: "crates/sched/src/scheduler.rs".into(),
+                    line: 200,
+                    lint: "wall-clock",
+                    message: "Instant::now()".into(),
+                },
+                reason: "measurement-only".into(),
+            }],
+            baseline_shrunk: Vec::new(),
+            blessed_baseline: None,
+        }
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_shaped() {
+        let r = sample();
+        let a = r.to_json();
+        assert_eq!(a, r.to_json());
+        assert!(a.ends_with("}\n"));
+        assert!(a.contains("\"lint\": \"hash-iter\""));
+        assert!(a.contains("\"line\": 7"));
+        assert!(a.contains("\"reason\": \"measurement-only\""));
+        assert!(a.contains("\"hash-iter\": 1"));
+        assert!(a.contains("\"wall-clock\": 0"));
+    }
+
+    #[test]
+    fn text_report_lists_findings_and_counts() {
+        let text = sample().to_text();
+        assert!(text.contains("crates/core/src/lib.rs:7: [hash-iter]"));
+        assert!(text.contains("2 file(s) scanned, 1 finding(s), 1 suppression(s)"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,139 @@
+//! Red-flip proof: seed one violation of each lint family into a
+//! scratch workspace and assert the `lint` binary fails `--check` with
+//! the correct `file:line` in its JSON report — i.e. every family
+//! actually gates CI. A companion green run proves a clean tree passes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tacc-lint-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write(path: &Path, content: &str) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("mkdir");
+    }
+    fs::write(path, content).expect("write fixture");
+}
+
+fn run_lint(root: &Path, json: &Path) -> std::process::ExitStatus {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(["--root"])
+        .arg(root)
+        .args(["--check", "--quiet", "--json"])
+        .arg(json)
+        .status()
+        .expect("spawn lint binary")
+}
+
+#[test]
+fn one_violation_of_each_family_flips_check_red() {
+    let root = scratch("red");
+    // `tacc-core` must not depend upward on `tacc-tcloud` (layer-dag,
+    // manifest line 5).
+    write(
+        &root.join("crates/alpha/Cargo.toml"),
+        "[package]\nname = \"tacc-core\"\n\n[dependencies]\ntacc-tcloud.workspace = true\n",
+    );
+    // One violation per family, one per line, lines 1-5.
+    write(
+        &root.join("crates/alpha/src/lib.rs"),
+        "use std::collections::HashMap;\n\
+         fn clock() -> std::time::Instant { std::time::Instant::now() }\n\
+         fn roll() -> u8 { thread_rng().gen() }\n\
+         fn risky(o: Option<u8>) -> u8 { o.unwrap() }\n\
+         fn register(r: &Registry) { r.counter(\"bad_metric\", &[]); }\n",
+    );
+
+    let json_path = root.join("report.json");
+    let status = run_lint(&root, &json_path);
+    assert!(
+        !status.success(),
+        "--check must exit nonzero on a tree with violations"
+    );
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+
+    let expected = [
+        ("hash-iter", "crates/alpha/src/lib.rs", 1),
+        ("wall-clock", "crates/alpha/src/lib.rs", 2),
+        ("ambient-rng", "crates/alpha/src/lib.rs", 3),
+        ("panic-surface", "crates/alpha/src/lib.rs", 4),
+        ("metric-name", "crates/alpha/src/lib.rs", 5),
+        ("layer-dag", "crates/alpha/Cargo.toml", 5),
+    ];
+    for (lint, file, line) in expected {
+        let needle = format!("{{\"lint\": \"{lint}\", \"file\": \"{file}\", \"line\": {line},");
+        assert!(
+            json.contains(&needle),
+            "JSON report must locate the {lint} violation at {file}:{line}\n{json}"
+        );
+    }
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn clean_tree_passes_and_reasoned_allows_are_reported_not_fatal() {
+    let root = scratch("green");
+    write(
+        &root.join("crates/beta/Cargo.toml"),
+        "[package]\nname = \"tacc-sched\"\n\n[dependencies]\ntacc-cluster.workspace = true\n",
+    );
+    write(
+        &root.join("crates/beta/src/lib.rs"),
+        "// tacc-lint: allow(wall-clock, reason = \"round-latency measurement only\")\n\
+         fn measure() -> std::time::Instant { std::time::Instant::now() }\n\
+         fn register(r: &Registry) { r.counter(\"tacc_sched_rounds_total\", &[]); }\n",
+    );
+
+    let json_path = root.join("report.json");
+    let status = run_lint(&root, &json_path);
+    assert!(status.success(), "a clean tree must pass --check");
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    assert!(json.contains("\"findings\": [],"));
+    assert!(
+        json.contains("\"reason\": \"round-latency measurement only\""),
+        "suppressions must be visible in the report\n{json}"
+    );
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn panic_budget_growth_flips_red_but_within_budget_passes() {
+    let root = scratch("budget");
+    write(
+        &root.join("crates/gamma/Cargo.toml"),
+        "[package]\nname = \"tacc-metrics\"\n",
+    );
+    write(
+        &root.join("crates/gamma/src/lib.rs"),
+        "fn a(o: Option<u8>) -> u8 { o.unwrap() }\n\
+         fn b(o: Option<u8>) -> u8 { o.expect(\"b\") }\n",
+    );
+    // Budget of 2 covers the current sites: green.
+    write(
+        &root.join("lint-baseline.json"),
+        "{\n  \"panic-surface\": {\n    \"crates/gamma/src/lib.rs\": 2\n  }\n}\n",
+    );
+    let json_path = root.join("report.json");
+    assert!(run_lint(&root, &json_path).success());
+
+    // A third site exceeds the budget: red.
+    write(
+        &root.join("crates/gamma/src/lib.rs"),
+        "fn a(o: Option<u8>) -> u8 { o.unwrap() }\n\
+         fn b(o: Option<u8>) -> u8 { o.expect(\"b\") }\n\
+         fn c() { panic!(\"new\") }\n",
+    );
+    let status = run_lint(&root, &json_path);
+    assert!(!status.success(), "baseline growth must fail --check");
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    assert!(json.contains("exceed the committed baseline budget of 2"));
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}

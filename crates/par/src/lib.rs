@@ -1,4 +1,7 @@
-//! Bounded fork–join parallelism for the experiment runner.
+//! # tacc-par
+//!
+//! Bounded fork–join parallelism shared by the experiment runner
+//! (`tacc-bench`) and the workspace lint scanner (`tacc-lint`).
 //!
 //! [`par_map`] runs one closure per item on its own thread, with a global
 //! slot pool bounding how many closures *compute* at once. Calls nest:
@@ -9,6 +12,9 @@
 //!
 //! Results come back in item order regardless of completion order, so
 //! parallel and serial runs produce byte-identical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -197,6 +197,7 @@ impl Scheduler {
     /// Returns an empty outcome when time-slicing is disabled, nothing has
     /// expired, or no eviction would help.
     pub fn rotate(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        // tacc-lint: allow(wall-clock, reason = "measures host-side rotation latency for the T4 round-latency histogram; reported, never fed back into decisions")
         let rotate_start = Instant::now();
         let Some(quantum) = self.config.time_slice_secs else {
             return SchedOutcome::default();
@@ -345,6 +346,7 @@ impl Scheduler {
     /// backfill rules), and preempts borrowers when guaranteed demand
     /// reclaims quota.
     pub fn schedule(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        // tacc-lint: allow(wall-clock, reason = "measures host-side scheduling-round latency for the T4 round-latency histogram; reported, never fed back into decisions")
         let round_start = Instant::now();
         self.rounds += 1;
         let queue_len_at_start = self.queue.len() as u64;

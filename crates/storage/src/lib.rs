@@ -41,7 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use tacc_cluster::NodeId;
@@ -87,8 +87,10 @@ pub struct Staging {
 pub struct NodeCache {
     capacity_mb: u64,
     used_mb: u64,
-    /// dataset -> (size, last-use tick)
-    resident: HashMap<String, (u32, u64)>,
+    /// dataset -> (size, last-use tick). Ordered map: LRU eviction
+    /// iterates it, and iteration order must not depend on a hasher
+    /// (the hash-iter lint).
+    resident: BTreeMap<String, (u32, u64)>,
     tick: u64,
 }
 
@@ -98,7 +100,7 @@ impl NodeCache {
         NodeCache {
             capacity_mb,
             used_mb: 0,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             tick: 0,
         }
     }

@@ -8,6 +8,9 @@
 //! cargo run --release --example campus_month
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use tacc_core::{Platform, PlatformConfig};
 use tacc_metrics::Table;
 use tacc_sched::QuotaMode;

@@ -9,6 +9,9 @@
 //! cargo run --release --example distributed_training
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use tacc_cluster::{Cluster, ClusterSpec, GpuModel, LinkSpeeds, NodeId};
 use tacc_exec::{ExecConfig, ExecModel};
 use tacc_metrics::Table;

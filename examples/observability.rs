@@ -5,6 +5,9 @@
 //! cargo run --release --example observability
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use tacc_cluster::{ClusterSpec, GpuModel, ResourceVec};
 use tacc_core::PlatformConfig;
 use tacc_sched::QuotaMode;

@@ -4,6 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use tacc_cluster::{ClusterSpec, GpuModel, ResourceVec};
 use tacc_core::{Platform, PlatformConfig};
 use tacc_workload::{GroupId, GroupRoster, ModelProfile, QosClass, TaskSchema};

@@ -8,6 +8,9 @@
 //! cargo run --release --example tcloud_session
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use tacc_cluster::{ClusterSpec, GpuModel, ResourceVec};
 use tacc_core::PlatformConfig;
 use tacc_tcloud::TcloudClient;

@@ -8,6 +8,9 @@
 //! cargo run --release --example trace_replay
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use tacc_core::{Platform, PlatformConfig};
 use tacc_workload::{GenParams, Trace, TraceGenerator};
 
