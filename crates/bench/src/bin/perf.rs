@@ -1,0 +1,169 @@
+//! The scheduler hot-path perf harness: deterministic work counters with
+//! informational wall time.
+//!
+//! ```text
+//! perf [OPTIONS]
+//!
+//!   --list                list scenarios and exit
+//!   --check               run every scenario twice and fail unless the
+//!                         deterministic counters match exactly
+//!   --out PATH            write the report JSON (default: BENCH_hotpath.json;
+//!                         "none" disables)
+//!   --baseline-secs X     record X as the pre-change full-suite serial wall
+//!   --optimized-secs Y    record Y as the post-change full-suite serial wall
+//!   --quiet               suppress the per-scenario table
+//! ```
+//!
+//! Counters count *algorithmic work* (sorts, snapshot copies, placement
+//! attempts, node scans, fast-path rejects), never time, so `--check` is a
+//! tolerance-free gate that holds on any machine, however noisy. Wall
+//! times ride along in the report for human context only.
+
+// CLI surface: the scenario table goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use tacc_bench::hotpath::{self, ScenarioOutcome, SCENARIOS};
+
+#[derive(Debug)]
+struct Options {
+    list: bool,
+    check: bool,
+    out: Option<String>,
+    baseline_secs: Option<f64>,
+    optimized_secs: Option<f64>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        check: false,
+        out: None,
+        baseline_secs: None,
+        optimized_secs: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--check" => opts.check = true,
+            "--quiet" => opts.quiet = true,
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
+            "--baseline-secs" => {
+                let v = args.next().ok_or("--baseline-secs needs a value")?;
+                opts.baseline_secs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --baseline-secs `{v}`"))?,
+                );
+            }
+            "--optimized-secs" => {
+                let v = args.next().ok_or("--optimized-secs needs a value")?;
+                opts.optimized_secs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --optimized-secs `{v}`"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_outcomes(outcomes: &[ScenarioOutcome]) {
+    println!(
+        "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>10} {:>8}",
+        "scenario",
+        "rounds",
+        "sorts",
+        "skipped",
+        "skiprec",
+        "skipsupp",
+        "attempts",
+        "fastpath",
+        "wall(s)"
+    );
+    for o in outcomes {
+        println!(
+            "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>10} {:>8.2}",
+            o.id,
+            o.rounds,
+            o.counters.queue_sorts,
+            o.counters.queue_sorts_skipped,
+            o.counters.skip_records,
+            o.counters.skip_suppressions,
+            o.counters.plan.attempts,
+            o.counters.plan.fastpath_rejects,
+            o.wall_secs,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.list {
+        println!("hot-path scenarios:");
+        for s in SCENARIOS {
+            println!("  {:<22} {}", s.id, s.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcomes = hotpath::run_all();
+    if !opts.quiet {
+        print_outcomes(&outcomes);
+    }
+
+    let mut failures = 0u32;
+    if opts.check {
+        // Deterministic-or-bust: a second full pass must reproduce every
+        // counter exactly. Wall time is deliberately excluded.
+        let second = hotpath::run_all();
+        for (a, b) in outcomes.iter().zip(second.iter()) {
+            let first = hotpath::counters_json(a).to_compact();
+            let repeat = hotpath::counters_json(b).to_compact();
+            if first == repeat {
+                println!("ok   {:<22} counters reproduced exactly", a.id);
+            } else {
+                println!("FAIL {:<22}", a.id);
+                eprintln!("  first : {first}");
+                eprintln!("  repeat: {repeat}");
+                failures += 1;
+            }
+        }
+    }
+
+    let suite = match (opts.baseline_secs, opts.optimized_secs) {
+        (Some(b), Some(o)) => Some((b, o)),
+        _ => None,
+    };
+    match opts.out.as_deref() {
+        Some("none") => {}
+        out => {
+            let path = out.unwrap_or("BENCH_hotpath.json");
+            let doc = hotpath::report_json(&outcomes, suite);
+            match std::fs::write(path, doc.to_pretty()) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("error: could not write {path}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed the deterministic counter gate");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,215 @@
+//! The scheduler hot-path perf harness behind the `perf` binary.
+//!
+//! Wall-clock benchmarks do not regress-gate well on shared CI runners, so
+//! this harness leans on the scheduler's deterministic [`WorkCounters`]:
+//! counts of algorithmic work (queue sorts performed and skipped, snapshot
+//! elements copied, placement attempts, node scans, O(1) fast-path rejects)
+//! that are byte-identical across runs of the same scenario. CI runs every
+//! scenario twice and gates on exact counter equality; wall time is
+//! recorded alongside as informational context only.
+//!
+//! Each scenario replays a canonical trace through a full [`Platform`]
+//! configured to stress one hot-path regime:
+//!
+//! * `contended-borrowing` — heavy load under quota borrowing, the
+//!   reclaim/preemption-dominated regime of experiment F5;
+//! * `fair-share` — usage-keyed queue ordering, where sort-skipping depends
+//!   on the usage epoch (experiment F3's fair regime);
+//! * `conservative-backfill` — per-blocked-job reservations, the
+//!   reservation-heavy regime of experiment F4;
+//! * `multi-factor` — the always-re-sort policy, the worst case for the
+//!   sort-skip optimization.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::{campus_config, standard_trace};
+use tacc_core::{Platform, PlatformConfig};
+use tacc_sched::{BackfillMode, PolicyKind, QuotaMode, WorkCounters};
+
+/// One hot-path scenario: a named platform configuration replayed over a
+/// canonical trace.
+pub struct Scenario {
+    /// Stable identifier (used in `BENCH_hotpath.json` and `--only`).
+    pub id: &'static str,
+    /// One-line description of the regime the scenario stresses.
+    pub title: &'static str,
+    /// Trace length in days.
+    pub days: f64,
+    /// Trace load factor.
+    pub load: f64,
+    /// Platform configuration for the run.
+    pub configure: fn() -> PlatformConfig,
+}
+
+/// Every scenario, in report order.
+pub static SCENARIOS: &[Scenario] = &[
+    Scenario {
+        id: "contended-borrowing",
+        title: "reclaim-heavy borrowing under heavy load (F5 regime)",
+        days: 3.0,
+        load: 5.0,
+        configure: || campus_config(|c| c.scheduler.quota = QuotaMode::Borrowing),
+    },
+    Scenario {
+        id: "fair-share",
+        title: "usage-keyed fair-share ordering (F3 fair regime)",
+        days: 3.0,
+        load: 3.0,
+        configure: || campus_config(|c| c.scheduler.policy = PolicyKind::FairShare),
+    },
+    Scenario {
+        id: "conservative-backfill",
+        title: "reservation-per-blocked-job backfill (F4 regime)",
+        days: 3.0,
+        load: 3.0,
+        configure: || campus_config(|c| c.scheduler.backfill = BackfillMode::Conservative),
+    },
+    Scenario {
+        id: "multi-factor",
+        title: "always-re-sort multi-factor policy (sort-skip worst case)",
+        days: 3.0,
+        load: 2.0,
+        configure: || campus_config(|c| c.scheduler.policy = PolicyKind::MultiFactor),
+    },
+];
+
+/// The result of one scenario run: deterministic counters plus
+/// informational wall time.
+pub struct ScenarioOutcome {
+    /// The scenario's [`Scenario::id`].
+    pub id: &'static str,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// The deterministic work counters after the replay.
+    pub counters: WorkCounters,
+    /// Wall-clock of the replay, seconds (informational; never gated).
+    pub wall_secs: f64,
+}
+
+/// Runs one scenario to completion.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let trace = standard_trace(scenario.days, scenario.load);
+    let mut platform = Platform::new((scenario.configure)());
+    // tacc-lint: allow(wall-clock, reason = "informational wall time reported next to the deterministic counters; never compared or gated")
+    let start = Instant::now();
+    let _ = platform.run_trace(&trace);
+    let wall_secs = start.elapsed().as_secs_f64();
+    ScenarioOutcome {
+        id: scenario.id,
+        rounds: platform.scheduler().rounds(),
+        counters: platform.scheduler().work_counters(),
+        wall_secs,
+    }
+}
+
+/// Runs every scenario in order.
+pub fn run_all() -> Vec<ScenarioOutcome> {
+    SCENARIOS.iter().map(run_scenario).collect()
+}
+
+/// The deterministic portion of an outcome as JSON — exactly the bytes the
+/// CI gate compares across runs (no wall time).
+pub fn counters_json(outcome: &ScenarioOutcome) -> Json {
+    let c = &outcome.counters;
+    Json::obj()
+        .set("id", outcome.id.into())
+        .set("rounds", c_num(outcome.rounds))
+        .set("empty_rounds", c_num(c.empty_rounds))
+        .set("queue_sorts", c_num(c.queue_sorts))
+        .set("queue_sorts_skipped", c_num(c.queue_sorts_skipped))
+        .set("snapshot_elements", c_num(c.snapshot_elements))
+        .set("skip_records", c_num(c.skip_records))
+        .set("skip_suppressions", c_num(c.skip_suppressions))
+        .set("placement_attempts", c_num(c.plan.attempts))
+        .set("node_scans", c_num(c.plan.nodes_scanned))
+        .set("fastpath_rejects", c_num(c.plan.fastpath_rejects))
+}
+
+/// Full report document for `BENCH_hotpath.json`: per-scenario counters
+/// and wall times, plus (when provided) the measured full-suite serial
+/// wall times before and after the hot-path work.
+pub fn report_json(outcomes: &[ScenarioOutcome], suite: Option<(f64, f64)>) -> Json {
+    let scenarios = outcomes
+        .iter()
+        .map(|o| counters_json(o).set("wall_secs_informational", Json::num(o.wall_secs)))
+        .collect();
+    let mut doc = Json::obj()
+        .set("note", Json::Str(
+            "counters are deterministic and CI-gated on exact equality; wall times are informational".to_owned(),
+        ))
+        .set("scenarios", Json::Arr(scenarios));
+    if let Some((before, after)) = suite {
+        doc = doc.set(
+            "full_suite_serial",
+            Json::obj()
+                .set("baseline_secs", Json::num(before))
+                .set("optimized_secs", Json::num(after))
+                .set(
+                    "speedup",
+                    if after > 0.0 {
+                        Json::num(before / after)
+                    } else {
+                        Json::Null
+                    },
+                ),
+        );
+    }
+    doc
+}
+
+/// Exact u64 → Json (counter values are far below 2^53, where `f64` is
+/// exact; debug-asserted to keep that assumption honest).
+fn c_num(v: u64) -> Json {
+    debug_assert!(v < (1 << 53), "counter exceeds exact f64 range");
+    Json::num(v as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_ids_are_unique() {
+        let ids: std::collections::BTreeSet<_> = SCENARIOS.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), SCENARIOS.len());
+    }
+
+    #[test]
+    fn counters_repeat_exactly_on_a_short_replay() {
+        // A miniature version of the CI gate: the same scenario twice must
+        // produce byte-identical counter JSON. Uses a shortened trace so
+        // the debug-build test stays fast.
+        let short = Scenario {
+            id: "mini",
+            title: "shortened contended-borrowing",
+            days: 0.25,
+            load: 3.0,
+            configure: || campus_config(|c| c.scheduler.quota = QuotaMode::Borrowing),
+        };
+        let a = run_scenario(&short);
+        let b = run_scenario(&short);
+        assert_eq!(
+            counters_json(&a).to_compact(),
+            counters_json(&b).to_compact()
+        );
+        assert!(
+            a.counters.plan.attempts > 0,
+            "scenario exercised the planner"
+        );
+    }
+
+    #[test]
+    fn report_embeds_suite_timings() {
+        let outcome = ScenarioOutcome {
+            id: "x",
+            rounds: 1,
+            counters: WorkCounters::default(),
+            wall_secs: 0.5,
+        };
+        let doc = report_json(&[outcome], Some((70.0, 35.0)));
+        let text = doc.to_compact();
+        assert!(text.contains("\"baseline_secs\":70"));
+        assert!(text.contains("\"speedup\":2"));
+    }
+}

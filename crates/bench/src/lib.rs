@@ -47,6 +47,7 @@
 
 pub mod determinism;
 pub mod experiments;
+pub mod hotpath;
 pub mod json;
 pub mod registry;
 pub mod report;

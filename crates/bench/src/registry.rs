@@ -169,6 +169,7 @@ pub struct RunOutcome {
 
 /// Runs one experiment with a recording reporter.
 pub fn run_recorded(spec: &'static ExperimentSpec) -> RunOutcome {
+    // tacc-lint: allow(wall-clock, reason = "per-experiment wall time for the sweep summary; excluded from golden JSON and never compared")
     let start = Instant::now();
     let mut reporter = RecordingReporter::new();
     let result = (spec.run)(&mut reporter);

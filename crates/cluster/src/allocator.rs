@@ -229,6 +229,19 @@ pub struct Cluster {
     leases: BTreeMap<LeaseId, Lease>,
     next_lease: u64,
     alloc_failures: u64,
+    // Incrementally maintained aggregates, updated on every reserve/release
+    // (the only paths that change a node's free vector). They answer the
+    // scheduler's per-round and per-skip queries in O(1)/O(log n) instead of
+    // an O(nodes) scan, and deliberately mirror the historical scan-based
+    // semantics: drained nodes still count (draining toggles schedulability,
+    // not free capacity).
+    total_capacity: ResourceVec,
+    free_gpus_total: u32,
+    /// Histogram of nodes by free-GPU count (`free gpus -> node count`);
+    /// the greatest key is the largest free block.
+    free_block_counts: BTreeMap<u32, u32>,
+    /// Monotonic mutation counter; see [`Cluster::version`].
+    version: u64,
 }
 
 impl Cluster {
@@ -254,13 +267,48 @@ impl Cluster {
                 }
             }
         }
+        let total_capacity = nodes.iter().map(Node::capacity).sum();
+        let free_gpus_total = nodes.iter().map(|n| n.free().gpus).sum();
+        let mut free_block_counts: BTreeMap<u32, u32> = BTreeMap::new();
+        for node in &nodes {
+            *free_block_counts.entry(node.free().gpus).or_insert(0) += 1;
+        }
         Cluster {
             nodes,
             topology: Topology::new(racks, nvlink, spec.speeds),
             leases: BTreeMap::new(),
             next_lease: 0,
             alloc_failures: 0,
+            total_capacity,
+            free_gpus_total,
+            free_block_counts,
+            version: 0,
         }
+    }
+
+    /// Monotonic state-version counter, bumped by every successful mutation
+    /// (allocate, release, drain, undrain). Two observations of the *same*
+    /// cluster with equal versions saw identical state, so callers may cache
+    /// expensive derived state keyed by this value — the scheduler uses it
+    /// to reuse its reclaim-feasibility snapshot across an unchanged round.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Re-indexes one node's free-GPU count after a reserve/release moved it
+    /// from `old` to `new` free GPUs.
+    fn note_free_change(&mut self, old: u32, new: u32) {
+        if old == new {
+            return;
+        }
+        match self.free_block_counts.get_mut(&old) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                self.free_block_counts.remove(&old);
+            }
+        }
+        *self.free_block_counts.entry(new).or_insert(0) += 1;
+        self.free_gpus_total = self.free_gpus_total + new - old;
     }
 
     /// Number of failed [`Cluster::allocate`] calls over this cluster's
@@ -294,14 +342,15 @@ impl Cluster {
         self.nodes.iter().map(|n| n.capacity().gpus).sum()
     }
 
-    /// Currently free GPUs across all nodes.
+    /// Currently free GPUs across all nodes (O(1), incrementally indexed).
     pub fn free_gpus(&self) -> u32 {
-        self.nodes.iter().map(|n| n.free().gpus).sum()
+        self.free_gpus_total
     }
 
-    /// Total capacity vector of the cluster.
+    /// Total capacity vector of the cluster (cached at construction; node
+    /// capacities are immutable afterwards).
     pub fn total_capacity(&self) -> ResourceVec {
-        self.nodes.iter().map(|n| n.capacity()).sum()
+        self.total_capacity
     }
 
     /// Number of active leases.
@@ -358,7 +407,10 @@ impl Cluster {
         let id = LeaseId(self.next_lease);
         self.next_lease += 1;
         for (&node, &total) in &needed {
+            let before = self.nodes[node.index()].free().gpus;
             self.nodes[node.index()].reserve(id, total);
+            let after = self.nodes[node.index()].free().gpus;
+            self.note_free_change(before, after);
         }
         let lease = Lease {
             id,
@@ -366,6 +418,7 @@ impl Cluster {
             shares: needed.into_iter().collect(),
         };
         self.leases.insert(id, lease.clone());
+        self.version += 1;
         Ok(lease)
     }
 
@@ -380,8 +433,12 @@ impl Cluster {
             .remove(&id)
             .ok_or(ClusterError::UnknownLease(id))?;
         for (node, _) in lease.shares {
+            let before = self.nodes[node.index()].free().gpus;
             self.nodes[node.index()].release(id);
+            let after = self.nodes[node.index()].free().gpus;
+            self.note_free_change(before, after);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -392,6 +449,7 @@ impl Cluster {
         match self.nodes.get_mut(node.index()) {
             Some(n) => {
                 n.set_schedulable(false);
+                self.version += 1;
                 true
             }
             None => false,
@@ -403,6 +461,7 @@ impl Cluster {
         match self.nodes.get_mut(node.index()) {
             Some(n) => {
                 n.set_schedulable(true);
+                self.version += 1;
                 true
             }
             None => false,
@@ -434,20 +493,36 @@ impl Cluster {
     }
 
     /// The largest single-node free GPU block — the biggest co-located job
-    /// admissible right now without spanning nodes.
+    /// admissible right now without spanning nodes (O(log n), incrementally
+    /// indexed).
     pub fn largest_free_block(&self) -> u32 {
-        self.nodes.iter().map(|n| n.free().gpus).max().unwrap_or(0)
+        self.free_block_counts
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
     }
 
-    /// Verifies per-node accounting: free + sum(leases) == capacity.
+    /// Verifies per-node accounting (free + sum(leases) == capacity) and
+    /// that the incremental aggregates match a from-scratch recount.
     ///
     /// Cheap enough to run inside tests and property checks; the platform
     /// calls it at the end of every simulation in debug builds.
     pub fn check_invariants(&self) -> bool {
-        self.nodes.iter().all(|n| {
+        let per_node = self.nodes.iter().all(|n| {
             let leased: ResourceVec = n.leases().map(|(_, r)| r).sum();
             leased + n.free() == n.capacity()
-        })
+        });
+        let free_total: u32 = self.nodes.iter().map(|n| n.free().gpus).sum();
+        let capacity: ResourceVec = self.nodes.iter().map(Node::capacity).sum();
+        let mut histogram: BTreeMap<u32, u32> = BTreeMap::new();
+        for node in &self.nodes {
+            *histogram.entry(node.free().gpus).or_insert(0) += 1;
+        }
+        per_node
+            && free_total == self.free_gpus_total
+            && capacity == self.total_capacity
+            && histogram == self.free_block_counts
     }
 }
 
@@ -623,6 +698,28 @@ mod tests {
         assert!(c.undrain(n0));
         assert!(c.allocate(3, &[(n0, ResourceVec::gpus_only(1))]).is_ok());
         assert!(!c.drain(NodeId::from_index(99)));
+    }
+
+    #[test]
+    fn version_counts_mutations_only() {
+        let mut c = small();
+        let v0 = c.version();
+        let n0 = NodeId::from_index(0);
+        // Reads and failed mutations leave the version unchanged.
+        let _ = c.free_gpus();
+        c.allocate(1, &[]).expect_err("empty request");
+        assert_eq!(c.version(), v0);
+        let lease = c
+            .allocate(1, &[(n0, ResourceVec::gpus_only(1))])
+            .expect("fits");
+        assert!(c.version() > v0);
+        let v1 = c.version();
+        c.release(lease.id()).expect("active lease");
+        assert!(c.version() > v1);
+        let v2 = c.version();
+        assert!(c.drain(n0));
+        assert!(c.undrain(n0));
+        assert!(c.version() > v2);
     }
 
     #[test]

@@ -737,7 +737,17 @@ impl Platform {
     fn on_started(&mut self, id: JobId, worker_nodes: &[NodeId], backfilled: bool, now: f64) {
         let job = self.job_mut(id);
         job.start(now);
-        let schema = job.schema().clone();
+        // Copy out only the schema fields this path needs; cloning the whole
+        // schema would heap-allocate the name/image/dependency strings on
+        // every start.
+        let schema = job.schema();
+        let per_worker_gpus = schema.resources.gpus;
+        let requested_workers = schema.workers;
+        let model = schema.model;
+        let kind = schema.kind;
+        let qos = schema.qos;
+        let group = schema.group;
+        let dataset = schema.env.dataset.clone();
         let remaining = job.remaining_secs();
         let resumed = job.preemptions() + job.restarts() > 0;
 
@@ -747,8 +757,8 @@ impl Platform {
         let granted_workers = u32::try_from(worker_nodes.len())
             .expect("worker count fits u32")
             .max(1);
-        let granted_gpus = schema.resources.gpus * granted_workers; // 0 for CPU tasks
-        let shrink = f64::from(schema.workers) / f64::from(granted_workers);
+        let granted_gpus = per_worker_gpus * granted_workers; // 0 for CPU tasks
+        let shrink = f64::from(requested_workers) / f64::from(granted_workers);
 
         let gpu_model = self
             .cluster
@@ -760,16 +770,16 @@ impl Platform {
             .get(&id)
             .copied()
             .unwrap_or(RuntimePreference::Auto);
-        let plan = match (&schema.model, schema.kind) {
+        let plan = match (&model, kind) {
             (Some(profile), TaskKind::Training | TaskKind::Inference) => self.exec.plan_training(
                 &self.cluster,
                 runtime,
                 worker_nodes,
-                (schema.resources.gpus * granted_workers).max(1),
+                granted_gpus.max(1),
                 gpu_model,
                 profile,
             ),
-            _ if schema.kind.is_cpu_only() => self.exec.plan_simple(None),
+            _ if kind.is_cpu_only() => self.exec.plan_simple(None),
             _ => self.exec.plan_simple(Some(gpu_model)),
         };
 
@@ -784,7 +794,7 @@ impl Platform {
         };
         // Dataset staging from the shared filesystem happens before any
         // useful work; nodes that still cache the dataset skip it.
-        let staging_secs = match (&mut self.store, &schema.env.dataset) {
+        let staging_secs = match (&mut self.store, &dataset) {
             (Some(store), Some((dataset, size_mb))) => {
                 let staging = store.begin_staging(worker_nodes, dataset, *size_mb);
                 if staging.readers > 0 {
@@ -825,7 +835,7 @@ impl Platform {
             Event::Finish { job: id, token },
         );
         if let Some(quantum) = self.config.scheduler.time_slice_secs {
-            if schema.qos == tacc_workload::QosClass::BestEffort {
+            if qos == tacc_workload::QosClass::BestEffort {
                 self.events.schedule(
                     SimTime::from_secs(now) + SimDuration::from_secs(quantum),
                     Event::RotateCheck,
@@ -848,7 +858,7 @@ impl Platform {
         let gpus = f64::from(granted_gpus);
         self.accrue_group_time(now);
         self.util.acquire(now, gpus);
-        self.group_busy[schema.group.index()] += gpus;
+        self.group_busy[group.index()] += gpus;
         let distinct_nodes = {
             let mut n = worker_nodes.to_vec();
             n.sort_unstable();
@@ -864,7 +874,7 @@ impl Platform {
                 runtime: format!("{:?}", plan.runtime),
                 slowdown: plan.slowdown,
                 granted_workers: u64::from(granted_workers),
-                requested_workers: u64::from(schema.workers),
+                requested_workers: u64::from(requested_workers),
                 backfilled,
             },
         );

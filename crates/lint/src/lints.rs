@@ -68,10 +68,12 @@ pub const ALL_LINTS: [Lint; 7] = [
 /// unordered-iteration containers are banned here (L1).
 pub const SIM_PATH_CRATES: [&str; 6] = ["storage", "compiler", "sched", "exec", "cluster", "core"];
 
-/// Crates exempt from the wall-clock lint: the bench harness and the
-/// fork–join pool measure *host* time by design and never feed it back
-/// into simulated decisions.
-pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 2] = ["bench", "par"];
+/// Crates exempt from the wall-clock lint: the fork–join pool measures
+/// *host* time by design and never feeds it back into simulated
+/// decisions. The bench harness is deliberately NOT exempt — its
+/// regression gates compare deterministic work counters, so each of its
+/// few intentional wall-clock reads carries an explicit allow annotation.
+pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["par"];
 
 /// Layer names accepted as the second segment of a metric name (L6).
 pub const METRIC_LAYERS: [&str; 15] = [
@@ -542,10 +544,16 @@ mod tests {
         let scan = scan_source(&ctx("sched", FileKind::Lib), src);
         assert_eq!(lints_of(&scan), vec!["wall-clock"]);
         assert_eq!(scan.findings[0].line, 2);
-        // Exempt harness crates run clean.
-        assert!(scan_source(&ctx("bench", FileKind::Lib), src)
+        // The exempt fork–join pool runs clean.
+        assert!(scan_source(&ctx("par", FileKind::Lib), src)
             .findings
             .is_empty());
+        // The bench harness is no longer blanket-exempt: its wall-clock
+        // reads must carry per-site allow annotations.
+        assert_eq!(
+            lints_of(&scan_source(&ctx("bench", FileKind::Lib), src)),
+            vec!["wall-clock"]
+        );
     }
 
     #[test]

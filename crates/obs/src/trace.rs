@@ -143,18 +143,25 @@ impl DecisionTraceLog {
 
     /// Records a round. Jobs that started stop being "skipped"; jobs in
     /// `trace.skips` get their latest reason updated.
-    pub fn push(&mut self, trace: RoundTrace) {
+    ///
+    /// Returns the round evicted to make room, if the ring was full — hot
+    /// callers recycle its vector allocations for the next round's buffers
+    /// (its latest-skip contributions are already folded in and survive).
+    pub fn push(&mut self, trace: RoundTrace) -> Option<RoundTrace> {
         for id in &trace.started {
             self.latest_skip.remove(id);
         }
         for s in &trace.skips {
             self.latest_skip.insert(s.job, (trace.at_secs, s.reason));
         }
-        if self.rounds.len() == self.capacity {
-            self.rounds.pop_front();
+        let evicted = if self.rounds.len() == self.capacity {
             self.dropped += 1;
-        }
+            self.rounds.pop_front()
+        } else {
+            None
+        };
         self.rounds.push_back(trace);
+        evicted
     }
 
     /// Forgets a job's latest skip reason (terminal state reached).

@@ -74,8 +74,28 @@ pub(crate) fn reserve(
         };
     }
     running.sort_by(|a, b| a.0.total_cmp(&b.0));
+    reserve_sorted(now_secs, demand_gpus, free_gpus, running)
+}
+
+/// [`reserve`] over a release profile that is *already* sorted by
+/// ascending end time (same stable order `reserve` produces). Conservative
+/// backfill computes one reservation per blocked job per round against an
+/// unchanged running set, so the scheduler sorts the profile once per
+/// cluster state and answers each reservation with this linear walk.
+pub(crate) fn reserve_sorted(
+    now_secs: f64,
+    demand_gpus: u32,
+    free_gpus: u32,
+    sorted_running: &[(f64, u32)],
+) -> Reservation {
+    if demand_gpus <= free_gpus {
+        return Reservation {
+            shadow_secs: now_secs,
+            extra_gpus: free_gpus - demand_gpus,
+        };
+    }
     let mut free = free_gpus;
-    for &(end, gpus) in running.iter() {
+    for &(end, gpus) in sorted_running.iter() {
         free += gpus;
         if free >= demand_gpus {
             return Reservation {
@@ -87,7 +107,7 @@ pub(crate) fn reserve(
     // Demand can never be satisfied by currently running work; reserve at
     // the far end with nothing to spare.
     Reservation {
-        shadow_secs: running.last().map(|&(e, _)| e).unwrap_or(now_secs),
+        shadow_secs: sorted_running.last().map(|&(e, _)| e).unwrap_or(now_secs),
         extra_gpus: 0,
     }
 }

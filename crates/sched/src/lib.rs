@@ -58,15 +58,16 @@ mod backfill;
 mod placement;
 mod policy;
 mod quota;
+pub mod reference;
 mod request;
 mod scheduler;
 
 pub use backfill::BackfillMode;
-pub use placement::{PlacementStrategy, Planner};
+pub use placement::{PlacementStrategy, PlanStats, Planner};
 pub use policy::PolicyKind;
 pub use quota::{QuotaMode, QuotaTable};
 pub use request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
-pub use scheduler::{Scheduler, SchedulerConfig};
+pub use scheduler::{Scheduler, SchedulerConfig, WorkCounters};
 // Decision-tracing vocabulary, re-exported so scheduler callers need not
 // depend on `tacc-obs` directly.
 pub use tacc_obs::{DecisionTraceLog, JobSkip, RoundTrace, SkipReason};

@@ -31,6 +31,20 @@ impl std::fmt::Display for PlacementStrategy {
     }
 }
 
+/// Deterministic counters of planner work, accumulated across
+/// [`Planner::plan_counted`] calls. They measure *algorithm effort*, not
+/// wall time, so identical inputs always produce identical counts — which
+/// is what the perf harness and its CI gate compare.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Placement attempts (one per `plan_counted` call with `workers > 0`).
+    pub attempts: u64,
+    /// Nodes examined by candidate collection across all attempts.
+    pub nodes_scanned: u64,
+    /// Attempts refused by the O(1) capacity gates before any node scan.
+    pub fastpath_rejects: u64,
+}
+
 /// A placement planner: pure logic over a cluster snapshot, no state.
 ///
 /// Returns, for a gang of `workers` each needing `per_worker`, the node of
@@ -61,13 +75,69 @@ impl Planner {
         workers: u32,
         per_worker: ResourceVec,
     ) -> Option<Vec<NodeId>> {
+        let mut stats = PlanStats::default();
+        self.plan_counted(cluster, workers, per_worker, &mut stats)
+    }
+
+    /// [`Planner::plan`] with work accounting: accumulates attempt, node-scan
+    /// and fast-path-reject counts into `stats`.
+    ///
+    /// Before scanning any node, two O(1) infeasibility gates consult the
+    /// cluster's incremental capacity index. Both are *conservative*: the
+    /// cached totals include drained nodes, a superset of schedulable
+    /// capacity, so a gate only fires when the full scan would certainly
+    /// have returned `None` — the gates never change a scheduling decision.
+    pub fn plan_counted(
+        &self,
+        cluster: &Cluster,
+        workers: u32,
+        per_worker: ResourceVec,
+        stats: &mut PlanStats,
+    ) -> Option<Vec<NodeId>> {
         if workers == 0 {
             return Some(Vec::new());
         }
+        stats.attempts += 1;
+        // Gate 1: aggregate GPU demand exceeds every free GPU in the
+        // cluster (drained ones included) — no assignment can exist.
+        // Gate 2: a single worker needs more GPUs than the largest free
+        // block on any node — no node can host even one worker.
+        // Neither gate fires for CPU-only work (`per_worker.gpus == 0`).
+        let total_gpus = per_worker.gpus.saturating_mul(workers);
+        if total_gpus > cluster.free_gpus() || per_worker.gpus > cluster.largest_free_block() {
+            stats.fastpath_rejects += 1;
+            return None;
+        }
         match self.strategy {
-            PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false),
-            PlacementStrategy::Spread => self.plan_greedy(cluster, workers, per_worker, true),
-            PlacementStrategy::TopologyAware => self.plan_topology(cluster, workers, per_worker),
+            PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false, stats),
+            PlacementStrategy::Spread => self.plan_greedy(cluster, workers, per_worker, true, stats),
+            PlacementStrategy::TopologyAware => {
+                self.plan_topology(cluster, workers, per_worker, stats)
+            }
+        }
+    }
+
+    /// [`Planner::plan`] **without** the O(1) infeasibility gates: every
+    /// attempt runs the full node scan, exactly as the planner behaved
+    /// before the capacity index existed. The naive reference scheduler
+    /// plans through this so the differential tests check the gated and
+    /// ungated paths against each other.
+    pub fn plan_ungated(
+        &self,
+        cluster: &Cluster,
+        workers: u32,
+        per_worker: ResourceVec,
+    ) -> Option<Vec<NodeId>> {
+        if workers == 0 {
+            return Some(Vec::new());
+        }
+        let mut stats = PlanStats::default();
+        match self.strategy {
+            PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false, &mut stats),
+            PlacementStrategy::Spread => self.plan_greedy(cluster, workers, per_worker, true, &mut stats),
+            PlacementStrategy::TopologyAware => {
+                self.plan_topology(cluster, workers, per_worker, &mut stats)
+            }
         }
     }
 
@@ -80,7 +150,9 @@ impl Planner {
         workers: u32,
         per_worker: ResourceVec,
         spread: bool,
+        stats: &mut PlanStats,
     ) -> Option<Vec<NodeId>> {
+        stats.nodes_scanned += cluster.node_count() as u64;
         let mut nodes: Vec<(NodeId, ResourceVec)> = cluster
             .nodes()
             .filter(|n| n.is_schedulable())
@@ -139,8 +211,10 @@ impl Planner {
         cluster: &Cluster,
         workers: u32,
         per_worker: ResourceVec,
+        stats: &mut PlanStats,
     ) -> Option<Vec<NodeId>> {
         // Tier 1: whole gang on one node.
+        stats.nodes_scanned += cluster.node_count() as u64;
         let mut single: Vec<NodeId> = cluster
             .nodes()
             .filter(|n| n.is_schedulable())
@@ -174,7 +248,7 @@ impl Planner {
                 .filter(|n| n.rack().index() == rack)
                 .map(|n| n.id())
                 .collect();
-            if let Some(plan) = self.plan_within(cluster, &in_rack, workers, per_worker) {
+            if let Some(plan) = self.plan_within(cluster, &in_rack, workers, per_worker, stats) {
                 let rack_free: u32 = in_rack
                     .iter()
                     .map(|&id| cluster.node(id).expect("exists").free().gpus)
@@ -189,7 +263,7 @@ impl Planner {
 
         // Tier 3: fall back to cluster-wide packing (minimizes nodes, which
         // correlates with fewer racks).
-        self.plan_greedy(cluster, workers, per_worker, false)
+        self.plan_greedy(cluster, workers, per_worker, false, stats)
     }
 
     /// Packs a gang into an explicit node subset, or `None`.
@@ -199,7 +273,9 @@ impl Planner {
         subset: &[NodeId],
         workers: u32,
         per_worker: ResourceVec,
+        stats: &mut PlanStats,
     ) -> Option<Vec<NodeId>> {
+        stats.nodes_scanned += subset.len() as u64;
         let mut nodes: Vec<(NodeId, ResourceVec)> = subset
             .iter()
             .map(|&id| cluster.node(id).expect("subset node exists"))

@@ -89,6 +89,51 @@ pub(crate) fn multi_factor_score(now_secs: f64, queue_len: usize, r: &TaskReques
     age + pressure * shortness - size_penalty + qos_bonus
 }
 
+/// Compares two requests under `policy`'s ordering. Every arm ends in the
+/// id tiebreak, so the relation is a total order and the sorted
+/// permutation of any queue is *unique* — which is what lets the
+/// scheduler keep a queue sorted by insertion instead of re-sorting, with
+/// a provably identical result.
+///
+/// `now_secs` and `queue_len` only influence [`PolicyKind::MultiFactor`]
+/// scores; every other policy's keys are independent of time and of the
+/// queue itself (FIFO/SJF read only the request, FairShare/DRF also read
+/// the group usage carried by `ctx`).
+pub(crate) fn compare(
+    policy: PolicyKind,
+    now_secs: f64,
+    queue_len: usize,
+    a: &TaskRequest,
+    b: &TaskRequest,
+    ctx: &PolicyContext<'_>,
+) -> std::cmp::Ordering {
+    match policy {
+        PolicyKind::Fifo => a
+            .submit_secs
+            .total_cmp(&b.submit_secs)
+            .then(a.id.cmp(&b.id)),
+        PolicyKind::Sjf => a
+            .est_secs
+            .total_cmp(&b.est_secs)
+            .then(a.submit_secs.total_cmp(&b.submit_secs))
+            .then(a.id.cmp(&b.id)),
+        PolicyKind::FairShare => ctx
+            .usage_ratio(a.group)
+            .total_cmp(&ctx.usage_ratio(b.group))
+            .then(a.submit_secs.total_cmp(&b.submit_secs))
+            .then(a.id.cmp(&b.id)),
+        PolicyKind::Drf => ctx
+            .dominant_share(a.group)
+            .total_cmp(&ctx.dominant_share(b.group))
+            .then(a.submit_secs.total_cmp(&b.submit_secs))
+            .then(a.id.cmp(&b.id)),
+        PolicyKind::MultiFactor => multi_factor_score(now_secs, queue_len, b)
+            .total_cmp(&multi_factor_score(now_secs, queue_len, a))
+            .then(a.submit_secs.total_cmp(&b.submit_secs))
+            .then(a.id.cmp(&b.id)),
+    }
+}
+
 /// Sorts the pending queue in scheduling order under `policy`.
 ///
 /// The sort is stable and all keys are totally ordered, so the result is
@@ -99,48 +144,8 @@ pub(crate) fn order_queue(
     queue: &mut [TaskRequest],
     ctx: &PolicyContext<'_>,
 ) {
-    match policy {
-        PolicyKind::Fifo => {
-            queue.sort_by(|a, b| {
-                a.submit_secs
-                    .total_cmp(&b.submit_secs)
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-        PolicyKind::Sjf => {
-            queue.sort_by(|a, b| {
-                a.est_secs
-                    .total_cmp(&b.est_secs)
-                    .then(a.submit_secs.total_cmp(&b.submit_secs))
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-        PolicyKind::FairShare => {
-            queue.sort_by(|a, b| {
-                ctx.usage_ratio(a.group)
-                    .total_cmp(&ctx.usage_ratio(b.group))
-                    .then(a.submit_secs.total_cmp(&b.submit_secs))
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-        PolicyKind::Drf => {
-            queue.sort_by(|a, b| {
-                ctx.dominant_share(a.group)
-                    .total_cmp(&ctx.dominant_share(b.group))
-                    .then(a.submit_secs.total_cmp(&b.submit_secs))
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-        PolicyKind::MultiFactor => {
-            let queue_len = queue.len();
-            queue.sort_by(|a, b| {
-                multi_factor_score(now_secs, queue_len, b)
-                    .total_cmp(&multi_factor_score(now_secs, queue_len, a))
-                    .then(a.submit_secs.total_cmp(&b.submit_secs))
-                    .then(a.id.cmp(&b.id))
-            });
-        }
-    }
+    let queue_len = queue.len();
+    queue.sort_by(|a, b| compare(policy, now_secs, queue_len, a, b, ctx));
 }
 
 #[cfg(test)]

@@ -152,11 +152,25 @@ impl QuotaTable {
         }
     }
 
+    /// Total GPUs currently borrowed across all groups — exactly the GPU
+    /// count held by best-effort leases, which is what a full reclaim
+    /// (preempting every borrower) would hand back to the free pool.
+    pub fn borrowed_total(&self) -> u32 {
+        self.best_effort_used.iter().sum()
+    }
+
     /// Per-group total GPU usage, indexed by group (for policy contexts).
     pub fn usage_by_group(&self) -> Vec<u32> {
         (0..self.quotas.len())
             .map(|i| self.guaranteed_used[i] + self.best_effort_used[i])
             .collect()
+    }
+
+    /// Fills `out` with [`QuotaTable::usage_by_group`] without allocating
+    /// (the scheduler reuses one scratch vector across rounds).
+    pub fn usage_by_group_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend((0..self.quotas.len()).map(|i| self.guaranteed_used[i] + self.best_effort_used[i]));
     }
 }
 

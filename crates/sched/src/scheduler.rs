@@ -1,6 +1,6 @@
 //! The scheduling-layer facade.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use tacc_cluster::{Cluster, ResourceVec};
@@ -9,9 +9,9 @@ use tacc_obs::{
 };
 use tacc_workload::{GroupRoster, JobId, QosClass};
 
-use crate::backfill::{may_backfill, reserve, BackfillMode, Reservation};
-use crate::placement::{PlacementStrategy, Planner};
-use crate::policy::{order_queue, PolicyContext, PolicyKind};
+use crate::backfill::{may_backfill, reserve_sorted, BackfillMode, Reservation};
+use crate::placement::{PlacementStrategy, PlanStats, Planner};
+use crate::policy::{compare, order_queue, PolicyContext, PolicyKind};
 use crate::quota::{QuotaMode, QuotaTable};
 use crate::request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
 
@@ -81,13 +81,117 @@ pub struct Scheduler {
     config: SchedulerConfig,
     planner: Planner,
     quota: QuotaTable,
+    /// The pending queue. Kept *sorted* under the policy comparator
+    /// whenever that order is provable (`queue_dirty == false`):
+    /// `queue_push` binary-inserts and `queue_remove_request` removes in
+    /// place, so steady-state rounds never re-sort at all.
     queue: Vec<TaskRequest>,
+    /// Ids currently queued (duplicate-submission guard and O(log n)
+    /// membership for removals).
+    queue_members: BTreeSet<JobId>,
+    /// Set when the queue's physical order stopped being the sorted
+    /// permutation (an append under an invalid comparator context, or a
+    /// swap-remove on the fallback path); policies with
+    /// static per-request keys (FIFO/SJF) skip re-sorting while clean.
+    queue_dirty: bool,
+    /// Bumped on every quota charge/release. FairShare/DRF keys depend on
+    /// group usage, so those policies also re-sort when this moved.
+    usage_epoch: u64,
+    /// `usage_epoch` at the last sort.
+    sorted_usage_epoch: u64,
+    /// Cluster capacity at the last sort. DRF keys divide by capacity, so
+    /// a capacity change (node failures, drains) invalidates the sorted
+    /// order the same way a usage change does.
+    sorted_capacity: ResourceVec,
+    /// The previous round's walk ledger: one `(job, verdict)` entry per
+    /// examined queue position, in walk order. A job re-examined at the
+    /// same position with the same verdict was already traced — at steady
+    /// state a deeply blocked queue contributes nothing to the trace (and
+    /// pays one positional compare per job, no map) until something moves.
+    scratch_verdicts: Vec<(JobId, SkipVerdict)>,
+    /// The ledger being built by the current walk (swapped into
+    /// `scratch_verdicts` when the round ends).
+    scratch_verdicts_next: Vec<(JobId, SkipVerdict)>,
+    /// Incrementally maintained per-group running resource totals (the
+    /// recomputed-from-scratch value is debug-asserted every round).
+    group_usage_vec: Vec<ResourceVec>,
+    /// Reusable round buffers (capacity survives across rounds, so the
+    /// steady-state hot path allocates nothing per round).
+    scratch_snapshot: Vec<TaskRequest>,
+    scratch_usage: Vec<u32>,
+    scratch_skips: Vec<JobSkip>,
+    scratch_started: Vec<JobId>,
+    scratch_preempted: Vec<JobId>,
+    /// The reclaim pre-check's hypothetical cluster (all borrowers evicted),
+    /// cached with the [`Cluster::version`] it was derived from. Valid for
+    /// as long as the scheduler keeps seeing that same cluster unmutated —
+    /// every placement, preemption, finish or drain bumps the version — so
+    /// consecutive blocked guaranteed jobs within a round share one clone.
+    reclaim_cache: Option<(u64, Cluster)>,
+    /// Conservative backfill's release profile — running `(est_end, gpus)`
+    /// pairs sorted by end time — cached under the same version key: one
+    /// sort per cluster state answers every reservation in the round.
+    reserve_cache: Option<(u64, Vec<(f64, u32)>)>,
     running: BTreeMap<JobId, RunningTask>,
     backfill_starts: u64,
     preemptions: u64,
     rounds: u64,
+    counters: WorkCounters,
+    flushed_counters: WorkCounters,
     trace: DecisionTraceLog,
     metrics: Option<SchedMetrics>,
+}
+
+/// Deterministic algorithmic work counters for the scheduler hot path.
+///
+/// Every field counts *work performed or avoided* — never wall time — so
+/// two runs over the same inputs produce identical values. The perf
+/// harness records them in `BENCH_hotpath.json` and CI gates on exact
+/// equality across runs; wall time stays informational.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Rounds that early-exited because the queue was empty (the sort,
+    /// snapshot and usage work was skipped entirely).
+    pub empty_rounds: u64,
+    /// Rounds that re-sorted the queue.
+    pub queue_sorts: u64,
+    /// Rounds that proved the previous order still valid and skipped the
+    /// sort (clean queue, and — for usage-keyed policies — unchanged usage).
+    pub queue_sorts_skipped: u64,
+    /// Queue elements copied into the reusable round snapshot (the former
+    /// per-round `Vec` clone this buffer replaced).
+    pub snapshot_elements: u64,
+    /// Skip verdicts recorded into the decision trace — a job's first
+    /// evaluation, or one whose blocking reason changed.
+    pub skip_records: u64,
+    /// Re-evaluations whose verdict matched the one already traced and
+    /// were suppressed (the steady-state cost of a deeply blocked queue).
+    pub skip_suppressions: u64,
+    /// Planner effort: attempts, node scans, and O(1) fast-path rejects.
+    pub plan: PlanStats,
+}
+
+/// Compact fingerprint of one walk outcome for a queued job, compared
+/// positionally across rounds to decide whether a re-examined job needs
+/// re-tracing. Deliberately coarse: volatile payloads (current usage,
+/// free-GPU counts, shadow times — all of which wobble every round in a
+/// busy cluster) are excluded, so a steadily blocked job is traced once
+/// per *category of reason* and its surviving record reads as "waiting
+/// like this since t". Anything that invalidates the positional match —
+/// a start, a cancel, queue reordering — forces a fresh record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SkipVerdict {
+    /// Blocked on group quota.
+    Quota,
+    /// Blocked by a backfill reservation.
+    Backfill,
+    /// No feasible placement on current capacity.
+    NoPlacement,
+    /// Stalled behind a blocked head under no-backfill.
+    HeadOfLine { behind: JobId },
+    /// Not skipped: the job started this round (never equal to a skip, so
+    /// a re-queued job is always re-traced).
+    Started,
 }
 
 /// Handles into an attached [`MetricsRegistry`] (`tacc_sched_*` series).
@@ -99,6 +203,15 @@ struct SchedMetrics {
     running_tasks: Gauge,
     preemptions: Counter,
     backfill_starts: Counter,
+    empty_rounds: Counter,
+    queue_sorts: Counter,
+    queue_sorts_skipped: Counter,
+    snapshot_elements: Counter,
+    skip_records: Counter,
+    skip_suppressions: Counter,
+    placement_attempts: Counter,
+    node_scans: Counter,
+    fastpath_rejects: Counter,
 }
 
 impl Scheduler {
@@ -112,12 +225,29 @@ impl Scheduler {
             planner: Planner::new(config.placement),
             quota: QuotaTable::from_quotas(quotas),
             trace: DecisionTraceLog::new(config.decision_trace_capacity),
+            group_usage_vec: vec![ResourceVec::ZERO; config.group_count],
             config,
             queue: Vec::new(),
+            queue_members: BTreeSet::new(),
+            queue_dirty: true,
+            usage_epoch: 0,
+            sorted_usage_epoch: 0,
+            sorted_capacity: ResourceVec::ZERO,
+            scratch_verdicts: Vec::new(),
+            scratch_verdicts_next: Vec::new(),
+            scratch_snapshot: Vec::new(),
+            scratch_usage: Vec::new(),
+            scratch_skips: Vec::new(),
+            scratch_started: Vec::new(),
+            scratch_preempted: Vec::new(),
+            reclaim_cache: None,
+            reserve_cache: None,
             running: BTreeMap::new(),
             backfill_starts: 0,
             preemptions: 0,
             rounds: 0,
+            counters: WorkCounters::default(),
+            flushed_counters: WorkCounters::default(),
             metrics: None,
         }
     }
@@ -134,7 +264,138 @@ impl Scheduler {
             running_tasks: registry.gauge("tacc_sched_running_tasks", &[]),
             preemptions: registry.counter("tacc_sched_preemptions_total", &[]),
             backfill_starts: registry.counter("tacc_sched_backfill_starts_total", &[]),
+            empty_rounds: registry.counter("tacc_sched_empty_rounds_total", &[]),
+            queue_sorts: registry.counter("tacc_sched_queue_sorts_total", &[]),
+            queue_sorts_skipped: registry.counter("tacc_sched_queue_sorts_skipped_total", &[]),
+            snapshot_elements: registry.counter("tacc_sched_snapshot_elements_total", &[]),
+            skip_records: registry.counter("tacc_sched_skip_records_total", &[]),
+            skip_suppressions: registry.counter("tacc_sched_skip_suppressions_total", &[]),
+            placement_attempts: registry.counter("tacc_sched_placement_attempts_total", &[]),
+            node_scans: registry.counter("tacc_sched_node_scans_total", &[]),
+            fastpath_rejects: registry.counter("tacc_sched_placement_fastpath_rejects_total", &[]),
         });
+    }
+
+    /// A snapshot of the deterministic work counters accumulated so far.
+    pub fn work_counters(&self) -> WorkCounters {
+        self.counters
+    }
+
+    /// Mirrors the work-counter deltas since the last flush into the
+    /// attached registry (no-op when no registry is attached).
+    fn flush_work_metrics(&mut self) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        let cur = self.counters;
+        let prev = self.flushed_counters;
+        m.empty_rounds.inc_by(cur.empty_rounds - prev.empty_rounds);
+        m.queue_sorts.inc_by(cur.queue_sorts - prev.queue_sorts);
+        m.queue_sorts_skipped
+            .inc_by(cur.queue_sorts_skipped - prev.queue_sorts_skipped);
+        m.snapshot_elements
+            .inc_by(cur.snapshot_elements - prev.snapshot_elements);
+        m.skip_records.inc_by(cur.skip_records - prev.skip_records);
+        m.skip_suppressions
+            .inc_by(cur.skip_suppressions - prev.skip_suppressions);
+        m.placement_attempts
+            .inc_by(cur.plan.attempts - prev.plan.attempts);
+        m.node_scans
+            .inc_by(cur.plan.nodes_scanned - prev.plan.nodes_scanned);
+        m.fastpath_rejects
+            .inc_by(cur.plan.fastpath_rejects - prev.plan.fastpath_rejects);
+        self.flushed_counters = cur;
+    }
+
+    /// Whether the queue's current physical order is provably the sorted
+    /// permutation under the policy comparator *with the current keys* —
+    /// the precondition for binary-searching it instead of re-sorting.
+    fn queue_order_valid(&self) -> bool {
+        !self.queue_dirty
+            && match self.config.policy {
+                PolicyKind::Fifo | PolicyKind::Sjf => true,
+                // Usage-keyed policies: valid only while usage (and, for
+                // DRF, capacity) has not moved since the last sort.
+                PolicyKind::FairShare | PolicyKind::Drf => {
+                    self.usage_epoch == self.sorted_usage_epoch
+                }
+                // MultiFactor keys move with `now`: every round re-sorts.
+                PolicyKind::MultiFactor => false,
+            }
+    }
+
+    /// Adds to the queue. When the current order is provably sorted the
+    /// request is binary-inserted at the position a full re-sort would
+    /// give it (the comparator is a total order, so the sorted permutation
+    /// is unique); otherwise it is appended and the next round sorts.
+    fn queue_push(&mut self, request: TaskRequest) {
+        self.queue_members.insert(request.id);
+        if self.queue_order_valid() {
+            self.quota.usage_by_group_into(&mut self.scratch_usage);
+            let ctx = PolicyContext {
+                group_gpu_usage: &self.scratch_usage,
+                group_usage_vec: &self.group_usage_vec,
+                group_quota: self.quota.quotas(),
+                capacity: self.sorted_capacity,
+            };
+            let policy = self.config.policy;
+            // `now`/`queue_len` feed only MultiFactor scores, which never
+            // take this path.
+            let pos = self
+                .queue
+                .partition_point(|e| compare(policy, 0.0, 0, e, &request, &ctx).is_lt());
+            self.queue.insert(pos, request);
+        } else {
+            self.queue.push(request);
+            self.queue_dirty = true;
+        }
+    }
+
+    /// Removes a queued task by id (user cancel: no request to compare
+    /// against, so this scans). An in-place removal preserves whatever
+    /// order the queue had. Returns `false` if the id is not queued.
+    fn queue_remove(&mut self, id: JobId) -> bool {
+        if !self.queue_members.remove(&id) {
+            return false;
+        }
+        if let Some(pos) = self.queue.iter().position(|r| r.id == id) {
+            self.queue.remove(pos);
+        }
+        true
+    }
+
+    /// Removes a task we hold the full request for (a placement commit).
+    /// While the sorted order is provable the position comes from a binary
+    /// search; otherwise from a scan and a swap-remove (the order is
+    /// already unprovable, so scrambling it further costs nothing).
+    fn queue_remove_request(&mut self, request: &TaskRequest) {
+        if !self.queue_members.remove(&request.id) {
+            return;
+        }
+        if self.queue_order_valid() {
+            self.quota.usage_by_group_into(&mut self.scratch_usage);
+            let ctx = PolicyContext {
+                group_gpu_usage: &self.scratch_usage,
+                group_usage_vec: &self.group_usage_vec,
+                group_quota: self.quota.quotas(),
+                capacity: self.sorted_capacity,
+            };
+            let policy = self.config.policy;
+            let pos = self
+                .queue
+                .partition_point(|e| compare(policy, 0.0, 0, e, request, &ctx).is_lt());
+            if self.queue.get(pos).map(|r| r.id) == Some(request.id) {
+                self.queue.remove(pos);
+                return;
+            }
+            // The comparator did not land on the entry — the sorted-order
+            // invariant must have been broken. Recover via the scan path.
+            debug_assert!(false, "binary removal missed {}", request.id);
+        }
+        if let Some(pos) = self.queue.iter().position(|r| r.id == request.id) {
+            self.queue.swap_remove(pos);
+            self.queue_dirty = true;
+        }
     }
 
     /// The decision trace: recent [`RoundTrace`]s plus the latest skip
@@ -255,7 +516,7 @@ impl Scheduler {
             });
             // Back of the queue: the rotated task waits its turn, with its
             // originally requested gang size restored.
-            self.queue.push(TaskRequest {
+            self.queue_push(TaskRequest {
                 submit_secs: now_secs,
                 workers: task.requested_workers,
                 ..task.request
@@ -306,22 +567,24 @@ impl Scheduler {
             self.config.group_count
         );
         assert!(
-            !self.running.contains_key(&request.id)
-                && self.queue.iter().all(|r| r.id != request.id),
+            !self.running.contains_key(&request.id) && !self.queue_members.contains(&request.id),
             "duplicate submission of {}",
             request.id
         );
-        self.queue.push(request);
+        self.queue_push(request);
     }
 
     /// Removes a queued task. Returns `true` if it was found (running tasks
     /// are not cancelled here — stop them via the platform, then call
     /// [`Scheduler::task_finished`]).
     pub fn cancel(&mut self, id: JobId) -> bool {
-        let before = self.queue.len();
-        self.queue.retain(|r| r.id != id);
-        let found = self.queue.len() < before;
+        let found = self.queue_remove(id);
         if found {
+            // Scrub the walk ledger so a future resubmission of this id is
+            // always re-traced (its trace record was just forgotten).
+            if let Some(entry) = self.scratch_verdicts.iter_mut().find(|e| e.0 == id) {
+                entry.1 = SkipVerdict::Started;
+            }
             self.trace.forget_job(id);
         }
         found
@@ -337,6 +600,8 @@ impl Scheduler {
             .release(task.lease_id)
             .expect("running task holds a valid lease");
         self.quota.release(&task.request);
+        self.group_usage_vec[task.request.group.index()] -= task.request.total_resources();
+        self.usage_epoch += 1;
         self.trace.forget_job(id);
         Some(task)
     }
@@ -350,40 +615,134 @@ impl Scheduler {
         let round_start = Instant::now();
         self.rounds += 1;
         let queue_len_at_start = self.queue.len() as u64;
-        let mut skips: Vec<JobSkip> = Vec::new();
         let mut outcome = SchedOutcome::default();
 
-        // Order the queue under the configured policy.
-        let group_usage = self.quota.usage_by_group();
-        let group_usage_vec = self.group_usage_vectors();
-        let ctx = PolicyContext {
-            group_gpu_usage: &group_usage,
-            group_usage_vec: &group_usage_vec,
-            group_quota: self.quota.quotas(),
-            capacity: cluster.total_capacity(),
+        // Empty queue: nothing can start or preempt, so the sort, snapshot
+        // and usage work below is skipped entirely. The `rounds` counter,
+        // gauges and the round-latency observation behave exactly as the
+        // full path would, and an idle round was never traced anyway.
+        if self.queue.is_empty() {
+            self.counters.empty_rounds += 1;
+            let wall = round_start.elapsed();
+            if let Some(m) = &self.metrics {
+                m.rounds.inc();
+                m.round_latency.observe(wall.as_secs_f64());
+                m.queue_depth.set(0.0);
+                m.running_tasks.set(self.running.len() as f64);
+            }
+            self.flush_work_metrics();
+            return outcome;
+        }
+
+        // The incremental usage vectors must always equal a recount over
+        // the running set; any drift is an accounting bug.
+        debug_assert_eq!(
+            self.group_usage_vec,
+            self.group_usage_vectors_recomputed(),
+            "incremental group usage diverged from recomputation"
+        );
+
+        // Order the queue under the configured policy — but only when the
+        // previous order can no longer be proven valid. Every comparator
+        // ends in an id tiebreak (a total order), so a sorted queue is the
+        // *unique* sorted permutation: if the keys did not change, the
+        // existing order is byte-identical to what a re-sort would produce.
+        //   - FIFO/SJF keys are static per request → re-sort only when
+        //     membership changed.
+        //   - FairShare/DRF keys also read group usage → re-sort when usage
+        //     moved since the last sort.
+        //   - MultiFactor scores depend on `now_secs` and the queue length
+        //     → always re-sort.
+        let sort_needed = match self.config.policy {
+            PolicyKind::Fifo | PolicyKind::Sjf => self.queue_dirty,
+            PolicyKind::FairShare | PolicyKind::Drf => {
+                self.queue_dirty
+                    || self.sorted_usage_epoch != self.usage_epoch
+                    || self.sorted_capacity != cluster.total_capacity()
+            }
+            PolicyKind::MultiFactor => true,
         };
-        order_queue(self.config.policy, now_secs, &mut self.queue, &ctx);
+        if sort_needed {
+            self.quota.usage_by_group_into(&mut self.scratch_usage);
+            let ctx = PolicyContext {
+                group_gpu_usage: &self.scratch_usage,
+                group_usage_vec: &self.group_usage_vec,
+                group_quota: self.quota.quotas(),
+                capacity: cluster.total_capacity(),
+            };
+            order_queue(self.config.policy, now_secs, &mut self.queue, &ctx);
+            self.queue_dirty = false;
+            self.sorted_usage_epoch = self.usage_epoch;
+            self.sorted_capacity = cluster.total_capacity();
+            self.counters.queue_sorts += 1;
+        } else {
+            self.counters.queue_sorts_skipped += 1;
+            // When the sort is skipped the queue must already be the unique
+            // sorted permutation — binary inserts and in-place removals are
+            // claimed to preserve it exactly.
+            #[cfg(debug_assertions)]
+            {
+                self.quota.usage_by_group_into(&mut self.scratch_usage);
+                let ctx = PolicyContext {
+                    group_gpu_usage: &self.scratch_usage,
+                    group_usage_vec: &self.group_usage_vec,
+                    group_quota: self.quota.quotas(),
+                    capacity: self.sorted_capacity,
+                };
+                let policy = self.config.policy;
+                let queue_len = self.queue.len();
+                debug_assert!(
+                    self.queue.windows(2).all(|w| {
+                        compare(policy, now_secs, queue_len, &w[0], &w[1], &ctx).is_lt()
+                    }),
+                    "sort-skip invariant violated: queue is not in sorted order"
+                );
+            }
+        }
+        debug_assert!(
+            self.queue.len() == self.queue_members.len()
+                && self
+                    .queue
+                    .iter()
+                    .all(|r| self.queue_members.contains(&r.id)),
+            "queue membership set diverged from the queue"
+        );
 
         let mut reservations: Vec<Reservation> = Vec::new();
-        let queue_snapshot = self.queue.clone();
+        // Skip records accumulate into a recycled buffer (handed back by
+        // the trace ring at push time once it is warm).
+        let mut skips = std::mem::take(&mut self.scratch_skips);
+        skips.clear();
+        // Reusable snapshot buffer instead of a per-round `Vec` clone
+        // (`TaskRequest` is `Copy`, so this is a flat memcpy).
+        let mut queue_snapshot = std::mem::take(&mut self.scratch_snapshot);
+        queue_snapshot.clear();
+        queue_snapshot.extend_from_slice(&self.queue);
+        self.counters.snapshot_elements += queue_snapshot.len() as u64;
+        self.scratch_verdicts_next.clear();
 
         for (pos, request) in queue_snapshot.iter().enumerate() {
             // 1. Quota gate.
             if !self.quota.admits(self.config.quota, request) {
-                skips.push(JobSkip {
-                    job: request.id,
-                    reason: SkipReason::QuotaExhausted {
-                        group: request.group,
-                        used: self.quota.total_used(request.group),
-                        quota: self.quota.quota(request.group),
-                        demand: request.total_gpus(),
+                self.record_skip(
+                    &mut skips,
+                    pos,
+                    JobSkip {
+                        job: request.id,
+                        reason: SkipReason::QuotaExhausted {
+                            group: request.group,
+                            used: self.quota.total_used(request.group),
+                            quota: self.quota.quota(request.group),
+                            demand: request.total_gpus(),
+                        },
                     },
-                });
+                    SkipVerdict::Quota,
+                );
                 // Blocked on quota, not capacity: holds no capacity
                 // reservation. Under no-backfill the queue is strictly
                 // ordered, so later jobs stall behind it anyway.
                 if self.config.backfill == BackfillMode::None {
-                    skip_tail(&mut skips, &queue_snapshot[pos + 1..], request.id);
+                    self.skip_tail(&mut skips, &queue_snapshot[pos + 1..], pos + 1, request.id);
                     break;
                 }
                 continue;
@@ -406,13 +765,19 @@ impl Scheduler {
                         .iter()
                         .find(|r| !may_backfill(est_end, request.total_gpus(), r))
                         .unwrap_or(&reservations[0]);
-                    skips.push(JobSkip {
-                        job: request.id,
-                        reason: SkipReason::BackfillBlocked {
-                            est_end_secs: est_end,
-                            shadow_secs: blocking.shadow_secs,
+                    let shadow_secs = blocking.shadow_secs;
+                    self.record_skip(
+                        &mut skips,
+                        pos,
+                        JobSkip {
+                            job: request.id,
+                            reason: SkipReason::BackfillBlocked {
+                                est_end_secs: est_end,
+                                shadow_secs,
+                            },
                         },
-                    });
+                        SkipVerdict::Backfill,
+                    );
                     if self.config.backfill == BackfillMode::Conservative {
                         self.push_reservation(now_secs, request, cluster, &mut reservations);
                     }
@@ -424,6 +789,8 @@ impl Scheduler {
             let backfilled = !reservations.is_empty();
             match self.try_place(now_secs, request, cluster, &mut outcome) {
                 Some(start) => {
+                    self.scratch_verdicts_next
+                        .push((request.id, SkipVerdict::Started));
                     if backfilled {
                         self.backfill_starts += 1;
                         if let Some(m) = &self.metrics {
@@ -437,18 +804,28 @@ impl Scheduler {
                 }
                 None => {
                     // Capacity-blocked.
-                    skips.push(JobSkip {
-                        job: request.id,
-                        reason: SkipReason::NoFeasiblePlacement {
-                            workers: request.workers,
-                            gpus_per_worker: request.per_worker.gpus,
-                            free_gpus: cluster.free_gpus(),
-                            largest_free_block: cluster.largest_free_block(),
+                    self.record_skip(
+                        &mut skips,
+                        pos,
+                        JobSkip {
+                            job: request.id,
+                            reason: SkipReason::NoFeasiblePlacement {
+                                workers: request.workers,
+                                gpus_per_worker: request.per_worker.gpus,
+                                free_gpus: cluster.free_gpus(),
+                                largest_free_block: cluster.largest_free_block(),
+                            },
                         },
-                    });
+                        SkipVerdict::NoPlacement,
+                    );
                     match self.config.backfill {
                         BackfillMode::None => {
-                            skip_tail(&mut skips, &queue_snapshot[pos + 1..], request.id);
+                            self.skip_tail(
+                                &mut skips,
+                                &queue_snapshot[pos + 1..],
+                                pos + 1,
+                                request.id,
+                            );
                             break;
                         }
                         BackfillMode::Easy => {
@@ -469,6 +846,15 @@ impl Scheduler {
             }
         }
 
+        // The walk pushed exactly one ledger entry per examined position;
+        // it becomes the baseline the next round's walk dedups against.
+        debug_assert_eq!(
+            self.scratch_verdicts_next.len(),
+            queue_snapshot.len(),
+            "walk ledger out of step with the snapshot"
+        );
+        std::mem::swap(&mut self.scratch_verdicts, &mut self.scratch_verdicts_next);
+        self.scratch_snapshot = queue_snapshot;
         let wall = round_start.elapsed();
         if let Some(m) = &self.metrics {
             m.rounds.inc();
@@ -476,18 +862,34 @@ impl Scheduler {
             m.queue_depth.set(self.queue.len() as f64);
             m.running_tasks.set(self.running.len() as f64);
         }
+        self.flush_work_metrics();
         // Idle rounds (nothing queued, nothing decided) are not traced:
         // the platform's fixpoint loop would otherwise flood the ring.
         if queue_len_at_start > 0 || !outcome.is_empty() {
-            self.trace.push(RoundTrace {
+            let mut started = std::mem::take(&mut self.scratch_started);
+            started.clear();
+            started.extend(outcome.starts().map(|t| t.request.id));
+            let mut preempted = std::mem::take(&mut self.scratch_preempted);
+            preempted.clear();
+            preempted.extend(outcome.preemptions().map(|(id, _)| id));
+            let evicted = self.trace.push(RoundTrace {
                 round: self.rounds,
                 at_secs: now_secs,
                 wall_micros: wall.as_micros() as u64,
                 queue_len: queue_len_at_start,
-                started: outcome.starts().map(|t| t.request.id).collect(),
-                preempted: outcome.preemptions().map(|(id, _)| id).collect(),
+                started,
+                preempted,
                 skips,
             });
+            // Once the ring is warm every push evicts a round; its vectors
+            // become the next round's buffers, closing the allocation loop.
+            if let Some(old) = evicted {
+                self.scratch_started = old.started;
+                self.scratch_preempted = old.preempted;
+                self.scratch_skips = old.skips;
+            }
+        } else {
+            self.scratch_skips = skips;
         }
 
         outcome
@@ -510,6 +912,20 @@ impl Scheduler {
         if self.config.quota != QuotaMode::Borrowing || request.qos != QosClass::Guaranteed {
             return None;
         }
+        // O(1) reclaim gate: evicting every borrower hands back exactly the
+        // borrowed GPU total, so the hypothetical cluster below would have
+        // `free + borrowed` free GPUs. When even that cannot cover the
+        // aggregate demand, the planner's capacity gate is certain to
+        // reject the pre-check — skip the victim scan and the clone, and
+        // count the reject exactly as `plan_counted` would have.
+        let borrowed = self.quota.borrowed_total();
+        if request.per_worker.gpus.saturating_mul(request.workers)
+            > cluster.free_gpus().saturating_add(borrowed)
+        {
+            self.counters.plan.attempts += 1;
+            self.counters.plan.fastpath_rejects += 1;
+            return None;
+        }
         let mut victims: Vec<(f64, JobId)> = self
             .running
             .values()
@@ -523,17 +939,31 @@ impl Scheduler {
         // evicting is only justified if the reclaim can actually succeed.
         // (Evicting and then failing to place would destroy borrower
         // progress for nothing — and could deadlock an otherwise idle
-        // cluster.)
-        let mut hypothetical = cluster.clone();
-        for t in self.running.values() {
-            if t.request.qos == QosClass::BestEffort {
-                hypothetical
-                    .release(t.lease_id)
-                    .expect("running borrower holds a valid lease");
+        // cluster.) The snapshot is cached keyed by the cluster's mutation
+        // version: consecutive blocked guaranteed jobs in one round see an
+        // unchanged cluster and running set, so one clone serves them all.
+        let version = cluster.version();
+        if !matches!(&self.reclaim_cache, Some((v, _)) if *v == version) {
+            let mut hypothetical = cluster.clone();
+            for t in self.running.values() {
+                if t.request.qos == QosClass::BestEffort {
+                    hypothetical
+                        .release(t.lease_id)
+                        .expect("running borrower holds a valid lease");
+                }
             }
+            self.reclaim_cache = Some((version, hypothetical));
         }
-        self.planner
-            .plan(&hypothetical, request.workers, request.per_worker)?;
+        {
+            // Freshly written above when absent; kept panic-free.
+            let (_, hypothetical) = self.reclaim_cache.as_ref()?;
+            self.planner.plan_counted(
+                hypothetical,
+                request.workers,
+                request.per_worker,
+                &mut self.counters.plan,
+            )?;
+        }
 
         // Youngest first: least sunk work destroyed.
         victims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -551,7 +981,7 @@ impl Scheduler {
             });
             // Re-queue the victim with its original submission time and
             // its originally requested gang size.
-            self.queue.push(TaskRequest {
+            self.queue_push(TaskRequest {
                 workers: task.requested_workers,
                 ..task.request
             });
@@ -576,7 +1006,12 @@ impl Scheduler {
         // one worker); inelastic tasks place all-or-nothing.
         let mut granted = request.workers;
         let assignment = loop {
-            if let Some(a) = self.planner.plan(cluster, granted, request.per_worker) {
+            if let Some(a) = self.planner.plan_counted(
+                cluster,
+                granted,
+                request.per_worker,
+                &mut self.counters.plan,
+            ) {
                 break a;
             }
             if !request.elastic || granted <= 1 {
@@ -584,7 +1019,7 @@ impl Scheduler {
             }
             granted = (granted / 2).max(1);
         };
-        self.queue.retain(|r| r.id != request.id);
+        self.queue_remove_request(request);
         let shares = Planner::shares_for(&assignment, request.per_worker);
         let lease = cluster
             .allocate(request.id.value(), &shares)
@@ -594,6 +1029,8 @@ impl Scheduler {
             ..*request
         };
         self.quota.charge(&granted_request);
+        self.group_usage_vec[granted_request.group.index()] += granted_request.total_resources();
+        self.usage_epoch += 1;
         // A shrunken data-parallel gang runs proportionally longer.
         let scale = f64::from(request.workers) / f64::from(granted);
         self.running.insert(
@@ -617,44 +1054,110 @@ impl Scheduler {
     }
 
     /// Computes and appends the capacity reservation for a blocked request.
+    ///
+    /// The release profile — running tasks as `(est_end, gpus)`, ascending
+    /// by end time — depends only on the running set, and every change to
+    /// the running set (placement, finish, preemption) also bumps the
+    /// cluster's mutation version. The sorted profile is therefore cached
+    /// keyed on that version: conservative backfill asks for one
+    /// reservation per blocked job per round against an unchanged running
+    /// set, and all of those questions share a single collect-and-sort.
     fn push_reservation(
-        &self,
+        &mut self,
         now_secs: f64,
         request: &TaskRequest,
         cluster: &Cluster,
         reservations: &mut Vec<Reservation>,
     ) {
-        let mut running: Vec<(f64, u32)> = self
-            .running
-            .values()
-            .map(|t| (t.est_end_secs, t.request.total_gpus()))
-            .collect();
-        reservations.push(reserve(
-            now_secs,
-            request.total_gpus(),
-            cluster.free_gpus(),
-            &mut running,
-        ));
+        let version = cluster.version();
+        if !matches!(&self.reserve_cache, Some((v, _)) if *v == version) {
+            let mut profile = match self.reserve_cache.take() {
+                Some((_, mut p)) => {
+                    p.clear();
+                    p
+                }
+                None => Vec::new(),
+            };
+            profile.extend(
+                self.running
+                    .values()
+                    .map(|t| (t.est_end_secs, t.request.total_gpus())),
+            );
+            // Stable sort over the id-ordered running set: byte-identical
+            // to the order the eager per-call sort used to produce.
+            profile.sort_by(|a, b| a.0.total_cmp(&b.0));
+            self.reserve_cache = Some((version, profile));
+        }
+        if let Some((_, profile)) = &self.reserve_cache {
+            reservations.push(reserve_sorted(
+                now_secs,
+                request.total_gpus(),
+                cluster.free_gpus(),
+                profile,
+            ));
+        }
     }
 
-    /// Per-group running resource vectors (for DRF).
-    fn group_usage_vectors(&self) -> Vec<ResourceVec> {
+    /// Appends `skip` to the round's skip list only when the previous
+    /// walk examined a *different* job at this position, or the same job
+    /// with a different verdict. Re-deciding the same "why not" round
+    /// after round is pure work — the trace ring and `why` explanations
+    /// only gain information when something changes, and in a stable
+    /// blocked queue nothing does. One positional compare replaces a
+    /// per-job map; suppressed repeats are counted so the work ledger
+    /// still proves the gate ran.
+    fn record_skip(
+        &mut self,
+        skips: &mut Vec<JobSkip>,
+        pos: usize,
+        skip: JobSkip,
+        verdict: SkipVerdict,
+    ) {
+        let unchanged = self
+            .scratch_verdicts
+            .get(pos)
+            .is_some_and(|&(id, v)| id == skip.job && v == verdict);
+        self.scratch_verdicts_next.push((skip.job, verdict));
+        if unchanged {
+            self.counters.skip_suppressions += 1;
+        } else {
+            self.counters.skip_records += 1;
+            skips.push(skip);
+        }
+    }
+
+    /// Records a head-of-line skip for every request in `rest` (snapshot
+    /// positions `base..`): under strict FIFO (no backfill) a blocked job
+    /// stalls everything behind it.
+    fn skip_tail(
+        &mut self,
+        skips: &mut Vec<JobSkip>,
+        rest: &[TaskRequest],
+        base: usize,
+        behind: JobId,
+    ) {
+        for (i, r) in rest.iter().enumerate() {
+            self.record_skip(
+                skips,
+                base + i,
+                JobSkip {
+                    job: r.id,
+                    reason: SkipReason::HeadOfLineBlocked { behind },
+                },
+                SkipVerdict::HeadOfLine { behind },
+            );
+        }
+    }
+
+    /// Per-group running resource vectors recomputed from scratch — the
+    /// oracle the incrementally maintained `group_usage_vec` is
+    /// debug-asserted against every round.
+    fn group_usage_vectors_recomputed(&self) -> Vec<ResourceVec> {
         let mut usage = vec![ResourceVec::ZERO; self.config.group_count];
         for task in self.running.values() {
             usage[task.request.group.index()] += task.request.total_resources();
         }
         usage
-    }
-}
-
-/// Records a head-of-line skip for every request in `rest`: under strict
-/// FIFO (no backfill) a blocked job stalls everything behind it.
-fn skip_tail(skips: &mut Vec<JobSkip>, rest: &[TaskRequest], behind: JobId) {
-    for r in rest {
-        skips.push(JobSkip {
-            job: r.id,
-            reason: SkipReason::HeadOfLineBlocked { behind },
-        });
     }
 }
 
