@@ -18,6 +18,8 @@
 //!   --determinism [DAYS]  run the canonical simulation twice and compare the
 //!                       exported event streams byte-for-byte (default 30 days)
 //!   --export PATH       with --determinism: also write the export stream to PATH
+//!   --export-transitions PATH  with --determinism: also write the lifecycle
+//!                       transition-log JSONL to PATH
 //! ```
 //!
 //! The simulator is bit-deterministic, so `--check` uses tolerance-free
@@ -29,7 +31,7 @@
 
 use std::process::ExitCode;
 
-use tacc_bench::determinism::{campus_determinism_export, DEFAULT_DETERMINISM_DAYS};
+use tacc_bench::determinism::{campus_determinism_run, DEFAULT_DETERMINISM_DAYS};
 use tacc_bench::json::Json;
 use tacc_bench::par;
 use tacc_bench::registry::{self, ExperimentSpec, RunOutcome, Tier};
@@ -57,6 +59,7 @@ struct Options {
     sweep_out: Option<String>,
     determinism: Option<f64>,
     export: Option<String>,
+    export_transitions: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -71,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
         sweep_out: None,
         determinism: None,
         export: None,
+        export_transitions: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -109,6 +113,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--export" => {
                 opts.export = Some(args.next().ok_or("--export needs a path")?);
+            }
+            "--export-transitions" => {
+                opts.export_transitions =
+                    Some(args.next().ok_or("--export-transitions needs a path")?);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             id => opts.ids.push(id.to_ascii_lowercase()),
@@ -227,33 +235,49 @@ fn write_sweep(path: &str, outcomes: &[RunOutcome], wall_secs: f64, jobs: usize)
     }
 }
 
-fn run_determinism(days: f64, export: Option<&str>) -> ExitCode {
+fn run_determinism(days: f64, export: Option<&str>, export_transitions: Option<&str>) -> ExitCode {
     println!("determinism: canonical {days}-day simulation, two fresh replays");
-    let runs = par::par_map(vec![(), ()], |()| campus_determinism_export(days));
+    let runs = par::par_map(vec![(), ()], |()| campus_determinism_run(days));
     let (a, b) = (&runs[0], &runs[1]);
     if let Some(path) = export {
-        if let Err(e) = std::fs::write(path, a) {
+        if let Err(e) = std::fs::write(path, &a.events) {
             eprintln!("error: could not write export {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("exported {} bytes to {path}", a.len());
+        println!("exported {} bytes to {path}", a.events.len());
+    }
+    if let Some(path) = export_transitions {
+        if let Err(e) = std::fs::write(path, &a.transitions) {
+            eprintln!("error: could not write transition export {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "exported {} transition-log bytes to {path}",
+            a.transitions.len()
+        );
     }
     if a == b {
         println!(
-            "determinism: OK — {} bytes of event stream + report fingerprint identical",
-            a.len()
+            "determinism: OK — {} event-stream + {} transition-log bytes identical",
+            a.events.len(),
+            a.transitions.len()
         );
         ExitCode::SUCCESS
     } else {
-        let pos = a
+        let (x, y, stream) = if a.events == b.events {
+            (&a.transitions, &b.transitions, "transition log")
+        } else {
+            (&a.events, &b.events, "event stream")
+        };
+        let pos = x
             .bytes()
-            .zip(b.bytes())
-            .position(|(x, y)| x != y)
-            .unwrap_or(a.len().min(b.len()));
+            .zip(y.bytes())
+            .position(|(p, q)| p != q)
+            .unwrap_or(x.len().min(y.len()));
         eprintln!(
-            "determinism: FAILED — runs diverge at byte {pos} (lengths {} vs {})",
-            a.len(),
-            b.len()
+            "determinism: FAILED — {stream} diverges at byte {pos} (lengths {} vs {})",
+            x.len(),
+            y.len()
         );
         ExitCode::FAILURE
     }
@@ -275,7 +299,11 @@ fn main() -> ExitCode {
         par::set_parallelism(jobs);
     }
     if let Some(days) = opts.determinism {
-        return run_determinism(days, opts.export.as_deref());
+        return run_determinism(
+            days,
+            opts.export.as_deref(),
+            opts.export_transitions.as_deref(),
+        );
     }
 
     let specs = match selected(&opts) {

@@ -19,14 +19,25 @@ use tacc_storage::StorageConfig;
 /// Days simulated by the canonical determinism run.
 pub const DEFAULT_DETERMINISM_DAYS: f64 = 30.0;
 
+/// Both byte-comparable streams from one canonical determinism run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminismRun {
+    /// Event-bus JSONL followed by a one-line report fingerprint.
+    pub events: String,
+    /// Lifecycle-engine transition log as JSONL (one record per applied
+    /// `JobEvent`) — the audit trail of every job-state change.
+    pub transitions: String,
+}
+
 /// Runs the canonical determinism simulation and returns its export
-/// stream: event-bus JSONL, then a one-line report fingerprint.
+/// streams: event-bus JSONL plus report fingerprint, and the lifecycle
+/// transition log.
 ///
 /// The configuration deliberately switches on the noisy subsystems —
 /// quota borrowing (preemption/reclaim), fault injection, and dataset
 /// staging — so nondeterminism anywhere in the platform shows up as a
 /// byte difference.
-pub fn campus_determinism_export(days: f64) -> String {
+pub fn campus_determinism_run(days: f64) -> DeterminismRun {
     let trace = standard_trace(days, 2.0);
     let config = campus_config(|c| {
         c.scheduler.quota = QuotaMode::Borrowing;
@@ -34,14 +45,24 @@ pub fn campus_determinism_export(days: f64) -> String {
         c.storage = Some(StorageConfig::default());
         // Keep the whole event history: a bounded ring would still be
         // deterministic, but a complete stream localizes divergences.
+        // The transition log shares this capacity.
         c.event_buffer_capacity = 1 << 22;
     });
     let mut platform = Platform::new(config);
     let report = platform.run_trace(&trace);
-    let mut out = platform.events().to_jsonl();
-    out.push_str(&report_fingerprint(&report).to_compact());
-    out.push('\n');
-    out
+    let mut events = platform.events().to_jsonl();
+    events.push_str(&report_fingerprint(&report).to_compact());
+    events.push('\n');
+    DeterminismRun {
+        events,
+        transitions: platform.transitions_jsonl(),
+    }
+}
+
+/// The event-stream half of [`campus_determinism_run`] (kept as the
+/// stable surface the in-process reproducibility test pins).
+pub fn campus_determinism_export(days: f64) -> String {
+    campus_determinism_run(days).events
 }
 
 fn summary_json(s: &Summary) -> Json {
@@ -113,12 +134,18 @@ mod tests {
 
     #[test]
     fn short_export_is_reproducible() {
-        let a = campus_determinism_export(0.25);
-        let b = campus_determinism_export(0.25);
-        assert!(!a.is_empty());
+        let a = campus_determinism_run(0.25);
+        let b = campus_determinism_run(0.25);
+        assert!(!a.events.is_empty());
         assert_eq!(a, b);
         // Last line is the fingerprint object.
-        let last = a.lines().last().unwrap();
+        let last = a.events.lines().last().unwrap();
         assert!(last.starts_with("{\"submitted\":"), "{last}");
+        // The transition log is populated and well-formed JSONL.
+        assert!(!a.transitions.is_empty());
+        assert!(a
+            .transitions
+            .lines()
+            .all(|l| l.starts_with("{\"at_secs\":") && l.ends_with('}')));
     }
 }

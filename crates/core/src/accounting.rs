@@ -1,0 +1,127 @@
+//! Accounting: group GPU-time accrual, utilization, interruption
+//! amounts, core metric handles, bounded job logs, and cluster gauges.
+//!
+//! Everything here is arithmetic over state the lifecycle engine
+//! ([`crate::lifecycle`]) already validated — no `Job` state is written
+//! in this module.
+
+use tacc_obs::{Counter, Gauge, Histogram, MetricsRegistry, PlatformEvent};
+
+use crate::platform::{ActiveRun, Platform};
+
+/// One job's bounded platform-side log: rendered event lines plus a
+/// count of lines evicted once the ring filled.
+#[derive(Debug, Default)]
+pub(crate) struct JobLog {
+    pub(crate) lines: Vec<(f64, String)>,
+    pub(crate) dropped: u64,
+}
+
+/// Handles for the `tacc_core_*` and `tacc_cluster_*` metric series the
+/// platform maintains itself (the other layers register their own).
+#[derive(Debug)]
+pub(crate) struct CoreMetrics {
+    pub(crate) jobs_submitted: Counter,
+    pub(crate) jobs_completed: Counter,
+    pub(crate) jobs_failed: Counter,
+    pub(crate) jobs_rejected: Counter,
+    pub(crate) jobs_cancelled: Counter,
+    pub(crate) illegal_transitions: Counter,
+    pub(crate) queue_delay: Histogram,
+    pub(crate) free_gpus: Gauge,
+    pub(crate) largest_free_block: Gauge,
+    pub(crate) fragmentation: Gauge,
+    pub(crate) alloc_failures: Counter,
+}
+
+impl CoreMetrics {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        CoreMetrics {
+            jobs_submitted: registry.counter("tacc_core_jobs_submitted_total", &[]),
+            jobs_completed: registry.counter("tacc_core_jobs_completed_total", &[]),
+            jobs_failed: registry.counter("tacc_core_jobs_failed_total", &[]),
+            jobs_rejected: registry.counter("tacc_core_jobs_rejected_total", &[]),
+            jobs_cancelled: registry.counter("tacc_core_jobs_cancelled_total", &[]),
+            illegal_transitions: registry.counter("tacc_core_illegal_transitions_total", &[]),
+            queue_delay: registry.histogram("tacc_core_queue_delay_seconds", &[]),
+            free_gpus: registry.gauge("tacc_cluster_free_gpus", &[]),
+            largest_free_block: registry.gauge("tacc_cluster_largest_free_block", &[]),
+            fragmentation: registry.gauge("tacc_cluster_fragmentation", &[]),
+            alloc_failures: registry.counter("tacc_cluster_alloc_failures_total", &[]),
+        }
+    }
+}
+
+impl Platform {
+    /// Accounts an interruption of a running job; returns `(progress,
+    /// lost)` in service seconds. The arithmetic itself lives with the
+    /// checkpoint policy in the execution layer
+    /// (`CheckpointPolicy::interruption_amounts`).
+    pub(crate) fn interruption_amounts(&self, run: &ActiveRun, now: f64) -> (f64, f64) {
+        let elapsed = (now - run.start_secs).max(0.0);
+        self.checkpoint
+            .interruption_amounts(elapsed, run.resume_penalty, run.stretch)
+    }
+
+    /// Releases metrics/active-run state for a job leaving execution.
+    /// Returns the run record. The run token is *not* invalidated here —
+    /// that happens at the lifecycle transition site when the
+    /// leaving-`Running` event is applied.
+    pub(crate) fn release_run(&mut self, id: tacc_workload::JobId, now: f64) -> ActiveRun {
+        let run = self.active.remove(&id).expect("job was running");
+        let group = self.job_ref(id).schema().group.index();
+        self.accrue_group_time(now);
+        self.util.release(now, run.gpus);
+        self.group_busy[group] -= run.gpus;
+        run
+    }
+
+    pub(crate) fn accrue_group_time(&mut self, now: f64) {
+        let dt = (now - self.group_last_update).max(0.0);
+        if dt > 0.0 {
+            for (acc, &busy) in self.group_gpu_secs.iter_mut().zip(&self.group_busy) {
+                *acc += busy * dt;
+            }
+        }
+        self.group_last_update = now;
+    }
+
+    /// Records `event` on the bus and renders it into the job's bounded
+    /// log ring — the single source of truth for `tcloud logs` lines.
+    pub(crate) fn emit(&mut self, at: f64, event: PlatformEvent) {
+        let job = event.job();
+        let line = event.to_string();
+        self.bus.record(at, event);
+        let log = self.logs.entry(job).or_default();
+        if self.config.log_lines_per_job == 0 {
+            log.dropped += 1;
+            return;
+        }
+        if log.lines.len() >= self.config.log_lines_per_job {
+            log.lines.remove(0);
+            log.dropped += 1;
+        }
+        log.lines.push((at, line));
+    }
+
+    /// Refreshes the `tacc_cluster_*` gauges from current cluster state.
+    /// Fragmentation is the fraction of free GPUs outside the largest
+    /// single free block — 0 when all free capacity is contiguous.
+    pub(crate) fn refresh_cluster_gauges(&mut self) {
+        let free = f64::from(self.cluster.free_gpus());
+        let largest = f64::from(self.cluster.largest_free_block());
+        self.metrics.free_gpus.set(free);
+        self.metrics.largest_free_block.set(largest);
+        let fragmentation = if free > 0.0 {
+            1.0 - largest / free
+        } else {
+            0.0
+        };
+        self.metrics.fragmentation.set(fragmentation);
+        let failures = self.cluster.alloc_failures();
+        self.metrics
+            .alloc_failures
+            .inc_by(failures.saturating_sub(self.last_alloc_failures));
+        self.last_alloc_failures = failures;
+    }
+}

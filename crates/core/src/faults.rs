@@ -1,0 +1,94 @@
+//! Fault handling: node failures hitting running jobs, runtime
+//! failover, and checkpoint-restart accounting.
+//!
+//! A fault aimed at a run that already ended carries a stale token and
+//! is dropped at the door; anything that slips past the guard and still
+//! targets a non-`Running` job is rejected by the lifecycle engine as a
+//! typed `IllegalTransition` rather than corrupting state.
+
+use tacc_cluster::NodeId;
+use tacc_obs::PlatformEvent;
+use tacc_sched::TaskRequest;
+use tacc_workload::{JobEvent, JobId};
+
+use crate::platform::Platform;
+
+impl Platform {
+    pub(crate) fn on_fault(&mut self, id: JobId, token: u64, node: NodeId) {
+        if self.tokens.get(&id) != Some(&token) {
+            return; // the run this fault targeted is already over
+        }
+        let now = self.clock.now().as_secs();
+        self.faults += 1;
+        self.exec_telemetry.note_fault();
+        let run = self.release_run(id, now);
+        self.scheduler.task_finished(id, &mut self.cluster);
+        let (progress, lost) = self.interruption_amounts(&run, now);
+        match self.failover.fallback_for(run.runtime) {
+            Some(fallback) => {
+                self.failovers += 1;
+                self.exec_telemetry.note_failover();
+                self.runtimes.insert(id, fallback);
+                let _ = self.apply_lifecycle_event(
+                    id,
+                    JobEvent::Interrupt {
+                        at_secs: now,
+                        progress_secs: progress,
+                        lost_secs: lost,
+                    },
+                );
+                let _ = self.apply_lifecycle_event(id, JobEvent::Enqueue);
+                let request = {
+                    let job = self.job_ref(id);
+                    let schema = job.schema();
+                    TaskRequest {
+                        id,
+                        group: schema.group,
+                        qos: schema.qos,
+                        workers: schema.workers,
+                        per_worker: schema.resources,
+                        est_secs: schema.est_duration_secs,
+                        submit_secs: job.submit_secs(),
+                        elastic: schema.elastic,
+                    }
+                };
+                self.scheduler.submit(request);
+                self.emit(
+                    now,
+                    PlatformEvent::FailedOver {
+                        job: id,
+                        node: node.to_string(),
+                        fallback: format!("{fallback:?}"),
+                    },
+                );
+            }
+            None => {
+                self.failed += 1;
+                self.metrics.jobs_failed.inc();
+                let _ = self.apply_lifecycle_event(
+                    id,
+                    JobEvent::Fail {
+                        at_secs: now,
+                        progress_secs: progress,
+                    },
+                );
+                // Everything a failed job ever consumed is waste: service
+                // it completed (now useless) plus all interruption losses.
+                let waste = {
+                    let job = self.job_ref(id);
+                    let consumed = (job.service_secs() - job.remaining_secs()) + job.wasted_secs();
+                    f64::from(job.schema().total_gpus()) * consumed
+                };
+                self.failed_waste_gpu_secs += waste;
+                self.emit(
+                    now,
+                    PlatformEvent::Failed {
+                        job: id,
+                        node: node.to_string(),
+                    },
+                );
+            }
+        }
+        self.run_round();
+    }
+}

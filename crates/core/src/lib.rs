@@ -36,13 +36,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accounting;
+mod admission;
 mod config;
+mod faults;
+mod lifecycle;
 mod platform;
 mod report;
+mod status;
 
 pub use config::PlatformConfig;
-pub use platform::{JobStatus, Platform};
+pub use lifecycle::TransitionRecord;
+pub use platform::Platform;
 pub use report::{GroupReport, SimulationReport};
+pub use status::JobStatus;
 
 // The parallel experiment runner (tacc-bench) replays platforms on worker
 // threads; these guards fail the build if simulation state ever stops

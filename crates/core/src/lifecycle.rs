@@ -1,0 +1,501 @@
+//! The job lifecycle engine: the **only** module that mutates job state.
+//!
+//! Every state change in the platform flows through
+//! [`Platform::apply_lifecycle_event`], which routes the typed
+//! [`JobEvent`] through `JobState::transition` (the checked transition
+//! matrix in `tacc-workload`), records the applied transition in the
+//! [`TransitionLog`], and bumps the run token at the transition site
+//! (entering or leaving `Running`). Illegal transitions — e.g. a
+//! stale-token fault delivered after completion — are rejected without
+//! touching state and surfaced on the event bus as
+//! `PlatformEvent::IllegalTransition`, plus the
+//! `tacc_core_illegal_transitions_total` counter.
+//!
+//! A repo-wide write-site test (`crates/core/tests/state_write_sites.rs`)
+//! enforces that no production code outside this module calls
+//! `Job::apply_event`.
+//!
+//! This module also owns the scheduling-round glue (`run_round`,
+//! `apply_decisions`) and the start/preempt/finish/cancel handlers,
+//! since those are exactly the places transitions happen.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use tacc_cluster::{GpuModel, NodeId};
+use tacc_obs::PlatformEvent;
+use tacc_sim::{SimDuration, SimTime};
+use tacc_workload::{
+    IllegalTransition, Job, JobEvent, JobEventKind, JobId, JobState, RuntimePreference, TaskKind,
+};
+
+use crate::platform::{ActiveRun, Event, Platform};
+use crate::report::CompletedJob;
+
+/// One applied lifecycle transition, as recorded by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionRecord {
+    /// Simulated time of the transition, seconds.
+    pub at_secs: f64,
+    /// The job that transitioned.
+    pub job: JobId,
+    /// State before the event.
+    pub from: JobState,
+    /// State after the event.
+    pub to: JobState,
+    /// The event kind that drove the transition.
+    pub event: JobEventKind,
+}
+
+/// Bounded ring of applied transitions plus lifetime counters. Mirrors
+/// the event bus's eviction discipline: recording never fails, the
+/// oldest record is dropped once the ring fills, and counters survive
+/// eviction.
+#[derive(Debug)]
+pub(crate) struct TransitionLog {
+    capacity: usize,
+    buf: VecDeque<TransitionRecord>,
+    dropped: u64,
+    total: u64,
+    illegal: u64,
+}
+
+impl TransitionLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TransitionLog {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+            total: 0,
+            illegal: 0,
+        }
+    }
+
+    fn record(&mut self, rec: TransitionRecord) {
+        self.total += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    fn note_illegal(&mut self) {
+        self.illegal += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &TransitionRecord> {
+        self.buf.iter()
+    }
+}
+
+impl Platform {
+    /// The tracked job behind an id the platform produced itself (active
+    /// runs, scheduler decisions, event payloads). Absence is a platform
+    /// bug, so this is the single place that invariant may panic.
+    pub(crate) fn job_ref(&self, id: JobId) -> &Job {
+        self.jobs
+            .get(&id)
+            .expect("platform invariant: live job ids stay in the job table")
+    }
+
+    /// Mutable sibling of [`Platform::job_ref`].
+    pub(crate) fn job_mut(&mut self, id: JobId) -> &mut Job {
+        self.jobs
+            .get_mut(&id)
+            .expect("platform invariant: live job ids stay in the job table")
+    }
+
+    /// Applies one lifecycle event to a job — the platform's single
+    /// state-write site.
+    ///
+    /// On success the transition is appended to the transition log and
+    /// the run token is bumped if the job entered or left `Running`
+    /// (invalidating any in-flight `Finish`/`Fault` events aimed at the
+    /// previous run). On an illegal transition the job is untouched; the
+    /// rejection is surfaced as a `PlatformEvent::IllegalTransition` on
+    /// the bus and counted in `tacc_core_illegal_transitions_total`, so
+    /// callers may safely discard the returned error.
+    pub(crate) fn apply_lifecycle_event(
+        &mut self,
+        id: JobId,
+        event: JobEvent,
+    ) -> Result<JobState, IllegalTransition> {
+        let now = self.clock.now().as_secs();
+        let job = self.job_mut(id);
+        let from = job.state();
+        match job.apply_event(event) {
+            Ok(to) => {
+                if to == JobState::Running || from == JobState::Running {
+                    self.bump_token(id);
+                }
+                self.transitions.record(TransitionRecord {
+                    at_secs: now,
+                    job: id,
+                    from,
+                    to,
+                    event: event.kind(),
+                });
+                Ok(to)
+            }
+            Err(err) => {
+                self.transitions.note_illegal();
+                self.metrics.illegal_transitions.inc();
+                self.emit(
+                    now,
+                    PlatformEvent::IllegalTransition {
+                        job: id,
+                        from: err.from.to_string(),
+                        event: err.event.to_string(),
+                    },
+                );
+                Err(err)
+            }
+        }
+    }
+
+    /// Test harness: delivers a raw lifecycle event to the engine,
+    /// bypassing the event-loop guards (token checks, terminal-state
+    /// short-circuits) that normally filter it out — exactly what a
+    /// platform bug would do. Accounting is *not* adjusted; use this
+    /// only to probe the engine's rejection behavior.
+    #[doc(hidden)]
+    pub fn force_lifecycle_event(
+        &mut self,
+        id: JobId,
+        event: JobEvent,
+    ) -> Result<JobState, IllegalTransition> {
+        self.apply_lifecycle_event(id, event)
+    }
+
+    /// Applied transitions concerning `job`, oldest first (bounded by
+    /// the transition-log ring).
+    pub fn transitions(&self, job: JobId) -> Vec<TransitionRecord> {
+        self.transitions
+            .iter()
+            .filter(|r| r.job == job)
+            .copied()
+            .collect()
+    }
+
+    /// Total lifecycle transitions ever applied (survives ring eviction).
+    pub fn transitions_recorded(&self) -> u64 {
+        self.transitions.total
+    }
+
+    /// Transition records evicted from the bounded ring.
+    pub fn transitions_dropped(&self) -> u64 {
+        self.transitions.dropped
+    }
+
+    /// Lifecycle events rejected by the transition matrix so far.
+    pub fn illegal_transitions(&self) -> u64 {
+        self.transitions.illegal
+    }
+
+    /// Serializes the retained transition log as JSON Lines (oldest
+    /// first). Hand-rolled like the event bus export: dependency-free
+    /// and byte-deterministic.
+    pub fn transitions_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.transitions.iter() {
+            let _ = write!(
+                out,
+                "{{\"at_secs\":{},\"job\":{},\"from\":\"{}\",\"to\":\"{}\",\"event\":\"{}\"}}",
+                r.at_secs,
+                r.job.value(),
+                r.from,
+                r.to,
+                r.event
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Cancels a job (user kill). Queued jobs are dequeued; running jobs
+    /// are stopped and their resources freed. Returns `false` if the job
+    /// does not exist or is already terminal.
+    pub fn cancel_job(&mut self, id: JobId) -> bool {
+        let now = self.clock.now().as_secs();
+        let Some(job) = self.jobs.get(&id) else {
+            return false;
+        };
+        if job.state().is_terminal() {
+            return false;
+        }
+        if self.active.contains_key(&id) {
+            self.release_run(id, now);
+            self.scheduler.task_finished(id, &mut self.cluster);
+        } else {
+            self.scheduler.cancel(id);
+        }
+        let _ = self.apply_lifecycle_event(id, JobEvent::Cancel { at_secs: now });
+        self.cancelled += 1;
+        self.metrics.jobs_cancelled.inc();
+        self.emit(now, PlatformEvent::Cancelled { job: id });
+        self.run_round();
+        true
+    }
+
+    /// One scheduling round plus processing of its decisions — in the
+    /// order the scheduler took them, because a reclaim may preempt a task
+    /// started earlier in the same round.
+    pub(crate) fn run_round(&mut self) {
+        let now = self.clock.now().as_secs();
+        // Iterate to a fixpoint: a round's preemptions re-queue victims
+        // that can only restart in a subsequent round (each round works on
+        // a queue snapshot). Guaranteed to terminate: every non-empty
+        // round starts at least one job.
+        loop {
+            let outcome = self.scheduler.schedule(now, &mut self.cluster);
+            if outcome.is_empty() {
+                break;
+            }
+            self.apply_decisions(&outcome, now);
+        }
+        self.refresh_cluster_gauges();
+    }
+
+    pub(crate) fn apply_decisions(&mut self, outcome: &tacc_sched::SchedOutcome, now: f64) {
+        for decision in &outcome.decisions {
+            match decision {
+                tacc_sched::Decision::Preempt { id, reclaimed_for } => {
+                    self.on_preempted(*id, now);
+                    self.emit(
+                        now,
+                        PlatformEvent::Preempted {
+                            job: *id,
+                            reclaimed_for: *reclaimed_for,
+                        },
+                    );
+                }
+                tacc_sched::Decision::Start(started) => {
+                    self.on_started(
+                        started.request.id,
+                        &started.worker_nodes,
+                        started.backfilled,
+                        now,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    pub(crate) fn on_started(
+        &mut self,
+        id: JobId,
+        worker_nodes: &[NodeId],
+        backfilled: bool,
+        now: f64,
+    ) {
+        let _ = self.apply_lifecycle_event(id, JobEvent::Start { at_secs: now });
+        // Copy out only the schema fields this path needs; cloning the whole
+        // schema would heap-allocate the name/image/dependency strings on
+        // every start.
+        let job = self.job_ref(id);
+        let schema = job.schema();
+        let per_worker_gpus = schema.resources.gpus;
+        let requested_workers = schema.workers;
+        let model = schema.model;
+        let kind = schema.kind;
+        let qos = schema.qos;
+        let group = schema.group;
+        let dataset = schema.env.dataset.clone();
+        let remaining = job.remaining_secs();
+        let resumed = job.preemptions() + job.restarts() > 0;
+
+        // Elastic tasks may have been granted fewer workers than requested
+        // (one entry in `worker_nodes` per granted worker); a shrunken
+        // data-parallel gang runs proportionally longer.
+        let granted_workers = (worker_nodes.len().min(u32::MAX as usize) as u32).max(1);
+        let granted_gpus = per_worker_gpus * granted_workers; // 0 for CPU tasks
+        let shrink = f64::from(requested_workers) / f64::from(granted_workers);
+
+        let gpu_model = self
+            .cluster
+            .node(worker_nodes[0])
+            .map(|n| n.gpu_model())
+            .unwrap_or(GpuModel::A100);
+        let runtime = self
+            .runtimes
+            .get(&id)
+            .copied()
+            .unwrap_or(RuntimePreference::Auto);
+        let plan = match (&model, kind) {
+            (Some(profile), TaskKind::Training | TaskKind::Inference) => self.exec.plan_training(
+                &self.cluster,
+                runtime,
+                worker_nodes,
+                granted_gpus.max(1),
+                gpu_model,
+                profile,
+            ),
+            _ if kind.is_cpu_only() => self.exec.plan_simple(None),
+            _ => self.exec.plan_simple(Some(gpu_model)),
+        };
+
+        // Co-location interference from neighbours present at start time.
+        let interference = self.exec.interference_factor(&self.cluster, worker_nodes);
+        let stretch =
+            plan.slowdown * interference * self.checkpoint.runtime_overhead_factor() * shrink;
+        let resume_penalty = if resumed {
+            self.checkpoint.restore_cost_secs()
+        } else {
+            0.0
+        };
+        // Dataset staging from the shared filesystem happens before any
+        // useful work; nodes that still cache the dataset skip it.
+        let staging_secs = match (&mut self.store, &dataset) {
+            (Some(store), Some((dataset, size_mb))) => {
+                let staging = store.begin_staging(worker_nodes, dataset, *size_mb);
+                if staging.readers > 0 {
+                    self.staging_secs_total += staging.secs;
+                    self.stagings += 1;
+                    self.events.schedule(
+                        SimTime::from_secs(now) + SimDuration::from_secs(staging.secs),
+                        Event::StagingDone { staging },
+                    );
+                }
+                staging.secs
+            }
+            _ => 0.0,
+        };
+        let wall = remaining * stretch + resume_penalty + staging_secs;
+        // The `Start` transition above minted this run's token.
+        let token = self.current_token(id);
+        {
+            let mut distinct = worker_nodes.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            self.last_nodes.insert(id, distinct);
+        }
+        self.active.insert(
+            id,
+            ActiveRun {
+                start_secs: now,
+                stretch,
+                gpus: f64::from(granted_gpus),
+                // Both restore and staging are dead wall time before useful
+                // progress; interruption accounting subtracts them.
+                resume_penalty: resume_penalty + staging_secs,
+                worker_nodes: worker_nodes.to_vec(),
+                runtime: plan.runtime,
+            },
+        );
+        self.events.schedule(
+            SimTime::from_secs(now) + SimDuration::from_secs(wall),
+            Event::Finish { job: id, token },
+        );
+        if let Some(quantum) = self.config.scheduler.time_slice_secs {
+            if qos == tacc_workload::QosClass::BestEffort {
+                self.events.schedule(
+                    SimTime::from_secs(now) + SimDuration::from_secs(quantum),
+                    Event::RotateCheck,
+                );
+            }
+        }
+        if let Some(injector) = &self.injector {
+            if let Some(fault) = injector.first_fault(worker_nodes, now, wall) {
+                self.events.schedule(
+                    SimTime::from_secs(now) + SimDuration::from_secs(fault.at_secs),
+                    Event::Fault {
+                        job: id,
+                        token,
+                        node: fault.node,
+                    },
+                );
+            }
+        }
+
+        let gpus = f64::from(granted_gpus);
+        self.accrue_group_time(now);
+        self.util.acquire(now, gpus);
+        self.group_busy[group.index()] += gpus;
+        let distinct_nodes = {
+            let mut n = worker_nodes.to_vec();
+            n.sort_unstable();
+            n.dedup();
+            n.len()
+        };
+        self.exec_telemetry.note_plan(&plan);
+        self.emit(
+            now,
+            PlatformEvent::Placed {
+                job: id,
+                nodes: distinct_nodes as u64,
+                runtime: format!("{:?}", plan.runtime),
+                slowdown: plan.slowdown,
+                granted_workers: u64::from(granted_workers),
+                requested_workers: u64::from(requested_workers),
+                backfilled,
+            },
+        );
+    }
+
+    pub(crate) fn on_preempted(&mut self, id: JobId, now: f64) {
+        let run = self.release_run(id, now);
+        let (progress, lost) = self.interruption_amounts(&run, now);
+        let _ = self.apply_lifecycle_event(
+            id,
+            JobEvent::Preempt {
+                at_secs: now,
+                progress_secs: progress,
+                lost_secs: lost,
+            },
+        );
+        // The scheduler already holds the re-queued request.
+        let _ = self.apply_lifecycle_event(id, JobEvent::Enqueue);
+    }
+
+    pub(crate) fn on_finish(&mut self, id: JobId, token: u64) {
+        if self.tokens.get(&id) != Some(&token) {
+            return; // stale completion from a run that was interrupted
+        }
+        let now = self.clock.now().as_secs();
+        let _run = self.release_run(id, now);
+        self.scheduler.task_finished(id, &mut self.cluster);
+        let _ = self.apply_lifecycle_event(id, JobEvent::Complete { at_secs: now });
+        let (record, jct_secs, queue_delay_secs) = {
+            let job = self.job_ref(id);
+            let schema = job.schema();
+            // `Complete` set finish = now, so JCT is exactly now - submit.
+            let jct_secs = now - job.submit_secs();
+            let queue_delay_secs = job.queueing_delay_secs().unwrap_or(0.0);
+            (
+                CompletedJob {
+                    id,
+                    group: schema.group,
+                    gpus: schema.total_gpus(),
+                    kind: schema.kind,
+                    submit_secs: job.submit_secs(),
+                    queue_delay_secs,
+                    jct_secs,
+                    service_secs: job.service_secs(),
+                    preemptions: job.preemptions(),
+                    restarts: job.restarts(),
+                    wasted_secs: job.wasted_secs(),
+                },
+                jct_secs,
+                queue_delay_secs,
+            )
+        };
+        self.completed.push(record);
+        self.metrics.jobs_completed.inc();
+        self.metrics.queue_delay.observe(queue_delay_secs);
+        self.emit(now, PlatformEvent::Completed { job: id, jct_secs });
+        self.run_round();
+    }
+
+    /// The current run token for a job (0 if it never started).
+    pub(crate) fn current_token(&self, id: JobId) -> u64 {
+        self.tokens.get(&id).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn bump_token(&mut self, id: JobId) -> u64 {
+        let t = self.tokens.entry(id).or_insert(0);
+        *t += 1;
+        *t
+    }
+}

@@ -1,28 +1,40 @@
-//! The platform: four layers wired over the event engine.
+//! The platform: a thin event-loop orchestrator over the four layers.
+//!
+//! This file owns the platform *state* and the discrete-event loop; the
+//! behavior lives in focused sibling modules, each an `impl Platform`
+//! block:
+//!
+//! * [`crate::admission`] — submission front door, compilation, and
+//!   quota/gang-feasibility rejection;
+//! * [`crate::lifecycle`] — the job lifecycle engine: the **only** code
+//!   that mutates [`Job`] state (via `JobState::transition`), plus the
+//!   scheduling-round glue and the transition log;
+//! * [`crate::accounting`] — group GPU-time accrual, interruption
+//!   amounts, metrics handles, job logs, and cluster gauges;
+//! * [`crate::faults`] — fault delivery, failover, checkpoint-restart;
+//! * [`crate::status`] — client-facing read model (`tcloud` status,
+//!   logs, why, artifacts).
 
 use std::collections::BTreeMap;
 
-use tacc_cluster::{Cluster, GpuModel, NodeId};
+use tacc_cluster::{Cluster, NodeId};
 use tacc_compiler::Compiler;
 use tacc_exec::{CheckpointPolicy, ExecModel, ExecTelemetry, FailoverPolicy, FailureInjector};
 use tacc_metrics::UtilizationTracker;
-use tacc_obs::{
-    Counter, EventBus, EventRecord, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
-    PlatformEvent, RejectReason,
-};
-use tacc_sched::{Scheduler, TaskRequest};
+use tacc_obs::{EventBus, EventRecord, MetricsRegistry, MetricsSnapshot};
+use tacc_sched::Scheduler;
 use tacc_sim::{Clock, EventQueue, SimDuration, SimTime};
 use tacc_storage::{SharedStore, Staging};
-use tacc_workload::{
-    Job, JobId, JobState, RuntimePreference, TaskKind, TaskSchema, Trace, TraceRecord,
-};
+use tacc_workload::{Job, JobId, RuntimePreference, TaskSchema, Trace, TraceRecord};
 
+use crate::accounting::{CoreMetrics, JobLog};
 use crate::config::PlatformConfig;
+use crate::lifecycle::TransitionLog;
 use crate::report::{CompletedJob, ReportInputs, SimulationReport};
 
 /// Events the platform processes.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// A trace submission becomes visible to the platform.
     Submit { record: usize },
     /// The compiler layer finished provisioning a task.
@@ -45,77 +57,17 @@ enum Event {
 
 /// Per-run state of a currently executing job.
 #[derive(Debug, Clone)]
-struct ActiveRun {
-    start_secs: f64,
+pub(crate) struct ActiveRun {
+    pub(crate) start_secs: f64,
     /// Wall-time stretch over service time: slowdown × checkpoint overhead
     /// × elastic shrink factor (requested/granted workers).
-    stretch: f64,
+    pub(crate) stretch: f64,
     /// GPUs actually held (granted gang), for utilization accounting.
-    gpus: f64,
+    pub(crate) gpus: f64,
     /// Wall-clock restore penalty paid at the start of this run.
-    resume_penalty: f64,
-    worker_nodes: Vec<NodeId>,
-    runtime: RuntimePreference,
-}
-
-/// A snapshot of one job's lifecycle, as reported to clients.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JobStatus {
-    /// The job id.
-    pub id: JobId,
-    /// Lifecycle state.
-    pub state: JobState,
-    /// Task name from the schema.
-    pub name: String,
-    /// Nodes the job currently runs on (empty unless running).
-    pub nodes: Vec<NodeId>,
-    /// Submission time, seconds.
-    pub submit_secs: f64,
-    /// Remaining service time, seconds.
-    pub remaining_secs: f64,
-    /// Times preempted so far.
-    pub preemptions: u32,
-}
-
-/// One job's bounded platform-side log: rendered event lines plus a
-/// count of lines evicted once the ring filled.
-#[derive(Debug, Default)]
-struct JobLog {
-    lines: Vec<(f64, String)>,
-    dropped: u64,
-}
-
-/// Handles for the `tacc_core_*` and `tacc_cluster_*` metric series the
-/// platform maintains itself (the other layers register their own).
-#[derive(Debug)]
-struct CoreMetrics {
-    jobs_submitted: Counter,
-    jobs_completed: Counter,
-    jobs_failed: Counter,
-    jobs_rejected: Counter,
-    jobs_cancelled: Counter,
-    queue_delay: Histogram,
-    free_gpus: Gauge,
-    largest_free_block: Gauge,
-    fragmentation: Gauge,
-    alloc_failures: Counter,
-}
-
-impl CoreMetrics {
-    fn new(registry: &MetricsRegistry) -> Self {
-        CoreMetrics {
-            jobs_submitted: registry.counter("tacc_core_jobs_submitted_total", &[]),
-            jobs_completed: registry.counter("tacc_core_jobs_completed_total", &[]),
-            jobs_failed: registry.counter("tacc_core_jobs_failed_total", &[]),
-            jobs_rejected: registry.counter("tacc_core_jobs_rejected_total", &[]),
-            jobs_cancelled: registry.counter("tacc_core_jobs_cancelled_total", &[]),
-            queue_delay: registry.histogram("tacc_core_queue_delay_seconds", &[]),
-            free_gpus: registry.gauge("tacc_cluster_free_gpus", &[]),
-            largest_free_block: registry.gauge("tacc_cluster_largest_free_block", &[]),
-            fragmentation: registry.gauge("tacc_cluster_fragmentation", &[]),
-            alloc_failures: registry.counter("tacc_cluster_alloc_failures_total", &[]),
-        }
-    }
+    pub(crate) resume_penalty: f64,
+    pub(crate) worker_nodes: Vec<NodeId>,
+    pub(crate) runtime: RuntimePreference,
 }
 
 /// The full-stack platform.
@@ -124,49 +76,50 @@ impl CoreMetrics {
 /// a given configuration, trace and seed.
 #[derive(Debug)]
 pub struct Platform {
-    config: PlatformConfig,
-    clock: Clock,
-    events: EventQueue<Event>,
-    cluster: Cluster,
-    compiler: Compiler,
-    scheduler: Scheduler,
-    exec: ExecModel,
-    checkpoint: CheckpointPolicy,
-    failover: FailoverPolicy,
-    injector: Option<FailureInjector>,
-    store: Option<SharedStore>,
+    pub(crate) config: PlatformConfig,
+    pub(crate) clock: Clock,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) cluster: Cluster,
+    pub(crate) compiler: Compiler,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) exec: ExecModel,
+    pub(crate) checkpoint: CheckpointPolicy,
+    pub(crate) failover: FailoverPolicy,
+    pub(crate) injector: Option<FailureInjector>,
+    pub(crate) store: Option<SharedStore>,
 
-    pending_records: Vec<TraceRecord>,
-    jobs: BTreeMap<JobId, Job>,
-    runtimes: BTreeMap<JobId, RuntimePreference>,
-    active: BTreeMap<JobId, ActiveRun>,
+    pub(crate) pending_records: Vec<TraceRecord>,
+    pub(crate) jobs: BTreeMap<JobId, Job>,
+    pub(crate) runtimes: BTreeMap<JobId, RuntimePreference>,
+    pub(crate) active: BTreeMap<JobId, ActiveRun>,
     /// Last nodes each job ran on (survives completion, for `tcloud get`).
-    last_nodes: BTreeMap<JobId, Vec<NodeId>>,
-    tokens: BTreeMap<JobId, u64>,
-    logs: BTreeMap<JobId, JobLog>,
-    next_job: u64,
+    pub(crate) last_nodes: BTreeMap<JobId, Vec<NodeId>>,
+    pub(crate) tokens: BTreeMap<JobId, u64>,
+    pub(crate) logs: BTreeMap<JobId, JobLog>,
+    pub(crate) next_job: u64,
 
-    bus: EventBus,
-    registry: MetricsRegistry,
-    exec_telemetry: ExecTelemetry,
-    metrics: CoreMetrics,
-    last_alloc_failures: u64,
+    pub(crate) bus: EventBus,
+    pub(crate) transitions: TransitionLog,
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) exec_telemetry: ExecTelemetry,
+    pub(crate) metrics: CoreMetrics,
+    pub(crate) last_alloc_failures: u64,
 
-    util: UtilizationTracker,
-    group_busy: Vec<f64>,
-    group_gpu_secs: Vec<f64>,
-    group_last_update: f64,
-    completed: Vec<CompletedJob>,
-    failed: u64,
-    failed_waste_gpu_secs: f64,
-    rejected: u64,
-    cancelled: u64,
-    staging_secs_total: f64,
-    stagings: u64,
-    faults: u64,
-    failovers: u64,
-    provisioning_latency_total: f64,
-    events_processed: u64,
+    pub(crate) util: UtilizationTracker,
+    pub(crate) group_busy: Vec<f64>,
+    pub(crate) group_gpu_secs: Vec<f64>,
+    pub(crate) group_last_update: f64,
+    pub(crate) completed: Vec<CompletedJob>,
+    pub(crate) failed: u64,
+    pub(crate) failed_waste_gpu_secs: f64,
+    pub(crate) rejected: u64,
+    pub(crate) cancelled: u64,
+    pub(crate) staging_secs_total: f64,
+    pub(crate) stagings: u64,
+    pub(crate) faults: u64,
+    pub(crate) failovers: u64,
+    pub(crate) provisioning_latency_total: f64,
+    pub(crate) events_processed: u64,
 }
 
 impl Platform {
@@ -182,6 +135,7 @@ impl Platform {
         let exec_telemetry = ExecTelemetry::new(&registry);
         let metrics = CoreMetrics::new(&registry);
         let bus = EventBus::new(config.event_buffer_capacity);
+        let transitions = TransitionLog::new(config.event_buffer_capacity);
         let injector = config
             .node_mtbf_secs
             .map(|mtbf| FailureInjector::new(mtbf, config.seed ^ 0xFA17));
@@ -209,6 +163,7 @@ impl Platform {
             logs: BTreeMap::new(),
             next_job: 0,
             bus,
+            transitions,
             registry,
             exec_telemetry,
             metrics,
@@ -267,41 +222,6 @@ impl Platform {
         ok
     }
 
-    /// The output artifacts a job left on its nodes — what `tcloud get`
-    /// retrieves. One entry per `(node, file, size-MiB)`; empty until the
-    /// job has run at least once. Sizes are deterministic per job so
-    /// retrieval output is reproducible.
-    pub fn job_artifacts(&self, id: JobId) -> Vec<(NodeId, String, u32)> {
-        let Some(nodes) = self.last_nodes.get(&id) else {
-            return Vec::new();
-        };
-        let Some(job) = self.jobs.get(&id) else {
-            return Vec::new();
-        };
-        let checkpoint_mb = job.schema().model.map(|m| m.param_mb as u32).unwrap_or(50);
-        let mut out = Vec::new();
-        for (rank, &node) in nodes.iter().enumerate() {
-            out.push((
-                node,
-                format!("worker-{rank}.log"),
-                1 + (id.value() % 7) as u32,
-            ));
-            if rank == 0 {
-                out.push((node, "checkpoint.pt".to_owned(), checkpoint_mb));
-                out.push((node, "metrics.jsonl".to_owned(), 2));
-            }
-        }
-        out
-    }
-
-    /// Shared-store totals: `(MiB staged from the backend, node-cache
-    /// hits)`. `None` when the storage model is disabled.
-    pub fn storage_stats(&self) -> Option<(u64, u64)> {
-        self.store
-            .as_ref()
-            .map(|s| (s.total_staged_mb(), s.cache_hits()))
-    }
-
     /// Looks up a job.
     pub fn job(&self, id: JobId) -> Option<&Job> {
         self.jobs.get(&id)
@@ -310,46 +230,6 @@ impl Platform {
     /// All job ids ever submitted, in submission order.
     pub fn job_ids(&self) -> Vec<JobId> {
         self.jobs.keys().copied().collect()
-    }
-
-    /// Client-facing status snapshot of a job.
-    pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
-        let job = self.jobs.get(&id)?;
-        let nodes = self
-            .active
-            .get(&id)
-            .map(|r| {
-                let mut n = r.worker_nodes.clone();
-                n.sort_unstable();
-                n.dedup();
-                n
-            })
-            .unwrap_or_default();
-        Some(JobStatus {
-            id,
-            state: job.state(),
-            name: job.schema().name.clone(),
-            nodes,
-            submit_secs: job.submit_secs(),
-            remaining_secs: job.remaining_secs(),
-            preemptions: job.preemptions(),
-        })
-    }
-
-    /// The platform-side log of a job (what `tcloud logs` aggregates).
-    /// Bounded: once a job accumulates more than
-    /// [`PlatformConfig::log_lines_per_job`] lines, the oldest are
-    /// evicted ([`Self::job_log_dropped`] counts them).
-    pub fn job_log(&self, id: JobId) -> &[(f64, String)] {
-        self.logs
-            .get(&id)
-            .map(|l| l.lines.as_slice())
-            .unwrap_or(&[])
-    }
-
-    /// Lines evicted from the job's bounded log ring.
-    pub fn job_log_dropped(&self, id: JobId) -> u64 {
-        self.logs.get(&id).map(|l| l.dropped).unwrap_or(0)
     }
 
     /// The platform event bus: every job state transition so far, stamped
@@ -373,55 +253,6 @@ impl Platform {
     /// Prometheus text exposition of every operational metric.
     pub fn metrics_text(&self) -> String {
         self.registry.expose()
-    }
-
-    /// Explains a job's current situation — the answer `tcloud why`
-    /// prints. For a waiting job this is the scheduler's most recent skip
-    /// reason (quota exhausted, no feasible placement, blocked backfill
-    /// window, head-of-line blocking); otherwise the last recorded event.
-    pub fn why(&self, id: JobId) -> Option<String> {
-        let job = self.jobs.get(&id)?;
-        match job.state() {
-            JobState::Submitted => {
-                Some("provisioning: the compiler layer is preparing the task".to_owned())
-            }
-            JobState::Queued | JobState::Preempted => {
-                match self.scheduler.decision_trace().latest_skip(id) {
-                    Some((at, reason)) => Some(format!("waiting since t={at:.0}s: {reason}")),
-                    None => Some("queued: no scheduling round has evaluated it yet".to_owned()),
-                }
-            }
-            _ => match self.bus.for_job(id).last() {
-                Some(rec) => Some(format!("t={:.0}s: {}", rec.at_secs, rec.event)),
-                None => Some(format!("{:?}", job.state())),
-            },
-        }
-    }
-
-    /// Cancels a job (user kill). Queued jobs are dequeued; running jobs
-    /// are stopped and their resources freed. Returns `false` if the job
-    /// does not exist or is already terminal.
-    pub fn cancel_job(&mut self, id: JobId) -> bool {
-        let now = self.clock.now().as_secs();
-        let Some(job) = self.jobs.get_mut(&id) else {
-            return false;
-        };
-        if job.state().is_terminal() {
-            return false;
-        }
-        if self.active.contains_key(&id) {
-            self.release_run(id, now);
-            self.scheduler.task_finished(id, &mut self.cluster);
-        } else {
-            self.scheduler.cancel(id);
-        }
-        let job = self.job_mut(id);
-        job.cancel(now);
-        self.cancelled += 1;
-        self.metrics.jobs_cancelled.inc();
-        self.emit(now, PlatformEvent::Cancelled { job: id });
-        self.run_round();
-        true
     }
 
     /// Schedules every record of `trace` for submission.
@@ -455,7 +286,7 @@ impl Platform {
     }
 
     /// Schedules the user-cancellation event for a submitted record.
-    fn schedule_cancel(&mut self, id: JobId, now: f64, after_secs: f64) {
+    pub(crate) fn schedule_cancel(&mut self, id: JobId, now: f64, after_secs: f64) {
         self.events.schedule(
             SimTime::from_secs(now) + SimDuration::from_secs(after_secs),
             Event::Cancel { job: id },
@@ -537,10 +368,7 @@ impl Platform {
         })
     }
 
-    // ------------------------------------------------------------------
-    // Event handling
-    // ------------------------------------------------------------------
-
+    /// Dispatches one simulation event to the owning module's handler.
     fn handle(&mut self, event: Event) {
         match event {
             Event::Submit { record } => {
@@ -569,943 +397,5 @@ impl Platform {
                 }
             }
         }
-    }
-
-    /// The tracked job behind an id the platform produced itself (active
-    /// runs, scheduler decisions, event payloads). Absence is a platform
-    /// bug, so this is the single place that invariant may panic.
-    fn job_ref(&self, id: JobId) -> &Job {
-        self.jobs
-            .get(&id)
-            .expect("platform invariant: live job ids stay in the job table")
-    }
-
-    /// Mutable sibling of [`Platform::job_ref`].
-    fn job_mut(&mut self, id: JobId) -> &mut Job {
-        self.jobs
-            .get_mut(&id)
-            .expect("platform invariant: live job ids stay in the job table")
-    }
-
-    fn do_submit(&mut self, record_idx: usize) -> JobId {
-        let now = self.clock.now().as_secs();
-        let record = self.pending_records[record_idx].clone();
-        let id = JobId::from_value(self.next_job);
-        self.next_job += 1;
-        let job = Job::new(id, record.schema.clone(), now, record.service_secs);
-        self.jobs.insert(id, job);
-        self.metrics.jobs_submitted.inc();
-        self.emit(
-            now,
-            PlatformEvent::Submitted {
-                job: id,
-                group: record.schema.group,
-                name: record.schema.name.clone(),
-            },
-        );
-
-        // Layer 2: compile. Provisioning latency delays queue entry.
-        let compiled = self
-            .compiler
-            .compile(&record.schema)
-            .expect("trace schemas are pre-validated");
-        self.runtimes.insert(id, compiled.instruction.runtime);
-        self.provisioning_latency_total += compiled.provisioning.latency_secs;
-        self.emit(
-            now,
-            PlatformEvent::Compiled {
-                job: id,
-                instruction: compiled.instruction.kind.to_string(),
-                payload_mb: compiled.provisioning.total_mb,
-                transferred_mb: compiled.provisioning.transferred_mb,
-                chunk_hits: u64::from(compiled.provisioning.chunk_hits),
-                chunk_misses: u64::from(compiled.provisioning.chunk_misses),
-                provisioning_secs: compiled.provisioning.latency_secs,
-            },
-        );
-        self.events.schedule(
-            SimTime::from_secs(now) + SimDuration::from_secs(compiled.provisioning.latency_secs),
-            Event::CompileDone { job: id },
-        );
-        if let Some(after) = record.cancel_after_secs {
-            self.schedule_cancel(id, now, after);
-        }
-        id
-    }
-
-    fn on_compile_done(&mut self, id: JobId) {
-        let now = self.clock.now().as_secs();
-        let job = self.job_ref(id);
-        if job.state().is_terminal() {
-            return; // cancelled during provisioning
-        }
-        let schema = job.schema();
-        let request = TaskRequest {
-            id,
-            group: schema.group,
-            qos: schema.qos,
-            workers: schema.workers,
-            per_worker: schema.resources,
-            est_secs: schema.est_duration_secs,
-            submit_secs: job.submit_secs(),
-            elastic: schema.elastic,
-        };
-        // Admission control: reject outright anything that could never run
-        // here — a gang the hardware cannot hold, or a guaranteed request
-        // larger than its group's entire quota — instead of queueing it
-        // forever.
-        if !self.gang_feasible(schema) {
-            self.rejected += 1;
-            self.metrics.jobs_rejected.inc();
-            self.emit(
-                now,
-                PlatformEvent::Rejected {
-                    job: id,
-                    reason: RejectReason::GangNeverFits,
-                },
-            );
-            let job = self.job_mut(id);
-            job.reject(now);
-            return;
-        }
-        if !self.scheduler.admissible_ever(&request) {
-            self.rejected += 1;
-            self.metrics.jobs_rejected.inc();
-            self.emit(
-                now,
-                PlatformEvent::Rejected {
-                    job: id,
-                    reason: RejectReason::ExceedsGroupQuota,
-                },
-            );
-            let job = self.job_mut(id);
-            job.reject(now);
-            return;
-        }
-        let job = self.job_mut(id);
-        job.enqueue();
-        self.scheduler.submit(request);
-        self.emit(now, PlatformEvent::Queued { job: id });
-        self.run_round();
-    }
-
-    /// One scheduling round plus processing of its decisions — in the
-    /// order the scheduler took them, because a reclaim may preempt a task
-    /// started earlier in the same round.
-    fn run_round(&mut self) {
-        let now = self.clock.now().as_secs();
-        // Iterate to a fixpoint: a round's preemptions re-queue victims
-        // that can only restart in a subsequent round (each round works on
-        // a queue snapshot). Guaranteed to terminate: every non-empty
-        // round starts at least one job.
-        loop {
-            let outcome = self.scheduler.schedule(now, &mut self.cluster);
-            if outcome.is_empty() {
-                break;
-            }
-            self.apply_decisions(&outcome, now);
-        }
-        self.refresh_cluster_gauges();
-    }
-
-    fn apply_decisions(&mut self, outcome: &tacc_sched::SchedOutcome, now: f64) {
-        for decision in &outcome.decisions {
-            match decision {
-                tacc_sched::Decision::Preempt { id, reclaimed_for } => {
-                    self.on_preempted(*id, now);
-                    self.emit(
-                        now,
-                        PlatformEvent::Preempted {
-                            job: *id,
-                            reclaimed_for: *reclaimed_for,
-                        },
-                    );
-                }
-                tacc_sched::Decision::Start(started) => {
-                    self.on_started(
-                        started.request.id,
-                        &started.worker_nodes,
-                        started.backfilled,
-                        now,
-                    );
-                }
-                _ => {}
-            }
-        }
-    }
-
-    fn on_started(&mut self, id: JobId, worker_nodes: &[NodeId], backfilled: bool, now: f64) {
-        let job = self.job_mut(id);
-        job.start(now);
-        // Copy out only the schema fields this path needs; cloning the whole
-        // schema would heap-allocate the name/image/dependency strings on
-        // every start.
-        let schema = job.schema();
-        let per_worker_gpus = schema.resources.gpus;
-        let requested_workers = schema.workers;
-        let model = schema.model;
-        let kind = schema.kind;
-        let qos = schema.qos;
-        let group = schema.group;
-        let dataset = schema.env.dataset.clone();
-        let remaining = job.remaining_secs();
-        let resumed = job.preemptions() + job.restarts() > 0;
-
-        // Elastic tasks may have been granted fewer workers than requested
-        // (one entry in `worker_nodes` per granted worker); a shrunken
-        // data-parallel gang runs proportionally longer.
-        let granted_workers = u32::try_from(worker_nodes.len())
-            .expect("worker count fits u32")
-            .max(1);
-        let granted_gpus = per_worker_gpus * granted_workers; // 0 for CPU tasks
-        let shrink = f64::from(requested_workers) / f64::from(granted_workers);
-
-        let gpu_model = self
-            .cluster
-            .node(worker_nodes[0])
-            .map(|n| n.gpu_model())
-            .unwrap_or(GpuModel::A100);
-        let runtime = self
-            .runtimes
-            .get(&id)
-            .copied()
-            .unwrap_or(RuntimePreference::Auto);
-        let plan = match (&model, kind) {
-            (Some(profile), TaskKind::Training | TaskKind::Inference) => self.exec.plan_training(
-                &self.cluster,
-                runtime,
-                worker_nodes,
-                granted_gpus.max(1),
-                gpu_model,
-                profile,
-            ),
-            _ if kind.is_cpu_only() => self.exec.plan_simple(None),
-            _ => self.exec.plan_simple(Some(gpu_model)),
-        };
-
-        // Co-location interference from neighbours present at start time.
-        let interference = self.exec.interference_factor(&self.cluster, worker_nodes);
-        let stretch =
-            plan.slowdown * interference * self.checkpoint.runtime_overhead_factor() * shrink;
-        let resume_penalty = if resumed {
-            self.checkpoint.restore_cost_secs()
-        } else {
-            0.0
-        };
-        // Dataset staging from the shared filesystem happens before any
-        // useful work; nodes that still cache the dataset skip it.
-        let staging_secs = match (&mut self.store, &dataset) {
-            (Some(store), Some((dataset, size_mb))) => {
-                let staging = store.begin_staging(worker_nodes, dataset, *size_mb);
-                if staging.readers > 0 {
-                    self.staging_secs_total += staging.secs;
-                    self.stagings += 1;
-                    self.events.schedule(
-                        SimTime::from_secs(now) + SimDuration::from_secs(staging.secs),
-                        Event::StagingDone { staging },
-                    );
-                }
-                staging.secs
-            }
-            _ => 0.0,
-        };
-        let wall = remaining * stretch + resume_penalty + staging_secs;
-        let token = self.bump_token(id);
-        {
-            let mut distinct = worker_nodes.to_vec();
-            distinct.sort_unstable();
-            distinct.dedup();
-            self.last_nodes.insert(id, distinct);
-        }
-        self.active.insert(
-            id,
-            ActiveRun {
-                start_secs: now,
-                stretch,
-                gpus: f64::from(granted_gpus),
-                // Both restore and staging are dead wall time before useful
-                // progress; interruption accounting subtracts them.
-                resume_penalty: resume_penalty + staging_secs,
-                worker_nodes: worker_nodes.to_vec(),
-                runtime: plan.runtime,
-            },
-        );
-        self.events.schedule(
-            SimTime::from_secs(now) + SimDuration::from_secs(wall),
-            Event::Finish { job: id, token },
-        );
-        if let Some(quantum) = self.config.scheduler.time_slice_secs {
-            if qos == tacc_workload::QosClass::BestEffort {
-                self.events.schedule(
-                    SimTime::from_secs(now) + SimDuration::from_secs(quantum),
-                    Event::RotateCheck,
-                );
-            }
-        }
-        if let Some(injector) = &self.injector {
-            if let Some(fault) = injector.first_fault(worker_nodes, now, wall) {
-                self.events.schedule(
-                    SimTime::from_secs(now) + SimDuration::from_secs(fault.at_secs),
-                    Event::Fault {
-                        job: id,
-                        token,
-                        node: fault.node,
-                    },
-                );
-            }
-        }
-
-        let gpus = f64::from(granted_gpus);
-        self.accrue_group_time(now);
-        self.util.acquire(now, gpus);
-        self.group_busy[group.index()] += gpus;
-        let distinct_nodes = {
-            let mut n = worker_nodes.to_vec();
-            n.sort_unstable();
-            n.dedup();
-            n.len()
-        };
-        self.exec_telemetry.note_plan(&plan);
-        self.emit(
-            now,
-            PlatformEvent::Placed {
-                job: id,
-                nodes: distinct_nodes as u64,
-                runtime: format!("{:?}", plan.runtime),
-                slowdown: plan.slowdown,
-                granted_workers: u64::from(granted_workers),
-                requested_workers: u64::from(requested_workers),
-                backfilled,
-            },
-        );
-    }
-
-    /// Accounts an interruption of a running job; returns `(progress,
-    /// lost)` in service seconds.
-    fn interruption_amounts(&self, run: &ActiveRun, now: f64) -> (f64, f64) {
-        let elapsed = (now - run.start_secs).max(0.0);
-        let effective = (elapsed - run.resume_penalty).max(0.0);
-        let lost_wall = self.checkpoint.lost_on_interrupt(effective);
-        (effective / run.stretch, lost_wall / run.stretch)
-    }
-
-    /// Releases metrics/active-run state for a job leaving execution.
-    /// Returns the run record.
-    fn release_run(&mut self, id: JobId, now: f64) -> ActiveRun {
-        let run = self.active.remove(&id).expect("job was running");
-        self.bump_token(id);
-        let group = self.job_ref(id).schema().group.index();
-        self.accrue_group_time(now);
-        self.util.release(now, run.gpus);
-        self.group_busy[group] -= run.gpus;
-        run
-    }
-
-    fn on_preempted(&mut self, id: JobId, now: f64) {
-        let run = self.release_run(id, now);
-        let (progress, lost) = self.interruption_amounts(&run, now);
-        let job = self.job_mut(id);
-        job.preempt(now, progress, lost);
-        job.enqueue(); // scheduler already holds the re-queued request
-    }
-
-    fn on_finish(&mut self, id: JobId, token: u64) {
-        if self.tokens.get(&id) != Some(&token) {
-            return; // stale completion from a run that was interrupted
-        }
-        let now = self.clock.now().as_secs();
-        let run = self.release_run(id, now);
-        self.scheduler.task_finished(id, &mut self.cluster);
-        // Field access (not `job_mut`) so `self.completed` stays borrowable.
-        let job = self
-            .jobs
-            .get_mut(&id)
-            .expect("platform invariant: live job ids stay in the job table");
-        job.complete(now);
-        let schema = job.schema();
-        let jct_secs = job.jct_secs().expect("completed job has JCT");
-        let queue_delay_secs = job.queueing_delay_secs().unwrap_or(0.0);
-        self.completed.push(CompletedJob {
-            id,
-            group: schema.group,
-            gpus: schema.total_gpus(),
-            kind: schema.kind,
-            submit_secs: job.submit_secs(),
-            queue_delay_secs,
-            jct_secs,
-            service_secs: job.service_secs(),
-            preemptions: job.preemptions(),
-            restarts: job.restarts(),
-            wasted_secs: job.wasted_secs(),
-        });
-        self.metrics.jobs_completed.inc();
-        self.metrics.queue_delay.observe(queue_delay_secs);
-        self.emit(now, PlatformEvent::Completed { job: id, jct_secs });
-        let _ = run;
-        self.run_round();
-    }
-
-    fn on_fault(&mut self, id: JobId, token: u64, node: NodeId) {
-        if self.tokens.get(&id) != Some(&token) {
-            return; // the run this fault targeted is already over
-        }
-        let now = self.clock.now().as_secs();
-        self.faults += 1;
-        self.exec_telemetry.note_fault();
-        let run = self.release_run(id, now);
-        self.scheduler.task_finished(id, &mut self.cluster);
-        let (progress, lost) = self.interruption_amounts(&run, now);
-        match self.failover.fallback_for(run.runtime) {
-            Some(fallback) => {
-                self.failovers += 1;
-                self.exec_telemetry.note_failover();
-                self.runtimes.insert(id, fallback);
-                // Field access (not `job_mut`) so `self.scheduler` stays
-                // borrowable for the resubmission below.
-                let job = self
-                    .jobs
-                    .get_mut(&id)
-                    .expect("platform invariant: live job ids stay in the job table");
-                job.interrupt_for_restart(now, progress, lost);
-                job.enqueue();
-                let schema = job.schema();
-                self.scheduler.submit(TaskRequest {
-                    id,
-                    group: schema.group,
-                    qos: schema.qos,
-                    workers: schema.workers,
-                    per_worker: schema.resources,
-                    est_secs: schema.est_duration_secs,
-                    submit_secs: job.submit_secs(),
-                    elastic: schema.elastic,
-                });
-                self.emit(
-                    now,
-                    PlatformEvent::FailedOver {
-                        job: id,
-                        node: node.to_string(),
-                        fallback: format!("{fallback:?}"),
-                    },
-                );
-            }
-            None => {
-                self.failed += 1;
-                self.metrics.jobs_failed.inc();
-                let job = self.job_mut(id);
-                job.fail(now, progress);
-                // Everything a failed job ever consumed is waste: service
-                // it completed (now useless) plus all interruption losses.
-                let consumed = (job.service_secs() - job.remaining_secs()) + job.wasted_secs();
-                self.failed_waste_gpu_secs += f64::from(job.schema().total_gpus()) * consumed;
-                self.emit(
-                    now,
-                    PlatformEvent::Failed {
-                        job: id,
-                        node: node.to_string(),
-                    },
-                );
-            }
-        }
-        self.run_round();
-    }
-
-    // ------------------------------------------------------------------
-    // Small helpers
-    // ------------------------------------------------------------------
-
-    /// Whether `schema`'s gang could ever be placed on an empty cluster.
-    fn gang_feasible(&self, schema: &TaskSchema) -> bool {
-        let per = schema.resources;
-        let mut capacity_workers: u32 = 0;
-        for node in self.cluster.nodes() {
-            let cap = node.capacity();
-            let mut k = u32::MAX;
-            if let Some(q) = cap.gpus.checked_div(per.gpus) {
-                k = k.min(q);
-            }
-            if let Some(q) = cap.cpu_cores.checked_div(per.cpu_cores) {
-                k = k.min(q);
-            }
-            if let Some(q) = cap.mem_gb.checked_div(per.mem_gb) {
-                k = k.min(q);
-            }
-            if k == u32::MAX {
-                k = 0; // zero-resource schemas are rejected by validation
-            }
-            capacity_workers = capacity_workers.saturating_add(k);
-            if capacity_workers >= schema.workers {
-                return true;
-            }
-        }
-        false
-    }
-
-    fn bump_token(&mut self, id: JobId) -> u64 {
-        let t = self.tokens.entry(id).or_insert(0);
-        *t += 1;
-        *t
-    }
-
-    fn accrue_group_time(&mut self, now: f64) {
-        let dt = (now - self.group_last_update).max(0.0);
-        if dt > 0.0 {
-            for (acc, &busy) in self.group_gpu_secs.iter_mut().zip(&self.group_busy) {
-                *acc += busy * dt;
-            }
-        }
-        self.group_last_update = now;
-    }
-
-    /// Records `event` on the bus and renders it into the job's bounded
-    /// log ring — the single source of truth for `tcloud logs` lines.
-    fn emit(&mut self, at: f64, event: PlatformEvent) {
-        let job = event.job();
-        let line = event.to_string();
-        self.bus.record(at, event);
-        let log = self.logs.entry(job).or_default();
-        if self.config.log_lines_per_job == 0 {
-            log.dropped += 1;
-            return;
-        }
-        if log.lines.len() >= self.config.log_lines_per_job {
-            log.lines.remove(0);
-            log.dropped += 1;
-        }
-        log.lines.push((at, line));
-    }
-
-    /// Refreshes the `tacc_cluster_*` gauges from current cluster state.
-    /// Fragmentation is the fraction of free GPUs outside the largest
-    /// single free block — 0 when all free capacity is contiguous.
-    fn refresh_cluster_gauges(&mut self) {
-        let free = f64::from(self.cluster.free_gpus());
-        let largest = f64::from(self.cluster.largest_free_block());
-        self.metrics.free_gpus.set(free);
-        self.metrics.largest_free_block.set(largest);
-        let fragmentation = if free > 0.0 {
-            1.0 - largest / free
-        } else {
-            0.0
-        };
-        self.metrics.fragmentation.set(fragmentation);
-        let failures = self.cluster.alloc_failures();
-        self.metrics
-            .alloc_failures
-            .inc_by(failures.saturating_sub(self.last_alloc_failures));
-        self.last_alloc_failures = failures;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tacc_cluster::{ClusterSpec, ResourceVec};
-    use tacc_sched::QuotaMode;
-    use tacc_workload::{GenParams, GroupId, QosClass, TraceGenerator};
-
-    fn tiny_config() -> PlatformConfig {
-        PlatformConfig {
-            cluster: ClusterSpec::uniform(1, 2, GpuModel::A100, 8),
-            roster: tacc_workload::GroupRoster::campus_default(16),
-            ..PlatformConfig::default()
-        }
-    }
-
-    fn one_gpu_schema(group: usize) -> TaskSchema {
-        TaskSchema::builder("unit", GroupId::from_index(group))
-            .resources(ResourceVec::gpus_only(1))
-            .est_duration_secs(600.0)
-            .build()
-            .expect("valid")
-    }
-
-    #[test]
-    fn single_job_full_lifecycle() {
-        let mut p = Platform::new(tiny_config());
-        let id = p.submit_schema(one_gpu_schema(0), 600.0);
-        p.run_until_idle();
-        let job = p.job(id).expect("exists");
-        assert_eq!(job.state(), JobState::Completed);
-        // JCT = provisioning + service (no queueing, no contention, small
-        // overheads); sanity: between service and service + 10 minutes.
-        let jct = job.jct_secs().expect("completed");
-        assert!(jct >= 600.0, "jct {jct}");
-        assert!(jct < 1200.0, "jct {jct}");
-        let log = p.job_log(id);
-        assert!(log.iter().any(|(_, m)| m == "completed"));
-        assert!(p.cluster().check_invariants());
-        assert_eq!(p.cluster().free_gpus(), 16);
-    }
-
-    #[test]
-    fn report_accounts_all_jobs() {
-        let mut p = Platform::new(tiny_config());
-        let trace = TraceGenerator::new(
-            GenParams {
-                roster: tacc_workload::GroupRoster::campus_default(16),
-                peak_jobs_per_hour: 6.0,
-                ..GenParams::default()
-            },
-            3,
-        )
-        .generate_days(0.5);
-        let report = p.run_trace(&trace);
-        assert_eq!(report.submitted, trace.len());
-        assert_eq!(
-            report.completed + (report.failed + report.rejected + report.cancelled) as usize,
-            trace.len()
-        );
-        assert!(report.mean_utilization > 0.0);
-        assert!(report.jct.count() == report.completed);
-    }
-
-    #[test]
-    fn determinism_across_runs() {
-        let trace = TraceGenerator::new(GenParams::default(), 9).generate_days(0.2);
-        let r1 = Platform::new(PlatformConfig::default()).run_trace(&trace);
-        let r2 = Platform::new(PlatformConfig::default()).run_trace(&trace);
-        assert_eq!(r1.jct.mean(), r2.jct.mean());
-        assert_eq!(r1.mean_utilization, r2.mean_utilization);
-    }
-
-    #[test]
-    fn infeasible_gang_rejected_at_admission() {
-        let mut p = Platform::new(tiny_config()); // 2 nodes x 8 GPUs
-        let id = p.submit_schema(
-            TaskSchema::builder("too-big", GroupId::from_index(0))
-                .workers(4)
-                .resources(ResourceVec::gpus_only(8))
-                .est_duration_secs(600.0)
-                .build()
-                .expect("valid"),
-            600.0,
-        );
-        p.run_until_idle();
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Failed);
-        let report = p.report();
-        assert_eq!(report.rejected, 1);
-        assert!(p.job_log(id).iter().any(|(_, m)| m.contains("rejected")));
-    }
-
-    #[test]
-    fn cancel_queued_job() {
-        let mut p = Platform::new(tiny_config());
-        // Saturate the 16-GPU cluster with one long gang, then queue a job
-        // behind it.
-        let filler = TaskSchema::builder("filler", GroupId::from_index(0))
-            .workers(2)
-            .resources(ResourceVec::gpus_only(8))
-            .est_duration_secs(1e6)
-            .build()
-            .expect("valid");
-        p.submit_schema(filler, 1e6);
-        p.run_until(SimTime::from_secs(1000.0)); // filler is now running
-        let id = p.submit_schema(one_gpu_schema(0), 600.0);
-        p.run_until(SimTime::from_secs(3600.0));
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Queued);
-        assert!(p.cancel_job(id));
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Cancelled);
-        assert!(!p.cancel_job(id));
-    }
-
-    #[test]
-    fn over_quota_request_rejected_at_admission() {
-        let mut cfg = tiny_config();
-        cfg.scheduler.quota = QuotaMode::Static;
-        cfg.scheduler.quotas = vec![0; 8]; // no group may run anything
-        let mut p = Platform::new(cfg);
-        let id = p.submit_schema(one_gpu_schema(0), 600.0);
-        p.run_until_idle();
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Failed);
-        assert_eq!(p.report().rejected, 1);
-    }
-
-    #[test]
-    fn cancel_running_job_frees_gpus() {
-        let mut p = Platform::new(tiny_config());
-        let id = p.submit_schema(one_gpu_schema(0), 1e6);
-        p.run_until(SimTime::from_secs(7200.0));
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Running);
-        assert_eq!(p.cluster().free_gpus(), 15);
-        assert!(p.cancel_job(id));
-        assert_eq!(p.cluster().free_gpus(), 16);
-        assert!(p.cluster().check_invariants());
-    }
-
-    #[test]
-    fn preemption_round_trips_through_requeue() {
-        let mut cfg = tiny_config();
-        cfg.scheduler.quota = QuotaMode::Borrowing;
-        cfg.scheduler.quotas = vec![8, 8];
-        cfg.scheduler.group_count = 8;
-        let mut p = Platform::new(cfg);
-        // Borrower occupies everything.
-        let borrower = p.submit_schema(
-            TaskSchema::builder("borrower", GroupId::from_index(0))
-                .workers(2)
-                .resources(ResourceVec::gpus_only(8))
-                .qos(QosClass::BestEffort)
-                .est_duration_secs(50_000.0)
-                .build()
-                .expect("valid"),
-            50_000.0,
-        );
-        p.run_until(SimTime::from_secs(3600.0));
-        assert_eq!(p.job(borrower).expect("exists").state(), JobState::Running);
-        // Owner reclaims.
-        let owner = p.submit_schema(
-            TaskSchema::builder("owner", GroupId::from_index(1))
-                .resources(ResourceVec::gpus_only(8))
-                .est_duration_secs(600.0)
-                .build()
-                .expect("valid"),
-            600.0,
-        );
-        p.run_until_idle();
-        let owner_job = p.job(owner).expect("exists");
-        assert_eq!(owner_job.state(), JobState::Completed);
-        let borrower_job = p.job(borrower).expect("exists");
-        assert!(borrower_job.preemptions() >= 1);
-        assert_eq!(borrower_job.state(), JobState::Completed);
-        assert!(p.cluster().check_invariants());
-        assert_eq!(p.cluster().free_gpus(), 16);
-    }
-
-    #[test]
-    fn drained_node_empties_then_rejoins() {
-        let mut p = Platform::new(tiny_config()); // 2 nodes x 8
-        let drained = tacc_cluster::NodeId::from_index(0);
-        assert!(p.drain_node(drained));
-        // A full-cluster-sized stream of 1-GPU jobs lands only on node 1.
-        for i in 0..8 {
-            p.submit_schema(one_gpu_schema(i % 8), 600.0);
-        }
-        p.run_until(SimTime::from_secs(300.0));
-        let n0 = p.cluster().node(drained).expect("exists");
-        assert_eq!(n0.used().gpus, 0, "drained node must stay empty");
-        assert!(!n0.is_schedulable());
-        // Undraining lets queued/new work use it again.
-        assert!(p.undrain_node(drained));
-        let id = p.submit_schema(one_gpu_schema(0), 600.0);
-        p.run_until_idle();
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Completed);
-        assert!(p.cluster().check_invariants());
-    }
-
-    #[test]
-    fn time_slicing_rotates_best_effort_monopolist() {
-        let mut cfg = tiny_config();
-        cfg.scheduler.time_slice_secs = Some(1800.0);
-        let mut p = Platform::new(cfg);
-        // A best-effort gang takes the whole 16-GPU cluster for a long run.
-        let hog = p.submit_schema(
-            TaskSchema::builder("hog", GroupId::from_index(0))
-                .workers(2)
-                .resources(ResourceVec::gpus_only(8))
-                .qos(QosClass::BestEffort)
-                .est_duration_secs(40_000.0)
-                .build()
-                .expect("valid"),
-            40_000.0,
-        );
-        p.run_until(SimTime::from_secs(600.0));
-        // A short guaranteed job arrives and must not wait 11 hours.
-        let quick = p.submit_schema(
-            TaskSchema::builder("quick", GroupId::from_index(1))
-                .resources(ResourceVec::gpus_only(8))
-                .est_duration_secs(900.0)
-                .build()
-                .expect("valid"),
-            900.0,
-        );
-        p.run_until_idle();
-        let quick_job = p.job(quick).expect("exists");
-        assert_eq!(quick_job.state(), JobState::Completed);
-        // It started within ~one quantum of the hog's start, not after it.
-        assert!(
-            quick_job.queueing_delay_secs().expect("ran") < 3600.0,
-            "waited {:?}s",
-            quick_job.queueing_delay_secs()
-        );
-        let hog_job = p.job(hog).expect("exists");
-        assert_eq!(hog_job.state(), JobState::Completed);
-        assert!(hog_job.preemptions() >= 1, "hog must have been rotated");
-    }
-
-    #[test]
-    fn elastic_job_starts_shrunk_and_runs_longer() {
-        let mut p = Platform::new(tiny_config()); // 2 nodes x 8
-                                                  // Occupy one node for a long time.
-        p.submit_schema(
-            TaskSchema::builder("filler", GroupId::from_index(0))
-                .resources(ResourceVec::gpus_only(8))
-                .est_duration_secs(1e6)
-                .build()
-                .expect("valid"),
-            1e6,
-        );
-        p.run_until(SimTime::from_secs(500.0));
-        // An elastic 2x8 gang only finds one node: granted 1 worker and
-        // stretched ~2x.
-        let id = p.submit_schema(
-            TaskSchema::builder("elastic", GroupId::from_index(1))
-                .workers(2)
-                .resources(ResourceVec::gpus_only(8))
-                .qos(QosClass::BestEffort)
-                .elastic(true)
-                .est_duration_secs(3600.0)
-                .build()
-                .expect("valid"),
-            3600.0,
-        );
-        p.run_until(SimTime::from_secs(600.0));
-        let status = p.job_status(id).expect("exists");
-        assert_eq!(status.state, JobState::Running);
-        assert_eq!(status.nodes.len(), 1, "granted a single node");
-        assert!(p
-            .job_log(id)
-            .iter()
-            .any(|(_, m)| m.contains("elastic: 1/2")));
-        // Runtime is ~2x the 3600 s service (plus small overheads).
-        p.run_until_idle();
-        let job = p.job(id).expect("exists");
-        let run_time =
-            job.jct_secs().expect("completed") - job.queueing_delay_secs().expect("started");
-        assert!(run_time > 7000.0, "shrunk gang must run ~2x: {run_time}");
-        assert!(run_time < 9000.0, "but not much more: {run_time}");
-    }
-
-    #[test]
-    fn failure_injection_with_failover_still_completes() {
-        let mut cfg = tiny_config();
-        cfg.node_mtbf_secs = Some(4000.0); // aggressive faults
-        cfg.failover = FailoverPolicy::SwitchRuntime;
-        let mut p = Platform::new(cfg);
-        let id = p.submit_schema(
-            TaskSchema::builder("long", GroupId::from_index(0))
-                .workers(2)
-                .resources(ResourceVec::gpus_only(8))
-                .est_duration_secs(20_000.0)
-                .build()
-                .expect("valid"),
-            20_000.0,
-        );
-        p.run_until_idle();
-        let job = p.job(id).expect("exists");
-        assert_eq!(job.state(), JobState::Completed);
-        let report = p.report();
-        assert!(report.faults >= 1, "expected at least one injected fault");
-        assert_eq!(report.failovers, report.faults);
-        assert!(job.restarts() >= 1);
-    }
-
-    #[test]
-    fn event_bus_satisfies_conservation() {
-        let mut p = Platform::new(tiny_config());
-        let trace = TraceGenerator::new(
-            GenParams {
-                roster: tacc_workload::GroupRoster::campus_default(16),
-                peak_jobs_per_hour: 6.0,
-                ..GenParams::default()
-            },
-            7,
-        )
-        .generate_days(0.5);
-        let report = p.run_trace(&trace);
-        let records: Vec<_> = p.events().records().cloned().collect();
-        let check = tacc_obs::conservation(&records);
-        assert!(check.balanced(), "unbalanced: {check:?}");
-        assert_eq!(check.submitted, trace.len() as u64);
-        assert_eq!(check.completed as usize, report.completed);
-        assert_eq!(report.events_recorded as usize, records.len());
-        assert_eq!(report.events_dropped, 0);
-        // The JSONL export round-trips losslessly.
-        let parsed = tacc_obs::EventBus::parse_jsonl(&p.events().to_jsonl()).expect("valid JSONL");
-        assert_eq!(parsed, records);
-    }
-
-    #[test]
-    fn job_log_is_bounded_and_counts_drops() {
-        let mut cfg = tiny_config();
-        cfg.log_lines_per_job = 2;
-        let mut p = Platform::new(cfg);
-        let id = p.submit_schema(one_gpu_schema(0), 600.0);
-        p.run_until_idle();
-        // The lifecycle emits at least submitted/compiled/queued/started/
-        // completed; only the newest two lines survive.
-        assert_eq!(p.job_log(id).len(), 2);
-        assert!(p.job_log_dropped(id) >= 3);
-        assert!(p.job_log(id).iter().any(|(_, m)| m == "completed"));
-        // The event bus is bounded separately: full history remains here.
-        assert!(p.job_events(id).len() >= 5);
-    }
-
-    #[test]
-    fn why_explains_a_stuck_job() {
-        let mut p = Platform::new(tiny_config());
-        let filler = TaskSchema::builder("filler", GroupId::from_index(0))
-            .workers(2)
-            .resources(ResourceVec::gpus_only(8))
-            .est_duration_secs(1e6)
-            .build()
-            .expect("valid");
-        p.submit_schema(filler, 1e6);
-        p.run_until(SimTime::from_secs(1000.0));
-        let id = p.submit_schema(one_gpu_schema(1), 600.0);
-        p.run_until(SimTime::from_secs(2000.0));
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Queued);
-        let why = p.why(id).expect("known job");
-        assert!(why.contains("no feasible placement"), "why: {why}");
-        p.run_until_idle();
-        let why = p.why(id).expect("known job");
-        assert!(why.contains("completed"), "why: {why}");
-        assert_eq!(p.why(JobId::from_value(999)), None);
-    }
-
-    #[test]
-    fn metrics_span_all_layers() {
-        let mut p = Platform::new(tiny_config());
-        p.submit_schema(one_gpu_schema(0), 600.0);
-        p.run_until_idle();
-        let snap = p.metrics();
-        assert_eq!(snap.counter("tacc_core_jobs_submitted_total"), Some(1));
-        assert_eq!(snap.counter("tacc_core_jobs_completed_total"), Some(1));
-        assert!(snap.counter("tacc_sched_rounds_total").unwrap_or(0) > 0);
-        assert_eq!(snap.counter("tacc_compiler_compilations_total"), Some(1));
-        assert_eq!(snap.counter("tacc_exec_plans_total"), Some(1));
-        assert_eq!(snap.gauge("tacc_cluster_free_gpus"), Some(16.0));
-        let hist = snap
-            .histogram("tacc_sched_round_latency_seconds")
-            .expect("round latency histogram");
-        assert!(hist.count > 0);
-        let text = p.metrics_text();
-        assert!(text.contains("# TYPE"));
-        assert!(text.contains("tacc_core_jobs_submitted_total"));
-        assert!(text.contains("tacc_cluster_free_gpus"));
-        let report = p.report();
-        assert_eq!(Some(report.rounds), snap.counter("tacc_sched_rounds_total"));
-        assert!(report.round_latency.count > 0);
-        assert!(report.events_recorded >= 5);
-    }
-
-    #[test]
-    fn failure_injection_without_failover_fails_jobs() {
-        let mut cfg = tiny_config();
-        cfg.node_mtbf_secs = Some(2000.0);
-        cfg.failover = FailoverPolicy::FailJob;
-        let mut p = Platform::new(cfg);
-        let id = p.submit_schema(
-            TaskSchema::builder("doomed", GroupId::from_index(0))
-                .workers(2)
-                .resources(ResourceVec::gpus_only(8))
-                .est_duration_secs(50_000.0)
-                .build()
-                .expect("valid"),
-            50_000.0,
-        );
-        p.run_until_idle();
-        assert_eq!(p.job(id).expect("exists").state(), JobState::Failed);
-        assert!(p.report().failed >= 1);
-        assert_eq!(p.cluster().free_gpus(), 16);
     }
 }

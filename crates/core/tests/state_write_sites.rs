@@ -1,0 +1,106 @@
+//! Enforces the lifecycle engine's single-writer invariant textually:
+//! production code may mutate a job's state only through
+//! `Job::apply_event` (defined in `workload/src/job.rs`), and the only
+//! production caller of `apply_event` is `core/src/lifecycle.rs`.
+//!
+//! A grep over the workspace sources is crude but exactly the right
+//! strength: any new write site fails this test by construction, no
+//! matter which crate it lands in.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo root, derived from this crate's manifest dir (`crates/core`).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/core sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// All `src/` Rust sources in the workspace (production code only —
+/// `tests/` directories and `#[cfg(test)]` modules are harnesses and may
+/// drive the engine directly).
+fn production_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("tests").join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "tests") {
+                    continue; // integration-test harnesses
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") && path.iter().any(|c| c == "src")
+            {
+                out.push(path);
+            }
+        }
+    }
+    assert!(
+        out.len() > 20,
+        "source walk looks broken: only {} files",
+        out.len()
+    );
+    out
+}
+
+/// Strips everything from the first `#[cfg(test)]` onwards — unit-test
+/// modules sit at the bottom of their files in this codebase.
+fn without_unit_tests(source: &str) -> &str {
+    match source.find("#[cfg(test)]") {
+        Some(idx) => &source[..idx],
+        None => source,
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}
+
+/// The raw field write `self.state =` exists only inside `Job` itself.
+#[test]
+fn job_state_field_is_written_only_in_job_rs() {
+    let root = workspace_root();
+    let mut writers = Vec::new();
+    for path in production_sources(&root) {
+        let source = fs::read_to_string(&path).expect("readable source");
+        if without_unit_tests(&source).contains("self.state =") {
+            writers.push(rel(&root, &path));
+        }
+    }
+    assert_eq!(
+        writers,
+        vec!["crates/workload/src/job.rs".to_string()],
+        "job state must have exactly one raw write site"
+    );
+}
+
+/// The only production caller of `Job::apply_event` is the lifecycle
+/// engine; everything else must go through the platform event loop.
+#[test]
+fn apply_event_is_called_only_from_the_lifecycle_engine() {
+    let root = workspace_root();
+    let mut callers = Vec::new();
+    for path in production_sources(&root) {
+        let source = fs::read_to_string(&path).expect("readable source");
+        if without_unit_tests(&source).contains(".apply_event(") {
+            callers.push(rel(&root, &path));
+        }
+    }
+    callers.sort();
+    assert_eq!(
+        callers,
+        vec!["crates/core/src/lifecycle.rs".to_string()],
+        "apply_event must be driven only by core/src/lifecycle.rs"
+    );
+}

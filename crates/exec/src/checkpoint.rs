@@ -86,6 +86,28 @@ impl CheckpointPolicy {
         }
     }
 
+    /// Interruption accounting for the platform's lifecycle engine: the
+    /// job ran `elapsed_secs` of wall time since its last (re)start, of
+    /// which `resume_penalty_secs` went to restoring the previous
+    /// checkpoint, and the executor stretches service time by `stretch`.
+    /// Returns `(progress_secs, lost_secs)` in service-time units — the
+    /// payload of a `Preempt`/`Interrupt` lifecycle event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effective wall progress is negative (see
+    /// [`lost_on_interrupt`](Self::lost_on_interrupt)).
+    pub fn interruption_amounts(
+        &self,
+        elapsed_secs: f64,
+        resume_penalty_secs: f64,
+        stretch: f64,
+    ) -> (f64, f64) {
+        let effective = (elapsed_secs - resume_penalty_secs).max(0.0);
+        let lost_wall = self.lost_on_interrupt(effective);
+        (effective / stretch, lost_wall / stretch)
+    }
+
     /// One-time cost paid when a preempted/failed job resumes.
     pub fn restore_cost_secs(&self) -> f64 {
         if self.is_enabled() {
@@ -139,6 +161,24 @@ mod tests {
         let loose = CheckpointPolicy::every(3600.0, 15.0, 60.0);
         assert!(tight.runtime_overhead_factor() > loose.runtime_overhead_factor());
         assert!(tight.lost_on_interrupt(3599.0) < loose.lost_on_interrupt(3599.0));
+    }
+
+    #[test]
+    fn interruption_amounts_discount_resume_penalty_and_stretch() {
+        let p = CheckpointPolicy::every(600.0, 15.0, 60.0);
+        // 1260s wall, 60s of it was checkpoint restore, stretch 2x:
+        // effective wall progress 1200 = 2 intervals, nothing lost.
+        let (progress, lost) = p.interruption_amounts(1260.0, 60.0, 2.0);
+        assert_eq!(progress, 600.0);
+        assert_eq!(lost, 0.0);
+        // 250s past the last checkpoint is lost (in service time: /2).
+        let (progress, lost) = p.interruption_amounts(1450.0, 0.0, 2.0);
+        assert_eq!(progress, 725.0);
+        assert_eq!(lost, 125.0);
+        // Elapsed shorter than the restore penalty clamps to zero.
+        let (progress, lost) = p.interruption_amounts(30.0, 60.0, 1.0);
+        assert_eq!(progress, 0.0);
+        assert_eq!(lost, 0.0);
     }
 
     #[test]

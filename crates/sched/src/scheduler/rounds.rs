@@ -1,0 +1,412 @@
+//! The scheduling round: queue ordering, the quota/backfill/placement
+//! walk, skip tracing with positional dedup, and reservation caching.
+
+use std::time::Instant;
+
+use tacc_cluster::{Cluster, ResourceVec};
+use tacc_obs::{JobSkip, RoundTrace, SkipReason};
+use tacc_workload::JobId;
+
+use crate::backfill::{may_backfill, reserve_sorted, BackfillMode, Reservation};
+use crate::policy::{order_queue, PolicyContext, PolicyKind};
+use crate::request::{Decision, SchedOutcome, StartedTask, TaskRequest};
+use crate::scheduler::{Scheduler, SkipVerdict};
+
+impl Scheduler {
+    /// Runs one scheduling round at time `now_secs`: orders the queue,
+    /// starts everything that fits (subject to quota, gang placement and
+    /// backfill rules), and preempts borrowers when guaranteed demand
+    /// reclaims quota.
+    pub fn schedule(&mut self, now_secs: f64, cluster: &mut Cluster) -> SchedOutcome {
+        // tacc-lint: allow(wall-clock, reason = "measures host-side scheduling-round latency for the T4 round-latency histogram; reported, never fed back into decisions")
+        let round_start = Instant::now();
+        self.rounds += 1;
+        let queue_len_at_start = self.queue.len() as u64;
+        let mut outcome = SchedOutcome::default();
+
+        // Empty queue: nothing can start or preempt, so the sort, snapshot
+        // and usage work below is skipped entirely. The `rounds` counter,
+        // gauges and the round-latency observation behave exactly as the
+        // full path would, and an idle round was never traced anyway.
+        if self.queue.is_empty() {
+            self.counters.empty_rounds += 1;
+            let wall = round_start.elapsed();
+            if let Some(m) = &self.metrics {
+                m.rounds.inc();
+                m.round_latency.observe(wall.as_secs_f64());
+                m.queue_depth.set(0.0);
+                m.running_tasks.set(self.running.len() as f64);
+            }
+            self.flush_work_metrics();
+            return outcome;
+        }
+
+        // The incremental usage vectors must always equal a recount over
+        // the running set; any drift is an accounting bug.
+        debug_assert_eq!(
+            self.group_usage_vec,
+            self.group_usage_vectors_recomputed(),
+            "incremental group usage diverged from recomputation"
+        );
+
+        // Order the queue under the configured policy — but only when the
+        // previous order can no longer be proven valid. Every comparator
+        // ends in an id tiebreak (a total order), so a sorted queue is the
+        // *unique* sorted permutation: if the keys did not change, the
+        // existing order is byte-identical to what a re-sort would produce.
+        //   - FIFO/SJF keys are static per request → re-sort only when
+        //     membership changed.
+        //   - FairShare/DRF keys also read group usage → re-sort when usage
+        //     moved since the last sort.
+        //   - MultiFactor scores depend on `now_secs` and the queue length
+        //     → always re-sort.
+        let sort_needed = match self.config.policy {
+            PolicyKind::Fifo | PolicyKind::Sjf => self.queue_dirty,
+            PolicyKind::FairShare | PolicyKind::Drf => {
+                self.queue_dirty
+                    || self.sorted_usage_epoch != self.usage_epoch
+                    || self.sorted_capacity != cluster.total_capacity()
+            }
+            PolicyKind::MultiFactor => true,
+        };
+        if sort_needed {
+            self.quota.usage_by_group_into(&mut self.scratch_usage);
+            let ctx = PolicyContext {
+                group_gpu_usage: &self.scratch_usage,
+                group_usage_vec: &self.group_usage_vec,
+                group_quota: self.quota.quotas(),
+                capacity: cluster.total_capacity(),
+            };
+            order_queue(self.config.policy, now_secs, &mut self.queue, &ctx);
+            self.queue_dirty = false;
+            self.sorted_usage_epoch = self.usage_epoch;
+            self.sorted_capacity = cluster.total_capacity();
+            self.counters.queue_sorts += 1;
+        } else {
+            self.counters.queue_sorts_skipped += 1;
+            // When the sort is skipped the queue must already be the unique
+            // sorted permutation — binary inserts and in-place removals are
+            // claimed to preserve it exactly.
+            #[cfg(debug_assertions)]
+            {
+                self.quota.usage_by_group_into(&mut self.scratch_usage);
+                let ctx = PolicyContext {
+                    group_gpu_usage: &self.scratch_usage,
+                    group_usage_vec: &self.group_usage_vec,
+                    group_quota: self.quota.quotas(),
+                    capacity: self.sorted_capacity,
+                };
+                let policy = self.config.policy;
+                let queue_len = self.queue.len();
+                debug_assert!(
+                    self.queue.windows(2).all(|w| {
+                        crate::policy::compare(policy, now_secs, queue_len, &w[0], &w[1], &ctx)
+                            .is_lt()
+                    }),
+                    "sort-skip invariant violated: queue is not in sorted order"
+                );
+            }
+        }
+        debug_assert!(
+            self.queue.len() == self.queue_members.len()
+                && self
+                    .queue
+                    .iter()
+                    .all(|r| self.queue_members.contains(&r.id)),
+            "queue membership set diverged from the queue"
+        );
+
+        let mut reservations: Vec<Reservation> = Vec::new();
+        // Skip records accumulate into a recycled buffer (handed back by
+        // the trace ring at push time once it is warm).
+        let mut skips = std::mem::take(&mut self.scratch_skips);
+        skips.clear();
+        // Reusable snapshot buffer instead of a per-round `Vec` clone
+        // (`TaskRequest` is `Copy`, so this is a flat memcpy).
+        let mut queue_snapshot = std::mem::take(&mut self.scratch_snapshot);
+        queue_snapshot.clear();
+        queue_snapshot.extend_from_slice(&self.queue);
+        self.counters.snapshot_elements += queue_snapshot.len() as u64;
+        self.scratch_verdicts_next.clear();
+
+        for (pos, request) in queue_snapshot.iter().enumerate() {
+            // 1. Quota gate.
+            if !self.quota.admits(self.config.quota, request) {
+                self.record_skip(
+                    &mut skips,
+                    pos,
+                    JobSkip {
+                        job: request.id,
+                        reason: SkipReason::QuotaExhausted {
+                            group: request.group,
+                            used: self.quota.total_used(request.group),
+                            quota: self.quota.quota(request.group),
+                            demand: request.total_gpus(),
+                        },
+                    },
+                    SkipVerdict::Quota,
+                );
+                // Blocked on quota, not capacity: holds no capacity
+                // reservation. Under no-backfill the queue is strictly
+                // ordered, so later jobs stall behind it anyway.
+                if self.config.backfill == BackfillMode::None {
+                    self.skip_tail(&mut skips, &queue_snapshot[pos + 1..], pos + 1, request.id);
+                    break;
+                }
+                continue;
+            }
+
+            // 2. Backfill gate (someone ahead is capacity-blocked).
+            if !reservations.is_empty() {
+                let est_end = now_secs + request.est_secs;
+                let permitted = match self.config.backfill {
+                    BackfillMode::None => false,
+                    BackfillMode::Easy => {
+                        may_backfill(est_end, request.total_gpus(), &reservations[0])
+                    }
+                    BackfillMode::Conservative => reservations
+                        .iter()
+                        .all(|r| may_backfill(est_end, request.total_gpus(), r)),
+                };
+                if !permitted {
+                    let blocking = reservations
+                        .iter()
+                        .find(|r| !may_backfill(est_end, request.total_gpus(), r))
+                        .unwrap_or(&reservations[0]);
+                    let shadow_secs = blocking.shadow_secs;
+                    self.record_skip(
+                        &mut skips,
+                        pos,
+                        JobSkip {
+                            job: request.id,
+                            reason: SkipReason::BackfillBlocked {
+                                est_end_secs: est_end,
+                                shadow_secs,
+                            },
+                        },
+                        SkipVerdict::Backfill,
+                    );
+                    if self.config.backfill == BackfillMode::Conservative {
+                        self.push_reservation(now_secs, request, cluster, &mut reservations);
+                    }
+                    continue;
+                }
+            }
+
+            // 3. Placement (with quota reclaim if allowed).
+            let backfilled = !reservations.is_empty();
+            match self.try_place(now_secs, request, cluster, &mut outcome) {
+                Some(start) => {
+                    self.scratch_verdicts_next
+                        .push((request.id, SkipVerdict::Started));
+                    if backfilled {
+                        self.backfill_starts += 1;
+                        if let Some(m) = &self.metrics {
+                            m.backfill_starts.inc();
+                        }
+                    }
+                    outcome.decisions.push(Decision::Start(StartedTask {
+                        backfilled,
+                        ..start
+                    }));
+                }
+                None => {
+                    // Capacity-blocked.
+                    self.record_skip(
+                        &mut skips,
+                        pos,
+                        JobSkip {
+                            job: request.id,
+                            reason: SkipReason::NoFeasiblePlacement {
+                                workers: request.workers,
+                                gpus_per_worker: request.per_worker.gpus,
+                                free_gpus: cluster.free_gpus(),
+                                largest_free_block: cluster.largest_free_block(),
+                            },
+                        },
+                        SkipVerdict::NoPlacement,
+                    );
+                    match self.config.backfill {
+                        BackfillMode::None => {
+                            self.skip_tail(
+                                &mut skips,
+                                &queue_snapshot[pos + 1..],
+                                pos + 1,
+                                request.id,
+                            );
+                            break;
+                        }
+                        BackfillMode::Easy => {
+                            if reservations.is_empty() {
+                                self.push_reservation(
+                                    now_secs,
+                                    request,
+                                    cluster,
+                                    &mut reservations,
+                                );
+                            }
+                        }
+                        BackfillMode::Conservative => {
+                            self.push_reservation(now_secs, request, cluster, &mut reservations);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The walk pushed exactly one ledger entry per examined position;
+        // it becomes the baseline the next round's walk dedups against.
+        debug_assert_eq!(
+            self.scratch_verdicts_next.len(),
+            queue_snapshot.len(),
+            "walk ledger out of step with the snapshot"
+        );
+        std::mem::swap(&mut self.scratch_verdicts, &mut self.scratch_verdicts_next);
+        self.scratch_snapshot = queue_snapshot;
+        let wall = round_start.elapsed();
+        if let Some(m) = &self.metrics {
+            m.rounds.inc();
+            m.round_latency.observe(wall.as_secs_f64());
+            m.queue_depth.set(self.queue.len() as f64);
+            m.running_tasks.set(self.running.len() as f64);
+        }
+        self.flush_work_metrics();
+        // Idle rounds (nothing queued, nothing decided) are not traced:
+        // the platform's fixpoint loop would otherwise flood the ring.
+        if queue_len_at_start > 0 || !outcome.is_empty() {
+            let mut started = std::mem::take(&mut self.scratch_started);
+            started.clear();
+            started.extend(outcome.starts().map(|t| t.request.id));
+            let mut preempted = std::mem::take(&mut self.scratch_preempted);
+            preempted.clear();
+            preempted.extend(outcome.preemptions().map(|(id, _)| id));
+            let evicted = self.trace.push(RoundTrace {
+                round: self.rounds,
+                at_secs: now_secs,
+                wall_micros: wall.as_micros() as u64,
+                queue_len: queue_len_at_start,
+                started,
+                preempted,
+                skips,
+            });
+            // Once the ring is warm every push evicts a round; its vectors
+            // become the next round's buffers, closing the allocation loop.
+            if let Some(old) = evicted {
+                self.scratch_started = old.started;
+                self.scratch_preempted = old.preempted;
+                self.scratch_skips = old.skips;
+            }
+        } else {
+            self.scratch_skips = skips;
+        }
+
+        outcome
+    }
+
+    /// Computes and appends the capacity reservation for a blocked request.
+    ///
+    /// The release profile — running tasks as `(est_end, gpus)`, ascending
+    /// by end time — depends only on the running set, and every change to
+    /// the running set (placement, finish, preemption) also bumps the
+    /// cluster's mutation version. The sorted profile is therefore cached
+    /// keyed on that version: conservative backfill asks for one
+    /// reservation per blocked job per round against an unchanged running
+    /// set, and all of those questions share a single collect-and-sort.
+    fn push_reservation(
+        &mut self,
+        now_secs: f64,
+        request: &TaskRequest,
+        cluster: &Cluster,
+        reservations: &mut Vec<Reservation>,
+    ) {
+        let version = cluster.version();
+        if !matches!(&self.reserve_cache, Some((v, _)) if *v == version) {
+            let mut profile = match self.reserve_cache.take() {
+                Some((_, mut p)) => {
+                    p.clear();
+                    p
+                }
+                None => Vec::new(),
+            };
+            profile.extend(
+                self.running
+                    .values()
+                    .map(|t| (t.est_end_secs, t.request.total_gpus())),
+            );
+            // Stable sort over the id-ordered running set: byte-identical
+            // to the order the eager per-call sort used to produce.
+            profile.sort_by(|a, b| a.0.total_cmp(&b.0));
+            self.reserve_cache = Some((version, profile));
+        }
+        if let Some((_, profile)) = &self.reserve_cache {
+            reservations.push(reserve_sorted(
+                now_secs,
+                request.total_gpus(),
+                cluster.free_gpus(),
+                profile,
+            ));
+        }
+    }
+
+    /// Appends `skip` to the round's skip list only when the previous
+    /// walk examined a *different* job at this position, or the same job
+    /// with a different verdict. Re-deciding the same "why not" round
+    /// after round is pure work — the trace ring and `why` explanations
+    /// only gain information when something changes, and in a stable
+    /// blocked queue nothing does. One positional compare replaces a
+    /// per-job map; suppressed repeats are counted so the work ledger
+    /// still proves the gate ran.
+    fn record_skip(
+        &mut self,
+        skips: &mut Vec<JobSkip>,
+        pos: usize,
+        skip: JobSkip,
+        verdict: SkipVerdict,
+    ) {
+        let unchanged = self
+            .scratch_verdicts
+            .get(pos)
+            .is_some_and(|&(id, v)| id == skip.job && v == verdict);
+        self.scratch_verdicts_next.push((skip.job, verdict));
+        if unchanged {
+            self.counters.skip_suppressions += 1;
+        } else {
+            self.counters.skip_records += 1;
+            skips.push(skip);
+        }
+    }
+
+    /// Records a head-of-line skip for every request in `rest` (snapshot
+    /// positions `base..`): under strict FIFO (no backfill) a blocked job
+    /// stalls everything behind it.
+    fn skip_tail(
+        &mut self,
+        skips: &mut Vec<JobSkip>,
+        rest: &[TaskRequest],
+        base: usize,
+        behind: JobId,
+    ) {
+        for (i, r) in rest.iter().enumerate() {
+            self.record_skip(
+                skips,
+                base + i,
+                JobSkip {
+                    job: r.id,
+                    reason: SkipReason::HeadOfLineBlocked { behind },
+                },
+                SkipVerdict::HeadOfLine { behind },
+            );
+        }
+    }
+
+    /// Per-group running resource vectors recomputed from scratch — the
+    /// oracle the incrementally maintained `group_usage_vec` is
+    /// debug-asserted against every round.
+    fn group_usage_vectors_recomputed(&self) -> Vec<ResourceVec> {
+        let mut usage = vec![ResourceVec::ZERO; self.config.group_count];
+        for task in self.running.values() {
+            usage[task.request.group.index()] += task.request.total_resources();
+        }
+        usage
+    }
+}

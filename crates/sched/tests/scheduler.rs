@@ -1,0 +1,602 @@
+//! Scheduler behaviour tests: FIFO/backfill/quota/gang/elastic/rotation
+//! semantics and decision tracing, exercised through the public API.
+//! These were the `scheduler.rs` unit tests before the module was split
+//! into `rounds`/`gang`/`elastic` submodules.
+
+use tacc_cluster::{Cluster, ClusterSpec, GpuModel, ResourceVec};
+use tacc_sched::{
+    BackfillMode, PolicyKind, QuotaMode, Scheduler, SchedulerConfig, SkipReason, TaskRequest,
+};
+use tacc_workload::{GroupId, JobId, QosClass};
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterSpec::uniform(1, 4, GpuModel::A100, 8))
+}
+
+fn sched(config: SchedulerConfig) -> Scheduler {
+    Scheduler::new(config)
+}
+
+/// Single-worker request; `gpus` must fit one node (≤ 8 here).
+fn simple_request(id: u64, group: usize, gpus: u32, est: f64, submit: f64) -> TaskRequest {
+    TaskRequest {
+        id: JobId::from_value(id),
+        group: GroupId::from_index(group),
+        qos: QosClass::Guaranteed,
+        workers: 1,
+        per_worker: ResourceVec::gpus_only(gpus),
+        est_secs: est,
+        submit_secs: submit,
+        elastic: false,
+    }
+}
+
+/// Gang request: `workers` × `per_gpu` GPUs.
+fn gang_request(
+    id: u64,
+    group: usize,
+    workers: u32,
+    per_gpu: u32,
+    est: f64,
+    submit: f64,
+) -> TaskRequest {
+    TaskRequest {
+        workers,
+        per_worker: ResourceVec::gpus_only(per_gpu),
+        ..simple_request(id, group, 0, est, submit)
+    }
+}
+
+#[test]
+fn starts_what_fits_fifo() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    for i in 0..3 {
+        s.submit(simple_request(i, 0, 8, 100.0, i as f64));
+    }
+    let out = s.schedule(10.0, &mut c);
+    assert_eq!(out.starts().count(), 3);
+    assert_eq!(s.running_len(), 3);
+    assert_eq!(s.queue_len(), 0);
+    assert_eq!(c.free_gpus(), 8);
+    assert!(c.check_invariants());
+}
+
+#[test]
+fn finish_frees_resources() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    s.submit(gang_request(1, 0, 4, 8, 100.0, 0.0));
+    let out = s.schedule(0.0, &mut c);
+    assert_eq!(out.starts().count(), 1);
+    assert_eq!(c.free_gpus(), 0);
+    let done = s.task_finished(JobId::from_value(1), &mut c).expect("ran");
+    assert_eq!(done.request.id.value(), 1);
+    assert_eq!(c.free_gpus(), 32);
+    assert_eq!(s.running_len(), 0);
+    assert!(s.task_finished(JobId::from_value(1), &mut c).is_none());
+}
+
+#[test]
+fn no_backfill_blocks_behind_head() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        backfill: BackfillMode::None,
+        ..SchedulerConfig::default()
+    });
+    // Fill 3 of 4 nodes; head needs 2 nodes (blocked), tiny job behind
+    // could fit but strict FIFO must stall.
+    s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
+    let filled = s.schedule(0.0, &mut c);
+    assert_eq!(filled.starts().count(), 1);
+    s.submit(gang_request(2, 0, 2, 8, 1000.0, 1.0));
+    s.submit(simple_request(3, 0, 1, 10.0, 2.0));
+    let out = s.schedule(5.0, &mut c);
+    assert!(out.starts().count() == 0, "strict FIFO must stall");
+}
+
+#[test]
+fn easy_backfill_lets_short_jobs_through() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default()); // Easy
+    s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
+    s.schedule(0.0, &mut c);
+    // Head: a 2-node gang is blocked until t≈1000 (est). A short 4-GPU
+    // job finishes before the shadow: it backfills.
+    s.submit(gang_request(2, 0, 2, 8, 500.0, 1.0));
+    s.submit(simple_request(3, 0, 4, 100.0, 2.0));
+    let out = s.schedule(5.0, &mut c);
+    assert_eq!(out.starts().count(), 1);
+    assert_eq!(
+        out.starts().next().expect("one start").request.id.value(),
+        3
+    );
+    assert!(out.starts().next().expect("one start").backfilled);
+    assert_eq!(s.backfill_starts(), 1);
+}
+
+#[test]
+fn easy_backfill_respects_shadow() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    // 24 GPUs busy until est t≈100; one node (8 GPUs) free.
+    s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
+    s.schedule(0.0, &mut c);
+    // Head blocked: needs the whole cluster, shadow at t≈100, extra 0.
+    s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0));
+    // Long small job: runs past the shadow and exceeds extra → refused.
+    s.submit(simple_request(3, 0, 4, 9999.0, 2.0));
+    // Short small job: finishes before the shadow → backfills.
+    s.submit(simple_request(4, 0, 4, 50.0, 3.0));
+    let out = s.schedule(5.0, &mut c);
+    let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+    assert_eq!(started, vec![4]);
+}
+
+#[test]
+fn conservative_respects_all_reservations() {
+    let mut c = cluster();
+    // Conservative: a candidate must clear every blocked job's shadow.
+    let mut s = sched(SchedulerConfig {
+        backfill: BackfillMode::Conservative,
+        ..SchedulerConfig::default()
+    });
+    s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
+    s.schedule(0.0, &mut c);
+    // Blocked #1: 2 nodes, shadow ≈ t=100, extra = 32-16 = 16.
+    s.submit(gang_request(2, 0, 2, 8, 50.0, 1.0));
+    // Blocked #2: whole cluster, shadow ≈ t=100, extra 0.
+    s.submit(gang_request(3, 0, 4, 8, 50.0, 2.0));
+    // Candidate: est 200s runs past both shadows; it fits in blocked
+    // #1's extra (4 ≤ 16) so EASY would admit it, but blocked #2 leaves
+    // zero extra ⇒ conservative refuses.
+    s.submit(simple_request(4, 0, 4, 200.0, 3.0));
+    let out = s.schedule(5.0, &mut c);
+    assert_eq!(out.starts().count(), 0);
+}
+
+#[test]
+fn gang_places_atomically() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    let gang = TaskRequest {
+        workers: 4,
+        per_worker: ResourceVec::gpus_only(8),
+        ..simple_request(1, 0, 0, 100.0, 0.0)
+    };
+    s.submit(gang);
+    let out = s.schedule(0.0, &mut c);
+    assert_eq!(out.starts().count(), 1);
+    assert_eq!(
+        out.starts().next().expect("one start").worker_nodes.len(),
+        4
+    );
+    assert_eq!(c.free_gpus(), 0);
+}
+
+#[test]
+fn static_quota_strands_idle_capacity() {
+    let mut c = cluster(); // 32 GPUs
+    let mut s = sched(SchedulerConfig {
+        quota: QuotaMode::Static,
+        quotas: vec![8, 24],
+        group_count: 2,
+        ..SchedulerConfig::default()
+    });
+    // Group 0 wants 16 GPUs: only 8 admitted even though 32 are free.
+    s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+    s.submit(simple_request(2, 0, 8, 100.0, 1.0));
+    let out = s.schedule(0.0, &mut c);
+    let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+    assert_eq!(started, vec![1]);
+    assert_eq!(c.free_gpus(), 24);
+}
+
+#[test]
+fn borrowing_quota_lets_best_effort_use_idle() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        quota: QuotaMode::Borrowing,
+        quotas: vec![8, 24],
+        group_count: 2,
+        ..SchedulerConfig::default()
+    });
+    s.submit(simple_request(1, 0, 8, 100.0, 0.0)); // guaranteed, in quota
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..gang_request(2, 0, 2, 8, 100.0, 1.0) // borrows group 1's idle
+    });
+    let out = s.schedule(0.0, &mut c);
+    assert_eq!(out.starts().count(), 2);
+    assert_eq!(c.free_gpus(), 8);
+}
+
+#[test]
+fn reclaim_preempts_youngest_borrower() {
+    let mut c = cluster(); // 32 GPUs
+    let mut s = sched(SchedulerConfig {
+        quota: QuotaMode::Borrowing,
+        quotas: vec![16, 16],
+        group_count: 2,
+        ..SchedulerConfig::default()
+    });
+    // Group 0 borrows the whole cluster with two 16-GPU best-effort gangs.
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..gang_request(1, 0, 2, 8, 1000.0, 0.0)
+    });
+    s.schedule(0.0, &mut c);
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..gang_request(2, 0, 2, 8, 1000.0, 10.0)
+    });
+    s.schedule(10.0, &mut c);
+    assert_eq!(c.free_gpus(), 0);
+    // Group 1 submits a guaranteed job: the *younger* borrower (job 2)
+    // is evicted.
+    s.submit(gang_request(3, 1, 2, 8, 500.0, 20.0));
+    let out = s.schedule(20.0, &mut c);
+    assert_eq!(out.preemptions().count(), 1);
+    assert_eq!(
+        out.preemptions().next().expect("one preemption").0.value(),
+        2
+    );
+    assert_eq!(out.starts().count(), 1);
+    assert_eq!(
+        out.starts().next().expect("one start").request.id.value(),
+        3
+    );
+    assert_eq!(s.preemption_count(), 1);
+    // The victim went back to the queue.
+    assert_eq!(s.queue_len(), 1);
+    assert!(c.check_invariants());
+}
+
+#[test]
+fn guaranteed_never_preempted() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        quota: QuotaMode::Borrowing,
+        quotas: vec![32, 32],
+        group_count: 2,
+        ..SchedulerConfig::default()
+    });
+    // Group 0 legitimately uses all 32 under guarantee (quota 32).
+    s.submit(gang_request(1, 0, 4, 8, 1000.0, 0.0));
+    s.schedule(0.0, &mut c);
+    // Group 1's guaranteed job finds no room and nothing preemptible.
+    s.submit(simple_request(2, 1, 8, 100.0, 1.0));
+    let out = s.schedule(1.0, &mut c);
+    assert_eq!(out.starts().count(), 0);
+    assert_eq!(out.preemptions().count(), 0);
+}
+
+#[test]
+fn fair_share_alternates_groups() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        policy: PolicyKind::FairShare,
+        quotas: vec![16, 16],
+        group_count: 2,
+        ..SchedulerConfig::default()
+    });
+    // Group 0 floods; group 1 submits one job later. With fair share,
+    // group 1's job goes first once group 0 is running jobs.
+    s.submit(gang_request(1, 0, 2, 8, 100.0, 0.0));
+    s.schedule(0.0, &mut c);
+    s.submit(gang_request(2, 0, 2, 8, 100.0, 1.0));
+    s.submit(gang_request(3, 1, 2, 8, 100.0, 2.0));
+    let out = s.schedule(2.0, &mut c);
+    // Group 1's job jumps ahead of group 0's second job; the cluster is
+    // then full, so group 0's job keeps waiting.
+    let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+    assert_eq!(started, vec![3]);
+    assert_eq!(s.queue_len(), 1);
+}
+
+#[test]
+fn cancel_removes_queued_only() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+    assert!(s.cancel(JobId::from_value(1)));
+    assert!(!s.cancel(JobId::from_value(1)));
+    let out = s.schedule(0.0, &mut c);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn rotation_gives_queued_work_a_turn() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        time_slice_secs: Some(600.0),
+        ..SchedulerConfig::default()
+    });
+    // A best-effort gang holds the whole cluster.
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
+    });
+    s.schedule(0.0, &mut c);
+    assert_eq!(c.free_gpus(), 0);
+    // A guaranteed job arrives and waits.
+    s.submit(simple_request(2, 1, 8, 600.0, 100.0));
+    assert!(s.schedule(100.0, &mut c).is_empty());
+    // Before the quantum expires, rotation is a no-op.
+    assert!(s.rotate(300.0, &mut c).is_empty());
+    // After the quantum, the gang rotates out and the queued job runs.
+    let out = s.rotate(700.0, &mut c);
+    let preempted: Vec<u64> = out.preemptions().map(|(id, _)| id.value()).collect();
+    assert_eq!(preempted, vec![1]);
+    let started: Vec<u64> = out.starts().map(|t| t.request.id.value()).collect();
+    // The freed space admits the guaranteed job; the rotated gang may
+    // restart in the remainder.
+    assert!(started.contains(&2), "started: {started:?}");
+    assert!(c.check_invariants());
+}
+
+#[test]
+fn rotation_never_evicts_in_vain() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        time_slice_secs: Some(600.0),
+        ..SchedulerConfig::default()
+    });
+    // Best-effort job on one node only.
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..simple_request(1, 0, 8, 10_000.0, 0.0)
+    });
+    s.schedule(0.0, &mut c);
+    // Queued gang needs the whole cluster — evicting the one BE job
+    // cannot help (3 nodes free + 1 evicted = 4 nodes, it WOULD fit).
+    // Use a 5-node request instead: infeasible even after eviction.
+    s.submit(gang_request(2, 1, 5, 8, 600.0, 100.0));
+    let out = s.rotate(700.0, &mut c);
+    assert!(out.is_empty(), "eviction would not let anything start");
+    assert_eq!(s.running_len(), 1);
+}
+
+#[test]
+fn rotation_disabled_or_idle_is_noop() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default()); // no time slice
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..simple_request(1, 0, 8, 10_000.0, 0.0)
+    });
+    s.schedule(0.0, &mut c);
+    s.submit(gang_request(2, 1, 4, 8, 600.0, 100.0));
+    assert!(s.rotate(10_000.0, &mut c).is_empty());
+    // Enabled but empty queue: also a no-op.
+    let mut s2 = sched(SchedulerConfig {
+        time_slice_secs: Some(60.0),
+        ..SchedulerConfig::default()
+    });
+    let mut c2 = cluster();
+    s2.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..simple_request(3, 0, 8, 10_000.0, 0.0)
+    });
+    s2.schedule(0.0, &mut c2);
+    assert!(s2.rotate(10_000.0, &mut c2).is_empty());
+}
+
+#[test]
+fn elastic_gang_shrinks_to_fit() {
+    let mut c = cluster(); // 4 nodes x 8
+    let mut s = sched(SchedulerConfig::default());
+    // Occupy 3 nodes; an elastic 4x8 gang shrinks to 1 worker.
+    s.submit(gang_request(1, 0, 3, 8, 10_000.0, 0.0));
+    s.schedule(0.0, &mut c);
+    s.submit(TaskRequest {
+        elastic: true,
+        ..gang_request(2, 0, 4, 8, 1000.0, 1.0)
+    });
+    let out = s.schedule(1.0, &mut c);
+    let start = out.starts().next().expect("elastic start");
+    assert_eq!(start.request.workers, 4);
+    assert_eq!(start.granted_workers, 1);
+    assert_eq!(c.free_gpus(), 0);
+    // The running record reflects the grant; est_end is scaled 4x.
+    let running = s.running_task(start.request.id).expect("running");
+    assert_eq!(running.request.workers, 1);
+    assert_eq!(running.requested_workers, 4);
+    assert!((running.est_end_secs - (1.0 + 4000.0)).abs() < 1e-9);
+    assert!(c.check_invariants());
+}
+
+#[test]
+fn inelastic_gang_still_all_or_nothing() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    s.submit(gang_request(1, 0, 3, 8, 10_000.0, 0.0));
+    s.schedule(0.0, &mut c);
+    s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0)); // not elastic
+    let out = s.schedule(1.0, &mut c);
+    assert_eq!(out.starts().count(), 0);
+}
+
+#[test]
+fn preempted_elastic_task_requeues_full_size() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        quota: QuotaMode::Borrowing,
+        quotas: vec![16, 16],
+        group_count: 2,
+        ..SchedulerConfig::default()
+    });
+    // Elastic BE gang wants 4 workers, gets all 4 nodes.
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        elastic: true,
+        ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
+    });
+    s.schedule(0.0, &mut c);
+    // Guaranteed job reclaims: the elastic gang is evicted, restarts
+    // shrunk in the leftover space, still requesting 4 workers.
+    s.submit(gang_request(2, 1, 2, 8, 500.0, 10.0));
+    s.schedule(10.0, &mut c);
+    // The victim re-queued and (in a later round) restarts elastic.
+    let out2 = s.schedule(11.0, &mut c);
+    let restarted: Vec<_> = out2.starts().collect();
+    if let Some(start) = restarted.first() {
+        assert_eq!(start.request.workers, 4, "requeued at full size");
+        assert!(start.granted_workers < 4, "restarted shrunk");
+    }
+    assert!(c.check_invariants());
+}
+
+#[test]
+#[should_panic(expected = "duplicate")]
+fn duplicate_submission_panics() {
+    let mut s = sched(SchedulerConfig::default());
+    s.submit(simple_request(1, 0, 1, 10.0, 0.0));
+    s.submit(simple_request(1, 0, 1, 10.0, 0.0));
+}
+
+#[test]
+fn trace_records_quota_skip_reason() {
+    let mut c = cluster(); // 32 GPUs
+    let mut s = sched(SchedulerConfig {
+        quota: QuotaMode::Static,
+        quotas: vec![8],
+        group_count: 1,
+        ..SchedulerConfig::default()
+    });
+    s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+    s.submit(simple_request(2, 0, 8, 100.0, 1.0));
+    s.schedule(0.0, &mut c);
+    // Job 1 started; job 2 is quota-blocked and must say so.
+    assert!(s
+        .decision_trace()
+        .latest_skip(JobId::from_value(1))
+        .is_none());
+    let (at, reason) = s
+        .decision_trace()
+        .latest_skip(JobId::from_value(2))
+        .expect("job 2 skipped");
+    assert_eq!(at, 0.0);
+    let text = reason.to_string();
+    assert!(
+        text.contains("quota exhausted") && text.contains("8/8"),
+        "unexpected reason: {text}"
+    );
+}
+
+#[test]
+fn trace_records_placement_and_head_of_line_skips() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        backfill: BackfillMode::None,
+        ..SchedulerConfig::default()
+    });
+    s.submit(gang_request(1, 0, 3, 8, 1000.0, 0.0));
+    s.schedule(0.0, &mut c);
+    s.submit(gang_request(2, 0, 2, 8, 1000.0, 1.0));
+    s.submit(simple_request(3, 0, 1, 10.0, 2.0));
+    s.schedule(5.0, &mut c);
+    let (_, head) = s
+        .decision_trace()
+        .latest_skip(JobId::from_value(2))
+        .expect("head is capacity-blocked");
+    assert!(
+        matches!(head, SkipReason::NoFeasiblePlacement { free_gpus: 8, .. }),
+        "unexpected: {head:?}"
+    );
+    let (_, tail) = s
+        .decision_trace()
+        .latest_skip(JobId::from_value(3))
+        .expect("tail stalls behind head");
+    assert!(
+        matches!(tail, SkipReason::HeadOfLineBlocked { behind } if behind.value() == 2),
+        "unexpected: {tail:?}"
+    );
+}
+
+#[test]
+fn trace_records_backfill_blocked() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default()); // Easy backfill
+    s.submit(gang_request(1, 0, 3, 8, 100.0, 0.0));
+    s.schedule(0.0, &mut c);
+    s.submit(gang_request(2, 0, 4, 8, 1000.0, 1.0)); // blocked head
+    s.submit(simple_request(3, 0, 4, 9999.0, 2.0)); // too long to backfill
+    s.schedule(5.0, &mut c);
+    let (_, reason) = s
+        .decision_trace()
+        .latest_skip(JobId::from_value(3))
+        .expect("long job refused backfill");
+    assert!(
+        matches!(reason, SkipReason::BackfillBlocked { .. }),
+        "unexpected: {reason:?}"
+    );
+    // Once the job starts, the skip entry clears.
+    s.task_finished(JobId::from_value(1), &mut c);
+    s.schedule(100.0, &mut c);
+    assert!(s
+        .decision_trace()
+        .latest_skip(JobId::from_value(2))
+        .is_none());
+}
+
+#[test]
+fn trace_round_has_latency_and_queue_depth() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+    s.schedule(0.0, &mut c);
+    let rounds: Vec<_> = s.decision_trace().rounds().collect();
+    assert_eq!(rounds.len(), 1);
+    assert_eq!(rounds[0].queue_len, 1);
+    assert_eq!(rounds[0].started, vec![JobId::from_value(1)]);
+    assert!(rounds[0].skips.is_empty());
+    // Idle rounds are not traced.
+    s.schedule(1.0, &mut c);
+    assert_eq!(s.decision_trace().len(), 1);
+}
+
+#[test]
+fn attached_registry_sees_round_metrics() {
+    use tacc_obs::MetricsRegistry;
+    let registry = MetricsRegistry::new();
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig::default());
+    s.attach_registry(&registry);
+    s.submit(simple_request(1, 0, 8, 100.0, 0.0));
+    s.schedule(0.0, &mut c);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("tacc_sched_rounds_total"), Some(1));
+    assert_eq!(
+        snap.histogram("tacc_sched_round_latency_seconds")
+            .map(|h| h.count),
+        Some(1)
+    );
+    assert_eq!(snap.gauge("tacc_sched_running_tasks"), Some(1.0));
+    assert_eq!(snap.gauge("tacc_sched_queue_depth"), Some(0.0));
+}
+
+#[test]
+fn rotation_is_traced() {
+    let mut c = cluster();
+    let mut s = sched(SchedulerConfig {
+        time_slice_secs: Some(600.0),
+        ..SchedulerConfig::default()
+    });
+    s.submit(TaskRequest {
+        qos: QosClass::BestEffort,
+        ..gang_request(1, 0, 4, 8, 10_000.0, 0.0)
+    });
+    s.schedule(0.0, &mut c);
+    s.submit(simple_request(2, 1, 8, 600.0, 100.0));
+    s.schedule(100.0, &mut c);
+    s.rotate(700.0, &mut c);
+    let preempted_in_trace = s
+        .decision_trace()
+        .rounds()
+        .any(|r| r.preempted.contains(&JobId::from_value(1)));
+    assert!(
+        preempted_in_trace,
+        "rotation eviction must appear in the trace"
+    );
+}

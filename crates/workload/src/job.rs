@@ -1,4 +1,11 @@
-//! Jobs: submitted task schemas with a lifecycle state machine.
+//! Jobs: submitted task schemas with a checked lifecycle state machine.
+//!
+//! The lifecycle is an explicit transition matrix ([`TRANSITION_MATRIX`])
+//! driven by typed events ([`JobEvent`]). Every state change goes through
+//! [`JobState::transition`], which either returns the successor state or a
+//! typed [`IllegalTransition`] error — there is no panicking mutator API.
+//! The platform layer routes all calls through `core::lifecycle`, so the
+//! whole system has exactly one state-write site.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -29,13 +36,24 @@ impl fmt::Display for JobId {
 
 /// Lifecycle state of a job.
 ///
+/// One edge per line; `tests/lifecycle_properties.rs` parses this block and
+/// asserts it matches [`TRANSITION_MATRIX`] exactly, so keep the edge-list
+/// format intact when editing.
+///
 /// ```text
-/// Submitted ─compile→ Queued ─place→ Running ─→ Completed
-///                       ↑               │ ├──→ Failed (fatal)
-///                       └── Preempted ←─┘ └──→ (failure w/ restart) Queued
+/// Submitted ──enqueue──→ Queued
+/// Submitted ──reject───→ Failed
+/// Queued ──start──→ Running
+/// Running ──complete──→ Completed
+/// Running ──fail──→ Failed
+/// Running ──preempt──→ Preempted
+/// Running ──interrupt──→ Preempted
+/// Preempted ──enqueue──→ Queued
+/// Submitted|Queued|Running|Preempted ──cancel──→ Cancelled
 /// ```
 ///
-/// Any non-terminal state may transition to `Cancelled` (user kill).
+/// `Completed`, `Failed`, and `Cancelled` are terminal and absorbing: no
+/// event leaves them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum JobState {
     /// Submitted; the compiler layer is preparing the task instruction.
@@ -55,12 +73,63 @@ pub enum JobState {
 }
 
 impl JobState {
+    /// Every state, in declaration order (drives exhaustive matrix tests).
+    pub const ALL: [JobState; 7] = [
+        JobState::Submitted,
+        JobState::Queued,
+        JobState::Running,
+        JobState::Preempted,
+        JobState::Completed,
+        JobState::Failed,
+        JobState::Cancelled,
+    ];
+
     /// True for states a job can never leave.
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
             JobState::Completed | JobState::Failed | JobState::Cancelled
         )
+    }
+
+    /// The checked transition function: applies `event` to `self` and
+    /// returns the successor state, or a typed [`IllegalTransition`] if the
+    /// matrix has no such edge.
+    ///
+    /// The match is exhaustive over the full `(state, event)` cross product
+    /// with no wildcard row, so adding a state or event forces this function
+    /// (and [`TRANSITION_MATRIX`]) to be revisited at compile time.
+    pub fn transition(self, event: &JobEvent) -> Result<JobState, IllegalTransition> {
+        use JobEventKind as K;
+        use JobState as S;
+        let next = match (self, event.kind()) {
+            // Legal edges (mirror TRANSITION_MATRIX and the diagram above).
+            (S::Submitted | S::Preempted, K::Enqueue) => Some(S::Queued),
+            (S::Submitted, K::Reject) => Some(S::Failed),
+            (S::Queued, K::Start) => Some(S::Running),
+            (S::Running, K::Complete) => Some(S::Completed),
+            (S::Running, K::Fail) => Some(S::Failed),
+            (S::Running, K::Preempt | K::Interrupt) => Some(S::Preempted),
+            (S::Submitted | S::Queued | S::Running | S::Preempted, K::Cancel) => Some(S::Cancelled),
+            // Terminal states are absorbing.
+            (S::Completed | S::Failed | S::Cancelled, _) => None,
+            // Every remaining live-state combination is illegal, spelled out
+            // so no wildcard can swallow a future variant.
+            (S::Submitted, K::Start | K::Preempt | K::Interrupt | K::Complete | K::Fail) => None,
+            (
+                S::Queued,
+                K::Enqueue | K::Preempt | K::Interrupt | K::Reject | K::Complete | K::Fail,
+            ) => None,
+            (S::Running, K::Enqueue | K::Start | K::Reject) => None,
+            (
+                S::Preempted,
+                K::Start | K::Preempt | K::Interrupt | K::Reject | K::Complete | K::Fail,
+            ) => None,
+        };
+        next.ok_or(IllegalTransition {
+            from: self,
+            event: event.kind(),
+        })
     }
 }
 
@@ -78,6 +147,194 @@ impl fmt::Display for JobState {
         f.write_str(s)
     }
 }
+
+/// A lifecycle event applied to a job. Carries the bookkeeping payload the
+/// transition needs (timestamps, progress credit); the legality of the
+/// transition itself depends only on the event's [`JobEventKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobEvent {
+    /// Compiler finished (or a preempted job is requeued): enter the queue.
+    Enqueue,
+    /// Placed by the scheduler; starts (or resumes) running at `at_secs`.
+    Start {
+        /// Simulation time of the (re)start.
+        at_secs: f64,
+    },
+    /// Scheduler eviction: ran `progress_secs` since the last start, of
+    /// which `lost_secs` (work since the last checkpoint) is discarded.
+    Preempt {
+        /// Simulation time of the preemption.
+        at_secs: f64,
+        /// Wall seconds executed since the last start.
+        progress_secs: f64,
+        /// Portion of `progress_secs` lost (no checkpoint to resume from).
+        lost_secs: f64,
+    },
+    /// Node-failure interruption with checkpoint-restart: like `Preempt`
+    /// but counted as a restart rather than a preemption.
+    Interrupt {
+        /// Simulation time of the failure.
+        at_secs: f64,
+        /// Wall seconds executed since the last start.
+        progress_secs: f64,
+        /// Portion of `progress_secs` lost to the failure.
+        lost_secs: f64,
+    },
+    /// Admission rejection: the job can never run (e.g. infeasible gang).
+    Reject {
+        /// Simulation time of the rejection.
+        at_secs: f64,
+    },
+    /// Successful completion.
+    Complete {
+        /// Simulation time of completion.
+        at_secs: f64,
+    },
+    /// Unrecoverable error after `progress_secs` of execution (all wasted).
+    Fail {
+        /// Simulation time of the failure.
+        at_secs: f64,
+        /// Wall seconds executed since the last start, all discarded.
+        progress_secs: f64,
+    },
+    /// User kill.
+    Cancel {
+        /// Simulation time of the cancellation.
+        at_secs: f64,
+    },
+}
+
+impl JobEvent {
+    /// The payload-free kind of this event (the matrix key).
+    pub fn kind(&self) -> JobEventKind {
+        match self {
+            JobEvent::Enqueue => JobEventKind::Enqueue,
+            JobEvent::Start { .. } => JobEventKind::Start,
+            JobEvent::Preempt { .. } => JobEventKind::Preempt,
+            JobEvent::Interrupt { .. } => JobEventKind::Interrupt,
+            JobEvent::Reject { .. } => JobEventKind::Reject,
+            JobEvent::Complete { .. } => JobEventKind::Complete,
+            JobEvent::Fail { .. } => JobEventKind::Fail,
+            JobEvent::Cancel { .. } => JobEventKind::Cancel,
+        }
+    }
+}
+
+/// The kind of a [`JobEvent`], without payload. Keys the transition matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobEventKind {
+    /// See [`JobEvent::Enqueue`].
+    Enqueue,
+    /// See [`JobEvent::Start`].
+    Start,
+    /// See [`JobEvent::Preempt`].
+    Preempt,
+    /// See [`JobEvent::Interrupt`].
+    Interrupt,
+    /// See [`JobEvent::Reject`].
+    Reject,
+    /// See [`JobEvent::Complete`].
+    Complete,
+    /// See [`JobEvent::Fail`].
+    Fail,
+    /// See [`JobEvent::Cancel`].
+    Cancel,
+}
+
+impl JobEventKind {
+    /// Every event kind, in declaration order (drives matrix tests).
+    pub const ALL: [JobEventKind; 8] = [
+        JobEventKind::Enqueue,
+        JobEventKind::Start,
+        JobEventKind::Preempt,
+        JobEventKind::Interrupt,
+        JobEventKind::Reject,
+        JobEventKind::Complete,
+        JobEventKind::Fail,
+        JobEventKind::Cancel,
+    ];
+}
+
+impl fmt::Display for JobEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobEventKind::Enqueue => "enqueue",
+            JobEventKind::Start => "start",
+            JobEventKind::Preempt => "preempt",
+            JobEventKind::Interrupt => "interrupt",
+            JobEventKind::Reject => "reject",
+            JobEventKind::Complete => "complete",
+            JobEventKind::Fail => "fail",
+            JobEventKind::Cancel => "cancel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The lifecycle transition matrix as data: `(from, event, to)` rows.
+///
+/// [`JobState::transition`] is the exhaustively match-checked twin of this
+/// table; `workload` unit tests and `tests/lifecycle_properties.rs` assert
+/// the two agree over the full `(state, event)` cross product.
+pub const TRANSITION_MATRIX: &[(JobState, JobEventKind, JobState)] = &[
+    (JobState::Submitted, JobEventKind::Enqueue, JobState::Queued),
+    (JobState::Submitted, JobEventKind::Reject, JobState::Failed),
+    (
+        JobState::Submitted,
+        JobEventKind::Cancel,
+        JobState::Cancelled,
+    ),
+    (JobState::Queued, JobEventKind::Start, JobState::Running),
+    (JobState::Queued, JobEventKind::Cancel, JobState::Cancelled),
+    (
+        JobState::Running,
+        JobEventKind::Complete,
+        JobState::Completed,
+    ),
+    (JobState::Running, JobEventKind::Fail, JobState::Failed),
+    (
+        JobState::Running,
+        JobEventKind::Preempt,
+        JobState::Preempted,
+    ),
+    (
+        JobState::Running,
+        JobEventKind::Interrupt,
+        JobState::Preempted,
+    ),
+    (JobState::Running, JobEventKind::Cancel, JobState::Cancelled),
+    (JobState::Preempted, JobEventKind::Enqueue, JobState::Queued),
+    (
+        JobState::Preempted,
+        JobEventKind::Cancel,
+        JobState::Cancelled,
+    ),
+];
+
+/// A rejected lifecycle transition: the matrix has no `from ──event→` edge.
+///
+/// Surfaced on the platform event bus as `PlatformEvent::IllegalTransition`
+/// instead of mutating state (or panicking, as the pre-lifecycle-engine
+/// mutators did).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IllegalTransition {
+    /// The state the job was in when the event arrived.
+    pub from: JobState,
+    /// The event kind that had no edge from `from`.
+    pub event: JobEventKind,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal transition: {} from state {}",
+            self.event, self.from
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
 
 /// A submitted job: its schema, its (oracle) service requirement, and its
 /// progress through the lifecycle.
@@ -199,39 +456,6 @@ impl Job {
         self.finish_secs.map(|f| f - self.submit_secs)
     }
 
-    fn assert_state(&self, expected: &[JobState], op: &str) {
-        assert!(
-            expected.contains(&self.state),
-            "{}: invalid {op} from state {}",
-            self.id,
-            self.state
-        );
-    }
-
-    /// Compiler layer finished; the job enters the scheduling queue.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the job is `Submitted` or `Preempted`.
-    pub fn enqueue(&mut self) {
-        self.assert_state(&[JobState::Submitted, JobState::Preempted], "enqueue");
-        self.state = JobState::Queued;
-    }
-
-    /// The job starts (or resumes) running at time `t`.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the job is `Queued`.
-    pub fn start(&mut self, t: f64) {
-        self.assert_state(&[JobState::Queued], "start");
-        if self.first_start_secs.is_none() {
-            self.first_start_secs = Some(t);
-        }
-        self.last_start_secs = Some(t);
-        self.state = JobState::Running;
-    }
-
     /// Records `elapsed` seconds of useful progress (called when the job is
     /// suspended or finishes).
     fn credit_progress(&mut self, elapsed: f64, lost: f64) {
@@ -240,84 +464,63 @@ impl Job {
         self.wasted_secs += lost.min(elapsed).max(0.0);
     }
 
-    /// The scheduler preempts the job at `t`. `progress_secs` is how long it
-    /// ran since its last start; `lost_secs` of that is discarded (work since
-    /// the last checkpoint).
+    /// Applies a lifecycle event: validates it against the transition
+    /// matrix, performs the event's bookkeeping (timestamps, progress
+    /// credit, counters), and commits the successor state.
     ///
-    /// # Panics
+    /// This is the only way to change a job's state. On an illegal event
+    /// the job is left untouched and the typed error is returned — callers
+    /// (the platform lifecycle module) surface it on the event bus.
     ///
-    /// Panics unless the job is `Running`.
-    pub fn preempt(&mut self, _t: f64, progress_secs: f64, lost_secs: f64) {
-        self.assert_state(&[JobState::Running], "preempt");
-        self.credit_progress(progress_secs, lost_secs);
-        self.preemptions += 1;
-        self.state = JobState::Preempted;
-    }
-
-    /// A node failure interrupts the job at `t`; it loses `lost_secs` of the
-    /// `progress_secs` it ran and goes back to `Preempted` for requeueing.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the job is `Running`.
-    pub fn interrupt_for_restart(&mut self, _t: f64, progress_secs: f64, lost_secs: f64) {
-        self.assert_state(&[JobState::Running], "interrupt");
-        self.credit_progress(progress_secs, lost_secs);
-        self.restarts += 1;
-        self.state = JobState::Preempted;
-    }
-
-    /// The platform rejects the job at admission (e.g. its gang can never
-    /// fit the cluster): `Submitted` → `Failed` without ever running.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the job is `Submitted`.
-    pub fn reject(&mut self, t: f64) {
-        self.assert_state(&[JobState::Submitted], "reject");
-        self.finish_secs = Some(t);
-        self.state = JobState::Failed;
-    }
-
-    /// The job finishes successfully at `t`.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the job is `Running`.
-    pub fn complete(&mut self, t: f64) {
-        self.assert_state(&[JobState::Running], "complete");
-        self.remaining_secs = 0.0;
-        self.finish_secs = Some(t);
-        self.state = JobState::Completed;
-    }
-
-    /// The job dies with an unrecoverable error at `t` after `progress_secs`
-    /// of execution (all of it wasted).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the job is `Running`.
-    pub fn fail(&mut self, t: f64, progress_secs: f64) {
-        self.assert_state(&[JobState::Running], "fail");
-        self.wasted_secs += progress_secs.max(0.0);
-        self.finish_secs = Some(t);
-        self.state = JobState::Failed;
-    }
-
-    /// The user cancels the job at `t`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the job is already terminal.
-    pub fn cancel(&mut self, t: f64) {
-        assert!(
-            !self.state.is_terminal(),
-            "{}: cancel on terminal state {}",
-            self.id,
-            self.state
-        );
-        self.finish_secs = Some(t);
-        self.state = JobState::Cancelled;
+    /// Outside of tests, call this only from `core::lifecycle` — a
+    /// repo-wide write-site test enforces that every production caller
+    /// lives there, keeping the whole system single-writer.
+    pub fn apply_event(&mut self, event: JobEvent) -> Result<JobState, IllegalTransition> {
+        let next = self.state.transition(&event)?;
+        match event {
+            JobEvent::Enqueue => {}
+            JobEvent::Start { at_secs } => {
+                if self.first_start_secs.is_none() {
+                    self.first_start_secs = Some(at_secs);
+                }
+                self.last_start_secs = Some(at_secs);
+            }
+            JobEvent::Preempt {
+                progress_secs,
+                lost_secs,
+                ..
+            } => {
+                self.credit_progress(progress_secs, lost_secs);
+                self.preemptions += 1;
+            }
+            JobEvent::Interrupt {
+                progress_secs,
+                lost_secs,
+                ..
+            } => {
+                self.credit_progress(progress_secs, lost_secs);
+                self.restarts += 1;
+            }
+            JobEvent::Reject { at_secs } => {
+                self.finish_secs = Some(at_secs);
+            }
+            JobEvent::Complete { at_secs } => {
+                self.remaining_secs = 0.0;
+                self.finish_secs = Some(at_secs);
+            }
+            JobEvent::Fail {
+                at_secs,
+                progress_secs,
+            } => {
+                self.wasted_secs += progress_secs.max(0.0);
+                self.finish_secs = Some(at_secs);
+            }
+            JobEvent::Cancel { at_secs } => {
+                self.finish_secs = Some(at_secs);
+            }
+        }
+        self.state = next;
+        Ok(next)
     }
 }
 
@@ -333,15 +536,19 @@ mod tests {
         Job::new(JobId::from_value(1), schema, 100.0, 600.0)
     }
 
+    fn apply(j: &mut Job, event: JobEvent) -> JobState {
+        j.apply_event(event).expect("legal transition")
+    }
+
     #[test]
     fn happy_path_lifecycle() {
         let mut j = job();
         assert_eq!(j.state(), JobState::Submitted);
-        j.enqueue();
+        apply(&mut j, JobEvent::Enqueue);
         assert_eq!(j.state(), JobState::Queued);
-        j.start(150.0);
+        apply(&mut j, JobEvent::Start { at_secs: 150.0 });
         assert_eq!(j.state(), JobState::Running);
-        j.complete(750.0);
+        apply(&mut j, JobEvent::Complete { at_secs: 750.0 });
         assert_eq!(j.state(), JobState::Completed);
         assert_eq!(j.queueing_delay_secs(), Some(50.0));
         assert_eq!(j.jct_secs(), Some(650.0));
@@ -352,28 +559,43 @@ mod tests {
     #[test]
     fn preemption_keeps_checkpointed_progress() {
         let mut j = job();
-        j.enqueue();
-        j.start(0.0);
+        apply(&mut j, JobEvent::Enqueue);
+        apply(&mut j, JobEvent::Start { at_secs: 0.0 });
         // Ran 200s, lost the 50s since the last checkpoint.
-        j.preempt(200.0, 200.0, 50.0);
+        apply(
+            &mut j,
+            JobEvent::Preempt {
+                at_secs: 200.0,
+                progress_secs: 200.0,
+                lost_secs: 50.0,
+            },
+        );
         assert_eq!(j.state(), JobState::Preempted);
         assert_eq!(j.preemptions(), 1);
         assert_eq!(j.remaining_secs(), 600.0 - 150.0);
         assert_eq!(j.wasted_secs(), 50.0);
         // Requeue and resume.
-        j.enqueue();
-        j.start(300.0);
+        apply(&mut j, JobEvent::Enqueue);
+        apply(&mut j, JobEvent::Start { at_secs: 300.0 });
         assert_eq!(j.first_start_secs(), Some(0.0)); // first start preserved
-        j.complete(750.0);
+        apply(&mut j, JobEvent::Complete { at_secs: 750.0 });
         assert_eq!(j.jct_secs(), Some(650.0));
     }
 
     #[test]
     fn failure_restart_counts_waste() {
         let mut j = job();
-        j.enqueue();
-        j.start(0.0);
-        j.interrupt_for_restart(100.0, 100.0, 100.0); // no checkpoint: all lost
+        apply(&mut j, JobEvent::Enqueue);
+        apply(&mut j, JobEvent::Start { at_secs: 0.0 });
+        // No checkpoint: all progress lost.
+        apply(
+            &mut j,
+            JobEvent::Interrupt {
+                at_secs: 100.0,
+                progress_secs: 100.0,
+                lost_secs: 100.0,
+            },
+        );
         assert_eq!(j.restarts(), 1);
         assert_eq!(j.remaining_secs(), 600.0);
         assert_eq!(j.wasted_secs(), 100.0);
@@ -382,9 +604,15 @@ mod tests {
     #[test]
     fn fatal_failure() {
         let mut j = job();
-        j.enqueue();
-        j.start(150.0);
-        j.fail(180.0, 30.0);
+        apply(&mut j, JobEvent::Enqueue);
+        apply(&mut j, JobEvent::Start { at_secs: 150.0 });
+        apply(
+            &mut j,
+            JobEvent::Fail {
+                at_secs: 180.0,
+                progress_secs: 30.0,
+            },
+        );
         assert_eq!(j.state(), JobState::Failed);
         assert_eq!(j.wasted_secs(), 30.0);
         assert_eq!(j.jct_secs(), Some(80.0));
@@ -393,26 +621,88 @@ mod tests {
     #[test]
     fn cancel_from_queue() {
         let mut j = job();
-        j.enqueue();
-        j.cancel(500.0);
+        apply(&mut j, JobEvent::Enqueue);
+        apply(&mut j, JobEvent::Cancel { at_secs: 500.0 });
         assert_eq!(j.state(), JobState::Cancelled);
         assert_eq!(j.queueing_delay_secs(), None);
         assert_eq!(j.jct_secs(), Some(400.0));
     }
 
     #[test]
-    #[should_panic(expected = "invalid start")]
     fn start_requires_queued() {
         let mut j = job();
-        j.start(0.0);
+        let err = j
+            .apply_event(JobEvent::Start { at_secs: 0.0 })
+            .expect_err("submitted jobs cannot start");
+        assert_eq!(err.from, JobState::Submitted);
+        assert_eq!(err.event, JobEventKind::Start);
+        assert_eq!(j.state(), JobState::Submitted); // untouched
+        assert_eq!(
+            err.to_string(),
+            "illegal transition: start from state submitted"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "terminal")]
-    fn cancel_twice_panics() {
+    fn terminal_states_absorb_cancel() {
         let mut j = job();
-        j.cancel(1.0);
-        j.cancel(2.0);
+        apply(&mut j, JobEvent::Cancel { at_secs: 1.0 });
+        let err = j
+            .apply_event(JobEvent::Cancel { at_secs: 2.0 })
+            .expect_err("cancel is not idempotent");
+        assert_eq!(err.from, JobState::Cancelled);
+        assert_eq!(j.finish_secs(), Some(1.0)); // first cancel's timestamp kept
+    }
+
+    #[test]
+    fn transition_matrix_agrees_with_match() {
+        // The data table and the exhaustive match must describe the same
+        // relation over the full cross product.
+        for &from in JobState::ALL.iter() {
+            for &kind in JobEventKind::ALL.iter() {
+                let row = TRANSITION_MATRIX
+                    .iter()
+                    .find(|&&(f, k, _)| f == from && k == kind)
+                    .map(|&(_, _, to)| to);
+                let event = sample_event(kind);
+                let matched = from.transition(&event).ok();
+                assert_eq!(
+                    row, matched,
+                    "matrix/match disagree on ({from:?}, {kind:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_states_have_no_outgoing_edges() {
+        for &(from, _, _) in TRANSITION_MATRIX {
+            assert!(!from.is_terminal(), "terminal state {from:?} has an edge");
+        }
+    }
+
+    fn sample_event(kind: JobEventKind) -> JobEvent {
+        match kind {
+            JobEventKind::Enqueue => JobEvent::Enqueue,
+            JobEventKind::Start => JobEvent::Start { at_secs: 0.0 },
+            JobEventKind::Preempt => JobEvent::Preempt {
+                at_secs: 0.0,
+                progress_secs: 0.0,
+                lost_secs: 0.0,
+            },
+            JobEventKind::Interrupt => JobEvent::Interrupt {
+                at_secs: 0.0,
+                progress_secs: 0.0,
+                lost_secs: 0.0,
+            },
+            JobEventKind::Reject => JobEvent::Reject { at_secs: 0.0 },
+            JobEventKind::Complete => JobEvent::Complete { at_secs: 0.0 },
+            JobEventKind::Fail => JobEvent::Fail {
+                at_secs: 0.0,
+                progress_secs: 0.0,
+            },
+            JobEventKind::Cancel => JobEvent::Cancel { at_secs: 0.0 },
+        }
     }
 
     #[test]
