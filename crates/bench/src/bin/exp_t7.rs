@@ -1,0 +1,9 @@
+//! Experiment T7 — ML Productivity Goodput decomposition.
+//!
+//! Thin shim: the body lives in `tacc_bench::experiments::t7` so the
+//! parallel `experiments` runner and this standalone binary share it.
+//! Prefer `experiments t7` (or `--check`) for golden-gated runs.
+
+fn main() {
+    tacc_bench::registry::run_binary("t7");
+}

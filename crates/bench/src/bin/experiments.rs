@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [IDS...] [OPTIONS]
 //!
-//!   IDS                 experiment ids (f1..f10, t1..t6); default: tier selection
+//!   IDS                 experiment ids (f1..f10, t1..t7); default: tier selection
 //!   --list              list registered experiments and exit
 //!   --check             compare fresh runs against crates/bench/golden/ (byte equality)
 //!   --bless             rewrite the golden snapshots from fresh runs
@@ -20,6 +20,10 @@
 //!   --export PATH       with --determinism: also write the export stream to PATH
 //!   --export-transitions PATH  with --determinism: also write the lifecycle
 //!                       transition-log JSONL to PATH
+//!   --export-timelines PATH  with --determinism: also write the per-job span
+//!                       timeline JSONL to PATH
+//!   --export-goodput PATH  with --determinism: also write the byte-stable
+//!                       goodput decomposition JSON to PATH
 //! ```
 //!
 //! The simulator is bit-deterministic, so `--check` uses tolerance-free
@@ -60,6 +64,8 @@ struct Options {
     determinism: Option<f64>,
     export: Option<String>,
     export_transitions: Option<String>,
+    export_timelines: Option<String>,
+    export_goodput: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +81,8 @@ fn parse_args() -> Result<Options, String> {
         determinism: None,
         export: None,
         export_transitions: None,
+        export_timelines: None,
+        export_goodput: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -117,6 +125,12 @@ fn parse_args() -> Result<Options, String> {
             "--export-transitions" => {
                 opts.export_transitions =
                     Some(args.next().ok_or("--export-transitions needs a path")?);
+            }
+            "--export-timelines" => {
+                opts.export_timelines = Some(args.next().ok_or("--export-timelines needs a path")?);
+            }
+            "--export-goodput" => {
+                opts.export_goodput = Some(args.next().ok_or("--export-goodput needs a path")?);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             id => opts.ids.push(id.to_ascii_lowercase()),
@@ -235,26 +249,58 @@ fn write_sweep(path: &str, outcomes: &[RunOutcome], wall_secs: f64, jobs: usize)
     }
 }
 
-fn run_determinism(days: f64, export: Option<&str>, export_transitions: Option<&str>) -> ExitCode {
+fn export_stream(path: Option<&str>, what: &str, bytes: &str) -> Result<(), ExitCode> {
+    if let Some(path) = path {
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("error: could not write {what} export {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        println!("exported {} {what} bytes to {path}", bytes.len());
+    }
+    Ok(())
+}
+
+fn run_determinism(days: f64, opts: &Options) -> ExitCode {
     println!("determinism: canonical {days}-day simulation, two fresh replays");
     let runs = par::par_map(vec![(), ()], |()| campus_determinism_run(days));
     let (a, b) = (&runs[0], &runs[1]);
-    if let Some(path) = export {
-        if let Err(e) = std::fs::write(path, &a.events) {
-            eprintln!("error: could not write export {path}: {e}");
-            return ExitCode::FAILURE;
+    for (path, what, bytes) in [
+        (opts.export.as_deref(), "event-stream", &a.events),
+        (
+            opts.export_transitions.as_deref(),
+            "transition-log",
+            &a.transitions,
+        ),
+        (
+            opts.export_timelines.as_deref(),
+            "span-timeline",
+            &a.timelines,
+        ),
+        (opts.export_goodput.as_deref(), "goodput", &a.goodput),
+    ] {
+        if let Err(code) = export_stream(path, what, bytes) {
+            return code;
         }
-        println!("exported {} bytes to {path}", a.events.len());
     }
-    if let Some(path) = export_transitions {
-        if let Err(e) = std::fs::write(path, &a.transitions) {
-            eprintln!("error: could not write transition export {path}: {e}");
+    // Offline-replay gate: timelines refolded from the exported transition
+    // text must match the live fold byte-for-byte.
+    match &a.reconstructed_timelines {
+        Some(rebuilt) if rebuilt != &a.timelines => {
+            eprintln!(
+                "determinism: FAILED — timeline reconstruction from the transition log \
+                 diverges from the live fold ({} vs {} bytes)",
+                rebuilt.len(),
+                a.timelines.len()
+            );
             return ExitCode::FAILURE;
         }
-        println!(
-            "exported {} transition-log bytes to {path}",
-            a.transitions.len()
-        );
+        Some(_) => println!(
+            "determinism: timeline reconstruction OK — {} bytes refolded identically",
+            a.timelines.len()
+        ),
+        None => println!(
+            "determinism: timeline reconstruction skipped (bounded transition ring dropped records)"
+        ),
     }
     if a == b {
         println!(
@@ -299,11 +345,7 @@ fn main() -> ExitCode {
         par::set_parallelism(jobs);
     }
     if let Some(days) = opts.determinism {
-        return run_determinism(
-            days,
-            opts.export.as_deref(),
-            opts.export_transitions.as_deref(),
-        );
+        return run_determinism(days, &opts);
     }
 
     let specs = match selected(&opts) {

@@ -13,6 +13,7 @@ use crate::json::Json;
 use crate::{campus_config, standard_trace};
 use tacc_core::{Platform, SimulationReport};
 use tacc_metrics::Summary;
+use tacc_obs::SpanBook;
 use tacc_sched::QuotaMode;
 use tacc_storage::StorageConfig;
 
@@ -27,6 +28,17 @@ pub struct DeterminismRun {
     /// Lifecycle-engine transition log as JSONL (one record per applied
     /// `JobEvent`) — the audit trail of every job-state change.
     pub transitions: String,
+    /// Per-job span timelines as JSONL, folded live by `tacc-obs` from
+    /// the same transition stream.
+    pub timelines: String,
+    /// Timelines rebuilt *from the exported `transitions` text alone*
+    /// (parse → refold → re-render). Must equal `timelines` byte-for-byte;
+    /// `None` when the bounded transition ring dropped records, which
+    /// makes reconstruction impossible by construction.
+    pub reconstructed_timelines: Option<String>,
+    /// Byte-stable ML Productivity Goodput JSON for the run (what CI
+    /// archives as an artifact).
+    pub goodput: String,
 }
 
 /// Runs the canonical determinism simulation and returns its export
@@ -53,9 +65,23 @@ pub fn campus_determinism_run(days: f64) -> DeterminismRun {
     let mut events = platform.events().to_jsonl();
     events.push_str(&report_fingerprint(&report).to_compact());
     events.push('\n');
+    let transitions = platform.transitions_jsonl();
+    let timelines = platform.timelines_jsonl();
+    // Replay check input: refold the span book from the exported text,
+    // exactly as an offline consumer would.
+    let reconstructed_timelines = if platform.transitions_dropped() == 0 {
+        let book = SpanBook::from_transitions_jsonl(&transitions, platform.span_book().config())
+            .expect("the engine only exports well-formed legal transitions");
+        Some(book.to_jsonl(platform.span_horizon()))
+    } else {
+        None
+    };
     DeterminismRun {
         events,
-        transitions: platform.transitions_jsonl(),
+        transitions,
+        timelines,
+        reconstructed_timelines,
+        goodput: report.goodput_decomposition.to_json(),
     }
 }
 
@@ -112,6 +138,19 @@ pub fn report_fingerprint(report: &SimulationReport) -> Json {
         .set("useful_gpu_hours", report.useful_gpu_hours.into())
         .set("wasted_gpu_hours", report.wasted_gpu_hours.into())
         .set("goodput", report.goodput.into())
+        .set("goodput_ratio", report.goodput_decomposition.goodput.into())
+        .set(
+            "goodput_availability",
+            report.goodput_decomposition.availability.into(),
+        )
+        .set(
+            "goodput_efficiency",
+            report.goodput_decomposition.throughput_efficiency.into(),
+        )
+        .set(
+            "goodput_badput_fraction",
+            report.goodput_decomposition.badput_fraction.into(),
+        )
         .set("groups", Json::Arr(groups))
         .set("fairness", report.fairness.into())
         .set("cache_hits", report.cache_hits.into())
@@ -147,5 +186,17 @@ mod tests {
             .transitions
             .lines()
             .all(|l| l.starts_with("{\"at_secs\":") && l.ends_with('}')));
+        // Nothing dropped at this scale, so the timelines refolded from
+        // the exported transition text are byte-identical to the live ones.
+        assert!(!a.timelines.is_empty());
+        assert_eq!(
+            a.reconstructed_timelines.as_deref(),
+            Some(a.timelines.as_str())
+        );
+        // The goodput artifact is the byte-stable decomposition JSON.
+        assert!(a.goodput.starts_with("{\"horizon_secs\":"), "{}", a.goodput);
+        // The fingerprint line carries the decomposition's top factors.
+        let last = a.events.lines().last().unwrap();
+        assert!(last.contains("\"goodput_availability\":"), "{last}");
     }
 }

@@ -22,3 +22,4 @@ pub mod t2;
 pub mod t3;
 pub mod t5;
 pub mod t6;
+pub mod t7;

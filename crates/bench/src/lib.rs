@@ -23,6 +23,7 @@
 //! | `exp_t5` | T5 — elastic (Pollux-style) admission |
 //! | `exp_f10` | F10 — capacity planning curve |
 //! | `exp_t6` | T6 — heterogeneous GPU pools |
+//! | `exp_t7` | T7 — ML Productivity Goodput decomposition |
 //! | `cargo bench` | T4 — scheduler/allocator/cache/comm/engine latency |
 //!
 //! The `exp_*` binaries are thin shims over the [`registry`]: each

@@ -32,7 +32,7 @@ impl Tier {
 
 /// One registered experiment.
 pub struct ExperimentSpec {
-    /// Short identifier (`f1`…`f10`, `t1`…`t6`) — also the golden file stem.
+    /// Short identifier (`f1`…`f10`, `t1`…`t7`) — also the golden file stem.
     pub id: &'static str,
     /// The EXPERIMENTS.md section heading this regenerates.
     pub title: &'static str,
@@ -133,6 +133,12 @@ pub static ALL: &[ExperimentSpec] = &[
         title: "T6 — heterogeneous GPU pools",
         tier: Tier::Fast,
         run: experiments::t6::run,
+    },
+    ExperimentSpec {
+        id: "t7",
+        title: "T7 — ML Productivity Goodput decomposition",
+        tier: Tier::Fast,
+        run: experiments::t7::run,
     },
 ];
 

@@ -32,6 +32,12 @@ pub(crate) struct CoreMetrics {
     pub(crate) largest_free_block: Gauge,
     pub(crate) fragmentation: Gauge,
     pub(crate) alloc_failures: Counter,
+    pub(crate) dropped_events: Counter,
+    pub(crate) dropped_transitions: Counter,
+    pub(crate) goodput_ratio: Gauge,
+    pub(crate) goodput_availability: Gauge,
+    pub(crate) goodput_efficiency: Gauge,
+    pub(crate) goodput_badput: Gauge,
 }
 
 impl CoreMetrics {
@@ -48,6 +54,14 @@ impl CoreMetrics {
             largest_free_block: registry.gauge("tacc_cluster_largest_free_block", &[]),
             fragmentation: registry.gauge("tacc_cluster_fragmentation", &[]),
             alloc_failures: registry.counter("tacc_cluster_alloc_failures_total", &[]),
+            // Observability-layer series: names are declared next to the
+            // obs code that owns their semantics (and linted there).
+            dropped_events: registry.counter(tacc_obs::DROPPED_EVENTS_METRIC, &[]),
+            dropped_transitions: registry.counter(tacc_obs::DROPPED_TRANSITIONS_METRIC, &[]),
+            goodput_ratio: registry.gauge(tacc_obs::GOODPUT_RATIO_METRIC, &[]),
+            goodput_availability: registry.gauge(tacc_obs::GOODPUT_AVAILABILITY_METRIC, &[]),
+            goodput_efficiency: registry.gauge(tacc_obs::GOODPUT_EFFICIENCY_METRIC, &[]),
+            goodput_badput: registry.gauge(tacc_obs::GOODPUT_BADPUT_METRIC, &[]),
         }
     }
 }

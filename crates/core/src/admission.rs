@@ -21,6 +21,10 @@ impl Platform {
         self.next_job += 1;
         let job = Job::new(id, record.schema.clone(), now, record.service_secs);
         self.jobs.insert(id, job);
+        // Anchor the job's transition timeline at its submission: a
+        // recorded self-loop on `Submitted`, so span reconstruction from
+        // the exported stream alone knows when provisioning began.
+        let _ = self.apply_lifecycle_event(id, JobEvent::Submit { at_secs: now });
         self.metrics.jobs_submitted.inc();
         self.emit(
             now,

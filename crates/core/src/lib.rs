@@ -41,6 +41,7 @@ mod admission;
 mod config;
 mod faults;
 mod lifecycle;
+mod observability;
 mod platform;
 mod report;
 mod status;

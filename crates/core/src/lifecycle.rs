@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use tacc_cluster::{GpuModel, NodeId};
-use tacc_obs::PlatformEvent;
+use tacc_obs::{PlatformEvent, TransitionEvent};
 use tacc_sim::{SimDuration, SimTime};
 use tacc_workload::{
     IllegalTransition, Job, JobEvent, JobEventKind, JobId, JobState, RuntimePreference, TaskKind,
@@ -130,6 +130,16 @@ impl Platform {
                     self.bump_token(id);
                 }
                 self.transitions.record(TransitionRecord {
+                    at_secs: now,
+                    job: id,
+                    from,
+                    to,
+                    event: event.kind(),
+                });
+                // The span book folds the same stream the log records, so
+                // live timelines and timelines replayed from the exported
+                // JSONL are the same pure function of the same input.
+                self.spans.observe(TransitionEvent {
                     at_secs: now,
                     job: id,
                     from,

@@ -12,6 +12,8 @@
 //! * [`crate::accounting`] — group GPU-time accrual, interruption
 //!   amounts, metrics handles, job logs, and cluster gauges;
 //! * [`crate::faults`] — fault delivery, failover, checkpoint-restart;
+//! * [`crate::observability`] — span timelines and the goodput
+//!   decomposition folded from the transition stream;
 //! * [`crate::status`] — client-facing read model (`tcloud` status,
 //!   logs, why, artifacts).
 
@@ -21,7 +23,7 @@ use tacc_cluster::{Cluster, NodeId};
 use tacc_compiler::Compiler;
 use tacc_exec::{CheckpointPolicy, ExecModel, ExecTelemetry, FailoverPolicy, FailureInjector};
 use tacc_metrics::UtilizationTracker;
-use tacc_obs::{EventBus, EventRecord, MetricsRegistry, MetricsSnapshot};
+use tacc_obs::{EventBus, EventRecord, MetricsRegistry, MetricsSnapshot, SpanBook, SpanConfig};
 use tacc_sched::Scheduler;
 use tacc_sim::{Clock, EventQueue, SimDuration, SimTime};
 use tacc_storage::{SharedStore, Staging};
@@ -100,6 +102,7 @@ pub struct Platform {
 
     pub(crate) bus: EventBus,
     pub(crate) transitions: TransitionLog,
+    pub(crate) spans: SpanBook,
     pub(crate) registry: MetricsRegistry,
     pub(crate) exec_telemetry: ExecTelemetry,
     pub(crate) metrics: CoreMetrics,
@@ -136,6 +139,10 @@ impl Platform {
         let metrics = CoreMetrics::new(&registry);
         let bus = EventBus::new(config.event_buffer_capacity);
         let transitions = TransitionLog::new(config.event_buffer_capacity);
+        let spans = SpanBook::new(SpanConfig {
+            restore_secs: config.checkpoint.restore_cost_secs(),
+            checkpoint_overhead_fraction: config.checkpoint.overhead_fraction(),
+        });
         let injector = config
             .node_mtbf_secs
             .map(|mtbf| FailureInjector::new(mtbf, config.seed ^ 0xFA17));
@@ -164,6 +171,7 @@ impl Platform {
             next_job: 0,
             bus,
             transitions,
+            spans,
             registry,
             exec_telemetry,
             metrics,
@@ -247,11 +255,13 @@ impl Platform {
     /// (`tacc_core_*`, `tacc_sched_*`, `tacc_compiler_*`, `tacc_exec_*`,
     /// `tacc_cluster_*`).
     pub fn metrics(&self) -> MetricsSnapshot {
+        self.sync_obs_drop_counters();
         self.registry.snapshot()
     }
 
     /// Prometheus text exposition of every operational metric.
     pub fn metrics_text(&self) -> String {
+        self.sync_obs_drop_counters();
         self.registry.expose()
     }
 
@@ -365,6 +375,7 @@ impl Platform {
             round_latency,
             events_recorded: self.bus.recorded(),
             events_dropped: self.bus.dropped(),
+            goodput_decomposition: self.goodput(),
         })
     }
 

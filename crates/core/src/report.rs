@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use tacc_compiler::CacheStats;
 use tacc_metrics::{jain_index, Summary, UtilizationTracker};
-use tacc_obs::HistogramSnapshot;
+use tacc_obs::{GoodputReport, HistogramSnapshot};
 use tacc_workload::{GroupId, JobId, TaskKind};
 
 /// Per-job completion record.
@@ -116,6 +116,11 @@ pub struct SimulationReport {
     pub events_recorded: u64,
     /// Events dropped from the bounded bus ring.
     pub events_dropped: u64,
+    /// ML Productivity Goodput decomposition
+    /// (`availability × throughput_efficiency × (1 − badput)`), with
+    /// badput itemized by cause. Derived purely from sim-time span
+    /// timelines, so equality is strict.
+    pub goodput_decomposition: GoodputReport,
     /// The per-job completion records (for CDFs in figure harnesses).
     pub jobs: Vec<CompletedJob>,
 }
@@ -153,6 +158,7 @@ impl PartialEq for SimulationReport {
             round_latency,
             events_recorded,
             events_dropped,
+            goodput_decomposition,
             jobs,
         } = self;
         *submitted == other.submitted
@@ -185,6 +191,9 @@ impl PartialEq for SimulationReport {
             && round_latency.count == other.round_latency.count
             && *events_recorded == other.events_recorded
             && *events_dropped == other.events_dropped
+            // Sim-time-only by construction, so strict equality holds
+            // across replays.
+            && *goodput_decomposition == other.goodput_decomposition
             && *jobs == other.jobs
     }
 }
@@ -215,6 +224,7 @@ pub(crate) struct ReportInputs<'a> {
     pub round_latency: HistogramSnapshot,
     pub events_recorded: u64,
     pub events_dropped: u64,
+    pub goodput_decomposition: GoodputReport,
 }
 
 impl SimulationReport {
@@ -243,6 +253,7 @@ impl SimulationReport {
             round_latency,
             events_recorded,
             events_dropped,
+            goodput_decomposition,
         } = inputs;
         let jct: Vec<f64> = completed.iter().map(|j| j.jct_secs).collect();
         let delay: Vec<f64> = completed.iter().map(|j| j.queue_delay_secs).collect();
@@ -321,6 +332,7 @@ impl SimulationReport {
             round_latency,
             events_recorded,
             events_dropped,
+            goodput_decomposition,
             jobs: completed.to_vec(),
         }
     }
@@ -329,6 +341,15 @@ impl SimulationReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn empty_goodput(horizon_secs: f64, total_gpus: f64) -> GoodputReport {
+        GoodputReport::compute(
+            &tacc_obs::SpanBook::new(tacc_obs::SpanConfig::plain()),
+            horizon_secs,
+            total_gpus,
+            &std::collections::BTreeMap::new(),
+        )
+    }
 
     fn job(group: usize, gpus: u32, jct: f64, service: f64, wasted: f64) -> CompletedJob {
         CompletedJob {
@@ -380,6 +401,7 @@ mod tests {
             round_latency: HistogramSnapshot::default(),
             events_recorded: 9,
             events_dropped: 0,
+            goodput_decomposition: empty_goodput(3600.0, 8.0),
         });
         assert_eq!(r.rounds, 4);
         assert_eq!(r.events_recorded, 9);
@@ -424,6 +446,7 @@ mod tests {
             round_latency: HistogramSnapshot::default(),
             events_recorded: 0,
             events_dropped: 0,
+            goodput_decomposition: empty_goodput(100.0, 8.0),
         });
         assert_eq!(r.completed, 0);
         assert_eq!(r.goodput, 1.0);

@@ -96,6 +96,8 @@ fn transition_log_survives_rejection_unchanged() {
     assert_eq!(
         path,
         vec![
+            // Admission anchors the timeline with a recorded self-loop.
+            (JobState::Submitted, JobState::Submitted),
             (JobState::Submitted, JobState::Queued),
             (JobState::Queued, JobState::Running),
             (JobState::Running, JobState::Completed),
@@ -119,6 +121,7 @@ fn every_stale_event_kind_is_rejected_on_terminal_job() {
     p.run_until_idle();
 
     let stale = [
+        JobEvent::Submit { at_secs: 1e6 },
         JobEvent::Enqueue,
         JobEvent::Start { at_secs: 1e6 },
         JobEvent::Preempt {

@@ -108,6 +108,19 @@ impl CheckpointPolicy {
         (effective / stretch, lost_wall / stretch)
     }
 
+    /// Fraction of running wall time spent writing checkpoints:
+    /// `(factor − 1) / factor` where `factor` is
+    /// [`runtime_overhead_factor`](Self::runtime_overhead_factor).
+    ///
+    /// The overhead is a multiplicative stretch, so of every stretched
+    /// wall second, `1/factor` is forward progress and the rest is
+    /// checkpoint writes. The observability layer uses this to carve the
+    /// amortized `Checkpointing` span out of each `Running` interval.
+    pub fn overhead_fraction(&self) -> f64 {
+        let factor = self.runtime_overhead_factor();
+        (factor - 1.0) / factor
+    }
+
     /// One-time cost paid when a preempted/failed job resumes.
     pub fn restore_cost_secs(&self) -> f64 {
         if self.is_enabled() {
@@ -147,6 +160,16 @@ mod tests {
             CheckpointPolicy::disabled().lost_on_interrupt(1450.0),
             1450.0
         );
+    }
+
+    #[test]
+    fn overhead_fraction_complements_progress_share() {
+        let p = CheckpointPolicy::every(600.0, 15.0, 60.0);
+        // factor 1.025: of each stretched second, 1/1.025 is progress.
+        let f = p.overhead_fraction();
+        assert!((f - 0.025 / 1.025).abs() < 1e-15);
+        assert!((f + 1.0 / p.runtime_overhead_factor() - 1.0).abs() < 1e-15);
+        assert_eq!(CheckpointPolicy::disabled().overhead_fraction(), 0.0);
     }
 
     #[test]

@@ -321,6 +321,33 @@ fn lint_tokens(ctx: &ScanCtx<'_>, toks: &[&Token], out: &mut Vec<Finding>) {
                 }
             }
         }
+
+        // L6 metric-naming, declaration form: `const <NAME>_METRIC: &str
+        // = "..."`. Layers that register through shared consts (e.g. core
+        // registering obs-owned names) carry no literal at the call site,
+        // so the declaration is the lintable surface.
+        if lib
+            && word == "const"
+            && ident(i + 1).is_some_and(|n| n.ends_with("_METRIC"))
+            && punct(i + 2, ':')
+            && punct(i + 3, '&')
+            && ident(i + 4) == Some("str")
+            && punct(i + 5, '=')
+        {
+            if let Some(name) = string(i + 6) {
+                if !valid_metric_name(name) {
+                    out.push(finding(
+                        ctx,
+                        Lint::MetricName,
+                        line,
+                        format!(
+                            "metric const declares \"{name}\", which does not match \
+                             tacc_<layer>_<name> (lowercase, layer one of the workspace crates)"
+                        ),
+                    ));
+                }
+            }
+        }
     }
 }
 
@@ -621,6 +648,21 @@ mod tests {
             lints_of(&scan),
             vec!["metric-name", "metric-name", "metric-name"]
         );
+    }
+
+    #[test]
+    fn l6_metric_name_validates_const_declarations() {
+        let good = "pub const GOODPUT_RATIO_METRIC: &str = \"tacc_obs_goodput_ratio\";\n\
+                    pub const NOT_A_METRIC_NAME: &str = \"free-form text\";\n";
+        assert!(scan_source(&ctx("obs", FileKind::Lib), good)
+            .findings
+            .is_empty());
+        let bad = "pub const GOODPUT_METRIC: &str = \"tacc_obs_BadName\";\n\
+                   const DROPPED_METRIC: &str = \"obs_dropped_total\";\n";
+        let scan = scan_source(&ctx("obs", FileKind::Lib), bad);
+        assert_eq!(lints_of(&scan), vec!["metric-name", "metric-name"]);
+        assert_eq!(scan.findings[0].line, 1);
+        assert!(scan.findings[0].message.contains("metric const"));
     }
 
     #[test]

@@ -39,14 +39,16 @@ fn one_violation_of_each_family_flips_check_red() {
         &root.join("crates/alpha/Cargo.toml"),
         "[package]\nname = \"tacc-core\"\n\n[dependencies]\ntacc-tcloud.workspace = true\n",
     );
-    // One violation per family, one per line, lines 1-5.
+    // One violation per family, one per line, lines 1-6 (metric-name is
+    // seeded twice: the call-literal form and the const-declaration form).
     write(
         &root.join("crates/alpha/src/lib.rs"),
         "use std::collections::HashMap;\n\
          fn clock() -> std::time::Instant { std::time::Instant::now() }\n\
          fn roll() -> u8 { thread_rng().gen() }\n\
          fn risky(o: Option<u8>) -> u8 { o.unwrap() }\n\
-         fn register(r: &Registry) { r.counter(\"bad_metric\", &[]); }\n",
+         fn register(r: &Registry) { r.counter(\"bad_metric\", &[]); }\n\
+         pub const GOODPUT_METRIC: &str = \"tacc_obs_BadName\";\n",
     );
 
     let json_path = root.join("report.json");
@@ -63,6 +65,7 @@ fn one_violation_of_each_family_flips_check_red() {
         ("ambient-rng", "crates/alpha/src/lib.rs", 3),
         ("panic-surface", "crates/alpha/src/lib.rs", 4),
         ("metric-name", "crates/alpha/src/lib.rs", 5),
+        ("metric-name", "crates/alpha/src/lib.rs", 6),
         ("layer-dag", "crates/alpha/Cargo.toml", 5),
     ];
     for (lint, file, line) in expected {
@@ -87,7 +90,8 @@ fn clean_tree_passes_and_reasoned_allows_are_reported_not_fatal() {
         &root.join("crates/beta/src/lib.rs"),
         "// tacc-lint: allow(wall-clock, reason = \"round-latency measurement only\")\n\
          fn measure() -> std::time::Instant { std::time::Instant::now() }\n\
-         fn register(r: &Registry) { r.counter(\"tacc_sched_rounds_total\", &[]); }\n",
+         fn register(r: &Registry) { r.counter(\"tacc_sched_rounds_total\", &[]); }\n\
+         pub const DEPTH_METRIC: &str = \"tacc_sched_queue_depth\";\n",
     );
 
     let json_path = root.join("report.json");

@@ -247,7 +247,7 @@ pub struct EventRecord {
 }
 
 /// Appends a JSON string literal (with escaping) to `out`.
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -271,7 +271,7 @@ fn push_json_str(out: &mut String, s: &str) {
 ///
 /// Panics on non-finite values — JSON has no representation for them and
 /// no platform event may carry one (matching `serde_json`'s refusal).
-fn push_json_f64(out: &mut String, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
     assert!(v.is_finite(), "non-finite float in platform event: {v}");
     out.push_str(&format!("{v}"));
 }

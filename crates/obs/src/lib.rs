@@ -22,6 +22,13 @@
 //!   [`DecisionTraceLog`]): every scheduling round records what
 //!   started, what was preempted and — crucially — *why each queued
 //!   job was skipped*, plus the wall-clock latency of the round.
+//! * **Span timelines and goodput** ([`SpanBook`], [`GoodputReport`]):
+//!   the lifecycle transition stream folds into per-job span timelines
+//!   whose durations partition each job's makespan exactly, and
+//!   aggregates into the ML Productivity Goodput decomposition
+//!   `availability × throughput_efficiency × (1 − badput)` with badput
+//!   itemized by cause — both replayable byte-identically from an
+//!   exported transition stream.
 //!
 //! ## Example
 //!
@@ -47,14 +54,25 @@
 #![warn(missing_docs)]
 
 mod events;
+mod goodput;
 mod metrics;
+mod span;
 mod trace;
 
 pub use events::{
     conservation, ConservationCheck, EventBus, EventRecord, PlatformEvent, RejectReason,
 };
+pub use goodput::{
+    badput_cause_of, goodput_conservation, BadputBreakdown, BadputCause, Dyadic, GoodputReport,
+    JobGoodputInput, DROPPED_EVENTS_METRIC, DROPPED_TRANSITIONS_METRIC,
+    GOODPUT_AVAILABILITY_METRIC, GOODPUT_BADPUT_METRIC, GOODPUT_EFFICIENCY_METRIC,
+    GOODPUT_RATIO_METRIC,
+};
 pub use metrics::{
     BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     ScrapedCounter, ScrapedGauge, ScrapedHistogram,
+};
+pub use span::{
+    span_conservation, JobTimeline, Span, SpanBook, SpanConfig, SpanPhase, TransitionEvent,
 };
 pub use trace::{DecisionTraceLog, JobSkip, RoundTrace, SkipReason};

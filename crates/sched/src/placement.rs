@@ -110,7 +110,9 @@ impl Planner {
         }
         match self.strategy {
             PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false, stats),
-            PlacementStrategy::Spread => self.plan_greedy(cluster, workers, per_worker, true, stats),
+            PlacementStrategy::Spread => {
+                self.plan_greedy(cluster, workers, per_worker, true, stats)
+            }
             PlacementStrategy::TopologyAware => {
                 self.plan_topology(cluster, workers, per_worker, stats)
             }
@@ -133,8 +135,12 @@ impl Planner {
         }
         let mut stats = PlanStats::default();
         match self.strategy {
-            PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false, &mut stats),
-            PlacementStrategy::Spread => self.plan_greedy(cluster, workers, per_worker, true, &mut stats),
+            PlacementStrategy::Pack => {
+                self.plan_greedy(cluster, workers, per_worker, false, &mut stats)
+            }
+            PlacementStrategy::Spread => {
+                self.plan_greedy(cluster, workers, per_worker, true, &mut stats)
+            }
             PlacementStrategy::TopologyAware => {
                 self.plan_topology(cluster, workers, per_worker, &mut stats)
             }

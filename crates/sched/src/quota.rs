@@ -170,7 +170,9 @@ impl QuotaTable {
     /// (the scheduler reuses one scratch vector across rounds).
     pub fn usage_by_group_into(&self, out: &mut Vec<u32>) {
         out.clear();
-        out.extend((0..self.quotas.len()).map(|i| self.guaranteed_used[i] + self.best_effort_used[i]));
+        out.extend(
+            (0..self.quotas.len()).map(|i| self.guaranteed_used[i] + self.best_effort_used[i]),
+        );
     }
 }
 

@@ -32,6 +32,8 @@ impl TcloudClient {
     /// tcloud ps
     /// tcloud logs <job-id>
     /// tcloud events <job-id>
+    /// tcloud timeline <job-id>
+    /// tcloud goodput
     /// tcloud why <job-id>
     /// tcloud metrics
     /// tcloud kill <job-id>
@@ -65,6 +67,15 @@ impl TcloudClient {
                     lines: self.events(job)?,
                 })
             }
+            ["timeline", id] => {
+                let job = parse_job(id)?;
+                Ok(CommandOutput {
+                    lines: self.timeline(job)?,
+                })
+            }
+            ["goodput"] => Ok(CommandOutput {
+                lines: self.goodput_lines(),
+            }),
             ["why", id] => {
                 let job = parse_job(id)?;
                 let reason = self.why(job)?;
@@ -114,7 +125,7 @@ impl TcloudClient {
                 Ok(CommandOutput::one(format!("switched to profile '{profile}'")))
             }
             _ => Err(TcloudError::Usage(
-                "tcloud submit|ps|logs|events|why|metrics|kill|wait|info|quota|top|get|drain|undrain|use"
+                "tcloud submit|ps|logs|events|timeline|goodput|why|metrics|kill|wait|info|quota|top|get|drain|undrain|use"
                     .to_owned(),
             )),
         }
@@ -461,6 +472,30 @@ mod tests {
         assert!(c.run_command(&["why", "42"]).is_err());
         assert!(c.run_command(&["events", "42"]).is_err());
         assert!(c.run_command(&["why", "not-a-number"]).is_err());
+    }
+
+    #[test]
+    fn timeline_and_goodput_commands() {
+        if !tacc_workload::serde_json_functional() {
+            return; // typecheck-only serde_json stub: cannot build the JSON
+        }
+        let mut c = client();
+        let json = schema_json();
+        c.run_command(&["submit", &json, "--service", "120"])
+            .expect("submits");
+        c.run_command(&["wait", "0"]).expect("completes");
+
+        let tl = c.run_command(&["timeline", "0"]).expect("timeline works");
+        assert!(tl.text().contains("Queued"), "{}", tl.text());
+        assert!(tl.text().contains("Running"));
+        assert!(tl.text().contains("useful execution"));
+
+        let gp = c.run_command(&["goodput"]).expect("goodput works");
+        assert!(gp.text().contains("goodput"), "{}", gp.text());
+        assert!(gp.text().contains("queue_wait"));
+
+        assert!(c.run_command(&["timeline", "42"]).is_err());
+        assert!(c.run_command(&["timeline", "not-a-number"]).is_err());
     }
 
     #[test]

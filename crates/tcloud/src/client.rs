@@ -173,18 +173,84 @@ impl TcloudClient {
         if p.job(job).is_none() {
             return Err(TcloudError::UnknownJob(job.value()));
         }
-        Ok(p.job_events(job)
+        let mut lines = Vec::new();
+        // The bus is a bounded ring: if it ever overflowed, the stream
+        // below is incomplete and the user must know before reading it.
+        let dropped = p.events().dropped();
+        if dropped > 0 {
+            lines.push(format!(
+                "warning: {dropped} event(s) dropped from the bounded ring; \
+                 this stream is incomplete (see tacc_obs_dropped_events_total)"
+            ));
+        }
+        lines.extend(p.job_events(job).iter().map(|r| {
+            format!(
+                "[t={:.1}s] #{} {}: {}",
+                r.at_secs,
+                r.seq,
+                r.event.kind(),
+                r.event
+            )
+        }));
+        Ok(lines)
+    }
+
+    /// A job's span timeline, one rendered line per span in time order —
+    /// what `tcloud timeline <job>` prints. Spans are folded by
+    /// `tacc-obs` from the lifecycle engine's transition stream, so the
+    /// output is a pure function of sim time.
+    ///
+    /// # Errors
+    ///
+    /// [`TcloudError::UnknownJob`] if the job does not exist here.
+    pub fn timeline(&self, job: JobId) -> Result<Vec<String>, TcloudError> {
+        let p = self.platform();
+        if p.job(job).is_none() {
+            return Err(TcloudError::UnknownJob(job.value()));
+        }
+        Ok(p.timeline(job)
             .iter()
-            .map(|r| {
+            .map(|s| {
                 format!(
-                    "[t={:.1}s] #{} {}: {}",
-                    r.at_secs,
-                    r.seq,
-                    r.event.kind(),
-                    r.event
+                    "[{:>10.1}s → {:>10.1}s] {:<13} {:>10.1}s  cause={:<9} {}",
+                    s.start_secs,
+                    s.end_secs,
+                    s.phase.to_string(),
+                    s.duration_secs(),
+                    s.cause.to_string(),
+                    s.attribution()
                 )
             })
             .collect())
+    }
+
+    /// The cluster-wide ML Productivity Goodput decomposition, rendered
+    /// as a small report — what `tcloud goodput` prints.
+    pub fn goodput_lines(&self) -> Vec<String> {
+        let r = self.platform().goodput();
+        let mut lines = vec![
+            format!(
+                "goodput over {:.1}s on {} GPUs ({:.1} GPU-seconds of capacity)",
+                r.horizon_secs, r.total_gpus, r.capacity_gpu_secs
+            ),
+            format!(
+                "  goodput      = {:.4}  (availability {:.4} x efficiency {:.4} x (1 - badput {:.4}))",
+                r.goodput, r.availability, r.throughput_efficiency, r.badput_fraction
+            ),
+            format!(
+                "  allocated    = {:.1} GPU-s, running = {:.1} GPU-s, productive = {:.1} GPU-s",
+                r.allocated_gpu_secs, r.running_gpu_secs, r.productive_gpu_secs
+            ),
+            format!("  badput total = {:.1} GPU-s, by cause:", r.badput.total_gpu_secs()),
+        ];
+        for (cause, gpu_secs) in r.badput.items() {
+            lines.push(format!(
+                "    {:<20} {:>12.1} GPU-s",
+                cause.to_string(),
+                gpu_secs
+            ));
+        }
+        lines
     }
 
     /// Explains a job's current situation — for a waiting job, the
@@ -352,5 +418,59 @@ mod tests {
         let c = TcloudClient::with_profile("campus", config());
         assert!(c.status(JobId::from_value(7)).is_err());
         assert!(c.logs(JobId::from_value(7)).is_err());
+        assert!(c.timeline(JobId::from_value(7)).is_err());
+    }
+
+    #[test]
+    fn timeline_renders_spans_in_order() {
+        let mut c = TcloudClient::with_profile("campus", config());
+        let job = c.submit(schema(), 300.0).expect("valid");
+        c.wait(job).expect("exists");
+        let lines = c.timeline(job).expect("exists");
+        assert!(lines.len() >= 3, "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("Queued")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("Running") && l.contains("useful execution")));
+    }
+
+    #[test]
+    fn goodput_lines_summarize_decomposition() {
+        let mut c = TcloudClient::with_profile("campus", config());
+        let job = c.submit(schema(), 300.0).expect("valid");
+        c.wait(job).expect("exists");
+        let lines = c.goodput_lines();
+        assert!(lines[0].contains("16 GPUs"), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("availability")));
+        // Every itemized badput cause is listed below the summary.
+        assert!(lines.iter().any(|l| l.contains("queue_wait")));
+        assert!(lines.iter().any(|l| l.contains("idle_reserved")));
+        assert_eq!(lines.len(), 4 + 6);
+    }
+
+    #[test]
+    fn events_warn_when_the_ring_dropped() {
+        // A 2-slot bus ring cannot hold one full lifecycle; the stream
+        // must open with an explicit incompleteness warning.
+        let mut c = TcloudClient::with_profile(
+            "tiny",
+            PlatformConfig {
+                event_buffer_capacity: 2,
+                ..config()
+            },
+        );
+        let job = c.submit(schema(), 300.0).expect("valid");
+        c.wait(job).expect("exists");
+        let lines = c.events(job).expect("exists");
+        let first = lines.first().expect("nonempty");
+        assert!(first.contains("warning:"), "{lines:?}");
+        assert!(first.contains("dropped"));
+
+        // A roomy ring stays warning-free.
+        let mut calm = TcloudClient::with_profile("campus", config());
+        let job = calm.submit(schema(), 300.0).expect("valid");
+        calm.wait(job).expect("exists");
+        let lines = calm.events(job).expect("exists");
+        assert!(!lines.iter().any(|l| l.contains("warning:")), "{lines:?}");
     }
 }

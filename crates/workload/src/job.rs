@@ -41,6 +41,7 @@ impl fmt::Display for JobId {
 /// format intact when editing.
 ///
 /// ```text
+/// Submitted ──submit──→ Submitted
 /// Submitted ──enqueue──→ Queued
 /// Submitted ──reject───→ Failed
 /// Queued ──start──→ Running
@@ -104,6 +105,7 @@ impl JobState {
         use JobState as S;
         let next = match (self, event.kind()) {
             // Legal edges (mirror TRANSITION_MATRIX and the diagram above).
+            (S::Submitted, K::Submit) => Some(S::Submitted),
             (S::Submitted | S::Preempted, K::Enqueue) => Some(S::Queued),
             (S::Submitted, K::Reject) => Some(S::Failed),
             (S::Queued, K::Start) => Some(S::Running),
@@ -118,18 +120,39 @@ impl JobState {
             (S::Submitted, K::Start | K::Preempt | K::Interrupt | K::Complete | K::Fail) => None,
             (
                 S::Queued,
-                K::Enqueue | K::Preempt | K::Interrupt | K::Reject | K::Complete | K::Fail,
+                K::Submit
+                | K::Enqueue
+                | K::Preempt
+                | K::Interrupt
+                | K::Reject
+                | K::Complete
+                | K::Fail,
             ) => None,
-            (S::Running, K::Enqueue | K::Start | K::Reject) => None,
+            (S::Running, K::Submit | K::Enqueue | K::Start | K::Reject) => None,
             (
                 S::Preempted,
-                K::Start | K::Preempt | K::Interrupt | K::Reject | K::Complete | K::Fail,
+                K::Submit
+                | K::Start
+                | K::Preempt
+                | K::Interrupt
+                | K::Reject
+                | K::Complete
+                | K::Fail,
             ) => None,
         };
         next.ok_or(IllegalTransition {
             from: self,
             event: event.kind(),
         })
+    }
+}
+
+impl JobState {
+    /// Parses the lowercase `Display` name back into a state (used by the
+    /// observability layer when replaying a transition JSONL export).
+    /// Inverse of `Display` by construction, so the two can never drift.
+    pub fn parse_name(s: &str) -> Option<JobState> {
+        JobState::ALL.iter().copied().find(|v| v.to_string() == s)
     }
 }
 
@@ -153,6 +176,14 @@ impl fmt::Display for JobState {
 /// transition itself depends only on the event's [`JobEventKind`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JobEvent {
+    /// Admission accepted the submission at `at_secs`. A self-loop on
+    /// `Submitted`: no state change, but the transition log gains a record
+    /// anchoring the job's timeline at its submission time, so span
+    /// reconstruction from the stream alone knows when `Compiling` began.
+    Submit {
+        /// Simulation time of the submission.
+        at_secs: f64,
+    },
     /// Compiler finished (or a preempted job is requeued): enter the queue.
     Enqueue,
     /// Placed by the scheduler; starts (or resumes) running at `at_secs`.
@@ -208,6 +239,7 @@ impl JobEvent {
     /// The payload-free kind of this event (the matrix key).
     pub fn kind(&self) -> JobEventKind {
         match self {
+            JobEvent::Submit { .. } => JobEventKind::Submit,
             JobEvent::Enqueue => JobEventKind::Enqueue,
             JobEvent::Start { .. } => JobEventKind::Start,
             JobEvent::Preempt { .. } => JobEventKind::Preempt,
@@ -223,6 +255,8 @@ impl JobEvent {
 /// The kind of a [`JobEvent`], without payload. Keys the transition matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobEventKind {
+    /// See [`JobEvent::Submit`].
+    Submit,
     /// See [`JobEvent::Enqueue`].
     Enqueue,
     /// See [`JobEvent::Start`].
@@ -243,7 +277,8 @@ pub enum JobEventKind {
 
 impl JobEventKind {
     /// Every event kind, in declaration order (drives matrix tests).
-    pub const ALL: [JobEventKind; 8] = [
+    pub const ALL: [JobEventKind; 9] = [
+        JobEventKind::Submit,
         JobEventKind::Enqueue,
         JobEventKind::Start,
         JobEventKind::Preempt,
@@ -255,9 +290,22 @@ impl JobEventKind {
     ];
 }
 
+impl JobEventKind {
+    /// Parses the lowercase `Display` name back into a kind (used by the
+    /// observability layer when replaying a transition JSONL export).
+    /// Inverse of `Display` by construction, so the two can never drift.
+    pub fn parse_name(s: &str) -> Option<JobEventKind> {
+        JobEventKind::ALL
+            .iter()
+            .copied()
+            .find(|v| v.to_string() == s)
+    }
+}
+
 impl fmt::Display for JobEventKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            JobEventKind::Submit => "submit",
             JobEventKind::Enqueue => "enqueue",
             JobEventKind::Start => "start",
             JobEventKind::Preempt => "preempt",
@@ -277,6 +325,11 @@ impl fmt::Display for JobEventKind {
 /// table; `workload` unit tests and `tests/lifecycle_properties.rs` assert
 /// the two agree over the full `(state, event)` cross product.
 pub const TRANSITION_MATRIX: &[(JobState, JobEventKind, JobState)] = &[
+    (
+        JobState::Submitted,
+        JobEventKind::Submit,
+        JobState::Submitted,
+    ),
     (JobState::Submitted, JobEventKind::Enqueue, JobState::Queued),
     (JobState::Submitted, JobEventKind::Reject, JobState::Failed),
     (
@@ -478,6 +531,7 @@ impl Job {
     pub fn apply_event(&mut self, event: JobEvent) -> Result<JobState, IllegalTransition> {
         let next = self.state.transition(&event)?;
         match event {
+            JobEvent::Submit { .. } => {}
             JobEvent::Enqueue => {}
             JobEvent::Start { at_secs } => {
                 if self.first_start_secs.is_none() {
@@ -683,6 +737,7 @@ mod tests {
 
     fn sample_event(kind: JobEventKind) -> JobEvent {
         match kind {
+            JobEventKind::Submit => JobEvent::Submit { at_secs: 0.0 },
             JobEventKind::Enqueue => JobEvent::Enqueue,
             JobEventKind::Start => JobEvent::Start { at_secs: 0.0 },
             JobEventKind::Preempt => JobEvent::Preempt {
@@ -703,6 +758,35 @@ mod tests {
             },
             JobEventKind::Cancel => JobEvent::Cancel { at_secs: 0.0 },
         }
+    }
+
+    #[test]
+    fn display_names_parse_back() {
+        for s in JobState::ALL {
+            assert_eq!(JobState::parse_name(&s.to_string()), Some(s));
+        }
+        for k in JobEventKind::ALL {
+            assert_eq!(JobEventKind::parse_name(&k.to_string()), Some(k));
+        }
+        assert_eq!(JobState::parse_name("bogus"), None);
+        assert_eq!(JobEventKind::parse_name("bogus"), None);
+    }
+
+    #[test]
+    fn submit_is_a_recorded_self_loop() {
+        let mut j = job();
+        apply(&mut j, JobEvent::Submit { at_secs: 100.0 });
+        assert_eq!(j.state(), JobState::Submitted);
+        // Submission is telemetry-only: no bookkeeping changes.
+        assert_eq!(j.remaining_secs(), 600.0);
+        assert_eq!(j.finish_secs(), None);
+        // Legal only from Submitted.
+        apply(&mut j, JobEvent::Enqueue);
+        let err = j
+            .apply_event(JobEvent::Submit { at_secs: 200.0 })
+            .expect_err("queued jobs cannot re-submit");
+        assert_eq!(err.from, JobState::Queued);
+        assert_eq!(err.event, JobEventKind::Submit);
     }
 
     #[test]

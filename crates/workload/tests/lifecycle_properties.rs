@@ -32,6 +32,7 @@ impl XorShift {
 /// A representative event for each kind (payloads don't affect the matrix).
 fn sample_event(kind: JobEventKind) -> JobEvent {
     match kind {
+        JobEventKind::Submit => JobEvent::Submit { at_secs: 0.0 },
         JobEventKind::Enqueue => JobEvent::Enqueue,
         JobEventKind::Start => JobEvent::Start { at_secs: 1.0 },
         JobEventKind::Preempt => JobEvent::Preempt {
