@@ -36,6 +36,7 @@
 use std::process::ExitCode;
 
 use tacc_bench::determinism::{campus_determinism_run, DEFAULT_DETERMINISM_DAYS};
+use tacc_bench::gha;
 use tacc_bench::json::Json;
 use tacc_bench::par;
 use tacc_bench::registry::{self, ExperimentSpec, RunOutcome, Tier};
@@ -393,6 +394,18 @@ fn main() -> ExitCode {
                 Err(e) => {
                     println!("FAIL {:<4} ({:.1}s)", outcome.spec.id, outcome.wall_secs);
                     eprintln!("  {e}");
+                    // First mismatch becomes a file-scoped annotation so a
+                    // red run is triaged from the Actions summary alone.
+                    if failures == 0 && gha::enabled() {
+                        println!(
+                            "{}",
+                            gha::format_error(
+                                &format!("crates/bench/golden/{}.json", outcome.spec.id),
+                                "golden snapshot mismatch",
+                                &e,
+                            )
+                        );
+                    }
                     failures += 1;
                 }
             }

@@ -7,6 +7,8 @@
 //!   --list                list scenarios and exit
 //!   --check               run every scenario twice and fail unless the
 //!                         deterministic counters match exactly
+//!   --expect PATH         fail unless the fresh counters exactly match the
+//!                         committed report at PATH (the CI planner gate)
 //!   --out PATH            write the report JSON (default: BENCH_hotpath.json;
 //!                         "none" disables)
 //!   --baseline-secs X     record X as the pre-change full-suite serial wall
@@ -14,22 +16,27 @@
 //!   --quiet               suppress the per-scenario table
 //! ```
 //!
-//! Counters count *algorithmic work* (sorts, snapshot copies, placement
-//! attempts, node scans, fast-path rejects), never time, so `--check` is a
-//! tolerance-free gate that holds on any machine, however noisy. Wall
-//! times ride along in the report for human context only.
+//! Counters count *algorithmic work* (sorts, slot splits/intersections,
+//! placement attempts, node scans, fast-path rejects), never time, so
+//! `--check` and `--expect` are tolerance-free gates that hold on any
+//! machine, however noisy. Wall times ride along in the report for human
+//! context only. On a GitHub Actions runner the first mismatch is also
+//! emitted as a `::error file=...` annotation.
 
 // CLI surface: the scenario table goes to stdout by design.
 #![allow(clippy::print_stdout)]
 
 use std::process::ExitCode;
 
+use tacc_bench::gha;
 use tacc_bench::hotpath::{self, ScenarioOutcome, SCENARIOS};
+use tacc_bench::json::Json;
 
 #[derive(Debug)]
 struct Options {
     list: bool,
     check: bool,
+    expect: Option<String>,
     out: Option<String>,
     baseline_secs: Option<f64>,
     optimized_secs: Option<f64>,
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         list: false,
         check: false,
+        expect: None,
         out: None,
         baseline_secs: None,
         optimized_secs: None,
@@ -51,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
             "--list" => opts.list = true,
             "--check" => opts.check = true,
             "--quiet" => opts.quiet = true,
+            "--expect" => opts.expect = Some(args.next().ok_or("--expect needs a path")?),
             "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
             "--baseline-secs" => {
                 let v = args.next().ok_or("--baseline-secs needs a value")?;
@@ -74,7 +83,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn print_outcomes(outcomes: &[ScenarioOutcome]) {
     println!(
-        "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>10} {:>8}",
+        "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8}",
         "scenario",
         "rounds",
         "sorts",
@@ -82,12 +91,13 @@ fn print_outcomes(outcomes: &[ScenarioOutcome]) {
         "skiprec",
         "skipsupp",
         "attempts",
-        "fastpath",
+        "splits",
+        "isects",
         "wall(s)"
     );
     for o in outcomes {
         println!(
-            "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>10} {:>8.2}",
+            "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8.2}",
             o.id,
             o.rounds,
             o.counters.queue_sorts,
@@ -95,10 +105,28 @@ fn print_outcomes(outcomes: &[ScenarioOutcome]) {
             o.counters.skip_records,
             o.counters.skip_suppressions,
             o.counters.plan.attempts,
-            o.counters.plan.fastpath_rejects,
+            o.counters.slots.splits,
+            o.counters.slots.intersections,
             o.wall_secs,
         );
     }
+}
+
+/// Prints a file-scoped `::error` annotation when a GitHub Actions runner
+/// is listening; silent otherwise.
+fn annotate(file: &str, title: &str, message: &str) {
+    if gha::enabled() {
+        println!("{}", gha::format_error(file, title, message));
+    }
+}
+
+/// The `--expect` gate: fresh counters versus a committed report.
+fn check_expected(path: &str, outcomes: &[ScenarioOutcome]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read expected report {path}: {e}"))?;
+    let expected =
+        Json::parse(&text).map_err(|e| format!("malformed expected report {path}: {e}"))?;
+    hotpath::compare_with_report(&expected, outcomes).map_err(|(_, detail)| detail)
 }
 
 fn main() -> ExitCode {
@@ -136,6 +164,27 @@ fn main() -> ExitCode {
                 println!("FAIL {:<22}", a.id);
                 eprintln!("  first : {first}");
                 eprintln!("  repeat: {repeat}");
+                if failures == 0 {
+                    annotate(
+                        "BENCH_hotpath.json",
+                        "nondeterministic hot-path counters",
+                        &format!("{}: first {first} != repeat {repeat}", a.id),
+                    );
+                }
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = opts.expect.as_deref() {
+        match check_expected(path, &outcomes) {
+            Ok(()) => println!("ok   committed report {path} matches the fresh counters"),
+            Err(detail) => {
+                println!("FAIL committed report {path}");
+                eprintln!("  {detail}");
+                eprintln!("  (intended change? regenerate with `perf --check --out {path}`)");
+                if failures == 0 {
+                    annotate(path, "planner counter drift", &detail);
+                }
                 failures += 1;
             }
         }

@@ -1,0 +1,67 @@
+//! GitHub Actions workflow-command formatting for the CI gates.
+//!
+//! When `perf --check`/`--expect` or `experiments --check` fail on a
+//! runner, an [`::error` annotation][cmd] pins the failure to the golden
+//! or report file in the run summary, so a red run is triaged without
+//! downloading artifacts. Formatting is pure (unit-testable — the
+//! red-flip fixtures assert on the exact bytes); only the caller decides
+//! to print, and only [`enabled`] says whether a runner is listening.
+//!
+//! [cmd]: https://docs.github.com/en/actions/reference/workflow-commands-for-github-actions
+
+/// Whether a GitHub Actions runner is consuming stdout (the runner sets
+/// `GITHUB_ACTIONS=true`). Local runs skip the annotation noise.
+pub fn enabled() -> bool {
+    std::env::var_os("GITHUB_ACTIONS").is_some_and(|v| v == "true")
+}
+
+/// Formats a file-scoped `::error` workflow command. Newlines survive as
+/// `%0A` escapes, so a multi-line diagnostic renders as one annotation.
+pub fn format_error(file: &str, title: &str, message: &str) -> String {
+    format!(
+        "::error file={},title={}::{}",
+        escape_property(file),
+        escape_property(title),
+        escape_data(message)
+    )
+}
+
+/// Escapes annotation message data (`%`, CR, LF).
+fn escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes annotation property values (data escapes plus `:` and `,`,
+/// which would terminate the property list).
+fn escape_property(s: &str) -> String {
+    escape_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_annotation_shape() {
+        assert_eq!(
+            format_error(
+                "crates/bench/golden/f4.json",
+                "golden mismatch",
+                "line 3 differs"
+            ),
+            "::error file=crates/bench/golden/f4.json,title=golden mismatch::line 3 differs"
+        );
+    }
+
+    #[test]
+    fn escapes_keep_one_line() {
+        let line = format_error("a,b:c.json", "t%1", "x\ny\r\nz");
+        assert_eq!(
+            line,
+            "::error file=a%2Cb%3Ac.json,title=t%251::x%0Ay%0D%0Az"
+        );
+        assert_eq!(line.lines().count(), 1);
+    }
+}

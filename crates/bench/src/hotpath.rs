@@ -18,14 +18,22 @@
 //! * `conservative-backfill` — per-blocked-job reservations, the
 //!   reservation-heavy regime of experiment F4;
 //! * `multi-factor` — the always-re-sort policy, the worst case for the
-//!   sort-skip optimization.
+//!   sort-skip optimization;
+//! * `maintenance-window` — conservative backfill with planned capacity
+//!   windows, stressing the temporal planner's window-aware probes.
+//!
+//! The temporal-planner counters (`slot_splits`, `slot_intersections`,
+//! `slot_rebuilds`) count slot boundary creations, per-slot interval
+//! operations, and full timeline rebuilds; `snapshot_elements` collapsed
+//! to zero when the round walk stopped copying the queue and is kept for
+//! history comparability.
 
 use std::time::Instant;
 
 use crate::json::Json;
 use crate::{campus_config, standard_trace};
 use tacc_core::{Platform, PlatformConfig};
-use tacc_sched::{BackfillMode, PolicyKind, QuotaMode, WorkCounters};
+use tacc_sched::{BackfillMode, CapacityWindow, PolicyKind, QuotaMode, WorkCounters};
 
 /// One hot-path scenario: a named platform configuration replayed over a
 /// canonical trace.
@@ -71,6 +79,33 @@ pub static SCENARIOS: &[Scenario] = &[
         days: 3.0,
         load: 2.0,
         configure: || campus_config(|c| c.scheduler.policy = PolicyKind::MultiFactor),
+    },
+    Scenario {
+        id: "maintenance-window",
+        title: "conservative backfill under planned capacity windows",
+        days: 3.0,
+        load: 3.0,
+        configure: || {
+            campus_config(|c| {
+                c.scheduler.backfill = BackfillMode::Conservative;
+                // Two planned drains of the 256-GPU campus cluster: a
+                // quarter held back during day-1 daytime, half during
+                // day-2 daytime — reservation shadows must route around
+                // both edges.
+                c.scheduler.capacity_windows = vec![
+                    CapacityWindow {
+                        gpus: 64,
+                        from_secs: 43_200.0,
+                        until_secs: 86_400.0,
+                    },
+                    CapacityWindow {
+                        gpus: 128,
+                        from_secs: 129_600.0,
+                        until_secs: 172_800.0,
+                    },
+                ];
+            })
+        },
     },
 ];
 
@@ -124,6 +159,9 @@ pub fn counters_json(outcome: &ScenarioOutcome) -> Json {
         .set("placement_attempts", c_num(c.plan.attempts))
         .set("node_scans", c_num(c.plan.nodes_scanned))
         .set("fastpath_rejects", c_num(c.plan.fastpath_rejects))
+        .set("slot_splits", c_num(c.slots.splits))
+        .set("slot_intersections", c_num(c.slots.intersections))
+        .set("slot_rebuilds", c_num(c.slots.rebuilds))
 }
 
 /// Full report document for `BENCH_hotpath.json`: per-scenario counters
@@ -156,6 +194,60 @@ pub fn report_json(outcomes: &[ScenarioOutcome], suite: Option<(f64, f64)>) -> J
         );
     }
     doc
+}
+
+/// Compares fresh scenario counters against a committed report document
+/// (the `--expect` gate). Returns the first mismatch as
+/// `(scenario_id, detail)` — key order and extra committed fields (wall
+/// times) are ignored; every fresh counter must be present and exactly
+/// equal.
+pub fn compare_with_report(
+    expected: &Json,
+    outcomes: &[ScenarioOutcome],
+) -> Result<(), (String, String)> {
+    let committed = expected
+        .get("scenarios")
+        .and_then(Json::items)
+        .ok_or_else(|| {
+            (
+                String::new(),
+                "expected report has no `scenarios` array".to_owned(),
+            )
+        })?;
+    for outcome in outcomes {
+        let entry = committed
+            .iter()
+            .find(|s| s.get("id").and_then(Json::as_str) == Some(outcome.id))
+            .ok_or_else(|| {
+                (
+                    outcome.id.to_owned(),
+                    format!(
+                        "scenario `{}` missing from the committed report",
+                        outcome.id
+                    ),
+                )
+            })?;
+        let fresh = counters_json(outcome);
+        let Json::Obj(pairs) = &fresh else {
+            // counters_json always builds an object.
+            continue;
+        };
+        for (key, value) in pairs {
+            let got = value.to_compact();
+            let want = entry.get(key).map(Json::to_compact);
+            if want.as_deref() != Some(got.as_str()) {
+                return Err((
+                    outcome.id.to_owned(),
+                    format!(
+                        "scenario `{}`: counter `{key}` is {got}, committed report says {}",
+                        outcome.id,
+                        want.unwrap_or_else(|| "<absent>".to_owned()),
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Exact u64 → Json (counter values are far below 2^53, where `f64` is
@@ -197,6 +289,62 @@ mod tests {
             a.counters.plan.attempts > 0,
             "scenario exercised the planner"
         );
+    }
+
+    #[test]
+    fn expect_gate_red_flips_on_a_single_counter_drift() {
+        // The annotation path proven end to end on a fixture: a committed
+        // report with one counter off by one must fail the `--expect`
+        // comparison with a message naming the counter, and the formatted
+        // workflow command must carry it.
+        let outcome = ScenarioOutcome {
+            id: "fixture",
+            rounds: 7,
+            counters: WorkCounters::default(),
+            wall_secs: 0.1,
+        };
+        let mut committed = crate::json::Json::parse(&report_json(&[outcome], None).to_compact())
+            .expect("report parses");
+        // Green on the unmodified report…
+        let fresh = ScenarioOutcome {
+            id: "fixture",
+            rounds: 7,
+            counters: WorkCounters::default(),
+            wall_secs: 0.9,
+        };
+        assert_eq!(compare_with_report(&committed, &[fresh]), Ok(()));
+        // …red once one counter drifts by one.
+        let crate::json::Json::Obj(doc) = &mut committed else {
+            panic!("report is an object");
+        };
+        let Some(crate::json::Json::Arr(scenarios)) = doc
+            .iter_mut()
+            .find(|(k, _)| k == "scenarios")
+            .map(|(_, v)| v)
+        else {
+            panic!("report has scenarios");
+        };
+        let crate::json::Json::Obj(entry) = &mut scenarios[0] else {
+            panic!("scenario is an object");
+        };
+        for (k, v) in entry.iter_mut() {
+            if k == "slot_splits" {
+                *v = crate::json::Json::num(1.0);
+            }
+        }
+        let fresh = ScenarioOutcome {
+            id: "fixture",
+            rounds: 7,
+            counters: WorkCounters::default(),
+            wall_secs: 0.9,
+        };
+        let (id, detail) = compare_with_report(&committed, &[fresh]).unwrap_err();
+        assert_eq!(id, "fixture");
+        assert!(detail.contains("`slot_splits`"), "detail: {detail}");
+        let annotation =
+            crate::gha::format_error("BENCH_hotpath.json", "planner counter drift", &detail);
+        assert!(annotation.starts_with("::error file=BENCH_hotpath.json,"));
+        assert!(annotation.contains("slot_splits"));
     }
 
     #[test]

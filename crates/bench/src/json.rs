@@ -58,6 +58,49 @@ impl Json {
         self
     }
 
+    /// Looks up `key` in an object; `None` for absent keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array; `None` for non-arrays.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document. The accepted grammar is standard JSON (a
+    /// superset of what the serializer emits), so a committed report can
+    /// be read back and compared against a fresh run. Errors carry the
+    /// byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn to_compact(&self) -> String {
         let mut out = String::new();
@@ -147,6 +190,209 @@ impl Json {
                 out.push('}');
             }
             other => other.write_compact(out),
+        }
+    }
+}
+
+/// Recursive-descent JSON reader over raw bytes. Kept panic-free: every
+/// failure path reports the byte offset instead.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at offset {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at offset {start}"))?;
+        let v: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number `{text}` at offset {start}"))?;
+        if v.is_finite() {
+            Ok(Json::Num(v))
+        } else {
+            Err(format!("non-finite number `{text}` at offset {start}"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let start = self.pos;
+        let slice = self
+            .bytes
+            .get(start..start + 4)
+            .ok_or_else(|| format!("truncated \\u escape at offset {start}"))?;
+        let text =
+            std::str::from_utf8(slice).map_err(|_| format!("bad \\u escape at offset {start}"))?;
+        let v = u32::from_str_radix(text, 16)
+            .map_err(|_| format!("bad \\u escape `{text}` at offset {start}"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a maximal run of plain (non-escape) bytes.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at offset {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("truncated escape at offset {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            // Surrogate pairs encode astral-plane chars.
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(format!(
+                                        "unpaired surrogate before offset {}",
+                                        self.pos
+                                    ));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                format!("invalid codepoint before offset {}", self.pos)
+                            })?);
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown escape `\\{}` at offset {}",
+                                other as char,
+                                self.pos - 1
+                            ))
+                        }
+                    }
+                }
+                // The fast path stops only on `"`, `\` or end of input.
+                _ => return Err("unterminated string".to_owned()),
+            }
         }
     }
 }
@@ -255,5 +501,54 @@ mod tests {
         assert_eq!(Json::num(512.0).to_compact(), "512");
         assert_eq!(Json::num(0.1).to_compact(), "0.1");
         assert_eq!(Json::num(1.0 / 3.0).to_compact(), "0.3333333333333333");
+    }
+
+    #[test]
+    fn parse_roundtrips_serializer_output() {
+        let v = Json::obj()
+            .set("a", Json::num(1.5))
+            .set("b", Json::Arr(vec![Json::num(1.0), "x\n\"y\"".into()]))
+            .set("c", Json::Bool(true))
+            .set("d", Json::Null)
+            .set("e", Json::obj().set("nested", Json::num(-2.25e3)));
+        assert_eq!(Json::parse(&v.to_compact()), Ok(v.clone()));
+        assert_eq!(Json::parse(&v.to_pretty()), Ok(v));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\u0041\ud83d\ude00b""#),
+            Ok(Json::Str("aA\u{1f600}b".to_owned()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"abc",
+            "{} extra",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed `{bad}`");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"scenarios":[{"id":"x","rounds":3}]}"#).unwrap();
+        let scenarios = doc.get("scenarios").and_then(Json::items).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].get("id").and_then(Json::as_str), Some("x"));
+        assert_eq!(scenarios[0].get("rounds"), Some(&Json::Num(3.0)));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("scenarios"), None);
     }
 }

@@ -48,6 +48,7 @@
 
 pub mod determinism;
 pub mod experiments;
+pub mod gha;
 pub mod hotpath;
 pub mod json;
 pub mod registry;

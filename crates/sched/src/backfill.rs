@@ -20,6 +20,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::slotset::CapacityWindow;
+
 /// The backfill variant in force.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum BackfillMode {
@@ -112,6 +114,83 @@ pub(crate) fn reserve_sorted(
     }
 }
 
+/// [`reserve`] extended with planned [`CapacityWindow`]s — the naive
+/// event-sweep facade the [`ReferenceScheduler`](crate::reference::ReferenceScheduler)
+/// uses. With no windows it delegates to the legacy [`reserve`] walk
+/// unchanged; with windows it sweeps the merged event horizon (release
+/// ends plus window edges) ascending. At each event time the releases
+/// apply *one at a time* in the profile's stable tie order under the
+/// pre-boundary window drop, then the drop change applies — exactly the
+/// algorithm [`SlotSet::probe`](crate::SlotSet) implements over slots, so
+/// the differential suite can hold the two implementations byte-equal.
+pub(crate) fn reserve_with_windows(
+    now_secs: f64,
+    demand_gpus: u32,
+    free_gpus: u32,
+    running: &mut [(f64, u32)],
+    windows: &[CapacityWindow],
+) -> Reservation {
+    if windows.is_empty() {
+        return reserve(now_secs, demand_gpus, free_gpus, running);
+    }
+    if demand_gpus <= free_gpus {
+        return Reservation {
+            shadow_secs: now_secs,
+            extra_gpus: free_gpus - demand_gpus,
+        };
+    }
+    running.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut bounds: Vec<f64> = running.iter().map(|&(end, _)| end).collect();
+    for w in windows {
+        bounds.push(w.from_secs);
+        if w.until_secs.is_finite() {
+            bounds.push(w.until_secs);
+        }
+    }
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup();
+    let dropped_at = |t: f64| -> u32 {
+        windows
+            .iter()
+            .filter(|w| w.from_secs <= t && t < w.until_secs)
+            .map(|w| w.gpus)
+            .sum()
+    };
+    let mut released = 0u32;
+    let mut ri = 0usize;
+    let mut prev_avail = free_gpus;
+    for &t in &bounds {
+        // Releases at `t`, one at a time on top of the pre-boundary
+        // (saturated) availability.
+        let mut partial = prev_avail;
+        while ri < running.len() && running[ri].0 == t {
+            partial += running[ri].1;
+            released += running[ri].1;
+            ri += 1;
+            if partial >= demand_gpus {
+                return Reservation {
+                    shadow_secs: t.max(now_secs),
+                    extra_gpus: partial - demand_gpus,
+                };
+            }
+        }
+        // Then the post-boundary availability under the new window drop.
+        let avail = (free_gpus + released).saturating_sub(dropped_at(t));
+        if avail >= demand_gpus {
+            return Reservation {
+                shadow_secs: t.max(now_secs),
+                extra_gpus: avail - demand_gpus,
+            };
+        }
+        prev_avail = avail;
+    }
+    // Never satisfiable: reserve at the far end with nothing to spare.
+    Reservation {
+        shadow_secs: bounds.last().copied().unwrap_or(now_secs),
+        extra_gpus: 0,
+    }
+}
+
 /// Whether a candidate (fitting now) may backfill against a reservation:
 /// either it is estimated to finish before the shadow time, or it is small
 /// enough to fit in the extra capacity the reservation leaves over.
@@ -158,6 +237,39 @@ mod tests {
         let mut running = vec![(5.0, 8)];
         let r = reserve(10.0, 9, 2, &mut running);
         assert_eq!(r.shadow_secs, 10.0);
+    }
+
+    #[test]
+    fn windows_facade_without_windows_is_the_legacy_walk() {
+        let mut a = vec![(200.0, 8), (50.0, 4), (80.0, 4)];
+        let mut b = a.clone();
+        assert_eq!(
+            reserve(0.0, 8, 2, &mut a),
+            reserve_with_windows(0.0, 8, 2, &mut b, &[])
+        );
+    }
+
+    #[test]
+    fn capacity_window_shapes_the_shadow() {
+        // 2 free, a 6-GPU job releasing at t=150, and a 6-GPU maintenance
+        // window over [100, 200).
+        let windows = [CapacityWindow {
+            gpus: 6,
+            from_secs: 100.0,
+            until_secs: 200.0,
+        }];
+        // The t=150 release covers a demand of 4 mid-window…
+        let mut running = vec![(150.0, 6)];
+        let r = reserve_with_windows(0.0, 4, 2, &mut running, &windows);
+        assert_eq!((r.shadow_secs, r.extra_gpus), (150.0, 2));
+        // …a demand of 7 must outwait the window…
+        let mut running = vec![(150.0, 6)];
+        let r = reserve_with_windows(0.0, 7, 2, &mut running, &windows);
+        assert_eq!((r.shadow_secs, r.extra_gpus), (200.0, 1));
+        // …and an impossible demand reserves at the last event time.
+        let mut running = vec![(150.0, 6)];
+        let r = reserve_with_windows(0.0, 20, 2, &mut running, &windows);
+        assert_eq!((r.shadow_secs, r.extra_gpus), (200.0, 0));
     }
 
     #[test]

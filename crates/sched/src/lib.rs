@@ -57,17 +57,21 @@
 mod backfill;
 mod placement;
 mod policy;
+mod procset;
 mod quota;
 pub mod reference;
 mod request;
 mod scheduler;
+mod slotset;
 
 pub use backfill::BackfillMode;
 pub use placement::{PlacementStrategy, PlanStats, Planner};
 pub use policy::PolicyKind;
+pub use procset::ProcSet;
 pub use quota::{QuotaMode, QuotaTable};
 pub use request::{Decision, RunningTask, SchedOutcome, StartedTask, TaskRequest};
 pub use scheduler::{Scheduler, SchedulerConfig, WorkCounters};
+pub use slotset::{CapacityWindow, SlotSet, SlotStats};
 // Decision-tracing vocabulary, re-exported so scheduler callers need not
 // depend on `tacc-obs` directly.
 pub use tacc_obs::{DecisionTraceLog, JobSkip, RoundTrace, SkipReason};

@@ -1,4 +1,11 @@
 //! Gang placement strategies (experiment T2).
+//!
+//! Placement answers "which physical nodes, *right now*" — the spatial
+//! half of scheduling. The temporal half ("when, and with how much left
+//! over") lives in [`crate::slotset`]: the planner there works on
+//! abstract resource ids and only *forecasts* availability, so every
+//! forecast start still funnels through a [`Planner`] call against the
+//! real cluster before any job launches.
 
 use serde::{Deserialize, Serialize};
 

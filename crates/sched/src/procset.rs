@@ -1,0 +1,249 @@
+//! Sorted disjoint interval sets over abstract GPU-slot ids.
+//!
+//! The temporal planner ([`SlotSet`](crate::SlotSet)) tracks *which*
+//! capacity is free in each time slot, not just how much. A [`ProcSet`] is
+//! OAR's resource-interval representation: a normalized list of half-open
+//! `[start, end)` ranges of abstract resource ids, kept sorted, disjoint
+//! and non-adjacent, so set algebra (union, subtraction, containment) is a
+//! linear merge instead of a per-id scan.
+//!
+//! The ids are *abstract*: the planner assigns a contiguous id block per
+//! running claim and does not attempt to mirror physical node indices.
+//! Reservation probing only ever needs counts and interval intersections,
+//! and the actual start of a job is still subject to a real placement
+//! check against the physical cluster.
+
+/// A normalized set of abstract resource ids: sorted, disjoint,
+/// non-adjacent half-open `[start, end)` ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcSet {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ProcSet {
+    /// The empty set.
+    pub fn new() -> ProcSet {
+        ProcSet::default()
+    }
+
+    /// The set `[start, end)`; empty when `start >= end`.
+    pub fn from_range(start: u32, end: u32) -> ProcSet {
+        if start >= end {
+            return ProcSet::default();
+        }
+        ProcSet {
+            ranges: vec![(start, end)],
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> u32 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The normalized ranges (tests and debugging).
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// The lowest `n` ids of the set as a new set. When the set holds
+    /// fewer than `n` ids the whole set is returned (callers that require
+    /// exactly `n` check `len()` on the result).
+    pub fn take_first(&self, n: u32) -> ProcSet {
+        let mut left = n;
+        let mut out = Vec::new();
+        for &(s, e) in &self.ranges {
+            if left == 0 {
+                break;
+            }
+            let width = e - s;
+            if width <= left {
+                out.push((s, e));
+                left -= width;
+            } else {
+                out.push((s, s + left));
+                left = 0;
+            }
+        }
+        ProcSet { ranges: out }
+    }
+
+    /// Whether every id of `other` is also in `self`.
+    pub fn contains_set(&self, other: &ProcSet) -> bool {
+        let mut i = 0;
+        for &(s, e) in &other.ranges {
+            // A normalized (non-adjacent) containing set holds `[s, e)`
+            // within exactly one of its ranges, if at all.
+            while i < self.ranges.len() && self.ranges[i].1 < e {
+                i += 1;
+            }
+            match self.ranges.get(i) {
+                Some(&(cs, ce)) if cs <= s && e <= ce => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// In-place union: `self = self ∪ other` (linear merge).
+    pub fn union(&mut self, other: &ProcSet) {
+        if other.ranges.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.ranges.len() + other.ranges.len());
+        let mut a = self.ranges.iter().copied().peekable();
+        let mut b = other.ranges.iter().copied().peekable();
+        let mut pending: Option<(u32, u32)> = None;
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x.0 <= y.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let Some(r) = (if take_a { a.next() } else { b.next() }) else {
+                break;
+            };
+            match pending {
+                None => pending = Some(r),
+                // Overlapping or adjacent ranges coalesce; normalization
+                // keeps the representation canonical (PartialEq == set
+                // equality).
+                Some(p) if r.0 <= p.1 => pending = Some((p.0, p.1.max(r.1))),
+                Some(p) => {
+                    merged.push(p);
+                    pending = Some(r);
+                }
+            }
+        }
+        if let Some(p) = pending {
+            merged.push(p);
+        }
+        self.ranges = merged;
+    }
+
+    /// In-place difference: `self = self \ other` (linear merge).
+    pub fn subtract(&mut self, other: &ProcSet) {
+        if other.ranges.is_empty() || self.ranges.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ranges.len() + other.ranges.len());
+        let mut bi = 0;
+        for &(start, end) in &self.ranges {
+            let mut s = start;
+            // Subtrahend ranges entirely before this range can never
+            // matter again (both lists ascend).
+            while bi < other.ranges.len() && other.ranges[bi].1 <= s {
+                bi += 1;
+            }
+            let mut j = bi;
+            while j < other.ranges.len() && other.ranges[j].0 < end {
+                let (bs, be) = other.ranges[j];
+                if bs > s {
+                    out.push((s, bs));
+                }
+                if be >= end {
+                    s = end;
+                    break;
+                }
+                if be > s {
+                    s = be;
+                }
+                j += 1;
+            }
+            if s < end {
+                out.push((s, end));
+            }
+        }
+        self.ranges = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ranges: &[(u32, u32)]) -> ProcSet {
+        let mut out = ProcSet::new();
+        for &(s, e) in ranges {
+            out.union(&ProcSet::from_range(s, e));
+        }
+        out
+    }
+
+    #[test]
+    fn from_range_and_len() {
+        assert_eq!(ProcSet::from_range(2, 7).len(), 5);
+        assert!(ProcSet::from_range(3, 3).is_empty());
+        assert!(ProcSet::from_range(5, 3).is_empty());
+    }
+
+    #[test]
+    fn union_coalesces_overlap_and_adjacency() {
+        let mut a = set(&[(0, 4), (10, 12)]);
+        a.union(&set(&[(4, 6), (11, 15)]));
+        assert_eq!(a.ranges(), &[(0, 6), (10, 15)]);
+        assert_eq!(a.len(), 11);
+    }
+
+    #[test]
+    fn subtract_splits_and_clips() {
+        let mut a = set(&[(0, 10)]);
+        a.subtract(&set(&[(2, 4), (6, 7)]));
+        assert_eq!(a.ranges(), &[(0, 2), (4, 6), (7, 10)]);
+
+        let mut b = set(&[(0, 4), (8, 12)]);
+        b.subtract(&set(&[(2, 10)]));
+        assert_eq!(b.ranges(), &[(0, 2), (10, 12)]);
+
+        let mut c = set(&[(0, 4)]);
+        c.subtract(&set(&[(0, 4)]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn subtract_range_spanning_multiple() {
+        let mut a = set(&[(0, 2), (4, 6), (8, 10)]);
+        a.subtract(&set(&[(1, 9)]));
+        assert_eq!(a.ranges(), &[(0, 1), (9, 10)]);
+    }
+
+    #[test]
+    fn take_first_splits_a_range() {
+        let a = set(&[(0, 2), (5, 9)]);
+        assert_eq!(a.take_first(0).ranges(), &[] as &[(u32, u32)]);
+        assert_eq!(a.take_first(2).ranges(), &[(0, 2)]);
+        assert_eq!(a.take_first(3).ranges(), &[(0, 2), (5, 6)]);
+        assert_eq!(a.take_first(6).ranges(), &[(0, 2), (5, 9)]);
+        // Asking for more than the set holds returns the whole set.
+        assert_eq!(a.take_first(99).ranges(), &[(0, 2), (5, 9)]);
+    }
+
+    #[test]
+    fn containment() {
+        let a = set(&[(0, 8), (10, 14)]);
+        assert!(a.contains_set(&set(&[(1, 3), (11, 14)])));
+        assert!(a.contains_set(&ProcSet::new()));
+        assert!(!a.contains_set(&set(&[(7, 11)])));
+        assert!(!set(&[(0, 2)]).contains_set(&set(&[(0, 3)])));
+    }
+
+    #[test]
+    fn union_subtract_roundtrip_is_identity() {
+        // Subtracting a subset and unioning it back restores the original
+        // normalized representation — the invariant release() relies on.
+        let full = set(&[(0, 64)]);
+        let taken = full.take_first(13);
+        let mut rest = full.clone();
+        rest.subtract(&taken);
+        assert_eq!(rest.len(), 51);
+        let mut back = rest.clone();
+        back.union(&taken);
+        assert_eq!(back, full);
+    }
+}

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use tacc_cluster::Cluster;
 use tacc_workload::{JobId, QosClass};
 
-use crate::backfill::{may_backfill, reserve, BackfillMode, Reservation};
+use crate::backfill::{may_backfill, reserve_with_windows, BackfillMode, Reservation};
 use crate::placement::Planner;
 use crate::policy::{order_queue, PolicyContext};
 use crate::quota::{QuotaMode, QuotaTable};
@@ -342,11 +342,12 @@ impl ReferenceScheduler {
             .values()
             .map(|t| (t.est_end_secs, t.request.total_gpus()))
             .collect();
-        reservations.push(reserve(
+        reservations.push(reserve_with_windows(
             now_secs,
             request.total_gpus(),
             cluster.free_gpus(),
             &mut running,
+            &self.config.capacity_windows,
         ));
     }
 

@@ -22,6 +22,7 @@ use crate::placement::{PlacementStrategy, PlanStats, Planner};
 use crate::policy::{compare, PolicyContext, PolicyKind};
 use crate::quota::{QuotaMode, QuotaTable};
 use crate::request::{RunningTask, TaskRequest};
+use crate::slotset::{CapacityWindow, SlotSet, SlotStats};
 
 mod elastic;
 mod gang;
@@ -51,6 +52,11 @@ pub struct SchedulerConfig {
     /// How many [`RoundTrace`](tacc_obs::RoundTrace)s the decision trace ring retains. The
     /// latest per-job skip reason survives ring eviction regardless.
     pub decision_trace_capacity: usize,
+    /// Planned capacity changes (drain/maintenance windows, permanent
+    /// reductions) applied to the temporal planner's availability profile
+    /// — OAR's `available_upto` pseudo-job trick. Windows shape backfill
+    /// reservation shadows; they do not alter the physical cluster.
+    pub capacity_windows: Vec<CapacityWindow>,
 }
 
 impl Default for SchedulerConfig {
@@ -64,6 +70,7 @@ impl Default for SchedulerConfig {
             group_count: 8,
             time_slice_secs: None,
             decision_trace_capacity: 2048,
+            capacity_windows: Vec::new(),
         }
     }
 }
@@ -129,7 +136,6 @@ pub struct Scheduler {
     group_usage_vec: Vec<ResourceVec>,
     /// Reusable round buffers (capacity survives across rounds, so the
     /// steady-state hot path allocates nothing per round).
-    scratch_snapshot: Vec<TaskRequest>,
     scratch_usage: Vec<u32>,
     scratch_skips: Vec<JobSkip>,
     scratch_started: Vec<JobId>,
@@ -140,10 +146,29 @@ pub struct Scheduler {
     /// every placement, preemption, finish or drain bumps the version — so
     /// consecutive blocked guaranteed jobs within a round share one clone.
     reclaim_cache: Option<(u64, Cluster)>,
-    /// Conservative backfill's release profile — running `(est_end, gpus)`
-    /// pairs sorted by end time — cached under the same version key: one
-    /// sort per cluster state answers every reservation in the round.
-    reserve_cache: Option<(u64, Vec<(f64, u32)>)>,
+    /// The slot-set temporal planner: the future availability profile as
+    /// time slots over [`ProcSet`](crate::ProcSet)s, maintained
+    /// incrementally (split on placement, merge on release) and keyed by
+    /// the [`Cluster::version`] it mirrors. A probe against any other
+    /// version rebuilds it from the running set first.
+    timeline: SlotSet,
+    /// The cluster mutation version `timeline` reflects (`None` forces a
+    /// rebuild on the next reservation probe).
+    timeline_version: Option<u64>,
+    /// Test-only claim-boundary skew (see [`Scheduler::debug_set_boundary_skew`]).
+    boundary_skew_secs: f64,
+    /// In-place round-walk state: `schedule` walks the live queue by
+    /// cursor instead of copying a snapshot. Mid-walk mutations
+    /// compensate the cursor so the examined sequence is exactly the
+    /// queue as it stood when the walk began.
+    walk_active: bool,
+    walk_cursor: usize,
+    /// Set when the currently examined entry was removed (its placement
+    /// committed); the walk then re-reads the cursor instead of advancing.
+    walk_removed_current: bool,
+    /// Ids inserted mid-walk (re-queued reclaim victims) — skipped by the
+    /// walk, exactly as they were absent from the old per-round snapshot.
+    walk_inserted: Vec<JobId>,
     running: BTreeMap<JobId, RunningTask>,
     backfill_starts: u64,
     preemptions: u64,
@@ -170,8 +195,10 @@ pub struct WorkCounters {
     /// Rounds that proved the previous order still valid and skipped the
     /// sort (clean queue, and — for usage-keyed policies — unchanged usage).
     pub queue_sorts_skipped: u64,
-    /// Queue elements copied into the reusable round snapshot (the former
-    /// per-round `Vec` clone this buffer replaced).
+    /// Queue elements copied into per-round snapshot buffers. Zero since
+    /// the in-place cursor walk removed the snapshot copy entirely; the
+    /// counter stays so `BENCH_hotpath.json` history remains comparable
+    /// across that change.
     pub snapshot_elements: u64,
     /// Skip verdicts recorded into the decision trace — a job's first
     /// evaluation, or one whose blocking reason changed.
@@ -181,6 +208,9 @@ pub struct WorkCounters {
     pub skip_suppressions: u64,
     /// Planner effort: attempts, node scans, and O(1) fast-path rejects.
     pub plan: PlanStats,
+    /// Temporal-planner effort: slot splits, interval intersections, and
+    /// full timeline rebuilds.
+    pub slots: SlotStats,
 }
 
 /// Compact fingerprint of one walk outcome for a queued job, compared
@@ -224,6 +254,9 @@ struct SchedMetrics {
     placement_attempts: Counter,
     node_scans: Counter,
     fastpath_rejects: Counter,
+    slot_splits: Counter,
+    slot_intersections: Counter,
+    slot_rebuilds: Counter,
 }
 
 impl Scheduler {
@@ -247,13 +280,18 @@ impl Scheduler {
             sorted_capacity: ResourceVec::ZERO,
             scratch_verdicts: Vec::new(),
             scratch_verdicts_next: Vec::new(),
-            scratch_snapshot: Vec::new(),
             scratch_usage: Vec::new(),
             scratch_skips: Vec::new(),
             scratch_started: Vec::new(),
             scratch_preempted: Vec::new(),
             reclaim_cache: None,
-            reserve_cache: None,
+            timeline: SlotSet::new(),
+            timeline_version: None,
+            boundary_skew_secs: 0.0,
+            walk_active: false,
+            walk_cursor: 0,
+            walk_removed_current: false,
+            walk_inserted: Vec::new(),
             running: BTreeMap::new(),
             backfill_starts: 0,
             preemptions: 0,
@@ -285,6 +323,9 @@ impl Scheduler {
             placement_attempts: registry.counter("tacc_sched_placement_attempts_total", &[]),
             node_scans: registry.counter("tacc_sched_node_scans_total", &[]),
             fastpath_rejects: registry.counter("tacc_sched_placement_fastpath_rejects_total", &[]),
+            slot_splits: registry.counter("tacc_sched_slot_splits_total", &[]),
+            slot_intersections: registry.counter("tacc_sched_slot_intersections_total", &[]),
+            slot_rebuilds: registry.counter("tacc_sched_slot_rebuilds_total", &[]),
         });
     }
 
@@ -316,6 +357,11 @@ impl Scheduler {
             .inc_by(cur.plan.nodes_scanned - prev.plan.nodes_scanned);
         m.fastpath_rejects
             .inc_by(cur.plan.fastpath_rejects - prev.plan.fastpath_rejects);
+        m.slot_splits.inc_by(cur.slots.splits - prev.slots.splits);
+        m.slot_intersections
+            .inc_by(cur.slots.intersections - prev.slots.intersections);
+        m.slot_rebuilds
+            .inc_by(cur.slots.rebuilds - prev.slots.rebuilds);
         self.flushed_counters = cur;
     }
 
@@ -342,7 +388,7 @@ impl Scheduler {
     /// is unique); otherwise it is appended and the next round sorts.
     fn queue_push(&mut self, request: TaskRequest) {
         self.queue_members.insert(request.id);
-        if self.queue_order_valid() {
+        let pos = if self.queue_order_valid() {
             self.quota.usage_by_group_into(&mut self.scratch_usage);
             let ctx = PolicyContext {
                 group_gpu_usage: &self.scratch_usage,
@@ -357,9 +403,21 @@ impl Scheduler {
                 .queue
                 .partition_point(|e| compare(policy, 0.0, 0, e, &request, &ctx).is_lt());
             self.queue.insert(pos, request);
+            pos
         } else {
             self.queue.push(request);
             self.queue_dirty = true;
+            self.queue.len() - 1
+        };
+        if self.walk_active {
+            // A mid-walk insertion (a re-queued reclaim victim): invisible
+            // to the current walk, exactly as it was absent from the old
+            // per-round snapshot. Landing at or before the cursor shifts
+            // the unexamined region right by one.
+            if pos <= self.walk_cursor {
+                self.walk_cursor += 1;
+            }
+            self.walk_inserted.push(request.id);
         }
     }
 
@@ -367,6 +425,7 @@ impl Scheduler {
     /// against, so this scans). An in-place removal preserves whatever
     /// order the queue had. Returns `false` if the id is not queued.
     fn queue_remove(&mut self, id: JobId) -> bool {
+        debug_assert!(!self.walk_active, "cancel during a scheduling round");
         if !self.queue_members.remove(&id) {
             return false;
         }
@@ -378,12 +437,14 @@ impl Scheduler {
 
     /// Removes a task we hold the full request for (a placement commit).
     /// While the sorted order is provable the position comes from a binary
-    /// search; otherwise from a scan and a swap-remove (the order is
-    /// already unprovable, so scrambling it further costs nothing).
+    /// search; otherwise from a scan. Both paths remove in place — the
+    /// in-place round walk depends on the relative order of the remaining
+    /// entries surviving a removal.
     fn queue_remove_request(&mut self, request: &TaskRequest) {
         if !self.queue_members.remove(&request.id) {
             return;
         }
+        let mut removed = None;
         if self.queue_order_valid() {
             self.quota.usage_by_group_into(&mut self.scratch_usage);
             let ctx = PolicyContext {
@@ -398,15 +459,28 @@ impl Scheduler {
                 .partition_point(|e| compare(policy, 0.0, 0, e, request, &ctx).is_lt());
             if self.queue.get(pos).map(|r| r.id) == Some(request.id) {
                 self.queue.remove(pos);
-                return;
+                removed = Some(pos);
+            } else {
+                // The comparator did not land on the entry — the sorted-
+                // order invariant must have been broken. Recover below.
+                debug_assert!(false, "binary removal missed {}", request.id);
             }
-            // The comparator did not land on the entry — the sorted-order
-            // invariant must have been broken. Recover via the scan path.
-            debug_assert!(false, "binary removal missed {}", request.id);
         }
-        if let Some(pos) = self.queue.iter().position(|r| r.id == request.id) {
-            self.queue.swap_remove(pos);
-            self.queue_dirty = true;
+        if removed.is_none() {
+            if let Some(pos) = self.queue.iter().position(|r| r.id == request.id) {
+                self.queue.remove(pos);
+                self.queue_dirty = true;
+                removed = Some(pos);
+            }
+        }
+        if self.walk_active {
+            if let Some(pos) = removed {
+                match pos.cmp(&self.walk_cursor) {
+                    std::cmp::Ordering::Less => self.walk_cursor -= 1,
+                    std::cmp::Ordering::Equal => self.walk_removed_current = true,
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
         }
     }
 
@@ -519,13 +593,37 @@ impl Scheduler {
     /// Returns the task's record, or `None` if it was not running.
     pub fn task_finished(&mut self, id: JobId, cluster: &mut Cluster) -> Option<RunningTask> {
         let task = self.running.remove(&id)?;
+        let pre_version = cluster.version();
         cluster
             .release(task.lease_id)
             .expect("running task holds a valid lease");
+        // Keep the temporal planner synced incrementally: when it mirrored
+        // the pre-release cluster state, a slot-level release carries it to
+        // the post-release version without a rebuild.
+        if self.timeline_version == Some(pre_version) {
+            self.timeline_version = if self.timeline.release(id, &mut self.counters.slots) {
+                Some(cluster.version())
+            } else {
+                None
+            };
+        }
         self.quota.release(&task.request);
         self.group_usage_vec[task.request.group.index()] -= task.request.total_resources();
         self.usage_epoch += 1;
         self.trace.forget_job(id);
         Some(task)
+    }
+
+    /// Test-only fault injection for the differential red-flip suite:
+    /// shifts every temporal-planner claim boundary by `skew_secs`,
+    /// simulating an off-by-one interval-boundary bug in the slot-split
+    /// logic. With any non-zero skew, reservation shadows move and the
+    /// backfill decisions diverge from [`ReferenceScheduler`](crate::reference::ReferenceScheduler)
+    /// — the differential suite proves it would catch such a bug.
+    #[doc(hidden)]
+    pub fn debug_set_boundary_skew(&mut self, skew_secs: f64) {
+        self.boundary_skew_secs = skew_secs;
+        // Force the next probe to rebuild under the new (skewed) geometry.
+        self.timeline_version = None;
     }
 }

@@ -137,6 +137,7 @@ impl Scheduler {
         };
         self.queue_remove_request(request);
         let shares = Planner::shares_for(&assignment, request.per_worker);
+        let pre_version = cluster.version();
         let lease = cluster
             .allocate(request.id.value(), &shares)
             .expect("planned placement must allocate");
@@ -149,6 +150,19 @@ impl Scheduler {
         self.usage_epoch += 1;
         // A shrunken data-parallel gang runs proportionally longer.
         let scale = f64::from(request.workers) / f64::from(granted);
+        let est_end_secs = now_secs + request.est_secs * scale;
+        // Keep the temporal planner synced incrementally: when it mirrored
+        // the pre-allocate cluster state, a slot-level place carries it to
+        // the post-allocate version without a rebuild.
+        if self.timeline_version == Some(pre_version) {
+            self.timeline.place(
+                request.id,
+                granted_request.total_gpus(),
+                est_end_secs + self.boundary_skew_secs,
+                &mut self.counters.slots,
+            );
+            self.timeline_version = Some(cluster.version());
+        }
         self.running.insert(
             request.id,
             RunningTask {
@@ -157,7 +171,7 @@ impl Scheduler {
                 lease_id: lease.id(),
                 worker_nodes: assignment.clone(),
                 start_secs: now_secs,
-                est_end_secs: now_secs + request.est_secs * scale,
+                est_end_secs,
             },
         );
         Some(StartedTask {

@@ -1,5 +1,6 @@
 //! The scheduling round: queue ordering, the quota/backfill/placement
-//! walk, skip tracing with positional dedup, and reservation caching.
+//! walk over the live queue, skip tracing with positional dedup, and
+//! temporal-planner-backed reservations.
 
 use std::time::Instant;
 
@@ -7,7 +8,7 @@ use tacc_cluster::{Cluster, ResourceVec};
 use tacc_obs::{JobSkip, RoundTrace, SkipReason};
 use tacc_workload::JobId;
 
-use crate::backfill::{may_backfill, reserve_sorted, BackfillMode, Reservation};
+use crate::backfill::{may_backfill, BackfillMode, Reservation};
 use crate::policy::{order_queue, PolicyContext, PolicyKind};
 use crate::request::{Decision, SchedOutcome, StartedTask, TaskRequest};
 use crate::scheduler::{Scheduler, SkipVerdict};
@@ -121,15 +122,33 @@ impl Scheduler {
         // the trace ring at push time once it is warm).
         let mut skips = std::mem::take(&mut self.scratch_skips);
         skips.clear();
-        // Reusable snapshot buffer instead of a per-round `Vec` clone
-        // (`TaskRequest` is `Copy`, so this is a flat memcpy).
-        let mut queue_snapshot = std::mem::take(&mut self.scratch_snapshot);
-        queue_snapshot.clear();
-        queue_snapshot.extend_from_slice(&self.queue);
-        self.counters.snapshot_elements += queue_snapshot.len() as u64;
         self.scratch_verdicts_next.clear();
 
-        for (pos, request) in queue_snapshot.iter().enumerate() {
+        // Walk the live queue in place instead of copying it into a
+        // per-round snapshot (`snapshot_elements` used to be the largest
+        // work counter on the hot path). Placement commits remove the
+        // examined entry order-preservingly, and reclaim may re-queue
+        // victims mid-walk; `queue_push`/`queue_remove_request` compensate
+        // the cursor so the walk visits exactly the entries the snapshot
+        // held, in the same order. `examined` numbers them with their
+        // round-start positions, keeping the positional skip dedup
+        // byte-identical.
+        self.walk_active = true;
+        self.walk_cursor = 0;
+        self.walk_inserted.clear();
+        let mut examined: usize = 0;
+        while self.walk_cursor < self.queue.len() {
+            let request = self.queue[self.walk_cursor];
+            // Mid-walk insertions were invisible to the old snapshot.
+            if self.walk_inserted.contains(&request.id) {
+                self.walk_cursor += 1;
+                continue;
+            }
+            let pos = examined;
+            examined += 1;
+            self.walk_removed_current = false;
+            let request = &request;
+
             // 1. Quota gate.
             if !self.quota.admits(self.config.quota, request) {
                 self.record_skip(
@@ -150,9 +169,10 @@ impl Scheduler {
                 // reservation. Under no-backfill the queue is strictly
                 // ordered, so later jobs stall behind it anyway.
                 if self.config.backfill == BackfillMode::None {
-                    self.skip_tail(&mut skips, &queue_snapshot[pos + 1..], pos + 1, request.id);
+                    self.skip_tail_live(&mut skips, &mut examined, request.id);
                     break;
                 }
+                self.walk_cursor += 1;
                 continue;
             }
 
@@ -189,6 +209,7 @@ impl Scheduler {
                     if self.config.backfill == BackfillMode::Conservative {
                         self.push_reservation(now_secs, request, cluster, &mut reservations);
                     }
+                    self.walk_cursor += 1;
                     continue;
                 }
             }
@@ -209,6 +230,12 @@ impl Scheduler {
                         backfilled,
                         ..start
                     }));
+                    // The commit removed the examined entry in place; the
+                    // cursor already points at its successor.
+                    debug_assert!(self.walk_removed_current, "started job still queued");
+                    if !self.walk_removed_current {
+                        self.walk_cursor += 1;
+                    }
                 }
                 None => {
                     // Capacity-blocked.
@@ -228,12 +255,7 @@ impl Scheduler {
                     );
                     match self.config.backfill {
                         BackfillMode::None => {
-                            self.skip_tail(
-                                &mut skips,
-                                &queue_snapshot[pos + 1..],
-                                pos + 1,
-                                request.id,
-                            );
+                            self.skip_tail_live(&mut skips, &mut examined, request.id);
                             break;
                         }
                         BackfillMode::Easy => {
@@ -250,19 +272,26 @@ impl Scheduler {
                             self.push_reservation(now_secs, request, cluster, &mut reservations);
                         }
                     }
+                    self.walk_cursor += 1;
                 }
             }
         }
+        self.walk_active = false;
+        self.walk_inserted.clear();
 
-        // The walk pushed exactly one ledger entry per examined position;
-        // it becomes the baseline the next round's walk dedups against.
+        // The walk examined exactly the round-start queue and pushed one
+        // ledger entry per examined position; the ledger becomes the
+        // baseline the next round's walk dedups against.
+        debug_assert_eq!(
+            examined as u64, queue_len_at_start,
+            "walk out of step with the round-start queue"
+        );
         debug_assert_eq!(
             self.scratch_verdicts_next.len(),
-            queue_snapshot.len(),
-            "walk ledger out of step with the snapshot"
+            examined,
+            "walk ledger out of step with the walk"
         );
         std::mem::swap(&mut self.scratch_verdicts, &mut self.scratch_verdicts_next);
-        self.scratch_snapshot = queue_snapshot;
         let wall = round_start.elapsed();
         if let Some(m) = &self.metrics {
             m.rounds.inc();
@@ -303,15 +332,18 @@ impl Scheduler {
         outcome
     }
 
-    /// Computes and appends the capacity reservation for a blocked request.
+    /// Computes and appends the capacity reservation for a blocked request
+    /// by probing the temporal planner.
     ///
-    /// The release profile — running tasks as `(est_end, gpus)`, ascending
-    /// by end time — depends only on the running set, and every change to
-    /// the running set (placement, finish, preemption) also bumps the
-    /// cluster's mutation version. The sorted profile is therefore cached
-    /// keyed on that version: conservative backfill asks for one
-    /// reservation per blocked job per round against an unchanged running
-    /// set, and all of those questions share a single collect-and-sort.
+    /// The planner timeline depends only on the running set and the
+    /// configured capacity windows, and every change to the running set
+    /// (placement, finish, preemption) also bumps the cluster's mutation
+    /// version. Placements and releases maintain the timeline
+    /// incrementally; whenever the version check shows the mirror went
+    /// stale (first round, preemption fallout, fault injection) it is
+    /// rebuilt from the running set in one pass. Conservative backfill
+    /// asks for one reservation per blocked job per round, and all of
+    /// those probes share the same slots.
     fn push_reservation(
         &mut self,
         now_secs: f64,
@@ -320,32 +352,49 @@ impl Scheduler {
         reservations: &mut Vec<Reservation>,
     ) {
         let version = cluster.version();
-        if !matches!(&self.reserve_cache, Some((v, _)) if *v == version) {
-            let mut profile = match self.reserve_cache.take() {
-                Some((_, mut p)) => {
-                    p.clear();
-                    p
-                }
-                None => Vec::new(),
-            };
-            profile.extend(
-                self.running
-                    .values()
-                    .map(|t| (t.est_end_secs, t.request.total_gpus())),
-            );
-            // Stable sort over the id-ordered running set: byte-identical
-            // to the order the eager per-call sort used to produce.
-            profile.sort_by(|a, b| a.0.total_cmp(&b.0));
-            self.reserve_cache = Some((version, profile));
-        }
-        if let Some((_, profile)) = &self.reserve_cache {
-            reservations.push(reserve_sorted(
-                now_secs,
-                request.total_gpus(),
+        if self.timeline_version != Some(version) {
+            let skew = self.boundary_skew_secs;
+            // Id-ordered iteration over the BTreeMap: rebuilding is a
+            // deterministic function of the running set.
+            self.timeline.rebuild(
                 cluster.free_gpus(),
-                profile,
-            ));
+                self.running
+                    .iter()
+                    .map(|(&id, t)| (id, t.est_end_secs + skew, t.request.total_gpus())),
+                &self.config.capacity_windows,
+                &mut self.counters.slots,
+            );
+            self.timeline_version = Some(version);
         }
+        #[cfg(debug_assertions)]
+        if self.rounds.is_multiple_of(61) {
+            // Sampled oracle: the incrementally maintained timeline must
+            // stay count-equivalent to a fresh rebuild. (Abstract id
+            // assignment may differ between the two; the count-level
+            // fingerprint is invariant to it.)
+            let mut oracle = crate::slotset::SlotSet::new();
+            let mut stats = crate::slotset::SlotStats::default();
+            let skew = self.boundary_skew_secs;
+            oracle.rebuild(
+                cluster.free_gpus(),
+                self.running
+                    .iter()
+                    .map(|(&id, t)| (id, t.est_end_secs + skew, t.request.total_gpus())),
+                &self.config.capacity_windows,
+                &mut stats,
+            );
+            debug_assert_eq!(
+                self.timeline.fingerprint(),
+                oracle.fingerprint(),
+                "incremental timeline diverged from a fresh rebuild"
+            );
+        }
+        reservations.push(self.timeline.probe(
+            now_secs,
+            request.total_gpus(),
+            cluster.free_gpus(),
+            &mut self.counters.slots,
+        ));
     }
 
     /// Appends `skip` to the round's skip list only when the previous
@@ -376,22 +425,26 @@ impl Scheduler {
         }
     }
 
-    /// Records a head-of-line skip for every request in `rest` (snapshot
-    /// positions `base..`): under strict FIFO (no backfill) a blocked job
-    /// stalls everything behind it.
-    fn skip_tail(
-        &mut self,
-        skips: &mut Vec<JobSkip>,
-        rest: &[TaskRequest],
-        base: usize,
-        behind: JobId,
-    ) {
-        for (i, r) in rest.iter().enumerate() {
+    /// Records a head-of-line skip for every not-yet-examined live-queue
+    /// entry (round-start positions `examined..`): under strict FIFO (no
+    /// backfill) a blocked job stalls everything behind it. Mid-walk
+    /// insertions are passed over — they were not part of the round-start
+    /// queue.
+    fn skip_tail_live(&mut self, skips: &mut Vec<JobSkip>, examined: &mut usize, behind: JobId) {
+        let mut i = self.walk_cursor + 1;
+        while i < self.queue.len() {
+            let job = self.queue[i].id;
+            i += 1;
+            if self.walk_inserted.contains(&job) {
+                continue;
+            }
+            let pos = *examined;
+            *examined += 1;
             self.record_skip(
                 skips,
-                base + i,
+                pos,
                 JobSkip {
-                    job: r.id,
+                    job,
                     reason: SkipReason::HeadOfLineBlocked { behind },
                 },
                 SkipVerdict::HeadOfLine { behind },

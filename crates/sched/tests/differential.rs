@@ -23,7 +23,8 @@
 use tacc_cluster::{Cluster, ClusterSpec, GpuModel, ResourceVec};
 use tacc_sched::reference::ReferenceScheduler;
 use tacc_sched::{
-    BackfillMode, PlacementStrategy, PolicyKind, QuotaMode, Scheduler, SchedulerConfig, TaskRequest,
+    BackfillMode, CapacityWindow, PlacementStrategy, PolicyKind, QuotaMode, Scheduler,
+    SchedulerConfig, TaskRequest,
 };
 use tacc_workload::{GroupId, JobId, QosClass};
 
@@ -72,6 +73,30 @@ fn config(seed: u64) -> SchedulerConfig {
     ][rng.below(3) as usize];
     let quota =
         [QuotaMode::Disabled, QuotaMode::Static, QuotaMode::Borrowing][rng.below(3) as usize];
+    let time_slice_secs = if rng.below(2) == 0 { Some(600.0) } else { None };
+    // Planned capacity windows (64-GPU cluster): none, a mid-script drain,
+    // or a permanent holdback stacked with an overlapping drain. They only
+    // shape reservation shadows, so both schedulers must agree on them.
+    let capacity_windows = match rng.below(4) {
+        0 | 1 => Vec::new(),
+        2 => vec![CapacityWindow {
+            gpus: 16,
+            from_secs: 1_800.0,
+            until_secs: 7_200.0,
+        }],
+        _ => vec![
+            CapacityWindow {
+                gpus: 8,
+                from_secs: 0.0,
+                until_secs: f64::INFINITY,
+            },
+            CapacityWindow {
+                gpus: 24,
+                from_secs: 3_600.0,
+                until_secs: 10_800.0,
+            },
+        ],
+    };
     SchedulerConfig {
         policy,
         placement,
@@ -79,7 +104,8 @@ fn config(seed: u64) -> SchedulerConfig {
         quota,
         quotas: vec![12, 12, 20, 20],
         group_count: GROUPS,
-        time_slice_secs: if rng.below(2) == 0 { Some(600.0) } else { None },
+        time_slice_secs,
+        capacity_windows,
         ..SchedulerConfig::default()
     }
 }
@@ -313,6 +339,80 @@ fn red_flip_harness_detects_decision_changes() {
     // job, strict FIFO started nothing.
     assert_eq!(a.starts().count(), 0);
     assert_eq!(b.starts().count(), 1);
+}
+
+#[test]
+fn red_flip_slot_boundary_bug_diverges_from_reference() {
+    // Prove the differential suite would catch a one-line slot-split bug:
+    // inject an off-by-one interval boundary (every claim end shifted by
+    // +600s) into the optimized planner only. The skewed reservation
+    // shadow admits a backfill candidate the reference rejects, so the
+    // decision streams must diverge.
+    let cfg = SchedulerConfig {
+        policy: PolicyKind::Fifo,
+        placement: PlacementStrategy::Pack,
+        backfill: BackfillMode::Conservative,
+        quota: QuotaMode::Disabled,
+        quotas: vec![0; GROUPS],
+        group_count: GROUPS,
+        time_slice_secs: None,
+        ..SchedulerConfig::default()
+    };
+    let mut opt = Scheduler::new(cfg.clone());
+    opt.debug_set_boundary_skew(600.0);
+    let mut reference = ReferenceScheduler::new(cfg);
+    let mut opt_cluster = cluster();
+    let mut ref_cluster = cluster();
+
+    // 7 of 8 nodes occupied until t=3600; 8 GPUs stay free.
+    let occupant = TaskRequest {
+        id: JobId::from_value(1),
+        group: GroupId::from_index(0),
+        qos: QosClass::Guaranteed,
+        workers: 7,
+        per_worker: ResourceVec::gpus_only(8),
+        est_secs: 3600.0,
+        submit_secs: 0.0,
+        elastic: false,
+    };
+    // Demands the whole cluster: blocked with shadow 3600 and zero extra.
+    let wide = TaskRequest {
+        id: JobId::from_value(2),
+        workers: 8,
+        est_secs: 600.0,
+        submit_secs: 1.0,
+        ..occupant
+    };
+    // Fits the free node now, but runs until ~3703: past the true shadow
+    // (3600 — reference blocks it), within the skewed one (4200 — the
+    // buggy planner lets it through).
+    let narrow = TaskRequest {
+        id: JobId::from_value(3),
+        workers: 1,
+        est_secs: 3700.0,
+        submit_secs: 2.0,
+        ..occupant
+    };
+    opt.submit(occupant);
+    reference.submit(occupant);
+    let a = opt.schedule(0.0, &mut opt_cluster);
+    let b = reference.schedule(0.0, &mut ref_cluster);
+    assert_eq!(format!("{:?}", a.decisions), format!("{:?}", b.decisions));
+    opt.submit(wide);
+    opt.submit(narrow);
+    reference.submit(wide);
+    reference.submit(narrow);
+    let a = opt.schedule(3.0, &mut opt_cluster);
+    let b = reference.schedule(3.0, &mut ref_cluster);
+    assert_ne!(
+        format!("{:?}", a.decisions),
+        format!("{:?}", b.decisions),
+        "an off-by-one slot boundary must flip the comparison red"
+    );
+    // And in the expected direction: the skewed planner backfilled the
+    // narrow job, the honest reference blocked it.
+    assert_eq!(a.starts().count(), 1);
+    assert_eq!(b.starts().count(), 0);
 }
 
 // The proptest form: identical property, with shrinking. The build
