@@ -83,7 +83,9 @@ impl Platform {
     /// leaving-`Running` event is applied.
     pub(crate) fn release_run(&mut self, id: tacc_workload::JobId, now: f64) -> ActiveRun {
         let run = self.active.remove(&id).expect("job was running");
-        let group = self.job_ref(id).schema().group.index();
+        let Some(group) = self.job_ref(id).map(|job| job.schema().group.index()) else {
+            return run;
+        };
         self.accrue_group_time(now);
         self.util.release(now, run.gpus);
         self.group_busy[group] -= run.gpus;

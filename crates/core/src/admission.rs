@@ -69,7 +69,9 @@ impl Platform {
     /// scheduler (`Enqueue`).
     pub(crate) fn on_compile_done(&mut self, id: JobId) {
         let now = self.clock.now().as_secs();
-        let job = self.job_ref(id);
+        let Some(job) = self.job_ref(id) else {
+            return;
+        };
         if job.state().is_terminal() {
             return; // cancelled during provisioning
         }

@@ -38,8 +38,7 @@ impl Platform {
                     },
                 );
                 let _ = self.apply_lifecycle_event(id, JobEvent::Enqueue);
-                let request = {
-                    let job = self.job_ref(id);
+                let Some(request) = self.job_ref(id).map(|job| {
                     let schema = job.schema();
                     TaskRequest {
                         id,
@@ -51,6 +50,8 @@ impl Platform {
                         submit_secs: job.submit_secs(),
                         elastic: schema.elastic,
                     }
+                }) else {
+                    return;
                 };
                 self.scheduler.submit(request);
                 self.emit(
@@ -74,10 +75,13 @@ impl Platform {
                 );
                 // Everything a failed job ever consumed is waste: service
                 // it completed (now useless) plus all interruption losses.
-                let waste = {
-                    let job = self.job_ref(id);
-                    let consumed = (job.service_secs() - job.remaining_secs()) + job.wasted_secs();
-                    f64::from(job.schema().total_gpus()) * consumed
+                let waste = match self.job_ref(id) {
+                    Some(job) => {
+                        let consumed =
+                            (job.service_secs() - job.remaining_secs()) + job.wasted_secs();
+                        f64::from(job.schema().total_gpus()) * consumed
+                    }
+                    None => 0.0,
                 };
                 self.failed_waste_gpu_secs += waste;
                 self.emit(

@@ -47,7 +47,7 @@ mod report;
 mod status;
 
 pub use config::PlatformConfig;
-pub use lifecycle::TransitionRecord;
+pub use lifecycle::{LifecycleError, TransitionRecord};
 pub use platform::Platform;
 pub use report::{GroupReport, SimulationReport};
 pub use status::JobStatus;

@@ -70,16 +70,18 @@ impl Platform {
                     None => Some("queued: no scheduling round has evaluated it yet".to_owned()),
                 }
             }
-            _ => match self.transitions(id).last() {
-                Some(r) => Some(format!(
-                    "t={:.0}s: {} \u{2192} {} ({})",
-                    r.at_secs, r.from, r.to, r.event
-                )),
-                None => match self.bus.for_job(id).last() {
-                    Some(rec) => Some(format!("t={:.0}s: {}", rec.at_secs, rec.event)),
-                    None => Some(format!("{:?}", job.state())),
-                },
-            },
+            JobState::Running | JobState::Completed | JobState::Failed | JobState::Cancelled => {
+                match self.transitions(id).last() {
+                    Some(r) => Some(format!(
+                        "t={:.0}s: {} \u{2192} {} ({})",
+                        r.at_secs, r.from, r.to, r.event
+                    )),
+                    None => match self.bus.for_job(id).last() {
+                        Some(rec) => Some(format!("t={:.0}s: {}", rec.at_secs, rec.event)),
+                        None => Some(format!("{:?}", job.state())),
+                    },
+                }
+            }
         }
     }
 

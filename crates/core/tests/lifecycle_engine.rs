@@ -10,7 +10,7 @@
 //! and hands the raw event straight to the engine.
 
 use tacc_cluster::{ClusterSpec, GpuModel, ResourceVec};
-use tacc_core::{Platform, PlatformConfig};
+use tacc_core::{LifecycleError, Platform, PlatformConfig};
 use tacc_workload::{GroupId, JobEvent, JobEventKind, JobState, TaskSchema};
 
 fn tiny_config() -> PlatformConfig {
@@ -55,6 +55,9 @@ fn stale_fault_after_completion_is_rejected_typed() {
         .expect_err("completed job must reject a fault");
 
     // Typed rejection naming the exact attempt.
+    let LifecycleError::Illegal(err) = err else {
+        panic!("a tracked job must reject via the transition matrix, got {err}");
+    };
     assert_eq!(err.from, JobState::Completed);
     assert_eq!(err.event, JobEventKind::Fail);
 
@@ -81,6 +84,25 @@ fn stale_fault_after_completion_is_rejected_typed() {
         rejected.event.to_string(),
         "illegal transition rejected: fail from state completed"
     );
+}
+
+/// An id the platform never tracked is reported as a typed
+/// `UnknownJob` — the engine no longer panics on table misses, so the
+/// reachable simulation path carries zero panic sites (the
+/// `panic-surface` lint gates this).
+#[test]
+fn unknown_job_is_a_typed_error_not_a_panic() {
+    let mut p = Platform::new(tiny_config());
+    let bogus = tacc_workload::JobId::from_value(u64::MAX);
+    let err = p
+        .force_lifecycle_event(bogus, JobEvent::Enqueue)
+        .expect_err("untracked id must be rejected");
+    assert_eq!(err, LifecycleError::UnknownJob(bogus));
+    assert!(err.to_string().contains("not in the platform job table"));
+    // An unknown id never reaches the transition matrix: the illegal
+    // counter and the bus stay untouched.
+    assert_eq!(p.illegal_transitions(), 0);
+    assert_eq!(p.events().kind_count("illegal_transition"), 0);
 }
 
 /// The transition log records the happy path that led to the terminal
@@ -146,6 +168,9 @@ fn every_stale_event_kind_is_rejected_on_terminal_job() {
         let err = p
             .force_lifecycle_event(id, *event)
             .expect_err("terminal state absorbs everything");
+        let LifecycleError::Illegal(err) = err else {
+            panic!("a tracked job must reject via the transition matrix, got {err}");
+        };
         assert_eq!(err.from, JobState::Completed);
         assert_eq!(p.illegal_transitions(), i as u64 + 1);
     }

@@ -1,0 +1,370 @@
+//! The merged workspace symbol graph.
+//!
+//! Per-file [`crate::symbols::FileSymbols`] (extracted in parallel, one
+//! job per file) merge here into a single deterministic structure: every
+//! function definition in the workspace plus resolved call edges. The
+//! merge is pure and order-preserving — files arrive in the engine's
+//! sorted walk order and functions in source order — so two scans of the
+//! same tree produce byte-identical [`WorkspaceGraph::to_text`] dumps,
+//! which the determinism test asserts.
+//!
+//! Call resolution is a heuristic, not rustc name resolution: a call
+//! from crate C first binds to same-crate candidates, otherwise to
+//! candidates in crates C may depend on per the layer DAG. A path
+//! qualifier (`Scheduler::new`) narrows candidates to matching impl
+//! types, modules, or crates first. Unresolved calls (std, trait
+//! dispatch we cannot see) simply produce no edge; the reachability
+//! family treats missing edges conservatively at the budgeting step.
+
+use std::collections::BTreeMap;
+
+use crate::symbols::FileSymbols;
+
+/// One file's extraction result queued for the merge.
+pub struct FileEntry {
+    /// Short crate name (`core`, `sched`, …).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Whether the file is a binary target (`src/bin/**`).
+    pub bin: bool,
+    /// The extracted symbols.
+    pub symbols: FileSymbols,
+}
+
+/// One function in the merged graph.
+#[derive(Debug, Clone)]
+pub struct GraphFn {
+    /// Short crate name.
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// `::`-joined module path inside the crate (empty for `lib.rs`).
+    pub module: String,
+    /// Enclosing impl type, when any.
+    pub impl_type: Option<String>,
+    /// Function identifier.
+    pub name: String,
+    /// 1-based span of the definition.
+    pub start_line: u32,
+    /// Inclusive end line of the body.
+    pub end_line: u32,
+    /// Defined inside a `#[cfg(test)]` / `#[test]` region.
+    pub is_test: bool,
+    /// Defined in a binary target.
+    pub is_bin: bool,
+}
+
+impl GraphFn {
+    /// Canonical display path: `crate::module::Type::name` with empty
+    /// segments omitted.
+    pub fn path(&self) -> String {
+        let mut s = self.crate_name.clone();
+        if !self.module.is_empty() {
+            s.push_str("::");
+            s.push_str(&self.module);
+        }
+        if let Some(t) = &self.impl_type {
+            s.push_str("::");
+            s.push_str(t);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// The merged, deterministic workspace graph.
+#[derive(Default)]
+pub struct WorkspaceGraph {
+    /// Every function definition, in walk × source order.
+    pub fns: Vec<GraphFn>,
+    /// Resolved call edges `(caller index, callee index)`, sorted and
+    /// deduplicated.
+    pub edges: Vec<(u32, u32)>,
+    /// Source-level `tacc_*` references `(from crate, to crate)`, sorted
+    /// and deduplicated.
+    pub use_edges: Vec<(String, String)>,
+}
+
+/// Derives the module path from a workspace-relative file path:
+/// `crates/core/src/lifecycle.rs` → `lifecycle`,
+/// `crates/sched/src/policy/fifo.rs` → `policy::fifo`, `lib.rs` → ``.
+fn module_of(rel_path: &str) -> String {
+    let after_src = rel_path.split_once("/src/").map_or(rel_path, |(_, m)| m);
+    let stem = after_src.trim_end_matches(".rs");
+    let mut segs: Vec<&str> = stem.split('/').collect();
+    match segs.last() {
+        Some(&"lib") | Some(&"main") | Some(&"mod") => {
+            segs.pop();
+        }
+        _ => {}
+    }
+    segs.join("::")
+}
+
+/// Merges per-file symbols into the workspace graph.
+///
+/// `dep_allowed(from, to)` is the layer-DAG oracle used to scope
+/// cross-crate call resolution.
+pub fn build(entries: &[FileEntry], dep_allowed: &dyn Fn(&str, &str) -> bool) -> WorkspaceGraph {
+    let mut graph = WorkspaceGraph::default();
+    // (entry index, fn index within file) → graph index, plus the
+    // candidate index for callee lookup: non-test, non-bin fns only.
+    let mut by_name: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+
+    for entry in entries {
+        let module = module_of(&entry.rel_path);
+        for sym in &entry.symbols.fns {
+            let idx = graph.fns.len() as u32;
+            graph.fns.push(GraphFn {
+                crate_name: entry.crate_name.clone(),
+                file: entry.rel_path.clone(),
+                module: module.clone(),
+                impl_type: sym.impl_type.clone(),
+                name: sym.name.clone(),
+                start_line: sym.start_line,
+                end_line: sym.end_line,
+                is_test: sym.is_test,
+                is_bin: entry.bin,
+            });
+            if !sym.is_test && !entry.bin {
+                by_name.entry(&sym.name).or_default().push(idx);
+            }
+        }
+        for (target, _) in &entry.symbols.uses {
+            if target != &entry.crate_name {
+                graph
+                    .use_edges
+                    .push((entry.crate_name.clone(), target.clone()));
+            }
+        }
+    }
+
+    // Second pass: resolve calls now that every definition is indexed.
+    let mut caller = 0u32;
+    for entry in entries {
+        for sym in &entry.symbols.fns {
+            if !sym.is_test {
+                for call in &sym.calls {
+                    let Some(cands) = by_name.get(call.name.as_str()) else {
+                        continue; // std / trait dispatch: no edge
+                    };
+                    let cands = narrow_by_qualifier(&graph, cands, call.qualifier.as_deref());
+                    let same: Vec<u32> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&i| graph.fns[i as usize].crate_name == entry.crate_name)
+                        .collect();
+                    let resolved: Vec<u32> = if same.is_empty() {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| {
+                                dep_allowed(&entry.crate_name, &graph.fns[i as usize].crate_name)
+                            })
+                            .collect()
+                    } else {
+                        same
+                    };
+                    for callee in resolved {
+                        graph.edges.push((caller, callee));
+                    }
+                }
+            }
+            caller += 1;
+        }
+    }
+    graph.edges.sort_unstable();
+    graph.edges.dedup();
+    graph.use_edges.sort();
+    graph.use_edges.dedup();
+    graph
+}
+
+/// Applies a `Qualifier::name` narrowing: keep candidates whose impl
+/// type, trailing module segment, or crate equals the qualifier. An
+/// empty narrowing falls back to the full candidate set (conservative
+/// over-approximation beats dropping a real edge).
+fn narrow_by_qualifier(graph: &WorkspaceGraph, cands: &[u32], qual: Option<&str>) -> Vec<u32> {
+    let Some(q) = qual else {
+        return cands.to_vec();
+    };
+    let q_short = q.strip_prefix("tacc_").unwrap_or(q);
+    let narrowed: Vec<u32> = cands
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let f = &graph.fns[i as usize];
+            f.impl_type.as_deref() == Some(q)
+                || f.module.rsplit("::").next() == Some(q)
+                || f.crate_name == q_short
+        })
+        .collect();
+    if narrowed.is_empty() {
+        cands.to_vec()
+    } else {
+        narrowed
+    }
+}
+
+impl WorkspaceGraph {
+    /// Byte-stable text dump: the determinism gate compares two
+    /// independent scans of the workspace with `assert_eq!` on this.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("workspace-graph v1\n");
+        for (i, f) in self.fns.iter().enumerate() {
+            let mut flags = String::new();
+            if f.is_test {
+                flags.push_str(" test");
+            }
+            if f.is_bin {
+                flags.push_str(" bin");
+            }
+            out.push_str(&format!(
+                "fn {i} {} {}:{}..{}{}\n",
+                f.path(),
+                f.file,
+                f.start_line,
+                f.end_line,
+                flags
+            ));
+        }
+        for (a, b) in &self.edges {
+            out.push_str(&format!(
+                "edge {} -> {}\n",
+                self.fns[*a as usize].path(),
+                self.fns[*b as usize].path()
+            ));
+        }
+        for (a, b) in &self.use_edges {
+            out.push_str(&format!("use {a} -> {b}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::extract;
+
+    fn entry(crate_name: &str, rel_path: &str, bin: bool, src: &str) -> FileEntry {
+        let lexed = lex(src);
+        let ranges = crate::lints::test_ranges(&lexed.tokens);
+        FileEntry {
+            crate_name: crate_name.to_owned(),
+            rel_path: rel_path.to_owned(),
+            bin,
+            symbols: extract(&lexed.tokens, &ranges),
+        }
+    }
+
+    fn allow_all(_: &str, _: &str) -> bool {
+        true
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_of("crates/core/src/lifecycle.rs"), "lifecycle");
+        assert_eq!(module_of("crates/sched/src/policy/fifo.rs"), "policy::fifo");
+        assert_eq!(module_of("crates/core/src/lib.rs"), "");
+        assert_eq!(module_of("crates/sched/src/policy/mod.rs"), "policy");
+    }
+
+    #[test]
+    fn same_crate_resolution_wins_over_cross_crate() {
+        let entries = vec![
+            entry(
+                "core",
+                "crates/core/src/lib.rs",
+                false,
+                "fn run() { helper(); }\nfn helper() {}\n",
+            ),
+            entry(
+                "sched",
+                "crates/sched/src/lib.rs",
+                false,
+                "fn helper() {}\n",
+            ),
+        ];
+        let g = build(&entries, &allow_all);
+        // run (0) → core::helper (1), not sched::helper (2).
+        assert_eq!(g.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn qualifier_narrows_to_the_right_impl_type() {
+        let entries = vec![
+            entry(
+                "core",
+                "crates/core/src/lib.rs",
+                false,
+                "fn boot() { let s = Scheduler::new(); }\nstruct Local;\nimpl Local { fn new() -> Self { Local } }\n",
+            ),
+            entry(
+                "sched",
+                "crates/sched/src/lib.rs",
+                false,
+                "pub struct Scheduler;\nimpl Scheduler { pub fn new() -> Self { Scheduler } }\n",
+            ),
+        ];
+        let g = build(&entries, &allow_all);
+        let boot = 0u32;
+        let sched_new = g
+            .fns
+            .iter()
+            .position(|f| f.crate_name == "sched" && f.name == "new")
+            .expect("sched new") as u32;
+        assert!(g.edges.contains(&(boot, sched_new)));
+        // The qualifier keeps Local::new out even though it's same-crate.
+        let local_new = g
+            .fns
+            .iter()
+            .position(|f| f.crate_name == "core" && f.name == "new")
+            .expect("local new") as u32;
+        assert!(!g.edges.contains(&(boot, local_new)));
+    }
+
+    #[test]
+    fn test_fns_neither_emit_nor_receive_edges() {
+        let entries = vec![entry(
+            "core",
+            "crates/core/src/lib.rs",
+            false,
+            "fn lib() { target(); }\nfn target() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn target() {}\n    fn t() { target(); }\n}\n",
+        )];
+        let g = build(&entries, &allow_all);
+        assert_eq!(g.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn dump_is_stable_across_rebuilds() {
+        let mk = || {
+            build(
+                &[
+                    entry(
+                        "core",
+                        "crates/core/src/lib.rs",
+                        false,
+                        "use tacc_sched::Scheduler;\nfn a() { b(); }\nfn b() {}\n",
+                    ),
+                    entry(
+                        "core",
+                        "crates/core/src/bin/x.rs",
+                        true,
+                        "fn main() { a(); }\n",
+                    ),
+                ],
+                &allow_all,
+            )
+        };
+        let d1 = mk().to_text();
+        let d2 = mk().to_text();
+        assert_eq!(d1, d2);
+        assert!(d1.contains("use core -> sched"));
+        assert!(d1.contains("bin"));
+    }
+}

@@ -8,7 +8,8 @@
 //! architecture is a *strict DAG* (DESIGN.md documents it). `tacc-lint`
 //! makes both machine-checked: a dependency-free, hand-rolled source
 //! scanner (comment/string/ident-aware lexer — no `syn`) walks every
-//! crate and enforces six lint families:
+//! crate, merges per-file item extraction into a workspace symbol graph,
+//! and enforces ten lint families:
 //!
 //! | Lint | Guards against |
 //! |---|---|
@@ -16,26 +17,42 @@
 //! | `wall-clock` | `Instant::now` / `SystemTime` outside annotated sites |
 //! | `ambient-rng` | `thread_rng` / `rand::random` bypassing `DetRng` |
 //! | `layer-dag` | dependency edges violating the documented layer DAG |
-//! | `panic-surface` | `unwrap`/`expect`/`panic!`/`todo!` growth vs baseline |
+//! | `panic-surface` | reachable `unwrap`/`expect`/`panic!`/`todo!` growth vs baseline |
 //! | `metric-name` | registry literals not shaped `tacc_<layer>_<name>` |
+//! | `single-writer` | owned mutations performed outside the owning module |
+//! | `concurrency` | locks/channels/spawns in deterministic layers; guards held across fork–join |
+//! | `match-wildcard` | `_` arms in matches over the lifecycle enums |
+//! | `allow` | malformed, unknown, or stale suppression comments |
+//!
+//! v2 layers a cross-crate **symbol table + call graph** on the lexer
+//! ([`symbols`] → [`graph`] → [`reach`]): per-file extraction fans out
+//! over [`tacc_par::par_map`], merges deterministically, and panic sites
+//! are budgeted only when reachable from the sim-path roots declared in
+//! `lint-owners.toml` — a CLI-only `expect` no longer consumes budget.
+//! The same config file declares the [`owners`] rules behind the
+//! `single-writer` family.
 //!
 //! Legitimate exceptions carry an inline
 //! `// tacc-lint: allow(<lint>, reason = "...")` with a mandatory reason;
 //! suppressions are reported, and stale or malformed ones are findings
 //! themselves, so the suppression surface can never silently rot.
 //!
-//! File scans fan out over [`tacc_par::par_map`] and findings render as
-//! deterministic text or byte-stable JSON, so `--check` output diffs in
-//! CI artifacts are always real regressions.
+//! Findings render as deterministic text, byte-stable JSON, or SARIF
+//! 2.1.0, so `--check` output diffs in CI artifacts are always real
+//! regressions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
 pub mod manifest;
+pub mod owners;
+pub mod reach;
 pub mod render;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -50,6 +67,9 @@ pub struct Options {
     /// Recompute the panic-surface baseline instead of enforcing it; the
     /// fresh content is returned in [`Report::blessed_baseline`].
     pub bless_baseline: bool,
+    /// Attach the byte-stable workspace-graph dump to the report
+    /// ([`Report::graph_dump`]); the determinism test compares two.
+    pub dump_graph: bool,
 }
 
 /// One file queued for scanning.
@@ -114,9 +134,12 @@ pub fn run(root: &Path, opts: &Options) -> Result<Report, String> {
 
     report.files_scanned = jobs.len();
 
+    let owners_cfg = load_owners(root)?;
+
     // Fan the file scans out across the slot-donating pool; results come
     // back in item order, so the report stays deterministic.
-    let scans = tacc_par::par_map(jobs, |job| {
+    let owners_ref = &owners_cfg;
+    let scans = tacc_par::par_map(jobs, move |job| {
         let src = fs::read_to_string(&job.abs_path)
             .map_err(|e| format!("reading {}: {e}", job.rel_path))?;
         let scan = {
@@ -125,28 +148,89 @@ pub fn run(root: &Path, opts: &Options) -> Result<Report, String> {
                 kind: job.kind,
                 rel_path: &job.rel_path,
                 dep_allowed: &manifest::edge_allowed,
+                owners: owners_ref,
             };
             lints::scan_source(&ctx, &src)
         };
         Ok::<_, String>((job, scan))
     });
 
+    // First pass: unpack the scans and merge per-file symbols into the
+    // workspace graph (walk order is sorted, so the graph — and its
+    // dump — is deterministic).
+    let mut scanned = Vec::with_capacity(report.files_scanned);
+    let mut entries = Vec::with_capacity(report.files_scanned);
+    for scan in scans {
+        let (job, mut scan) = scan?;
+        entries.push(graph::FileEntry {
+            crate_name: job.crate_name.clone(),
+            rel_path: job.rel_path.clone(),
+            bin: job.kind == FileKind::Bin,
+            symbols: std::mem::take(&mut scan.symbols),
+        });
+        scanned.push((job, scan));
+    }
+    let workspace = graph::build(&entries, &manifest::edge_allowed);
+    report.symbols.fns = workspace.fns.len();
+    report.symbols.call_edges = workspace.edges.len();
+
+    // Reachability: with roots configured, a panic site only counts
+    // against the budget when its innermost enclosing function is
+    // reachable from a root; without roots every site counts (legacy
+    // per-file behavior, which scratch fixtures rely on).
+    let reachable = if owners_cfg.roots.is_empty() {
+        None
+    } else {
+        Some(reach::compute(&workspace, &owners_cfg.roots))
+    };
+    report.symbols.reachable_fns = match &reachable {
+        Some(flags) => flags.iter().filter(|&&r| r).count(),
+        None => workspace.fns.len(),
+    };
+    let mut spans: BTreeMap<&str, Vec<(u32, u32, bool)>> = BTreeMap::new();
+    if let Some(flags) = &reachable {
+        for (i, f) in workspace.fns.iter().enumerate() {
+            spans
+                .entry(f.file.as_str())
+                .or_default()
+                .push((f.start_line, f.end_line, flags[i]));
+        }
+    }
+    if opts.dump_graph {
+        report.graph_dump = Some(workspace.to_text());
+    }
+
     let loaded_baseline = load_baseline(root, opts)?;
     let mut panic_counts: BTreeMap<String, u64> = BTreeMap::new();
 
-    for scan in scans {
-        let (job, scan) = scan?;
+    for (job, scan) in scanned {
         report.findings.extend(scan.findings);
         report.suppressed.extend(scan.suppressed);
-        if !scan.panic_lines.is_empty() {
-            panic_counts.insert(job.rel_path.clone(), scan.panic_lines.len() as u64);
-            budget_panic_sites(
-                &job.rel_path,
-                &scan.panic_lines,
-                &loaded_baseline,
-                opts,
-                &mut report,
-            );
+        if scan.panic_lines.is_empty() {
+            continue;
+        }
+        let kept: Vec<u32> = match spans.get(job.rel_path.as_str()) {
+            None => scan.panic_lines.clone(),
+            Some(file_spans) => scan
+                .panic_lines
+                .iter()
+                .copied()
+                .filter(|&line| {
+                    // Innermost enclosing fn = max start among spans
+                    // containing the line; a site outside every fn is
+                    // conservatively kept.
+                    file_spans
+                        .iter()
+                        .filter(|&&(a, b, _)| line >= a && line <= b)
+                        .max_by_key(|&&(a, _, _)| a)
+                        .is_none_or(|&(_, _, reachable)| reachable)
+                })
+                .collect(),
+        };
+        report.symbols.panic_sites_skipped += scan.panic_lines.len() - kept.len();
+        if !kept.is_empty() {
+            panic_counts.insert(job.rel_path.clone(), kept.len() as u64);
+            budget_panic_sites(&job.rel_path, &kept, &loaded_baseline, opts, &mut report);
         }
     }
 
@@ -166,6 +250,16 @@ pub fn run(root: &Path, opts: &Options) -> Result<Report, String> {
     report.suppressed.sort();
     report.baseline_shrunk.sort();
     Ok(report)
+}
+
+/// Loads `lint-owners.toml` from the workspace root. A missing file is
+/// an empty config (single-writer off, reachability off); a malformed
+/// one is a hard error — half-enforced ownership is worse than none.
+fn load_owners(root: &Path) -> Result<owners::OwnersConfig, String> {
+    match fs::read_to_string(root.join("lint-owners.toml")) {
+        Ok(text) => owners::parse(&text),
+        Err(_) => Ok(owners::OwnersConfig::default()),
+    }
 }
 
 fn load_baseline(root: &Path, opts: &Options) -> Result<baseline::Baseline, String> {

@@ -1,8 +1,10 @@
-//! The six lint families, the `#[cfg(test)]` region tracker, and the
+//! The ten lint families, the `#[cfg(test)]` region tracker, and the
 //! `// tacc-lint: allow(...)` suppression grammar.
 
 use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::owners::OwnersConfig;
 use crate::render::{Finding, Suppressed};
+use crate::symbols::{self, FileSymbols};
 
 /// A lint family enforced by the scanner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -20,6 +22,16 @@ pub enum Lint {
     PanicSurface,
     /// L6: metric registration literal not shaped `tacc_<layer>_<name>`.
     MetricName,
+    /// L7: a mutation owned by a single writer (per `lint-owners.toml`)
+    /// performed outside the owning module.
+    SingleWriter,
+    /// L8: shared-state concurrency primitives (`Mutex`, channels,
+    /// `thread::spawn`, …) inside a deterministic layer, or a lock guard
+    /// held across a fork–join boundary anywhere.
+    Concurrency,
+    /// L9: a bare wildcard `_` arm in a match over the lifecycle enums
+    /// (`JobState`/`JobEvent`/`JobEventKind`).
+    MatchWildcard,
     /// Meta: a malformed, unknown, or unused suppression comment.
     Allow,
 }
@@ -34,6 +46,9 @@ impl Lint {
             Lint::LayerDag => "layer-dag",
             Lint::PanicSurface => "panic-surface",
             Lint::MetricName => "metric-name",
+            Lint::SingleWriter => "single-writer",
+            Lint::Concurrency => "concurrency",
+            Lint::MatchWildcard => "match-wildcard",
             Lint::Allow => "allow",
         }
     }
@@ -48,19 +63,25 @@ impl Lint {
             "layer-dag" => Some(Lint::LayerDag),
             "panic-surface" => Some(Lint::PanicSurface),
             "metric-name" => Some(Lint::MetricName),
+            "single-writer" => Some(Lint::SingleWriter),
+            "concurrency" => Some(Lint::Concurrency),
+            "match-wildcard" => Some(Lint::MatchWildcard),
             _ => None,
         }
     }
 }
 
 /// Every lint family, in report order.
-pub const ALL_LINTS: [Lint; 7] = [
+pub const ALL_LINTS: [Lint; 10] = [
     Lint::Allow,
     Lint::AmbientRng,
+    Lint::Concurrency,
     Lint::HashIter,
     Lint::LayerDag,
+    Lint::MatchWildcard,
     Lint::MetricName,
     Lint::PanicSurface,
+    Lint::SingleWriter,
     Lint::WallClock,
 ];
 
@@ -74,6 +95,20 @@ pub const SIM_PATH_CRATES: [&str; 6] = ["storage", "compiler", "sched", "exec", 
 /// regression gates compare deterministic work counters, so each of its
 /// few intentional wall-clock reads carries an explicit allow annotation.
 pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["par"];
+
+/// Crates that must stay free of shared-state concurrency (L8): the
+/// deterministic replay core. The fork–join pool (`par`), the harness
+/// (`bench`), observability plumbing (`obs`), and the future `taccd`
+/// ingestion edge are deliberately NOT listed — concurrency belongs at
+/// the edge, determinism in the core.
+pub const CONCURRENCY_CLEAN_CRATES: [&str; 8] = [
+    "cluster", "compiler", "core", "exec", "sched", "sim", "storage", "workload",
+];
+
+/// Enums whose matches must stay exhaustive (L9): the lifecycle state
+/// machine is checked against `TRANSITION_MATRIX`, and a wildcard arm
+/// would silently absorb any state added later.
+pub const LIFECYCLE_ENUMS: [&str; 3] = ["JobState", "JobEvent", "JobEventKind"];
 
 /// Layer names accepted as the second segment of a metric name (L6).
 pub const METRIC_LAYERS: [&str; 15] = [
@@ -102,6 +137,9 @@ pub struct ScanCtx<'a> {
     pub rel_path: &'a str,
     /// Whether `crate_name` may depend on the given crate (L4).
     pub dep_allowed: &'a (dyn Fn(&str, &str) -> bool + Sync),
+    /// Single-writer rules and reachability roots (L7); an empty config
+    /// disables the family.
+    pub owners: &'a OwnersConfig,
 }
 
 /// The outcome of scanning one file.
@@ -112,8 +150,12 @@ pub struct FileScan {
     /// Findings silenced by a well-formed allow comment.
     pub suppressed: Vec<Suppressed>,
     /// Unsuppressed panic-surface site lines (library files only); the
-    /// engine budgets these against the committed baseline.
+    /// engine budgets these against the committed baseline, after
+    /// reachability filtering.
     pub panic_lines: Vec<u32>,
+    /// Extracted items and call references, merged workspace-wide into
+    /// the symbol graph by the engine.
+    pub symbols: FileSymbols,
 }
 
 /// A parsed `tacc-lint: allow(...)` directive.
@@ -137,6 +179,11 @@ pub fn scan_source(ctx: &ScanCtx<'_>, src: &str) -> FileScan {
 
     let toks: Vec<&Token> = lexed.tokens.iter().filter(|t| !in_test(t.line)).collect();
     lint_tokens(ctx, &toks, &mut raw);
+    if ctx.kind == FileKind::Lib {
+        lint_match_wildcards(ctx, &toks, &mut raw);
+    }
+    scan.symbols = symbols::extract(&lexed.tokens, &test_ranges);
+    lint_lock_across_fork(ctx, &scan.symbols, &mut raw);
 
     // Suppression: an allow on the finding's line, or on the line above.
     for finding in raw {
@@ -305,6 +352,79 @@ fn lint_tokens(ctx: &ScanCtx<'_>, toks: &[&Token], out: &mut Vec<Finding>) {
             }
         }
 
+        // L7 single-writer ownership (declarative, from lint-owners.toml;
+        // applies to bins too — a CLI poking job state is just as rogue).
+        for rule in &ctx.owners.owners {
+            if rule.writers.iter().any(|w| w == ctx.rel_path) {
+                continue;
+            }
+            let op_assign = matches!(
+                toks.get(i + 1).map(|t| &t.kind),
+                Some(TokKind::Punct(p)) if matches!(p, '+' | '-' | '*' | '/' | '%')
+            ) && punct(i + 2, '=');
+            let assigned = (punct(i + 1, '=') && !punct(i + 2, '=')) || op_assign;
+            let field_write =
+                punct(i.wrapping_sub(1), '.') && assigned && rule.fields.iter().any(|f| f == word);
+            let method_call = punct(i + 1, '(')
+                && ident(i.wrapping_sub(1)) != Some("fn")
+                && rule.methods.iter().any(|m| m == word);
+            let path_call = punct(i + 1, '(')
+                && punct(i.wrapping_sub(1), ':')
+                && punct(i.wrapping_sub(2), ':')
+                && rule
+                    .path_calls
+                    .iter()
+                    .any(|(t, m)| m == word && ident(i.wrapping_sub(3)) == Some(t));
+            if field_write || method_call || path_call {
+                out.push(finding(
+                    ctx,
+                    Lint::SingleWriter,
+                    line,
+                    format!(
+                        "`{word}` is owned by {} (single-writer rule `{}`): route this \
+                         mutation through the owning module",
+                        rule.writers.join(", "),
+                        rule.name
+                    ),
+                ));
+            }
+        }
+
+        // L8 concurrency-readiness: the deterministic core stays free of
+        // shared-state primitives so replay never depends on thread
+        // interleaving.
+        if lib && CONCURRENCY_CLEAN_CRATES.contains(&ctx.crate_name) {
+            if matches!(word, "Mutex" | "RwLock" | "Condvar" | "Barrier" | "mpsc") {
+                out.push(finding(
+                    ctx,
+                    Lint::Concurrency,
+                    line,
+                    format!(
+                        "{word} in deterministic layer `{}`: shared-state concurrency is \
+                         confined to the ingestion edge (par/bench/obs/taccd) — see DESIGN.md",
+                        ctx.crate_name
+                    ),
+                ));
+            }
+            if word == "thread"
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && matches!(ident(i + 3), Some("spawn") | Some("scope"))
+            {
+                out.push(finding(
+                    ctx,
+                    Lint::Concurrency,
+                    line,
+                    format!(
+                        "thread::{} in deterministic layer `{}`: fork–join parallelism must \
+                         go through tacc_par at the harness edge",
+                        ident(i + 3).unwrap_or_default(),
+                        ctx.crate_name
+                    ),
+                ));
+            }
+        }
+
         // L6 metric-naming.
         if lib && matches!(word, "counter" | "gauge" | "histogram") && punct(i + 1, '(') {
             if let Some(name) = string(i + 2) {
@@ -351,6 +471,154 @@ fn lint_tokens(ctx: &ScanCtx<'_>, toks: &[&Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// L9: bare wildcard `_` arms in matches whose patterns mention a
+/// lifecycle enum. The walk is heuristic (token-level, no real parse):
+/// the scrutinee ends at the first `{` outside parens/brackets, arms
+/// split on `,` / block-`}` at brace depth 1, and only the tokens before
+/// each `=>` (minus any `if` guard) count as the pattern. A pattern that
+/// is exactly `_` in a lifecycle-typed match is a finding; `(_, _)` or
+/// `Some(_)` are not bare and stay legal.
+fn lint_match_wildcards(ctx: &ScanCtx<'_>, toks: &[&Token], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !matches!(&toks[i].kind, TokKind::Ident(w) if w == "match") {
+            i += 1;
+            continue;
+        }
+        // Scrutinee: up to the body `{` at paren/bracket depth 0.
+        let mut pd = 0i32;
+        let mut j = i + 1;
+        let mut body = None;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => pd += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => pd -= 1,
+                TokKind::Punct('{') if pd == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') if pd == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body else {
+            i += 1;
+            continue;
+        };
+
+        let mut depth = 1i32;
+        let mut pd = 0i32;
+        let mut k = open + 1;
+        let mut in_pattern = true;
+        let mut in_guard = false;
+        let mut pattern: Vec<usize> = Vec::new();
+        let mut typed = false;
+        let mut wildcard_lines: Vec<u32> = Vec::new();
+        while k < toks.len() && depth > 0 {
+            match &toks[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => pd += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => pd -= 1,
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 1 && !in_pattern {
+                        // Block-bodied arm closed: next arm begins.
+                        in_pattern = true;
+                        in_guard = false;
+                        pattern.clear();
+                        k += 1;
+                        continue;
+                    }
+                }
+                TokKind::Punct(',') if depth == 1 && pd == 0 => {
+                    in_pattern = true;
+                    in_guard = false;
+                    pattern.clear();
+                    k += 1;
+                    continue;
+                }
+                TokKind::Punct('=')
+                    if depth == 1
+                        && pd == 0
+                        && in_pattern
+                        && matches!(
+                            toks.get(k + 1).map(|t| &t.kind),
+                            Some(TokKind::Punct('>'))
+                        ) =>
+                {
+                    typed |= pattern.iter().any(|&p| {
+                        matches!(&toks[p].kind,
+                                 TokKind::Ident(w) if LIFECYCLE_ENUMS.contains(&w.as_str()))
+                    });
+                    if pattern.len() == 1 {
+                        if let TokKind::Ident(w) = &toks[pattern[0]].kind {
+                            if w == "_" {
+                                wildcard_lines.push(toks[pattern[0]].line);
+                            }
+                        }
+                    }
+                    in_pattern = false;
+                    pattern.clear();
+                    k += 2;
+                    continue;
+                }
+                TokKind::Ident(w) if in_pattern && depth == 1 && pd == 0 && w == "if" => {
+                    in_guard = true;
+                }
+                _ => {}
+            }
+            if in_pattern && !in_guard {
+                pattern.push(k);
+            }
+            k += 1;
+        }
+        if typed {
+            for line in wildcard_lines {
+                out.push(finding(
+                    ctx,
+                    Lint::MatchWildcard,
+                    line,
+                    "wildcard `_` arm in a match over a lifecycle enum: stay exhaustive \
+                     against TRANSITION_MATRIX — name the remaining states"
+                        .to_owned(),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// L8 (second form): a lock guard acquired before a fork–join entry at
+/// the same or shallower brace depth is still held when the closure
+/// fans out — a deadlock/serialization hazard. Applies everywhere but
+/// the pool itself (whose internals are the one sanctioned home for
+/// locks around `thread::scope`).
+fn lint_lock_across_fork(ctx: &ScanCtx<'_>, syms: &FileSymbols, out: &mut Vec<Finding>) {
+    if ctx.crate_name == "par" {
+        return;
+    }
+    for f in syms.fns.iter().filter(|f| !f.is_test) {
+        for fork in &f.forks {
+            if f.locks
+                .iter()
+                .any(|l| l.line < fork.line && l.depth <= fork.depth)
+            {
+                out.push(finding(
+                    ctx,
+                    Lint::Concurrency,
+                    fork.line,
+                    format!(
+                        "lock guard acquired earlier in `{}` may still be held across this \
+                         fork–join boundary — scope the guard to end before fanning out",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// `tacc_<layer>_<name>`: lowercase snake case, known layer, non-empty
 /// trailing name.
 pub fn valid_metric_name(name: &str) -> bool {
@@ -374,7 +642,7 @@ pub fn valid_metric_name(name: &str) -> bool {
 }
 
 /// Line ranges (inclusive) covered by `#[cfg(test)]` or `#[test]` items.
-fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -541,12 +809,28 @@ fn parse_allow_body(body: &str) -> Result<(Lint, String), String> {
 mod tests {
     use super::*;
 
+    static EMPTY_OWNERS: OwnersConfig = OwnersConfig {
+        roots: Vec::new(),
+        owners: Vec::new(),
+    };
+
     fn ctx<'a>(crate_name: &'a str, kind: FileKind) -> ScanCtx<'a> {
         ScanCtx {
             crate_name,
             kind,
             rel_path: "crates/x/src/lib.rs",
             dep_allowed: &crate::manifest::edge_allowed,
+            owners: &EMPTY_OWNERS,
+        }
+    }
+
+    fn owned_ctx<'a>(crate_name: &'a str, owners: &'a OwnersConfig) -> ScanCtx<'a> {
+        ScanCtx {
+            crate_name,
+            kind: FileKind::Lib,
+            rel_path: "crates/x/src/lib.rs",
+            dep_allowed: &crate::manifest::edge_allowed,
+            owners,
         }
     }
 
@@ -699,6 +983,167 @@ mod tests {
         assert!(scan.findings[0].message.contains("reason"));
         assert!(scan.findings[1].message.contains("unknown lint"));
         assert!(scan.findings[2].message.contains("stale"));
+    }
+
+    fn job_state_owners() -> OwnersConfig {
+        crate::owners::parse(
+            "[[owner]]\n\
+             name = \"job-state\"\n\
+             fields = [\"state\"]\n\
+             methods = [\"apply_event\"]\n\
+             path_calls = [\"Counter::new\"]\n\
+             writers = [\"crates/core/src/lifecycle.rs\"]\n",
+        )
+        .expect("owners fixture")
+    }
+
+    #[test]
+    fn l7_single_writer_flags_rogue_field_writes_and_calls() {
+        let owners = job_state_owners();
+        let src = "fn f(job: &mut Job) {\n\
+                   job.state = JobState::Running;\n\
+                   job.state += 1;\n\
+                   job.apply_event(ev);\n\
+                   let c = Counter::new();\n\
+                   }\n";
+        let scan = scan_source(&owned_ctx("sched", &owners), src);
+        let sw: Vec<u32> = scan
+            .findings
+            .iter()
+            .filter(|f| f.lint == "single-writer")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(sw, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn l7_single_writer_skips_reads_definitions_and_the_owner() {
+        let owners = job_state_owners();
+        let src = "fn f(job: &Job) {\n\
+                   if job.state == JobState::Running {}\n\
+                   let s = job.state;\n\
+                   fn apply_event(x: u8) {}\n\
+                   }\n";
+        let scan = scan_source(&owned_ctx("sched", &owners), src);
+        assert!(
+            scan.findings.iter().all(|f| f.lint != "single-writer"),
+            "reads and fn definitions are not write sites: {:?}",
+            scan.findings
+        );
+        // The owning file itself may write.
+        let owner_ctx = ScanCtx {
+            crate_name: "core",
+            kind: FileKind::Lib,
+            rel_path: "crates/core/src/lifecycle.rs",
+            dep_allowed: &crate::manifest::edge_allowed,
+            owners: &owners,
+        };
+        let write = "fn g(job: &mut Job) { job.state = JobState::Queued; }\n";
+        assert!(scan_source(&owner_ctx, write).findings.is_empty());
+    }
+
+    #[test]
+    fn l8_concurrency_flags_primitives_in_deterministic_layers_only() {
+        let src = "use std::sync::{Mutex, RwLock};\n\
+                   fn f() { let (tx, rx) = mpsc::channel(); }\n\
+                   fn g() { thread::spawn(|| {}); }\n";
+        let scan = scan_source(&ctx("sched", FileKind::Lib), src);
+        let conc: Vec<u32> = scan
+            .findings
+            .iter()
+            .filter(|f| f.lint == "concurrency")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(conc, vec![1, 1, 2, 3]);
+        // The harness and obs edges stay free to use them.
+        assert!(scan_source(&ctx("bench", FileKind::Lib), src)
+            .findings
+            .is_empty());
+        assert!(scan_source(&ctx("obs", FileKind::Lib), src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn l8_lock_across_fork_join_is_flagged_everywhere_but_par() {
+        let src = "fn f(m: &M, v: V) {\n\
+                   let guard = m.lock();\n\
+                   let out = par_map(v, |x| x);\n\
+                   }\n\
+                   fn ok(m: &M, v: V) {\n\
+                   { let g = m.lock(); }\n\
+                   let out = par_map(v, |x| x);\n\
+                   }\n";
+        let scan = scan_source(&ctx("bench", FileKind::Lib), src);
+        let conc: Vec<u32> = scan
+            .findings
+            .iter()
+            .filter(|f| f.lint == "concurrency")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(conc, vec![3], "only the held-guard fork is flagged");
+        assert!(scan_source(&ctx("par", FileKind::Lib), src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn l9_match_wildcard_flags_bare_wildcards_in_lifecycle_matches() {
+        let src = "fn f(s: JobState) -> u8 {\n\
+                   match s {\n\
+                   JobState::Running => 1,\n\
+                   _ => 0,\n\
+                   }\n\
+                   }\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert_eq!(
+            scan.findings
+                .iter()
+                .filter(|f| f.lint == "match-wildcard")
+                .map(|f| f.line)
+                .collect::<Vec<_>>(),
+            vec![4]
+        );
+    }
+
+    #[test]
+    fn l9_match_wildcard_ignores_untyped_matches_and_shaped_wildcards() {
+        let src = "fn f(d: Decision, s: JobState) -> u8 {\n\
+                   match d {\n\
+                   Decision::Place => 1,\n\
+                   _ => 0,\n\
+                   }\n\
+                   match s {\n\
+                   JobState::Running | JobState::Queued => 1,\n\
+                   JobState::Submitted => Foo { a: 2 }.a,\n\
+                   other => by_name(other),\n\
+                   }\n\
+                   match (s, d) {\n\
+                   (JobState::Running, _) => 1,\n\
+                   (_, Decision::Skip) if cond() => 2,\n\
+                   (_, _) => 0,\n\
+                   }\n\
+                   }\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert!(
+            scan.findings.iter().all(|f| f.lint != "match-wildcard"),
+            "unexpected: {:?}",
+            scan.findings
+        );
+    }
+
+    #[test]
+    fn l9_allow_comment_suppresses_with_reason() {
+        let src = "fn f(s: JobState) -> u8 {\n\
+                   match s {\n\
+                   JobState::Running => 1,\n\
+                   // tacc-lint: allow(match-wildcard, reason = \"projection only\")\n\
+                   _ => 0,\n\
+                   }\n\
+                   }\n";
+        let scan = scan_source(&ctx("core", FileKind::Lib), src);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.suppressed.len(), 1);
     }
 
     #[test]

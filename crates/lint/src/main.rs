@@ -3,7 +3,9 @@
 //! ```text
 //! cargo run -p tacc-lint --release -- --check              # CI gate
 //! cargo run -p tacc-lint --release -- --json report.json   # artifact
+//! cargo run -p tacc-lint --release -- --sarif lint.sarif   # code scanning
 //! cargo run -p tacc-lint --release -- --bless-baseline     # ratchet L5
+//! cargo run -p tacc-lint --release -- --bench BENCH_hotpath.json
 //! ```
 
 // The lint binary is a CLI: its report goes to stdout by design.
@@ -19,6 +21,8 @@ struct Cli {
     check: bool,
     quiet: bool,
     json_path: Option<PathBuf>,
+    sarif_path: Option<PathBuf>,
+    bench_path: Option<PathBuf>,
     options: Options,
 }
 
@@ -28,6 +32,8 @@ fn parse_args() -> Result<Cli, String> {
         check: false,
         quiet: false,
         json_path: None,
+        sarif_path: None,
+        bench_path: None,
         options: Options::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -38,6 +44,12 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--json" => {
                 cli.json_path = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--sarif" => {
+                cli.sarif_path = Some(PathBuf::from(args.next().ok_or("--sarif needs a path")?));
+            }
+            "--bench" => {
+                cli.bench_path = Some(PathBuf::from(args.next().ok_or("--bench needs a path")?));
             }
             "--jobs" => {
                 let n: usize = args
@@ -53,11 +65,13 @@ fn parse_args() -> Result<Cli, String> {
             "--help" | "-h" => {
                 println!(
                     "lint: tacc-rs workspace determinism & architecture checks\n\n\
-                     usage: lint [--root PATH] [--check] [--json PATH] [--jobs N]\n\
-                     \x20      [--bless-baseline] [--quiet]\n\n\
+                     usage: lint [--root PATH] [--check] [--json PATH] [--sarif PATH]\n\
+                     \x20      [--bench PATH] [--jobs N] [--bless-baseline] [--quiet]\n\n\
                      --root PATH        workspace root (default: .)\n\
                      --check            exit nonzero when findings exist (CI gate)\n\
                      --json PATH        also write the byte-stable JSON report\n\
+                     --sarif PATH       also write a SARIF 2.1.0 report (code scanning)\n\
+                     --bench PATH       splice analyzer cost into the given BENCH json\n\
                      --jobs N           bound the scan parallelism\n\
                      --bless-baseline   rewrite lint-baseline.json from the current tree\n\
                      --quiet            suppress the text report"
@@ -78,6 +92,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Analyzer cost for the --bench section: wall time is informational
+    // only (never compared by the perf gate), measured at the CLI edge.
+    // tacc-lint: allow(wall-clock, reason = "measurement-only analyzer cost for BENCH json")
+    let started = std::time::Instant::now();
     let report = match run(&cli.root, &cli.options) {
         Ok(report) => report,
         Err(err) => {
@@ -85,6 +103,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let wall_secs = started.elapsed().as_secs_f64();
     if !cli.quiet {
         print!("{}", report.to_text());
     }
@@ -92,6 +111,37 @@ fn main() -> ExitCode {
         if let Err(err) = std::fs::write(path, report.to_json()) {
             eprintln!("lint: writing {}: {err}", path.display());
             return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &cli.sarif_path {
+        if let Err(err) = std::fs::write(path, report.to_sarif()) {
+            eprintln!("lint: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &cli.bench_path {
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
+        let section = format!(
+            "{{\n    \"files_scanned\": {},\n    \"fns\": {},\n    \"call_edges\": {},\n    \
+             \"reachable_fns\": {},\n    \"panic_sites_skipped\": {},\n    \
+             \"findings\": {},\n    \"suppressions\": {},\n    \
+             \"wall_secs_informational\": {:.3}\n  }}",
+            report.files_scanned,
+            report.symbols.fns,
+            report.symbols.call_edges,
+            report.symbols.reachable_fns,
+            report.symbols.panic_sites_skipped,
+            report.findings.len(),
+            report.suppressed.len(),
+            wall_secs
+        );
+        let spliced = tacc_lint::render::splice_top_level(&doc, "lint", &section);
+        if let Err(err) = std::fs::write(path, spliced) {
+            eprintln!("lint: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        if !cli.quiet {
+            println!("lint: refreshed the lint section of {}", path.display());
         }
     }
     if let Some(content) = &report.blessed_baseline {

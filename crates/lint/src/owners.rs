@@ -1,0 +1,318 @@
+//! `lint-owners.toml`: the declarative config for the single-writer and
+//! panic-reachability families.
+//!
+//! The file lives at the workspace root next to `lint-baseline.json`.
+//! Parsing is a hand-rolled TOML subset (same no-new-deps rule as the
+//! JSON renderer): `[section]` / `[[owner]]` headers, `key = "string"`,
+//! and `key = [ "a", "b" ]` string arrays (single- or multi-line).
+//! Anything else is a hard configuration error — the lint binary exits
+//! non-zero rather than silently enforcing half a config.
+//!
+//! Schema:
+//!
+//! ```toml
+//! [reachability]
+//! roots = ["core::Platform::*", "sched::Scheduler::*"]
+//!
+//! [[owner]]
+//! name = "job-state"
+//! fields = ["state"]            # `.state = …` writes
+//! methods = ["apply_event"]     # `.apply_event(…)` calls
+//! path_calls = ["Counter::new"] # `Type::method(…)` calls
+//! writers = ["crates/core/src/lifecycle.rs"]
+//! why = "single-writer invariant: …"
+//! ```
+
+/// One single-writer ownership rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OwnerRule {
+    /// Rule identifier (used in finding messages).
+    pub name: String,
+    /// Field names whose assignment (`.field = …`, `.field += …`) is
+    /// owned.
+    pub fields: Vec<String>,
+    /// Method names whose invocation (`.m(…)` / `m(…)`) is owned.
+    pub methods: Vec<String>,
+    /// `Type::method` call pairs that are owned.
+    pub path_calls: Vec<(String, String)>,
+    /// Workspace-relative files allowed to perform the mutation.
+    pub writers: Vec<String>,
+    /// Human rationale (documentation only).
+    pub why: String,
+}
+
+/// The parsed workspace config.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OwnersConfig {
+    /// Reachability root patterns (see [`crate::reach::matches_root`]).
+    /// Empty ⇒ reachability filtering is off and panic budgets fall back
+    /// to raw per-file counts.
+    pub roots: Vec<String>,
+    /// Single-writer rules.
+    pub owners: Vec<OwnerRule>,
+}
+
+enum Section {
+    None,
+    Reachability,
+    Owner,
+}
+
+/// Parses the config text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for any construct outside
+/// the documented subset, an unknown key, or a rule missing
+/// `name`/`writers`.
+pub fn parse(text: &str) -> Result<OwnersConfig, String> {
+    let mut cfg = OwnersConfig::default();
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate();
+
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if line == "[reachability]" {
+            section = Section::Reachability;
+            continue;
+        }
+        if line == "[[owner]]" {
+            section = Section::Owner;
+            cfg.owners.push(OwnerRule::default());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "lint-owners.toml:{lineno}: unknown section `{line}` \
+                 (expected [reachability] or [[owner]])"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-owners.toml:{lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_owned();
+        // Multi-line arrays: keep consuming until the closing bracket.
+        if value.starts_with('[') && !balanced_array(&value) {
+            for (_, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+                if balanced_array(&value) {
+                    break;
+                }
+            }
+            if !balanced_array(&value) {
+                return Err(format!(
+                    "lint-owners.toml:{lineno}: unterminated array for `{key}`"
+                ));
+            }
+        }
+        let value = value.as_str();
+        match section {
+            Section::None => {
+                return Err(format!(
+                    "lint-owners.toml:{lineno}: `{key}` outside any section"
+                ));
+            }
+            Section::Reachability => match key {
+                "roots" => cfg.roots = parse_array(value, lineno)?,
+                _ => {
+                    return Err(format!(
+                        "lint-owners.toml:{lineno}: unknown [reachability] key `{key}`"
+                    ));
+                }
+            },
+            Section::Owner => {
+                let rule = cfg.owners.last_mut().ok_or("no open [[owner]]")?;
+                match key {
+                    "name" => rule.name = parse_string(value, lineno)?,
+                    "why" => rule.why = parse_string(value, lineno)?,
+                    "fields" => rule.fields = parse_array(value, lineno)?,
+                    "methods" => rule.methods = parse_array(value, lineno)?,
+                    "writers" => rule.writers = parse_array(value, lineno)?,
+                    "path_calls" => {
+                        rule.path_calls = parse_array(value, lineno)?
+                            .into_iter()
+                            .map(|s| {
+                                s.split_once("::")
+                                    .map(|(t, m)| (t.to_owned(), m.to_owned()))
+                                    .ok_or_else(|| {
+                                        format!(
+                                            "lint-owners.toml:{lineno}: path_calls entry `{s}` \
+                                             is not `Type::method`"
+                                        )
+                                    })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                    }
+                    _ => {
+                        return Err(format!(
+                            "lint-owners.toml:{lineno}: unknown [[owner]] key `{key}`"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for rule in &cfg.owners {
+        if rule.name.is_empty() {
+            return Err("lint-owners.toml: [[owner]] rule missing `name`".to_owned());
+        }
+        if rule.writers.is_empty() {
+            return Err(format!(
+                "lint-owners.toml: owner rule `{}` lists no `writers`",
+                rule.name
+            ));
+        }
+        if rule.fields.is_empty() && rule.methods.is_empty() && rule.path_calls.is_empty() {
+            return Err(format!(
+                "lint-owners.toml: owner rule `{}` guards nothing \
+                 (need fields, methods, or path_calls)",
+                rule.name
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+/// Drops a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether every `[` in an accumulating array value has its `]` yet.
+fn balanced_array(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| {
+            format!("lint-owners.toml:{lineno}: expected a quoted string, got `{value}`")
+        })?;
+    if inner.contains('"') {
+        return Err(format!(
+            "lint-owners.toml:{lineno}: embedded quotes are not supported"
+        ));
+    }
+    Ok(inner.to_owned())
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("lint-owners.toml:{lineno}: expected `[ \"…\", … ]`, got `{value}`")
+        })?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_round_trip() {
+        let text = r#"
+# workspace ownership map
+[reachability]
+roots = [
+    "core::Platform::*",
+    "sched::Scheduler::*", # rounds
+]
+
+[[owner]]
+name = "job-state"
+fields = ["state"]
+methods = ["apply_event"]
+writers = ["crates/core/src/lifecycle.rs"]
+why = "single writer of job state"
+
+[[owner]]
+name = "metric-registration"
+path_calls = ["Counter::new", "Gauge::new"]
+writers = ["crates/obs/src/metrics.rs"]
+"#;
+        let cfg = parse(text).expect("parse");
+        assert_eq!(cfg.roots.len(), 2);
+        assert_eq!(cfg.roots[0], "core::Platform::*");
+        assert_eq!(cfg.owners.len(), 2);
+        assert_eq!(cfg.owners[0].name, "job-state");
+        assert_eq!(cfg.owners[0].fields, vec!["state"]);
+        assert_eq!(cfg.owners[0].methods, vec!["apply_event"]);
+        assert_eq!(
+            cfg.owners[1].path_calls,
+            vec![
+                ("Counter".to_owned(), "new".to_owned()),
+                ("Gauge".to_owned(), "new".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        assert!(parse("[mystery]\n")
+            .unwrap_err()
+            .contains("unknown section"));
+        assert!(parse("roots = []\n").unwrap_err().contains("outside any"));
+        assert!(parse("[reachability]\nroots = \"x\"\n")
+            .unwrap_err()
+            .contains("expected `[")); // scalar where array expected
+        assert!(parse("[[owner]]\nname = \"x\"\nfields = [\"f\"]\n")
+            .unwrap_err()
+            .contains("no `writers`"));
+        assert!(parse("[[owner]]\nname = \"x\"\nwriters = [\"w\"]\n")
+            .unwrap_err()
+            .contains("guards nothing"));
+        assert!(
+            parse("[[owner]]\nname = \"x\"\npath_calls = [\"nomethod\"]\n")
+                .unwrap_err()
+                .contains("not `Type::method`")
+        );
+    }
+
+    #[test]
+    fn empty_and_comment_only_configs_are_fine() {
+        assert_eq!(parse("").expect("empty"), OwnersConfig::default());
+        assert_eq!(
+            parse("# nothing here\n").expect("comment"),
+            OwnersConfig::default()
+        );
+    }
+}

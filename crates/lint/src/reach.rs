@@ -1,0 +1,142 @@
+//! Reachability over the workspace graph.
+//!
+//! The panic-surface ratchet only cares about panics that can fire
+//! during a deterministic replay or a CI experiment run, not about
+//! `expect`s buried in CLI plumbing or test scaffolding. Roots come from
+//! `lint-owners.toml` (`[reachability] roots = [...]`) as path patterns
+//! — `core::Platform::*` roots every `Platform` method, `bench::hotpath::*`
+//! every function in the hot-path module — and a BFS over resolved call
+//! edges marks everything transitively callable. Functions in test
+//! regions and binary targets never root (bins are the CLI edge the
+//! budget deliberately ignores).
+//!
+//! Panic sites whose innermost enclosing function is unreachable are
+//! dropped before budgeting; a site outside any extracted function is
+//! conservatively kept.
+
+use crate::graph::{GraphFn, WorkspaceGraph};
+
+/// Whether `f` matches a root pattern. A pattern is a `::`-path; a
+/// trailing `::*` prefix-matches any of the function's candidate paths
+/// (`crate::name`, `crate::Type::name`, `crate::module::name`,
+/// `crate::module::Type::name`); without the star it must equal one
+/// exactly.
+pub fn matches_root(f: &GraphFn, pattern: &str) -> bool {
+    let candidates = candidate_paths(f);
+    if let Some(prefix) = pattern.strip_suffix("::*") {
+        let with_sep = format!("{prefix}::");
+        candidates.iter().any(|c| c.starts_with(&with_sep))
+    } else {
+        candidates.iter().any(|c| c == pattern)
+    }
+}
+
+fn candidate_paths(f: &GraphFn) -> Vec<String> {
+    let mut out = Vec::with_capacity(4);
+    let push = |out: &mut Vec<String>, parts: &[&str]| {
+        let parts: Vec<&str> = parts.iter().copied().filter(|p| !p.is_empty()).collect();
+        let path = parts.join("::");
+        if !out.contains(&path) {
+            out.push(path);
+        }
+    };
+    let ty = f.impl_type.as_deref().unwrap_or("");
+    push(&mut out, &[&f.crate_name, &f.name]);
+    push(&mut out, &[&f.crate_name, ty, &f.name]);
+    push(&mut out, &[&f.crate_name, &f.module, &f.name]);
+    push(&mut out, &[&f.crate_name, &f.module, ty, &f.name]);
+    out
+}
+
+/// BFS from every root-matching, non-test, non-bin function. Returns one
+/// flag per `graph.fns` entry.
+pub fn compute(graph: &WorkspaceGraph, roots: &[String]) -> Vec<bool> {
+    let n = graph.fns.len();
+    let mut reachable = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !f.is_test && !f.is_bin && roots.iter().any(|r| matches_root(f, r)) {
+            reachable[i] = true;
+            queue.push(i as u32);
+        }
+    }
+    // Adjacency from the sorted edge list via binary search on the
+    // caller column.
+    let adj_start = |caller: u32| graph.edges.partition_point(|&(a, _)| a < caller);
+    while let Some(cur) = queue.pop() {
+        let mut k = adj_start(cur);
+        while k < graph.edges.len() && graph.edges[k].0 == cur {
+            let callee = graph.edges[k].1 as usize;
+            if !reachable[callee] {
+                reachable[callee] = true;
+                queue.push(callee as u32);
+            }
+            k += 1;
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build, FileEntry};
+    use crate::lexer::lex;
+    use crate::symbols::extract;
+
+    fn entry(crate_name: &str, rel_path: &str, src: &str) -> FileEntry {
+        let lexed = lex(src);
+        let ranges = crate::lints::test_ranges(&lexed.tokens);
+        FileEntry {
+            crate_name: crate_name.to_owned(),
+            rel_path: rel_path.to_owned(),
+            bin: false,
+            symbols: extract(&lexed.tokens, &ranges),
+        }
+    }
+
+    #[test]
+    fn star_pattern_roots_impl_methods() {
+        let g = build(
+            &[entry(
+                "core",
+                "crates/core/src/platform.rs",
+                "pub struct Platform;\n\
+                 impl Platform {\n\
+                 pub fn step(&mut self) { helper(); }\n\
+                 }\n\
+                 fn helper() { leaf(); }\n\
+                 fn leaf() {}\n\
+                 fn orphan() {}\n",
+            )],
+            &|_, _| true,
+        );
+        let reach = compute(&g, &["core::Platform::*".to_owned()]);
+        let flag = |name: &str| {
+            let i = g.fns.iter().position(|f| f.name == name).expect(name);
+            reach[i]
+        };
+        assert!(flag("step"));
+        assert!(flag("helper"));
+        assert!(flag("leaf"));
+        assert!(!flag("orphan"));
+    }
+
+    #[test]
+    fn exact_pattern_and_module_candidates() {
+        let g = build(
+            &[entry(
+                "bench",
+                "crates/bench/src/registry.rs",
+                "pub fn all() { f01(); }\nfn f01() {}\n",
+            )],
+            &|_, _| true,
+        );
+        let by_exact = compute(&g, &["bench::registry::all".to_owned()]);
+        assert_eq!(by_exact, vec![true, true]);
+        let by_star = compute(&g, &["bench::registry::*".to_owned()]);
+        assert_eq!(by_star, vec![true, true]);
+        let miss = compute(&g, &["bench::other::*".to_owned()]);
+        assert_eq!(miss, vec![false, false]);
+    }
+}

@@ -29,6 +29,20 @@ pub struct Suppressed {
     pub reason: String,
 }
 
+/// Workspace symbol-graph statistics (v2).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolStats {
+    /// Function definitions extracted across the workspace.
+    pub fns: usize,
+    /// Resolved call edges in the merged graph.
+    pub call_edges: usize,
+    /// Functions reachable from the configured roots (equals `fns` when
+    /// reachability filtering is off).
+    pub reachable_fns: usize,
+    /// Panic sites dropped from budgeting as unreachable.
+    pub panic_sites_skipped: usize,
+}
+
 /// The full scan outcome.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -43,6 +57,11 @@ pub struct Report {
     pub baseline_shrunk: Vec<(String, u64, u64)>,
     /// Fresh baseline content when blessing was requested.
     pub blessed_baseline: Option<String>,
+    /// Symbol-graph statistics.
+    pub symbols: SymbolStats,
+    /// Byte-stable workspace-graph dump, when requested via
+    /// [`crate::Options::dump_graph`].
+    pub graph_dump: Option<String>,
 }
 
 impl Report {
@@ -71,6 +90,15 @@ impl Report {
             self.findings.len(),
             self.suppressed.len()
         );
+        let _ = writeln!(
+            out,
+            "tacc-lint: graph: {} fn(s), {} call edge(s), {} reachable, {} panic site(s) \
+             outside the reachable set",
+            self.symbols.fns,
+            self.symbols.call_edges,
+            self.symbols.reachable_fns,
+            self.symbols.panic_sites_skipped
+        );
         out
     }
 
@@ -78,8 +106,17 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            out,
+            "  \"symbols\": {{\"fns\": {}, \"call_edges\": {}, \"reachable_fns\": {}, \
+             \"panic_sites_skipped\": {}}},",
+            self.symbols.fns,
+            self.symbols.call_edges,
+            self.symbols.reachable_fns,
+            self.symbols.panic_sites_skipped
+        );
 
         out.push_str("  \"findings\": [");
         write_findings(&mut out, self.findings.iter().map(|f| (f, None)));
@@ -111,6 +148,175 @@ impl Report {
         out.push_str("\n  }\n}\n");
         out
     }
+
+    /// Renders a minimal, byte-stable SARIF 2.1.0 document (hand-rolled,
+    /// same no-new-deps contract as the JSON writer). Hard findings are
+    /// `error` results; suppressed findings appear with an `inSource`
+    /// suppression carrying the allow reason, so code-scanning UIs show
+    /// both the rule hit and its justification.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str("          \"name\": \"tacc-lint\",\n");
+        out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+        out.push_str("          \"rules\": [");
+        let mut first = true;
+        for lint in crate::lints::ALL_LINTS {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n            {{\"id\": {}}}", json_str(lint.name()));
+        }
+        out.push_str("\n          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        let mut first = true;
+        let results = self.findings.iter().map(|f| (f, None)).chain(
+            self.suppressed
+                .iter()
+                .map(|s| (&s.finding, Some(&s.reason))),
+        );
+        for (f, reason) in results {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n        {\n");
+            let _ = writeln!(out, "          \"ruleId\": {},", json_str(f.lint));
+            let _ = writeln!(out, "          \"level\": \"error\",");
+            let _ = writeln!(
+                out,
+                "          \"message\": {{\"text\": {}}},",
+                json_str(&f.message)
+            );
+            if let Some(reason) = reason {
+                let _ = writeln!(
+                    out,
+                    "          \"suppressions\": [{{\"kind\": \"inSource\", \
+                     \"justification\": {}}}],",
+                    json_str(reason)
+                );
+            }
+            let _ = write!(
+                out,
+                "          \"locations\": [{{\"physicalLocation\": {{\
+                 \"artifactLocation\": {{\"uri\": {}}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]\n        }}",
+                json_str(&f.file),
+                f.line
+            );
+        }
+        if !first {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+}
+
+/// Splices `value` (a rendered JSON value) in as the `key` member of the
+/// top-level object in `doc`, replacing an existing member or appending
+/// a new one. String- and depth-aware but otherwise format-preserving,
+/// so the perf harness's committed `BENCH_hotpath.json` keeps its
+/// scenario bytes untouched when the lint section is refreshed.
+pub fn splice_top_level(doc: &str, key: &str, value: &str) -> String {
+    let bytes = doc.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut i = 0usize;
+    let needle = format!("\"{key}\"");
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                if depth == 1 && doc[i..].starts_with(&needle) {
+                    // Member found: replace its value span.
+                    let mut j = i + needle.len();
+                    while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b':' {
+                        j += 1;
+                        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                            j += 1;
+                        }
+                        let end = value_end(doc, j);
+                        return format!("{}{}{}", &doc[..j], value, &doc[end..]);
+                    }
+                }
+                in_str = true;
+            }
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // No existing member: insert before the final `}`.
+    let Some(close) = doc.rfind('}') else {
+        return format!("{{\n  \"{key}\": {value}\n}}\n");
+    };
+    let body = doc[..close].trim_end();
+    let empty = body.trim_start().len() <= 1; // just `{`
+    let sep = if empty { "" } else { "," };
+    format!("{body}{sep}\n  \"{key}\": {value}\n{}", &doc[close..])
+}
+
+/// Index one past the end of the JSON value starting at `start`.
+fn value_end(doc: &str, start: usize) -> usize {
+    let bytes = doc.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    if depth == 0 {
+                        return i; // scalar value ran into the container close
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                ',' if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
 }
 
 fn write_findings<'a>(
@@ -189,6 +395,13 @@ mod tests {
             }],
             baseline_shrunk: Vec::new(),
             blessed_baseline: None,
+            symbols: SymbolStats {
+                fns: 10,
+                call_edges: 4,
+                reachable_fns: 6,
+                panic_sites_skipped: 3,
+            },
+            graph_dump: None,
         }
     }
 
@@ -215,5 +428,60 @@ mod tests {
     #[test]
     fn string_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_carries_the_symbol_stats() {
+        let a = sample().to_json();
+        assert!(a.contains(
+            "\"symbols\": {\"fns\": 10, \"call_edges\": 4, \"reachable_fns\": 6, \
+             \"panic_sites_skipped\": 3},"
+        ));
+    }
+
+    #[test]
+    fn sarif_is_byte_stable_and_shaped() {
+        let r = sample();
+        let a = r.to_sarif();
+        assert_eq!(a, r.to_sarif());
+        assert!(a.contains("\"version\": \"2.1.0\""));
+        assert!(a.contains("{\"id\": \"hash-iter\"}"));
+        assert!(a.contains("\"ruleId\": \"hash-iter\""));
+        assert!(a.contains("\"startLine\": 7"));
+        assert!(a.contains("\"uri\": \"crates/core/src/lib.rs\""));
+        // The suppressed finding carries its justification.
+        assert!(a.contains("\"justification\": \"measurement-only\""));
+    }
+
+    #[test]
+    fn sarif_with_no_results_is_an_empty_array() {
+        let r = Report::default();
+        assert!(r.to_sarif().contains("\"results\": []"));
+    }
+
+    #[test]
+    fn splice_appends_a_missing_section() {
+        let doc = "{\n  \"scenarios\": [\n    {\"name\": \"a\"}\n  ]\n}\n";
+        let out = splice_top_level(doc, "lint", "{\"files_scanned\": 3}");
+        assert!(out.contains("\"scenarios\""));
+        assert!(out.contains(",\n  \"lint\": {\"files_scanned\": 3}\n}"));
+    }
+
+    #[test]
+    fn splice_replaces_an_existing_section_preserving_the_rest() {
+        let doc = "{\n  \"lint\": {\"files_scanned\": 1},\n  \"scenarios\": [{\"k\": \"}\"}]\n}\n";
+        let out = splice_top_level(doc, "lint", "{\"files_scanned\": 9}");
+        assert!(out.contains("\"lint\": {\"files_scanned\": 9}"));
+        assert!(!out.contains("\"files_scanned\": 1"));
+        // The brace inside the string literal did not confuse the walk.
+        assert!(out.contains("[{\"k\": \"}\"}]"));
+    }
+
+    #[test]
+    fn splice_into_an_empty_document() {
+        let out = splice_top_level("{}\n", "lint", "{\"files_scanned\": 0}");
+        assert!(out.contains("\"lint\": {\"files_scanned\": 0}"));
+        let out2 = splice_top_level("", "lint", "1");
+        assert!(out2.contains("\"lint\": 1"));
     }
 }

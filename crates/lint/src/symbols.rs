@@ -1,0 +1,419 @@
+//! Per-file item extraction: the front half of the workspace symbol
+//! graph.
+//!
+//! One pass over the lexed token stream recovers the items the v2
+//! analyses need — function definitions with their line spans and
+//! enclosing `impl` type, call references (both `name(...)` calls and
+//! `path::name` fn-pointer references), `use tacc_*` edges, and the
+//! lock/fork-join sites the concurrency family inspects. This is not a
+//! parser: it tracks brace/angle depth far enough to attribute items and
+//! never needs to understand expressions. Extraction is pure, so fixture
+//! tests drive it from string literals.
+
+use crate::lexer::{TokKind, Token};
+
+/// One `name(…)` call or `path::name` reference inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRef {
+    /// Callee identifier.
+    pub name: String,
+    /// Path qualifier immediately before `::name`, when present
+    /// (`Scheduler` in `Scheduler::new(...)`).
+    pub qualifier: Option<String>,
+    /// 1-based source line of the reference.
+    pub line: u32,
+}
+
+/// A `.lock()` call or a fork–join entry (`par_map(` / `thread::scope(`)
+/// with its brace depth relative to the enclosing function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Brace depth relative to the function body (body statements = 1).
+    pub depth: u32,
+}
+
+/// One extracted function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSym {
+    /// The function's identifier.
+    pub name: String,
+    /// Enclosing `impl` type name, when defined inside an impl block.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: u32,
+    /// 1-based line of the body's closing `}`.
+    pub end_line: u32,
+    /// Whether the definition sits inside a `#[cfg(test)]` / `#[test]`
+    /// region (test code neither roots nor propagates reachability).
+    pub is_test: bool,
+    /// Call references made from the body (innermost function wins for
+    /// nested definitions).
+    pub calls: Vec<CallRef>,
+    /// `.lock()` sites in the body, with relative depth.
+    pub locks: Vec<DepthSite>,
+    /// Fork–join entries (`par_map(`, `thread::scope(`) in the body.
+    pub forks: Vec<DepthSite>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileSymbols {
+    /// Function definitions in source order.
+    pub fns: Vec<FnSym>,
+    /// `tacc_*` source references: `(short crate name, line)`.
+    pub uses: Vec<(String, u32)>,
+}
+
+/// Words that look like calls but are control flow or item syntax.
+fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "in"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "fn"
+            | "impl"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "union"
+            | "trait"
+            | "where"
+            | "move"
+            | "unsafe"
+            | "ref"
+            | "mut"
+            | "as"
+            | "dyn"
+            | "static"
+            | "const"
+            | "type"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+            | "await"
+            | "async"
+    )
+}
+
+/// An open (still unclosed) function during the scan.
+struct OpenFn {
+    sym: FnSym,
+    /// Brace depth of the body's opening `{` (the body runs while the
+    /// global depth stays >= this value).
+    body_depth: u32,
+}
+
+/// An open impl block during the scan.
+struct OpenImpl {
+    type_name: String,
+    /// Depth of the impl block's opening `{`.
+    depth: u32,
+}
+
+/// Extracts the file's symbols from its full token stream.
+///
+/// `test_ranges` are the inclusive line ranges covered by
+/// `#[cfg(test)]` / `#[test]` items (see `lints::test_ranges`).
+pub fn extract(toks: &[Token], test_ranges: &[(u32, u32)]) -> FileSymbols {
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let ident = |i: usize| match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, c: char| matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c);
+
+    let mut out = FileSymbols::default();
+    let mut depth: u32 = 0;
+    let mut open_fns: Vec<OpenFn> = Vec::new();
+    let mut open_impls: Vec<OpenImpl> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let line = toks[i].line;
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while let Some(mut done) = open_fns.pop_if(|f| depth < f.body_depth) {
+                    done.sym.end_line = line;
+                    out.fns.push(done.sym);
+                }
+                while open_impls.pop_if(|b| depth < b.depth).is_some() {}
+                i += 1;
+            }
+            TokKind::Ident(word) if word == "impl" => {
+                // Scan the header up to its `{`; `impl Trait for Type`
+                // takes the ident after `for`, otherwise the first ident
+                // at angle-depth 0 (skipping the generic intro).
+                let mut angle = 0i32;
+                let mut after_for = false;
+                let mut type_name: Option<String> = None;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('{') | TokKind::Punct(';') => break,
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => angle -= 1,
+                        TokKind::Ident(w) if angle == 0 && w == "for" => {
+                            after_for = true;
+                            type_name = None;
+                        }
+                        TokKind::Ident(w) if angle == 0 => {
+                            let relevant = type_name.is_none() || after_for;
+                            if relevant && type_name.is_none() && !matches!(w.as_str(), "dyn") {
+                                type_name = Some(w.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && punct(j, '{') {
+                    depth += 1;
+                    if let Some(name) = type_name {
+                        open_impls.push(OpenImpl {
+                            depth,
+                            type_name: name,
+                        });
+                    }
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(word) if word == "fn" => {
+                let Some(name) = ident(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.to_owned();
+                // Walk the signature to the body `{` or a bodiless `;`.
+                let mut paren = 0i32;
+                let mut j = i + 2;
+                let mut body = None;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+                        TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+                        TokKind::Punct('{') if paren == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        TokKind::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    depth += 1;
+                    open_fns.push(OpenFn {
+                        sym: FnSym {
+                            name,
+                            impl_type: open_impls.last().map(|b| b.type_name.clone()),
+                            start_line: line,
+                            end_line: toks[open].line,
+                            is_test: in_test(line),
+                            calls: Vec::new(),
+                            locks: Vec::new(),
+                            forks: Vec::new(),
+                        },
+                        body_depth: depth,
+                    });
+                    i = open + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            TokKind::Ident(word) if !is_keyword(word) => {
+                if word.starts_with("tacc_") {
+                    let short = word.trim_start_matches("tacc_");
+                    if !short.is_empty() {
+                        out.uses.push((short.to_owned(), line));
+                    }
+                }
+                if let Some(open) = open_fns.last_mut() {
+                    let rel_depth = depth + 1 - open.body_depth;
+                    let qualified = i >= 2 && punct(i - 1, ':') && punct(i - 2, ':');
+                    let qualifier = if qualified {
+                        ident(i.wrapping_sub(3)).map(str::to_owned)
+                    } else {
+                        None
+                    };
+                    let called = punct(i + 1, '(');
+                    let is_macro = punct(i + 1, '!');
+                    if (called || qualified) && !is_macro {
+                        open.sym.calls.push(CallRef {
+                            name: word.clone(),
+                            qualifier,
+                            line,
+                        });
+                    }
+                    // Concurrency sites for the lock-across-fork check.
+                    if called && word == "lock" && punct(i.wrapping_sub(1), '.') {
+                        open.sym.locks.push(DepthSite {
+                            line,
+                            depth: rel_depth,
+                        });
+                    }
+                    let forked = (called && word == "par_map")
+                        || (word == "scope"
+                            && called
+                            && qualified
+                            && ident(i.wrapping_sub(3)) == Some("thread"));
+                    if forked {
+                        open.sym.forks.push(DepthSite {
+                            line,
+                            depth: rel_depth,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Unterminated bodies (truncated files): close at the last line.
+    let last_line = toks.last().map_or(1, |t| t.line);
+    while let Some(mut open) = open_fns.pop() {
+        open.sym.end_line = last_line;
+        out.fns.push(open.sym);
+    }
+    // Source order regardless of nesting-induced pop order.
+    out.fns.sort_by_key(|f| (f.start_line, f.end_line));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn extract_src(src: &str) -> FileSymbols {
+        let lexed = lex(src);
+        let ranges = crate::lints::test_ranges(&lexed.tokens);
+        extract(&lexed.tokens, &ranges)
+    }
+
+    #[test]
+    fn plain_and_generic_fns_with_spans() {
+        let src = "fn alpha() {\n    beta();\n}\n\
+                   fn beta<T: Clone>(x: T) -> T {\n    x.clone()\n}\n";
+        let syms = extract_src(src);
+        assert_eq!(syms.fns.len(), 2);
+        assert_eq!(syms.fns[0].name, "alpha");
+        assert_eq!((syms.fns[0].start_line, syms.fns[0].end_line), (1, 3));
+        assert_eq!(syms.fns[0].calls.len(), 1);
+        assert_eq!(syms.fns[0].calls[0].name, "beta");
+        assert_eq!(syms.fns[1].name, "beta");
+        assert!(syms.fns[1].impl_type.is_none());
+        assert_eq!(syms.fns[1].calls[0].name, "clone");
+    }
+
+    #[test]
+    fn nested_impls_attribute_methods_to_the_inner_type() {
+        let src = "impl Outer {\n\
+                   fn a(&self) {\n\
+                   struct Inner;\n\
+                   impl Inner {\n\
+                   fn b(&self) { helper(); }\n\
+                   }\n\
+                   }\n\
+                   }\n";
+        let syms = extract_src(src);
+        let a = syms.fns.iter().find(|f| f.name == "a").expect("a");
+        let b = syms.fns.iter().find(|f| f.name == "b").expect("b");
+        assert_eq!(a.impl_type.as_deref(), Some("Outer"));
+        assert_eq!(b.impl_type.as_deref(), Some("Inner"));
+        assert_eq!(b.calls[0].name, "helper");
+    }
+
+    #[test]
+    fn trait_impl_takes_the_type_after_for() {
+        let src = "impl<T> Display for Wrapper<T> {\n\
+                   fn fmt(&self) { inner(); }\n\
+                   }\n";
+        let syms = extract_src(src);
+        assert_eq!(syms.fns[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn helper() { target(); }\n\
+                   }\n";
+        let syms = extract_src(src);
+        let lib = syms.fns.iter().find(|f| f.name == "lib").expect("lib");
+        let helper = syms.fns.iter().find(|f| f.name == "helper").expect("h");
+        assert!(!lib.is_test);
+        assert!(helper.is_test);
+    }
+
+    #[test]
+    fn path_references_and_qualifiers() {
+        let src = "fn reg() {\n\
+                   let f = experiments::run;\n\
+                   let s = Scheduler::new(4);\n\
+                   }\n";
+        let syms = extract_src(src);
+        let calls = &syms.fns[0].calls;
+        let run = calls.iter().find(|c| c.name == "run").expect("run ref");
+        assert_eq!(run.qualifier.as_deref(), Some("experiments"));
+        let new = calls.iter().find(|c| c.name == "new").expect("new call");
+        assert_eq!(new.qualifier.as_deref(), Some("Scheduler"));
+    }
+
+    #[test]
+    fn bodiless_trait_methods_are_skipped() {
+        let src = "trait T {\n    fn decl(&self);\n    fn with_body(&self) { x(); }\n}\n";
+        let syms = extract_src(src);
+        assert_eq!(syms.fns.len(), 1);
+        assert_eq!(syms.fns[0].name, "with_body");
+    }
+
+    #[test]
+    fn locks_and_forks_carry_relative_depth() {
+        let src = "fn f(m: &M) {\n\
+                   let g = m.lock();\n\
+                   { par_map(v, w); }\n\
+                   thread::scope(|s| {});\n\
+                   }\n";
+        let syms = extract_src(src);
+        let f = &syms.fns[0];
+        assert_eq!(f.locks, vec![DepthSite { line: 2, depth: 1 }]);
+        assert_eq!(f.forks.len(), 2);
+        assert_eq!(f.forks[0], DepthSite { line: 3, depth: 2 });
+        assert_eq!(f.forks[1], DepthSite { line: 4, depth: 1 });
+    }
+
+    #[test]
+    fn tacc_uses_are_recorded() {
+        let src = "use tacc_par::par_map;\nfn f() { tacc_par::set_parallelism(1); }\n";
+        let syms = extract_src(src);
+        assert!(syms.uses.iter().any(|(c, l)| c == "par" && *l == 1));
+        assert!(syms.uses.iter().any(|(c, l)| c == "par" && *l == 2));
+    }
+
+    #[test]
+    fn macro_names_are_not_calls() {
+        let src = "fn f() { println!(\"x\"); real(); }\n";
+        let syms = extract_src(src);
+        let names: Vec<&str> = syms.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+}

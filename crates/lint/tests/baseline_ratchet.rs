@@ -11,6 +11,12 @@ const COMMITTED: &str = include_str!("../../../lint-baseline.json");
 /// ceiling the split must stay strictly under.
 const PRE_REFACTOR_CORE_BUDGET: u64 = 8;
 
+/// Ceiling after the tacc-lint v2 typed-error conversion: the lifecycle
+/// engine reports `LifecycleError::UnknownJob` instead of panicking, so
+/// the whole core crate is down to two invariant `expect`s (accounting
+/// and admission), and re-blessing upward fails here.
+const POST_TYPED_ERROR_CORE_BUDGET: u64 = 2;
+
 #[test]
 fn core_panic_budget_shrank_with_the_lifecycle_split() {
     let parsed = baseline::parse(COMMITTED).expect("committed baseline parses");
@@ -25,6 +31,11 @@ fn core_panic_budget_shrank_with_the_lifecycle_split() {
         "core panic-surface budget must stay strictly below the \
          pre-refactor {PRE_REFACTOR_CORE_BUDGET}, got {core_total}"
     );
+    assert!(
+        core_total <= POST_TYPED_ERROR_CORE_BUDGET,
+        "core panic-surface budget must stay at or below the \
+         post-typed-error {POST_TYPED_ERROR_CORE_BUDGET}, got {core_total}"
+    );
     // The event-loop orchestrator itself carries no panic budget at all:
     // every invariant `expect` lives in a named lifecycle module.
     assert_eq!(
@@ -32,6 +43,24 @@ fn core_panic_budget_shrank_with_the_lifecycle_split() {
         None,
         "platform.rs must keep a zero panic budget"
     );
+    // The lifecycle engine's job-table lookups now return typed errors:
+    // the module the single-writer rules center on carries no panic
+    // budget at all, so the reachability roots replay panic-free.
+    assert_eq!(
+        parsed.panic_surface.get("crates/core/src/lifecycle.rs"),
+        None,
+        "lifecycle.rs must keep a zero panic budget"
+    );
+}
+
+/// Workspace-wide ratchet: reachability-scoped budgeting (tacc-lint v2)
+/// brought the committed baseline from 69 sites down to 53; it must
+/// never be re-blessed back up.
+#[test]
+fn workspace_panic_budget_stays_at_or_below_the_v2_bless() {
+    let parsed = baseline::parse(COMMITTED).expect("committed baseline parses");
+    let total: u64 = parsed.panic_surface.values().sum();
+    assert!(total <= 53, "workspace panic budget grew to {total}");
 }
 
 #[test]

@@ -39,8 +39,10 @@ fn one_violation_of_each_family_flips_check_red() {
         &root.join("crates/alpha/Cargo.toml"),
         "[package]\nname = \"tacc-core\"\n\n[dependencies]\ntacc-tcloud.workspace = true\n",
     );
-    // One violation per family, one per line, lines 1-6 (metric-name is
+    // One violation per family, one per line, lines 1-8 (metric-name is
     // seeded twice: the call-literal form and the const-declaration form).
+    // Line 7 seeds a concurrency primitive in a deterministic-layer crate
+    // (`tacc-core`); line 8 a bare `_` arm over a lifecycle enum.
     write(
         &root.join("crates/alpha/src/lib.rs"),
         "use std::collections::HashMap;\n\
@@ -48,7 +50,9 @@ fn one_violation_of_each_family_flips_check_red() {
          fn roll() -> u8 { thread_rng().gen() }\n\
          fn risky(o: Option<u8>) -> u8 { o.unwrap() }\n\
          fn register(r: &Registry) { r.counter(\"bad_metric\", &[]); }\n\
-         pub const GOODPUT_METRIC: &str = \"tacc_obs_BadName\";\n",
+         pub const GOODPUT_METRIC: &str = \"tacc_obs_BadName\";\n\
+         fn guard(_m: &std::sync::Mutex<u8>) {}\n\
+         fn wild(s: JobState) -> u8 { match s { JobState::Queued => 1, _ => 0 } }\n",
     );
 
     let json_path = root.join("report.json");
@@ -66,6 +70,8 @@ fn one_violation_of_each_family_flips_check_red() {
         ("panic-surface", "crates/alpha/src/lib.rs", 4),
         ("metric-name", "crates/alpha/src/lib.rs", 5),
         ("metric-name", "crates/alpha/src/lib.rs", 6),
+        ("concurrency", "crates/alpha/src/lib.rs", 7),
+        ("match-wildcard", "crates/alpha/src/lib.rs", 8),
         ("layer-dag", "crates/alpha/Cargo.toml", 5),
     ];
     for (lint, file, line) in expected {
@@ -102,6 +108,113 @@ fn clean_tree_passes_and_reasoned_allows_are_reported_not_fatal() {
     assert!(
         json.contains("\"reason\": \"round-latency measurement only\""),
         "suppressions must be visible in the report\n{json}"
+    );
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// Single-writer ownership (`lint-owners.toml` `[[owner]]` rules): a
+/// mutation of an owned target outside the owning module flips red with
+/// the exact `file:line`; the same write inside the owner stays green.
+#[test]
+fn single_writer_violation_flips_red_owner_write_stays_green() {
+    let root = scratch("owner");
+    write(
+        &root.join("lint-owners.toml"),
+        "[[owner]]\n\
+         name = \"job-state-field\"\n\
+         fields = [\"state\"]\n\
+         writers = [\"crates/delta/src/owner.rs\"]\n\
+         why = \"red-flip fixture\"\n",
+    );
+    write(
+        &root.join("crates/delta/Cargo.toml"),
+        "[package]\nname = \"tacc-obs\"\n",
+    );
+    write(
+        &root.join("crates/delta/src/owner.rs"),
+        "pub fn set(job: &mut Job) { job.state = JobState::Running; }\n",
+    );
+    write(
+        &root.join("crates/delta/src/rogue.rs"),
+        "pub fn poke(job: &mut Job) { job.state = JobState::Failed; }\n",
+    );
+
+    let json_path = root.join("report.json");
+    let status = run_lint(&root, &json_path);
+    assert!(!status.success(), "rogue write must fail --check");
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    let needle =
+        "{\"lint\": \"single-writer\", \"file\": \"crates/delta/src/rogue.rs\", \"line\": 1,";
+    assert!(
+        json.contains(needle),
+        "single-writer must locate the rogue write\n{json}"
+    );
+    assert!(
+        !json.contains("\"file\": \"crates/delta/src/owner.rs\""),
+        "the owning module's own write must not be flagged\n{json}"
+    );
+
+    // Delete the rogue file: the owner's write alone is green.
+    fs::remove_file(root.join("crates/delta/src/rogue.rs")).expect("rm rogue");
+    assert!(run_lint(&root, &json_path).success());
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// Panic reachability (`[reachability] roots`): a panic site inside a
+/// function reachable from a root consumes budget and flips red; a site
+/// in dead code is skipped (counted in `panic_sites_skipped`).
+#[test]
+fn reachable_panic_flips_red_unreachable_is_skipped() {
+    let root = scratch("reach");
+    write(
+        &root.join("lint-owners.toml"),
+        "[reachability]\nroots = [\"gamma::entry\"]\n",
+    );
+    write(
+        &root.join("crates/gamma/Cargo.toml"),
+        "[package]\nname = \"tacc-gamma\"\n",
+    );
+    write(
+        &root.join("crates/gamma/src/lib.rs"),
+        "pub fn entry(o: Option<u8>) -> u8 { helper(o) }\n\
+         fn helper(o: Option<u8>) -> u8 { o.unwrap() }\n\
+         fn dead() { panic!(\"never runs\") }\n",
+    );
+
+    let json_path = root.join("report.json");
+    let status = run_lint(&root, &json_path);
+    assert!(
+        !status.success(),
+        "a reachable panic site must fail --check"
+    );
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    assert!(
+        json.contains(
+            "{\"lint\": \"panic-surface\", \"file\": \"crates/gamma/src/lib.rs\", \"line\": 2,"
+        ),
+        "the reachable unwrap must be budgeted\n{json}"
+    );
+    assert!(
+        !json.contains("\"line\": 3,"),
+        "the dead panic must be filtered by reachability\n{json}"
+    );
+    assert!(
+        json.contains("\"panic_sites_skipped\": 1"),
+        "the skipped site must be visible in the symbols stats\n{json}"
+    );
+
+    // Remove the reachable site: only dead code panics remain — green.
+    write(
+        &root.join("crates/gamma/src/lib.rs"),
+        "pub fn entry(o: Option<u8>) -> u8 { helper(o) }\n\
+         fn helper(o: Option<u8>) -> u8 { o.unwrap_or(0) }\n\
+         fn dead() { panic!(\"never runs\") }\n",
+    );
+    assert!(
+        run_lint(&root, &json_path).success(),
+        "unreachable panic sites alone must pass --check"
     );
 
     fs::remove_dir_all(&root).expect("cleanup");

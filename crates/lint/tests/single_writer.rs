@@ -1,0 +1,160 @@
+//! Successor to the retired grep-based `crates/core/tests/state_write_sites.rs`:
+//! the single-writer guarantee ("only the lifecycle engine mutates job
+//! state") is now enforced by the `single-writer` lint family driven by
+//! `lint-owners.toml`. This red-flip harness seeds the exact bug the old
+//! grep test hunted — a rogue `job.state = …` assignment and a rogue
+//! `job.apply_event(…)` call outside the owning modules, using the
+//! repo's real owner rules — and proves `lint --check` flips red with
+//! the correct `file:line` for each.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The repo's production rules, verbatim in shape: raw `state` writes
+/// belong to the workload transition engine, `apply_event` calls to the
+/// core lifecycle module.
+const REPO_STYLE_OWNERS: &str = "\
+[[owner]]
+name = \"job-state-field\"
+fields = [\"state\"]
+writers = [\"crates/workload/src/job.rs\"]
+why = \"raw `state` assignment exists only inside the checked transition engine\"
+
+[[owner]]
+name = \"job-state-transition\"
+methods = [\"apply_event\"]
+writers = [\"crates/core/src/lifecycle.rs\"]
+why = \"Platform::apply_lifecycle_event is the single production caller\"
+";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tacc-lint-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write(path: &Path, content: &str) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("mkdir");
+    }
+    fs::write(path, content).expect("write fixture");
+}
+
+fn run_lint(root: &Path, json: &Path) -> std::process::ExitStatus {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(["--root"])
+        .arg(root)
+        .args(["--check", "--quiet", "--json"])
+        .arg(json)
+        .status()
+        .expect("spawn lint binary")
+}
+
+fn seed_workspace(root: &Path) {
+    write(&root.join("lint-owners.toml"), REPO_STYLE_OWNERS);
+    write(
+        &root.join("crates/workload/Cargo.toml"),
+        "[package]\nname = \"tacc-workload\"\n",
+    );
+    // The legitimate owner: the transition engine assigns `state` and is
+    // the method's home.
+    write(
+        &root.join("crates/workload/src/job.rs"),
+        "impl Job {\n\
+         \x20   pub fn apply_event(&mut self, to: JobState) -> JobState {\n\
+         \x20       self.state = to;\n\
+         \x20       to\n\
+         \x20   }\n\
+         }\n",
+    );
+    write(
+        &root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"tacc-core\"\n\n[dependencies]\ntacc-workload.workspace = true\n",
+    );
+    // The legitimate caller: the lifecycle engine routes events through
+    // the checked transition API.
+    write(
+        &root.join("crates/core/src/lifecycle.rs"),
+        "pub fn apply(job: &mut Job, to: JobState) -> JobState {\n\
+         \x20   job.apply_event(to)\n\
+         }\n",
+    );
+}
+
+/// A clean tree — both writes inside their owning modules — passes.
+#[test]
+fn owning_modules_writes_are_green() {
+    let root = scratch("sw-green");
+    seed_workspace(&root);
+    let json_path = root.join("report.json");
+    assert!(
+        run_lint(&root, &json_path).success(),
+        "owner-module writes must pass --check"
+    );
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// The seeded bug: a scheduler-side module assigns `job.state` directly
+/// and replays an event itself. Both rogue sites flip `--check` red,
+/// each located at its exact `file:line`.
+#[test]
+fn rogue_state_write_and_apply_event_call_flip_red() {
+    let root = scratch("sw-red");
+    seed_workspace(&root);
+    write(
+        &root.join("crates/core/src/rogue.rs"),
+        "pub fn shortcut(job: &mut Job) {\n\
+         \x20   job.state = JobState::Running;\n\
+         }\n\
+         pub fn replay(job: &mut Job) {\n\
+         \x20   job.apply_event(JobState::Failed);\n\
+         }\n",
+    );
+
+    let json_path = root.join("report.json");
+    let status = run_lint(&root, &json_path);
+    assert!(!status.success(), "rogue writes must fail --check");
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    for line in [2, 5] {
+        let needle = format!(
+            "{{\"lint\": \"single-writer\", \"file\": \"crates/core/src/rogue.rs\", \"line\": {line},"
+        );
+        assert!(
+            json.contains(&needle),
+            "single-writer must locate the rogue site at rogue.rs:{line}\n{json}"
+        );
+    }
+    // The owners' own writes stay unflagged even while the tree is red.
+    assert!(!json.contains("\"file\": \"crates/workload/src/job.rs\""));
+    assert!(!json.contains("\"file\": \"crates/core/src/lifecycle.rs\""));
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// A reasoned inline allow suppresses a single rogue site — visible in
+/// the report's suppression list, not fatal.
+#[test]
+fn reasoned_allow_suppresses_a_rogue_write() {
+    let root = scratch("sw-allow");
+    seed_workspace(&root);
+    write(
+        &root.join("crates/core/src/migration.rs"),
+        "pub fn backfill(job: &mut Job) {\n\
+         \x20   // tacc-lint: allow(single-writer, reason = \"one-shot trace-import backfill\")\n\
+         \x20   job.state = JobState::Completed;\n\
+         }\n",
+    );
+
+    let json_path = root.join("report.json");
+    assert!(
+        run_lint(&root, &json_path).success(),
+        "a reasoned allow must keep --check green"
+    );
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    assert!(
+        json.contains("\"reason\": \"one-shot trace-import backfill\""),
+        "the suppression must be visible in the report\n{json}"
+    );
+    fs::remove_dir_all(&root).expect("cleanup");
+}
