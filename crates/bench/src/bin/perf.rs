@@ -9,6 +9,10 @@
 //!                         deterministic counters match exactly
 //!   --expect PATH         fail unless the fresh counters exactly match the
 //!                         committed report at PATH (the CI planner gate)
+//!   --nightly             include the nightly-tier scenarios (million-job
+//!                         replay) in the run set
+//!   --only ID             run just this scenario (repeatable; fast or
+//!                         nightly tier)
 //!   --out PATH            write the report JSON (default: BENCH_hotpath.json;
 //!                         "none" disables)
 //!   --baseline-secs X     record X as the pre-change full-suite serial wall
@@ -29,7 +33,7 @@
 use std::process::ExitCode;
 
 use tacc_bench::gha;
-use tacc_bench::hotpath::{self, ScenarioOutcome, SCENARIOS};
+use tacc_bench::hotpath::{self, Scenario, ScenarioOutcome, NIGHTLY_SCENARIOS, SCENARIOS};
 use tacc_bench::json::Json;
 
 #[derive(Debug)]
@@ -37,6 +41,8 @@ struct Options {
     list: bool,
     check: bool,
     expect: Option<String>,
+    nightly: bool,
+    only: Vec<String>,
     out: Option<String>,
     baseline_secs: Option<f64>,
     optimized_secs: Option<f64>,
@@ -48,6 +54,8 @@ fn parse_args() -> Result<Options, String> {
         list: false,
         check: false,
         expect: None,
+        nightly: false,
+        only: Vec::new(),
         out: None,
         baseline_secs: None,
         optimized_secs: None,
@@ -59,6 +67,10 @@ fn parse_args() -> Result<Options, String> {
             "--list" => opts.list = true,
             "--check" => opts.check = true,
             "--quiet" => opts.quiet = true,
+            "--nightly" => opts.nightly = true,
+            "--only" => opts
+                .only
+                .push(args.next().ok_or("--only needs a scenario id")?),
             "--expect" => opts.expect = Some(args.next().ok_or("--expect needs a path")?),
             "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
             "--baseline-secs" => {
@@ -83,8 +95,9 @@ fn parse_args() -> Result<Options, String> {
 
 fn print_outcomes(outcomes: &[ScenarioOutcome]) {
     println!(
-        "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8}",
+        "{:<22} {:>9} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8}",
         "scenario",
+        "jobs",
         "rounds",
         "sorts",
         "skipped",
@@ -97,8 +110,9 @@ fn print_outcomes(outcomes: &[ScenarioOutcome]) {
     );
     for o in outcomes {
         println!(
-            "{:<22} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8.2}",
+            "{:<22} {:>9} {:>9} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9} {:>8.2}",
             o.id,
+            o.jobs,
             o.rounds,
             o.counters.queue_sorts,
             o.counters.queue_sorts_skipped,
@@ -142,10 +156,34 @@ fn main() -> ExitCode {
         for s in SCENARIOS {
             println!("  {:<22} {}", s.id, s.title);
         }
+        println!("nightly-tier scenarios (--nightly):");
+        for s in NIGHTLY_SCENARIOS {
+            println!("  {:<22} {}", s.id, s.title);
+        }
         return ExitCode::SUCCESS;
     }
 
-    let outcomes = hotpath::run_all();
+    let selected: Vec<&'static Scenario> = if opts.only.is_empty() {
+        let mut set: Vec<&'static Scenario> = SCENARIOS.iter().collect();
+        if opts.nightly {
+            set.extend(NIGHTLY_SCENARIOS.iter());
+        }
+        set
+    } else {
+        let mut set = Vec::new();
+        for id in &opts.only {
+            match hotpath::find_scenario(id) {
+                Some(s) => set.push(s),
+                None => {
+                    eprintln!("error: unknown scenario `{id}` (see --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        set
+    };
+    let outcomes: Vec<ScenarioOutcome> =
+        selected.iter().map(|s| hotpath::run_scenario(s)).collect();
     if !opts.quiet {
         print_outcomes(&outcomes);
     }
@@ -154,7 +192,8 @@ fn main() -> ExitCode {
     if opts.check {
         // Deterministic-or-bust: a second full pass must reproduce every
         // counter exactly. Wall time is deliberately excluded.
-        let second = hotpath::run_all();
+        let second: Vec<ScenarioOutcome> =
+            selected.iter().map(|s| hotpath::run_scenario(s)).collect();
         for (a, b) in outcomes.iter().zip(second.iter()) {
             let first = hotpath::counters_json(a).to_compact();
             let repeat = hotpath::counters_json(b).to_compact();

@@ -109,11 +109,48 @@ pub static SCENARIOS: &[Scenario] = &[
     },
 ];
 
+/// Long-running scenarios gated to the nightly tier (`perf --nightly`):
+/// too slow for every push, still fully deterministic and `--expect`
+/// gated against the committed report.
+pub static NIGHTLY_SCENARIOS: &[Scenario] = &[Scenario {
+    id: "million-jobs",
+    title: "million-job replay: arena + free-index + wheel at 10^6 scale",
+    // Sized for throughput, not saturation: the default mix offers about
+    // 0.46× the 256-GPU capacity per load unit, so load 2 runs the
+    // cluster at ~92% utilization with a queue that still drains —
+    // ~2.4 simulated years of sustained service reach seven figures of
+    // jobs without the unbounded backlog (and quadratic round walks) an
+    // over-capacity load factor would produce.
+    days: 890.0,
+    load: 2.0,
+    configure: || {
+        campus_config(|c| {
+            // Per-job log rendering is pure memory ballast at this scale
+            // (a million rings); disabling it only flips lines to drop
+            // counts — no scheduling decision reads logs.
+            c.log_lines_per_job = 0;
+            // ~1M jobs emit a handful of events each; raise the runaway
+            // valve well clear of the legitimate total.
+            c.max_events = 100_000_000;
+        })
+    },
+}];
+
+/// Looks up a scenario by id across the fast and nightly tiers.
+pub fn find_scenario(id: &str) -> Option<&'static Scenario> {
+    SCENARIOS
+        .iter()
+        .chain(NIGHTLY_SCENARIOS.iter())
+        .find(|s| s.id == id)
+}
+
 /// The result of one scenario run: deterministic counters plus
 /// informational wall time.
 pub struct ScenarioOutcome {
     /// The scenario's [`Scenario::id`].
     pub id: &'static str,
+    /// Jobs in the replayed trace (deterministic for a given scenario).
+    pub jobs: u64,
     /// Scheduler rounds executed.
     pub rounds: u64,
     /// The deterministic work counters after the replay.
@@ -132,8 +169,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let wall_secs = start.elapsed().as_secs_f64();
     ScenarioOutcome {
         id: scenario.id,
+        jobs: trace.len() as u64,
         rounds: platform.scheduler().rounds(),
-        counters: platform.scheduler().work_counters(),
+        counters: platform.work_counters(),
         wall_secs,
     }
 }
@@ -149,6 +187,7 @@ pub fn counters_json(outcome: &ScenarioOutcome) -> Json {
     let c = &outcome.counters;
     Json::obj()
         .set("id", outcome.id.into())
+        .set("jobs", c_num(outcome.jobs))
         .set("rounds", c_num(outcome.rounds))
         .set("empty_rounds", c_num(c.empty_rounds))
         .set("queue_sorts", c_num(c.queue_sorts))
@@ -162,6 +201,12 @@ pub fn counters_json(outcome: &ScenarioOutcome) -> Json {
         .set("slot_splits", c_num(c.slots.splits))
         .set("slot_intersections", c_num(c.slots.intersections))
         .set("slot_rebuilds", c_num(c.slots.rebuilds))
+        .set("arena_alloc", c_num(c.arena_alloc))
+        .set("arena_reuse", c_num(c.arena_reuse))
+        .set("free_index_updates", c_num(c.free_index_updates))
+        .set("free_index_probes", c_num(c.plan.free_index_probes))
+        .set("wheel_insert", c_num(c.wheel_insert))
+        .set("wheel_cascade", c_num(c.wheel_cascade))
 }
 
 /// Full report document for `BENCH_hotpath.json`: per-scenario counters
@@ -299,6 +344,7 @@ mod tests {
         // workflow command must carry it.
         let outcome = ScenarioOutcome {
             id: "fixture",
+            jobs: 0,
             rounds: 7,
             counters: WorkCounters::default(),
             wall_secs: 0.1,
@@ -308,6 +354,7 @@ mod tests {
         // Green on the unmodified report…
         let fresh = ScenarioOutcome {
             id: "fixture",
+            jobs: 0,
             rounds: 7,
             counters: WorkCounters::default(),
             wall_secs: 0.9,
@@ -334,6 +381,7 @@ mod tests {
         }
         let fresh = ScenarioOutcome {
             id: "fixture",
+            jobs: 0,
             rounds: 7,
             counters: WorkCounters::default(),
             wall_secs: 0.9,
@@ -351,6 +399,7 @@ mod tests {
     fn report_embeds_suite_timings() {
         let outcome = ScenarioOutcome {
             id: "x",
+            jobs: 0,
             rounds: 1,
             counters: WorkCounters::default(),
             wall_secs: 0.5,

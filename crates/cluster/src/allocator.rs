@@ -1,6 +1,6 @@
 //! Cluster state: construction, leasing and fragmentation accounting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -11,6 +11,11 @@ use crate::resources::ResourceVec;
 use crate::topology::{LinkSpeeds, RackId, Topology};
 
 /// Identifier of a resource lease issued by [`Cluster::allocate`].
+///
+/// The value is a generational index into the cluster's lease arena: the
+/// low 32 bits are the slot, the high 32 bits the slot's generation at
+/// grant time. A released slot bumps its generation, so a stale id can
+/// never resolve to a lease that reused the slot (classic ABA protection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LeaseId(u64);
 
@@ -24,6 +29,18 @@ impl LeaseId {
     #[doc(hidden)]
     pub fn for_tests(v: u64) -> Self {
         LeaseId(v)
+    }
+
+    pub(crate) fn compose(slot: u32, generation: u32) -> Self {
+        LeaseId(u64::from(generation) << 32 | u64::from(slot))
+    }
+
+    pub(crate) fn slot(self) -> usize {
+        (self.0 & u64::from(u32::MAX)) as usize
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 }
 
@@ -216,6 +233,87 @@ impl ClusterSpecBuilder {
     }
 }
 
+/// A generational slab of active leases — dense slots plus a LIFO free
+/// list. Slot indices recycle; generations make recycled ids distinct.
+///
+/// Single-writer contract: slots change only through
+/// [`LeaseArena::insert_with`] and [`LeaseArena::remove`], both called
+/// exclusively from [`Cluster::allocate`]/[`Cluster::release`] (enforced
+/// by `tacc-lint`'s ownership rules).
+#[derive(Debug, Clone, Default)]
+struct LeaseArena {
+    slots: Vec<LeaseSlot>,
+    free: Vec<u32>,
+    live: usize,
+    /// Fresh slots pushed (the arena grew).
+    allocs: u64,
+    /// Slots recycled off the free list.
+    reuses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LeaseSlot {
+    generation: u32,
+    lease: Option<Lease>,
+}
+
+impl LeaseArena {
+    /// Claims a slot (recycling the most recently freed one first, so hot
+    /// slots stay cache-resident), builds the lease from its new id, and
+    /// stores it.
+    fn insert_with(&mut self, make: impl FnOnce(LeaseId) -> Lease) -> LeaseId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.reuses += 1;
+                slot
+            }
+            None => {
+                self.allocs += 1;
+                self.slots.push(LeaseSlot {
+                    generation: 0,
+                    lease: None,
+                });
+                // tacc-lint: allow(panic-surface, reason = "2^32 concurrent leases would exhaust memory long before this narrows; guards the packed slot|generation id layout")
+                u32::try_from(self.slots.len() - 1).expect("lease slot fits u32")
+            }
+        };
+        let id = LeaseId::compose(slot, self.slots[slot as usize].generation);
+        self.slots[slot as usize].lease = Some(make(id));
+        self.live += 1;
+        id
+    }
+
+    fn get(&self, id: LeaseId) -> Option<&Lease> {
+        let slot = self.slots.get(id.slot())?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        slot.lease.as_ref()
+    }
+
+    /// Removes the lease, bumps the slot's generation (invalidating the
+    /// id), and recycles the slot.
+    fn remove(&mut self, id: LeaseId) -> Option<Lease> {
+        let slot = self.slots.get_mut(id.slot())?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        let lease = slot.lease.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free
+            // tacc-lint: allow(panic-surface, reason = "slot indices were produced by insert_with's own u32 narrowing; re-narrowing a stored id cannot fail")
+            .push(u32::try_from(id.slot()).expect("slot fits u32"));
+        self.live -= 1;
+        Some(lease)
+    }
+
+    /// Live leases in slot order (the arena's dense iteration order; grant
+    /// order is not reconstructible once slots recycle).
+    fn iter(&self) -> impl Iterator<Item = &Lease> {
+        self.slots.iter().filter_map(|s| s.lease.as_ref())
+    }
+}
+
 /// The live, allocatable cluster: nodes, topology and active leases.
 ///
 /// This is the single authority on who holds what; the scheduler proposes
@@ -226,8 +324,7 @@ impl ClusterSpecBuilder {
 pub struct Cluster {
     nodes: Vec<Node>,
     topology: Topology,
-    leases: BTreeMap<LeaseId, Lease>,
-    next_lease: u64,
+    leases: LeaseArena,
     alloc_failures: u64,
     // Incrementally maintained aggregates, updated on every reserve/release
     // (the only paths that change a node's free vector). They answer the
@@ -240,6 +337,15 @@ pub struct Cluster {
     /// Histogram of nodes by free-GPU count (`free gpus -> node count`);
     /// the greatest key is the largest free block.
     free_block_counts: BTreeMap<u32, u32>,
+    /// Sorted free-capacity index over *schedulable* nodes, keyed by
+    /// `(free gpus, free cpu cores, node index)` — exactly the placement
+    /// planner's candidate order, maintained incrementally on every lease
+    /// grant/release and drain/undrain so planning never re-collects and
+    /// re-sorts the node list.
+    free_index: BTreeSet<(u32, u32, u32)>,
+    /// Re-index operations applied to `free_index` (deterministic work
+    /// counter, CI-gated).
+    free_index_updates: u64,
     /// Monotonic mutation counter; see [`Cluster::version`].
     version: u64,
 }
@@ -273,15 +379,20 @@ impl Cluster {
         for node in &nodes {
             *free_block_counts.entry(node.free().gpus).or_insert(0) += 1;
         }
+        let free_index = nodes
+            .iter()
+            .map(|n| (n.free().gpus, n.free().cpu_cores, n.id().0))
+            .collect();
         Cluster {
             nodes,
             topology: Topology::new(racks, nvlink, spec.speeds),
-            leases: BTreeMap::new(),
-            next_lease: 0,
+            leases: LeaseArena::default(),
             alloc_failures: 0,
             total_capacity,
             free_gpus_total,
             free_block_counts,
+            free_index,
+            free_index_updates: 0,
             version: 0,
         }
     }
@@ -295,20 +406,31 @@ impl Cluster {
         self.version
     }
 
-    /// Re-indexes one node's free-GPU count after a reserve/release moved it
-    /// from `old` to `new` free GPUs.
-    fn note_free_change(&mut self, old: u32, new: u32) {
-        if old == new {
-            return;
-        }
-        match self.free_block_counts.get_mut(&old) {
-            Some(count) if *count > 1 => *count -= 1,
-            _ => {
-                self.free_block_counts.remove(&old);
+    /// Re-indexes one node after a reserve/release moved its free vector
+    /// from `old` to `new`: the free-GPU histogram, the free-GPU total,
+    /// and the sorted free-capacity index (the single write site for all
+    /// three — the lint ownership rules pin them here).
+    fn note_free_change(&mut self, idx: usize, old: ResourceVec, new: ResourceVec) {
+        if old.gpus != new.gpus {
+            match self.free_block_counts.get_mut(&old.gpus) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    self.free_block_counts.remove(&old.gpus);
+                }
             }
+            *self.free_block_counts.entry(new.gpus).or_insert(0) += 1;
+            self.free_gpus_total = self.free_gpus_total + new.gpus - old.gpus;
         }
-        *self.free_block_counts.entry(new).or_insert(0) += 1;
-        self.free_gpus_total = self.free_gpus_total + new - old;
+        // The index tracks schedulable nodes only; drained nodes re-enter
+        // it (with their then-current free vector) on undrain.
+        if (old.gpus, old.cpu_cores) != (new.gpus, new.cpu_cores)
+            && self.nodes[idx].is_schedulable()
+        {
+            let idx = idx as u32;
+            self.free_index.remove(&(old.gpus, old.cpu_cores, idx));
+            self.free_index.insert((new.gpus, new.cpu_cores, idx));
+            self.free_index_updates += 1;
+        }
     }
 
     /// Number of failed [`Cluster::allocate`] calls over this cluster's
@@ -355,17 +477,45 @@ impl Cluster {
 
     /// Number of active leases.
     pub fn lease_count(&self) -> usize {
-        self.leases.len()
+        self.leases.live
     }
 
-    /// Looks up an active lease.
+    /// Looks up an active lease (O(1): generational-index arena access).
     pub fn lease(&self, id: LeaseId) -> Option<&Lease> {
-        self.leases.get(&id)
+        self.leases.get(id)
     }
 
-    /// Iterates over active leases.
+    /// Iterates over active leases in arena slot order (deterministic, but
+    /// not grant order once slots recycle).
     pub fn leases(&self) -> impl Iterator<Item = &Lease> {
-        self.leases.values()
+        self.leases.iter()
+    }
+
+    /// Lease-arena churn counters: `(fresh slot allocations, free-list
+    /// reuses)`. Deterministic work counters, CI-gated by the perf
+    /// harness.
+    pub fn lease_arena_stats(&self) -> (u64, u64) {
+        (self.leases.allocs, self.leases.reuses)
+    }
+
+    /// Re-index operations applied to the sorted free-capacity index over
+    /// this cluster's lifetime (deterministic work counter).
+    pub fn free_index_updates(&self) -> u64 {
+        self.free_index_updates
+    }
+
+    /// Ascending walk of the free-capacity index starting at the first
+    /// schedulable node with at least `min_gpus` free GPUs. Items are
+    /// `(free gpus, free cpu cores, node id)` in exactly the placement
+    /// planner's candidate order: free GPUs, then free CPU cores, then
+    /// node id. Reverse it for worst-fit (spread) traversal.
+    pub fn free_index_from(
+        &self,
+        min_gpus: u32,
+    ) -> impl DoubleEndedIterator<Item = (u32, u32, NodeId)> + '_ {
+        self.free_index
+            .range((min_gpus, 0, 0)..)
+            .map(|&(gpus, cpus, idx)| (gpus, cpus, NodeId(idx)))
     }
 
     /// Atomically allocates the given per-node shares for `owner`.
@@ -404,22 +554,20 @@ impl Cluster {
             }
         }
         // Commit.
-        let id = LeaseId(self.next_lease);
-        self.next_lease += 1;
-        for (&node, &total) in &needed {
-            let before = self.nodes[node.index()].free().gpus;
-            self.nodes[node.index()].reserve(id, total);
-            let after = self.nodes[node.index()].free().gpus;
-            self.note_free_change(before, after);
-        }
-        let lease = Lease {
+        let id = self.leases.insert_with(|id| Lease {
             id,
             owner,
-            shares: needed.into_iter().collect(),
-        };
-        self.leases.insert(id, lease.clone());
+            shares: needed.iter().map(|(&n, &r)| (n, r)).collect(),
+        });
+        for (&node, &total) in &needed {
+            let before = self.nodes[node.index()].free();
+            self.nodes[node.index()].reserve(id, total);
+            let after = self.nodes[node.index()].free();
+            self.note_free_change(node.index(), before, after);
+        }
         self.version += 1;
-        Ok(lease)
+        // tacc-lint: allow(panic-surface, reason = "the id was inserted into the arena earlier in this function; a miss would mean the arena dropped a live slot")
+        Ok(self.leases.get(id).expect("just inserted").clone())
     }
 
     /// Releases a lease, returning its resources to the nodes.
@@ -430,13 +578,13 @@ impl Cluster {
     pub fn release(&mut self, id: LeaseId) -> Result<(), ClusterError> {
         let lease = self
             .leases
-            .remove(&id)
+            .remove(id)
             .ok_or(ClusterError::UnknownLease(id))?;
         for (node, _) in lease.shares {
-            let before = self.nodes[node.index()].free().gpus;
+            let before = self.nodes[node.index()].free();
             self.nodes[node.index()].release(id);
-            let after = self.nodes[node.index()].free().gpus;
-            self.note_free_change(before, after);
+            let after = self.nodes[node.index()].free();
+            self.note_free_change(node.index(), before, after);
         }
         self.version += 1;
         Ok(())
@@ -448,6 +596,11 @@ impl Cluster {
     pub fn drain(&mut self, node: NodeId) -> bool {
         match self.nodes.get_mut(node.index()) {
             Some(n) => {
+                if n.is_schedulable() {
+                    let free = n.free();
+                    self.free_index.remove(&(free.gpus, free.cpu_cores, node.0));
+                    self.free_index_updates += 1;
+                }
                 n.set_schedulable(false);
                 self.version += 1;
                 true
@@ -460,6 +613,11 @@ impl Cluster {
     pub fn undrain(&mut self, node: NodeId) -> bool {
         match self.nodes.get_mut(node.index()) {
             Some(n) => {
+                if !n.is_schedulable() {
+                    let free = n.free();
+                    self.free_index.insert((free.gpus, free.cpu_cores, node.0));
+                    self.free_index_updates += 1;
+                }
                 n.set_schedulable(true);
                 self.version += 1;
                 true
@@ -519,10 +677,17 @@ impl Cluster {
         for node in &self.nodes {
             *histogram.entry(node.free().gpus).or_insert(0) += 1;
         }
+        let index: BTreeSet<(u32, u32, u32)> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_schedulable())
+            .map(|n| (n.free().gpus, n.free().cpu_cores, n.id().0))
+            .collect();
         per_node
             && free_total == self.free_gpus_total
             && capacity == self.total_capacity
             && histogram == self.free_block_counts
+            && index == self.free_index
     }
 }
 
@@ -720,6 +885,128 @@ mod tests {
         assert!(c.drain(n0));
         assert!(c.undrain(n0));
         assert!(c.version() > v2);
+    }
+
+    #[test]
+    fn lease_ids_are_generational() {
+        let mut c = small();
+        let n0 = NodeId::from_index(0);
+        let a = c
+            .allocate(1, &[(n0, ResourceVec::gpus_only(2))])
+            .expect("fits");
+        c.release(a.id()).expect("active");
+        let b = c
+            .allocate(2, &[(n0, ResourceVec::gpus_only(2))])
+            .expect("fits");
+        // The slot recycles but the generation advances, so the recycled
+        // id is distinct and the stale one resolves to nothing.
+        assert_eq!(b.id().slot(), a.id().slot());
+        assert_ne!(b.id(), a.id());
+        assert!(c.lease(a.id()).is_none(), "stale id must not resolve");
+        assert_eq!(c.lease(b.id()).map(Lease::owner), Some(2));
+        let (allocs, reuses) = c.lease_arena_stats();
+        assert_eq!((allocs, reuses), (1, 1));
+        assert!(c.check_invariants());
+    }
+
+    /// Satellite of ISSUE 9: the incrementally maintained free-GPU
+    /// histogram (and the sorted free-capacity index that shares its
+    /// write site) must match a from-scratch recount after a seeded
+    /// grant/release storm.
+    #[test]
+    fn histogram_matches_recount_after_grant_release_storm() {
+        // Deterministic xorshift64* — same storm every run.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut c = Cluster::new(ClusterSpec::uniform(4, 4, GpuModel::A100, 8));
+        let mut live: Vec<LeaseId> = Vec::new();
+        for step in 0..2_000 {
+            let release_bias = rng() % 100;
+            if !live.is_empty() && (release_bias < 45 || live.len() > 40) {
+                let id = live.swap_remove((rng() % live.len() as u64) as usize);
+                c.release(id).expect("live lease");
+            } else {
+                let workers = 1 + (rng() % 3) as usize;
+                let shares: Vec<(NodeId, ResourceVec)> = (0..workers)
+                    .map(|_| {
+                        (
+                            NodeId::from_index((rng() % 16) as usize),
+                            ResourceVec::gpus_only(1 + (rng() % 4) as u32),
+                        )
+                    })
+                    .collect();
+                if let Ok(lease) = c.allocate(rng(), &shares) {
+                    live.push(lease.id());
+                }
+            }
+            // Occasionally flip a node's schedulability: the free index
+            // must drop/readopt it exactly.
+            if step % 97 == 0 {
+                let node = NodeId::from_index((rng() % 16) as usize);
+                if rng() % 2 == 0 {
+                    c.drain(node);
+                } else {
+                    c.undrain(node);
+                }
+            }
+        }
+        // Explicit from-scratch recounts, independent of check_invariants.
+        let mut histogram: BTreeMap<u32, u32> = BTreeMap::new();
+        for node in c.nodes() {
+            *histogram.entry(node.free().gpus).or_insert(0) += 1;
+        }
+        let largest = histogram.keys().next_back().copied().unwrap_or(0);
+        assert_eq!(c.largest_free_block(), largest);
+        let free_total: u32 = c.nodes().map(|n| n.free().gpus).sum();
+        assert_eq!(c.free_gpus(), free_total);
+        let index: Vec<(u32, u32, NodeId)> = {
+            let mut v: Vec<(u32, u32, NodeId)> = c
+                .nodes()
+                .filter(|n| n.is_schedulable())
+                .map(|n| (n.free().gpus, n.free().cpu_cores, n.id()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(c.free_index_from(0).collect::<Vec<_>>(), index);
+        assert!(c.free_index_updates() > 0);
+        assert!(c.check_invariants(), "incremental aggregates diverged");
+        // Drain the storm: everything must return to pristine.
+        for id in live {
+            c.release(id).expect("live lease");
+        }
+        assert_eq!(c.lease_count(), 0);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn free_index_orders_candidates_and_bounds_probes() {
+        let mut c = small(); // 4 nodes x 8 GPUs
+        c.allocate(1, &[(NodeId::from_index(1), ResourceVec::gpus_only(6))])
+            .expect("fits");
+        c.allocate(2, &[(NodeId::from_index(2), ResourceVec::gpus_only(3))])
+            .expect("fits");
+        let order: Vec<NodeId> = c.free_index_from(0).map(|(_, _, id)| id).collect();
+        // Ascending free GPUs: node1 (2 free), node2 (5 free), then the
+        // two untouched nodes in id order.
+        assert_eq!(
+            order,
+            vec![
+                NodeId::from_index(1),
+                NodeId::from_index(2),
+                NodeId::from_index(0),
+                NodeId::from_index(3)
+            ]
+        );
+        // A range query skips nodes that cannot host even one worker.
+        let bounded: Vec<NodeId> = c.free_index_from(5).map(|(_, _, id)| id).collect();
+        assert_eq!(bounded.len(), 3);
+        assert!(!bounded.contains(&NodeId::from_index(1)));
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Compute nodes: a GPU pool plus CPU/memory, with per-lease accounting.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -38,6 +37,11 @@ impl fmt::Display for NodeId {
 
 /// One machine in the cluster: a homogeneous GPU pool plus host resources,
 /// located in a rack, with active leases tracked per [`LeaseId`].
+///
+/// The per-lease table is a small id-sorted vector rather than a tree:
+/// nodes hold at most a handful of leases, binary search beats pointer
+/// chasing at that size, and — crucially for the hot path — cloning a
+/// node is a flat memcpy-style `Vec` clone instead of a tree rebuild.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {
     id: NodeId,
@@ -45,7 +49,7 @@ pub struct Node {
     gpu_model: GpuModel,
     capacity: ResourceVec,
     free: ResourceVec,
-    leases: BTreeMap<LeaseId, ResourceVec>,
+    leases: Vec<(LeaseId, ResourceVec)>,
     schedulable: bool,
 }
 
@@ -60,7 +64,7 @@ impl Node {
             gpu_model,
             capacity,
             free: capacity,
-            leases: BTreeMap::new(),
+            leases: Vec::new(),
             schedulable: true,
         }
     }
@@ -116,9 +120,10 @@ impl Node {
         self.leases.len()
     }
 
-    /// The share of each active lease on this node.
+    /// The share of each active lease on this node, in ascending lease-id
+    /// order.
     pub fn leases(&self) -> impl Iterator<Item = (LeaseId, ResourceVec)> + '_ {
-        self.leases.iter().map(|(&id, &r)| (id, r))
+        self.leases.iter().map(|&(id, r)| (id, r))
     }
 
     /// Reserves `demand` under `lease`. Multiple calls with the same lease
@@ -126,19 +131,23 @@ impl Node {
     pub(crate) fn reserve(&mut self, lease: LeaseId, demand: ResourceVec) {
         debug_assert!(demand.fits_in(&self.free), "reserve() without can_fit()");
         self.free -= demand;
-        *self.leases.entry(lease).or_insert(ResourceVec::ZERO) += demand;
+        match self.leases.binary_search_by_key(&lease, |&(id, _)| id) {
+            Ok(pos) => self.leases[pos].1 += demand,
+            Err(pos) => self.leases.insert(pos, (lease, demand)),
+        }
     }
 
     /// Releases everything held by `lease`; returns what was freed (zero
     /// vector if the lease held nothing here).
     pub(crate) fn release(&mut self, lease: LeaseId) -> ResourceVec {
-        match self.leases.remove(&lease) {
-            Some(held) => {
+        match self.leases.binary_search_by_key(&lease, |&(id, _)| id) {
+            Ok(pos) => {
+                let (_, held) = self.leases.remove(pos);
                 self.free += held;
                 debug_assert!(self.free.fits_in(&self.capacity));
                 held
             }
-            None => ResourceVec::ZERO,
+            Err(_) => ResourceVec::ZERO,
         }
     }
 }

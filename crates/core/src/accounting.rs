@@ -82,7 +82,11 @@ impl Platform {
     /// that happens at the lifecycle transition site when the
     /// leaving-`Running` event is applied.
     pub(crate) fn release_run(&mut self, id: tacc_workload::JobId, now: f64) -> ActiveRun {
-        let run = self.active.remove(&id).expect("job was running");
+        let run = self
+            .jobs
+            .get_mut(id)
+            .and_then(|slot| slot.active.take())
+            .expect("job was running");
         let Some(group) = self.job_ref(id).map(|job| job.schema().group.index()) else {
             return run;
         };
@@ -108,7 +112,10 @@ impl Platform {
         let job = event.job();
         let line = event.to_string();
         self.bus.record(at, event);
-        let log = self.logs.entry(job).or_default();
+        let Some(slot) = self.jobs.get_mut(job) else {
+            return; // events always name a tracked job; tolerate anyway
+        };
+        let log = &mut slot.log;
         if self.config.log_lines_per_job == 0 {
             log.dropped += 1;
             return;

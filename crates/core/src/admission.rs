@@ -20,7 +20,7 @@ impl Platform {
         let id = JobId::from_value(self.next_job);
         self.next_job += 1;
         let job = Job::new(id, record.schema.clone(), now, record.service_secs);
-        self.jobs.insert(id, job);
+        self.jobs.push(job);
         // Anchor the job's transition timeline at its submission: a
         // recorded self-loop on `Submitted`, so span reconstruction from
         // the exported stream alone knows when provisioning began.
@@ -40,7 +40,9 @@ impl Platform {
             .compiler
             .compile(&record.schema)
             .expect("trace schemas are pre-validated");
-        self.runtimes.insert(id, compiled.instruction.runtime);
+        if let Some(slot) = self.jobs.get_mut(id) {
+            slot.runtime = compiled.instruction.runtime;
+        }
         self.provisioning_latency_total += compiled.provisioning.latency_secs;
         self.emit(
             now,

@@ -15,7 +15,7 @@ use crate::platform::Platform;
 
 impl Platform {
     pub(crate) fn on_fault(&mut self, id: JobId, token: u64, node: NodeId) {
-        if self.tokens.get(&id) != Some(&token) {
+        if self.jobs.get(id).map(|slot| slot.token) != Some(token) {
             return; // the run this fault targeted is already over
         }
         let now = self.clock.now().as_secs();
@@ -28,7 +28,9 @@ impl Platform {
             Some(fallback) => {
                 self.failovers += 1;
                 self.exec_telemetry.note_failover();
-                self.runtimes.insert(id, fallback);
+                if let Some(slot) = self.jobs.get_mut(id) {
+                    slot.runtime = fallback;
+                }
                 let _ = self.apply_lifecycle_event(
                     id,
                     JobEvent::Interrupt {

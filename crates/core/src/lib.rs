@@ -38,6 +38,7 @@
 
 mod accounting;
 mod admission;
+mod arena;
 mod config;
 mod faults;
 mod lifecycle;

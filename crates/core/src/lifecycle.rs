@@ -1,7 +1,7 @@
 //! The job lifecycle engine: the **only** module that mutates job state.
 //!
 //! Every state change in the platform flows through
-//! [`Platform::apply_lifecycle_event`], which routes the typed
+//! `Platform::apply_lifecycle_event` (crate-internal), which routes the typed
 //! [`JobEvent`] through `JobState::transition` (the checked transition
 //! matrix in `tacc-workload`), records the applied transition in the
 //! [`TransitionLog`], and bumps the run token at the transition site
@@ -92,8 +92,8 @@ impl TransitionLog {
 /// Why a lifecycle event was not applied.
 ///
 /// `Illegal` is the transition matrix saying no — also surfaced on the
-/// bus, so callers may discard it (see
-/// [`Platform::apply_lifecycle_event`]). `UnknownJob` means the caller
+/// bus, so callers may discard it (see the crate-internal
+/// `Platform::apply_lifecycle_event`). `UnknownJob` means the caller
 /// handed the engine an id the platform never tracked: a bug upstream,
 /// reported as a value instead of a panic so the replay path stays
 /// panic-free end to end.
@@ -132,12 +132,12 @@ impl Platform {
     /// `panic-surface` lint keeps the reachable simulation path at zero
     /// panic sites.
     pub(crate) fn job_ref(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+        self.jobs.get(id).map(|slot| &slot.job)
     }
 
     /// Mutable sibling of [`Platform::job_ref`].
     pub(crate) fn job_mut(&mut self, id: JobId) -> Option<&mut Job> {
-        self.jobs.get_mut(&id)
+        self.jobs.get_mut(id).map(|slot| &mut slot.job)
     }
 
     /// Applies one lifecycle event to a job — the platform's single
@@ -264,13 +264,13 @@ impl Platform {
     /// does not exist or is already terminal.
     pub fn cancel_job(&mut self, id: JobId) -> bool {
         let now = self.clock.now().as_secs();
-        let Some(job) = self.jobs.get(&id) else {
+        let Some(slot) = self.jobs.get(id) else {
             return false;
         };
-        if job.state().is_terminal() {
+        if slot.job.state().is_terminal() {
             return false;
         }
-        if self.active.contains_key(&id) {
+        if slot.active.is_some() {
             self.release_run(id, now);
             self.scheduler.task_finished(id, &mut self.cluster);
         } else {
@@ -367,9 +367,9 @@ impl Platform {
             .map(|n| n.gpu_model())
             .unwrap_or(GpuModel::A100);
         let runtime = self
-            .runtimes
-            .get(&id)
-            .copied()
+            .jobs
+            .get(id)
+            .map(|slot| slot.runtime)
             .unwrap_or(RuntimePreference::Auto);
         let plan = match (&model, kind) {
             (Some(profile), TaskKind::Training | TaskKind::Inference) => self.exec.plan_training(
@@ -413,15 +413,12 @@ impl Platform {
         let wall = remaining * stretch + resume_penalty + staging_secs;
         // The `Start` transition above minted this run's token.
         let token = self.current_token(id);
-        {
+        if let Some(slot) = self.jobs.get_mut(id) {
             let mut distinct = worker_nodes.to_vec();
             distinct.sort_unstable();
             distinct.dedup();
-            self.last_nodes.insert(id, distinct);
-        }
-        self.active.insert(
-            id,
-            ActiveRun {
+            slot.last_nodes = distinct;
+            slot.active = Some(ActiveRun {
                 start_secs: now,
                 stretch,
                 gpus: f64::from(granted_gpus),
@@ -430,8 +427,8 @@ impl Platform {
                 resume_penalty: resume_penalty + staging_secs,
                 worker_nodes: worker_nodes.to_vec(),
                 runtime: plan.runtime,
-            },
-        );
+            });
+        }
         self.events.schedule(
             SimTime::from_secs(now) + SimDuration::from_secs(wall),
             Event::Finish { job: id, token },
@@ -498,7 +495,7 @@ impl Platform {
     }
 
     pub(crate) fn on_finish(&mut self, id: JobId, token: u64) {
-        if self.tokens.get(&id) != Some(&token) {
+        if self.jobs.get(id).map(|slot| slot.token) != Some(token) {
             return; // stale completion from a run that was interrupted
         }
         let now = self.clock.now().as_secs();
@@ -540,12 +537,16 @@ impl Platform {
 
     /// The current run token for a job (0 if it never started).
     pub(crate) fn current_token(&self, id: JobId) -> u64 {
-        self.tokens.get(&id).copied().unwrap_or(0)
+        self.jobs.get(id).map(|slot| slot.token).unwrap_or(0)
     }
 
     pub(crate) fn bump_token(&mut self, id: JobId) -> u64 {
-        let t = self.tokens.entry(id).or_insert(0);
-        *t += 1;
-        *t
+        match self.jobs.get_mut(id) {
+            Some(slot) => {
+                slot.token += 1;
+                slot.token
+            }
+            None => 0,
+        }
     }
 }

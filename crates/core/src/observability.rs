@@ -52,7 +52,8 @@ impl Platform {
     pub(crate) fn goodput_inputs(&self) -> BTreeMap<JobId, JobGoodputInput> {
         self.jobs
             .iter()
-            .map(|(&id, job)| {
+            .map(|(id, slot)| {
+                let job = &slot.job;
                 (
                     id,
                     JobGoodputInput {

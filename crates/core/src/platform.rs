@@ -17,8 +17,6 @@
 //! * [`crate::status`] — client-facing read model (`tcloud` status,
 //!   logs, why, artifacts).
 
-use std::collections::BTreeMap;
-
 use tacc_cluster::{Cluster, NodeId};
 use tacc_compiler::Compiler;
 use tacc_exec::{CheckpointPolicy, ExecModel, ExecTelemetry, FailoverPolicy, FailureInjector};
@@ -29,7 +27,8 @@ use tacc_sim::{Clock, EventQueue, SimDuration, SimTime};
 use tacc_storage::{SharedStore, Staging};
 use tacc_workload::{Job, JobId, RuntimePreference, TaskSchema, Trace, TraceRecord};
 
-use crate::accounting::{CoreMetrics, JobLog};
+use crate::accounting::CoreMetrics;
+use crate::arena::JobArena;
 use crate::config::PlatformConfig;
 use crate::lifecycle::TransitionLog;
 use crate::report::{CompletedJob, ReportInputs, SimulationReport};
@@ -91,13 +90,9 @@ pub struct Platform {
     pub(crate) store: Option<SharedStore>,
 
     pub(crate) pending_records: Vec<TraceRecord>,
-    pub(crate) jobs: BTreeMap<JobId, Job>,
-    pub(crate) runtimes: BTreeMap<JobId, RuntimePreference>,
-    pub(crate) active: BTreeMap<JobId, ActiveRun>,
-    /// Last nodes each job ran on (survives completion, for `tcloud get`).
-    pub(crate) last_nodes: BTreeMap<JobId, Vec<NodeId>>,
-    pub(crate) tokens: BTreeMap<JobId, u64>,
-    pub(crate) logs: BTreeMap<JobId, JobLog>,
+    /// Dense per-job state: job, runtime, active run, last nodes, run
+    /// token, log — one slot per minted id (see [`crate::arena`]).
+    pub(crate) jobs: JobArena,
     pub(crate) next_job: u64,
 
     pub(crate) bus: EventBus,
@@ -162,12 +157,7 @@ impl Platform {
             clock: Clock::new(),
             events: EventQueue::new(),
             pending_records: Vec::new(),
-            jobs: BTreeMap::new(),
-            runtimes: BTreeMap::new(),
-            active: BTreeMap::new(),
-            last_nodes: BTreeMap::new(),
-            tokens: BTreeMap::new(),
-            logs: BTreeMap::new(),
+            jobs: JobArena::new(),
             next_job: 0,
             bus,
             transitions,
@@ -215,6 +205,23 @@ impl Platform {
         &self.compiler
     }
 
+    /// Deterministic work counters across every layer: the scheduler's
+    /// own counters plus the platform-layer structural counters the
+    /// scheduler cannot see — job/lease arena churn, free-capacity-index
+    /// re-keyings, and calendar-wheel traffic. This is what the perf
+    /// harness records and CI gates on.
+    pub fn work_counters(&self) -> tacc_sched::WorkCounters {
+        let mut c = self.scheduler.work_counters();
+        let (lease_allocs, lease_reuses) = self.cluster.lease_arena_stats();
+        c.arena_alloc = lease_allocs + self.jobs.len() as u64;
+        c.arena_reuse = lease_reuses;
+        c.free_index_updates = self.cluster.free_index_updates();
+        let wheel = self.events.wheel_stats();
+        c.wheel_insert = wheel.inserts;
+        c.wheel_cascade = wheel.cascades;
+        c
+    }
+
     /// Drains a node for maintenance: running leases finish normally but
     /// nothing new is placed there. Returns `false` for unknown nodes.
     pub fn drain_node(&mut self, node: NodeId) -> bool {
@@ -232,12 +239,12 @@ impl Platform {
 
     /// Looks up a job.
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+        self.jobs.get(id).map(|slot| &slot.job)
     }
 
     /// All job ids ever submitted, in submission order.
     pub fn job_ids(&self) -> Vec<JobId> {
-        self.jobs.keys().copied().collect()
+        self.jobs.iter().map(|(id, _)| id).collect()
     }
 
     /// The platform event bus: every job state transition so far, stamped

@@ -30,10 +30,11 @@ pub struct JobStatus {
 impl Platform {
     /// Client-facing status snapshot of a job.
     pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
-        let job = self.jobs.get(&id)?;
-        let nodes = self
+        let slot = self.jobs.get(id)?;
+        let job = &slot.job;
+        let nodes = slot
             .active
-            .get(&id)
+            .as_ref()
             .map(|r| {
                 let mut n = r.worker_nodes.clone();
                 n.sort_unstable();
@@ -59,7 +60,7 @@ impl Platform {
     /// lifecycle transition from the transition log (falling back to the
     /// event bus if the ring already evicted it).
     pub fn why(&self, id: JobId) -> Option<String> {
-        let job = self.jobs.get(&id)?;
+        let job = &self.jobs.get(id)?.job;
         match job.state() {
             JobState::Submitted => {
                 Some("provisioning: the compiler layer is preparing the task".to_owned())
@@ -90,13 +91,16 @@ impl Platform {
     /// job has run at least once. Sizes are deterministic per job so
     /// retrieval output is reproducible.
     pub fn job_artifacts(&self, id: JobId) -> Vec<(NodeId, String, u32)> {
-        let Some(nodes) = self.last_nodes.get(&id) else {
+        let Some(slot) = self.jobs.get(id) else {
             return Vec::new();
         };
-        let Some(job) = self.jobs.get(&id) else {
-            return Vec::new();
-        };
-        let checkpoint_mb = job.schema().model.map(|m| m.param_mb as u32).unwrap_or(50);
+        let nodes = &slot.last_nodes;
+        let checkpoint_mb = slot
+            .job
+            .schema()
+            .model
+            .map(|m| m.param_mb as u32)
+            .unwrap_or(50);
         let mut out = Vec::new();
         for (rank, &node) in nodes.iter().enumerate() {
             out.push((
@@ -125,14 +129,14 @@ impl Platform {
     /// [`crate::PlatformConfig::log_lines_per_job`] lines, the oldest are
     /// evicted ([`Self::job_log_dropped`] counts them).
     pub fn job_log(&self, id: JobId) -> &[(f64, String)] {
-        self.logs
-            .get(&id)
-            .map(|l| l.lines.as_slice())
+        self.jobs
+            .get(id)
+            .map(|slot| slot.log.lines.as_slice())
             .unwrap_or(&[])
     }
 
     /// Lines evicted from the job's bounded log ring.
     pub fn job_log_dropped(&self, id: JobId) -> u64 {
-        self.logs.get(&id).map(|l| l.dropped).unwrap_or(0)
+        self.jobs.get(id).map(|slot| slot.log.dropped).unwrap_or(0)
     }
 }

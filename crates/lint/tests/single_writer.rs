@@ -132,6 +132,90 @@ fn rogue_state_write_and_apply_event_call_flip_red() {
     fs::remove_dir_all(&root).expect("cleanup");
 }
 
+/// The arena rules added with the million-job scale pass: lease-arena
+/// mutators (`insert_with`, `note_free_change`) belong to the cluster
+/// allocator, and job-slot run-state fields (`last_nodes`, `token`)
+/// to the lifecycle engine. A rogue call and a rogue field write flip
+/// red at their exact lines; the owners' own sites stay green.
+#[test]
+fn rogue_arena_mutations_flip_red() {
+    let root = scratch("sw-arena");
+    write(
+        &root.join("lint-owners.toml"),
+        "[[owner]]\n\
+         name = \"lease-arena-mutation\"\n\
+         methods = [\"insert_with\", \"note_free_change\"]\n\
+         writers = [\"crates/cluster/src/allocator.rs\"]\n\
+         why = \"arena slots and the free-capacity index move together\"\n\
+         \n\
+         [[owner]]\n\
+         name = \"job-arena-run-state\"\n\
+         fields = [\"last_nodes\", \"token\"]\n\
+         writers = [\"crates/core/src/lifecycle.rs\"]\n\
+         why = \"run state is written only by the lifecycle engine\"\n",
+    );
+    write(
+        &root.join("crates/cluster/Cargo.toml"),
+        "[package]\nname = \"tacc-cluster\"\n",
+    );
+    // The owner: grants run through the arena and renotify the index.
+    write(
+        &root.join("crates/cluster/src/allocator.rs"),
+        "impl Cluster {\n\
+         \x20   fn grant(&mut self, lease: Lease) -> LeaseId {\n\
+         \x20       let id = self.arena.insert_with(|_| lease);\n\
+         \x20       self.note_free_change(0, old, new);\n\
+         \x20       id\n\
+         \x20   }\n\
+         }\n",
+    );
+    write(
+        &root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"tacc-core\"\n\n[dependencies]\ntacc-cluster.workspace = true\n",
+    );
+    write(
+        &root.join("crates/core/src/lifecycle.rs"),
+        "pub fn started(slot: &mut JobSlot, nodes: Vec<NodeId>) {\n\
+         \x20   slot.last_nodes = nodes;\n\
+         \x20   slot.token += 1;\n\
+         }\n",
+    );
+
+    let json_path = root.join("report.json");
+    assert!(
+        run_lint(&root, &json_path).success(),
+        "owner-module arena mutations must pass --check"
+    );
+
+    // Rogue sites: a fault handler forging a lease outside the allocator
+    // and a status module bumping a liveness token.
+    write(
+        &root.join("crates/core/src/rogue.rs"),
+        "pub fn forge(c: &mut Cluster, lease: Lease) {\n\
+         \x20   c.arena.insert_with(|_| lease);\n\
+         }\n\
+         pub fn stomp(slot: &mut JobSlot) {\n\
+         \x20   slot.token += 1;\n\
+         }\n",
+    );
+    let status = run_lint(&root, &json_path);
+    assert!(!status.success(), "rogue arena mutations must fail --check");
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    for line in [2, 5] {
+        let needle = format!(
+            "{{\"lint\": \"single-writer\", \"file\": \"crates/core/src/rogue.rs\", \"line\": {line},"
+        );
+        assert!(
+            json.contains(&needle),
+            "single-writer must locate the rogue arena site at rogue.rs:{line}\n{json}"
+        );
+    }
+    assert!(!json.contains("\"file\": \"crates/cluster/src/allocator.rs\""));
+    assert!(!json.contains("\"file\": \"crates/core/src/lifecycle.rs\""));
+
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
 /// A reasoned inline allow suppresses a single rogue site — visible in
 /// the report's suppression list, not fatal.
 #[test]

@@ -46,10 +46,15 @@ impl std::fmt::Display for PlacementStrategy {
 pub struct PlanStats {
     /// Placement attempts (one per `plan_counted` call with `workers > 0`).
     pub attempts: u64,
-    /// Nodes examined by candidate collection across all attempts.
+    /// Nodes examined by full-scan candidate collection (the ungated
+    /// reference path and rack-subset scans) across all attempts.
     pub nodes_scanned: u64,
     /// Attempts refused by the O(1) capacity gates before any node scan.
     pub fastpath_rejects: u64,
+    /// Entries examined in the cluster's sorted free-capacity index by the
+    /// gated planning paths (each probe replaces what used to be part of a
+    /// full node scan + sort).
+    pub free_index_probes: u64,
 }
 
 /// A placement planner: pure logic over a cluster snapshot, no state.
@@ -116,21 +121,24 @@ impl Planner {
             return None;
         }
         match self.strategy {
-            PlacementStrategy::Pack => self.plan_greedy(cluster, workers, per_worker, false, stats),
+            PlacementStrategy::Pack => {
+                self.plan_greedy_indexed(cluster, workers, per_worker, false, stats)
+            }
             PlacementStrategy::Spread => {
-                self.plan_greedy(cluster, workers, per_worker, true, stats)
+                self.plan_greedy_indexed(cluster, workers, per_worker, true, stats)
             }
             PlacementStrategy::TopologyAware => {
-                self.plan_topology(cluster, workers, per_worker, stats)
+                self.plan_topology(cluster, workers, per_worker, true, stats)
             }
         }
     }
 
-    /// [`Planner::plan`] **without** the O(1) infeasibility gates: every
-    /// attempt runs the full node scan, exactly as the planner behaved
-    /// before the capacity index existed. The naive reference scheduler
-    /// plans through this so the differential tests check the gated and
-    /// ungated paths against each other.
+    /// [`Planner::plan`] **without** the O(1) infeasibility gates or the
+    /// sorted free-capacity index: every attempt runs the full node scan
+    /// and sort, exactly as the planner behaved before the capacity index
+    /// existed. The naive reference scheduler plans through this so the
+    /// differential tests check the gated/indexed and ungated/scanning
+    /// paths against each other.
     pub fn plan_ungated(
         &self,
         cluster: &Cluster,
@@ -149,7 +157,7 @@ impl Planner {
                 self.plan_greedy(cluster, workers, per_worker, true, &mut stats)
             }
             PlacementStrategy::TopologyAware => {
-                self.plan_topology(cluster, workers, per_worker, &mut stats)
+                self.plan_topology(cluster, workers, per_worker, false, &mut stats)
             }
         }
     }
@@ -217,38 +225,137 @@ impl Planner {
         Some(assignment)
     }
 
+    /// Index-backed greedy fill: walks the cluster's sorted free-capacity
+    /// index (maintained incrementally on every grant/release) in exactly
+    /// the order [`Planner::plan_greedy`] would have produced by scanning
+    /// and sorting, so decisions are identical while candidate selection
+    /// becomes a bounded probe. The range query skips every node whose
+    /// free GPUs cannot host one worker — such nodes fail `fits_in`
+    /// regardless — and packing stops as soon as the gang is complete.
+    fn plan_greedy_indexed(
+        &self,
+        cluster: &Cluster,
+        workers: u32,
+        per_worker: ResourceVec,
+        spread: bool,
+        stats: &mut PlanStats,
+    ) -> Option<Vec<NodeId>> {
+        let mut assignment = Vec::with_capacity(workers as usize);
+        if spread {
+            // Round-robin across the emptiest nodes: one worker per node
+            // first, wrapping only when every node has taken one.
+            let mut remaining: Vec<(NodeId, ResourceVec)> = Vec::new();
+            for (_, _, id) in cluster.free_index_from(per_worker.gpus).rev() {
+                stats.free_index_probes += 1;
+                // tacc-lint: allow(panic-surface, reason = "the free-capacity index holds only live node ids; a miss would mean the index desynced from the cluster it mirrors")
+                let free = cluster.node(id).expect("indexed node exists").free();
+                if per_worker.fits_in(&free) {
+                    remaining.push((id, free));
+                }
+            }
+            let mut placed = 0;
+            while placed < workers {
+                let mut progressed = false;
+                for (id, free) in remaining.iter_mut() {
+                    if placed == workers {
+                        break;
+                    }
+                    if per_worker.fits_in(free) {
+                        assignment.push(*id);
+                        *free -= per_worker;
+                        placed += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    return None;
+                }
+            }
+        } else {
+            // Packing: exhaust each node before moving to the next.
+            for (_, _, id) in cluster.free_index_from(per_worker.gpus) {
+                stats.free_index_probes += 1;
+                // tacc-lint: allow(panic-surface, reason = "the free-capacity index holds only live node ids; a miss would mean the index desynced from the cluster it mirrors")
+                let mut free = cluster.node(id).expect("indexed node exists").free();
+                while assignment.len() < workers as usize && per_worker.fits_in(&free) {
+                    assignment.push(id);
+                    free -= per_worker;
+                }
+                if assignment.len() == workers as usize {
+                    break;
+                }
+            }
+            if assignment.len() < workers as usize {
+                return None;
+            }
+        }
+        Some(assignment)
+    }
+
     /// Topology-aware: single node → single rack → fewest racks (greedy by
-    /// rack free capacity), packing within each tier.
+    /// rack free capacity), packing within each tier. With `use_index` the
+    /// single-node tier and the cluster-wide fallback walk the sorted
+    /// free-capacity index instead of scanning every node (identical
+    /// decisions, bounded probes).
     fn plan_topology(
         &self,
         cluster: &Cluster,
         workers: u32,
         per_worker: ResourceVec,
+        use_index: bool,
         stats: &mut PlanStats,
     ) -> Option<Vec<NodeId>> {
-        // Tier 1: whole gang on one node.
-        stats.nodes_scanned += cluster.node_count() as u64;
-        let mut single: Vec<NodeId> = cluster
-            .nodes()
-            .filter(|n| n.is_schedulable())
-            .filter(|n| {
-                let mut free = n.free();
-                let mut fit = 0;
-                while per_worker.fits_in(&free) && fit < workers {
-                    free -= per_worker;
-                    fit += 1;
+        let gang_fits_whole = |free: ResourceVec| {
+            let mut free = free;
+            let mut fit = 0;
+            while per_worker.fits_in(&free) && fit < workers {
+                free -= per_worker;
+                fit += 1;
+            }
+            fit == workers
+        };
+        // Tier 1: whole gang on one node; among feasible nodes pick the
+        // fullest (min free GPUs), node id breaking ties.
+        if use_index {
+            let total_gpus = per_worker.gpus.saturating_mul(workers);
+            let mut best: Option<NodeId> = None;
+            let mut best_gpus: Option<u32> = None;
+            for (gpus, _, id) in cluster.free_index_from(total_gpus) {
+                stats.free_index_probes += 1;
+                if best_gpus.is_some_and(|g| gpus > g) {
+                    // A lower-free-GPU group already produced a feasible
+                    // node; later groups cannot beat it.
+                    break;
                 }
-                fit == workers
-            })
-            .map(|n| n.id())
-            .collect();
-        // Among feasible single nodes, pick the fullest (pack).
-        single.sort_by_key(|&id| {
-            let n = cluster.node(id).expect("listed node exists");
-            (n.free().gpus, id)
-        });
-        if let Some(&node) = single.first() {
-            return Some(vec![node; workers as usize]);
+                // tacc-lint: allow(panic-surface, reason = "the free-capacity index holds only live node ids; a miss would mean the index desynced from the cluster it mirrors")
+                let free = cluster.node(id).expect("indexed node exists").free();
+                if gang_fits_whole(free) {
+                    best_gpus = Some(gpus);
+                    best = Some(match best {
+                        Some(b) if b < id => b,
+                        _ => id,
+                    });
+                }
+            }
+            if let Some(node) = best {
+                return Some(vec![node; workers as usize]);
+            }
+        } else {
+            stats.nodes_scanned += cluster.node_count() as u64;
+            let mut single: Vec<NodeId> = cluster
+                .nodes()
+                .filter(|n| n.is_schedulable())
+                .filter(|n| gang_fits_whole(n.free()))
+                .map(|n| n.id())
+                .collect();
+            // Among feasible single nodes, pick the fullest (pack).
+            single.sort_by_key(|&id| {
+                let n = cluster.node(id).expect("listed node exists");
+                (n.free().gpus, id)
+            });
+            if let Some(&node) = single.first() {
+                return Some(vec![node; workers as usize]);
+            }
         }
 
         // Tier 2: whole gang within one rack. Racks tried in ascending
@@ -276,7 +383,11 @@ impl Planner {
 
         // Tier 3: fall back to cluster-wide packing (minimizes nodes, which
         // correlates with fewer racks).
-        self.plan_greedy(cluster, workers, per_worker, false, stats)
+        if use_index {
+            self.plan_greedy_indexed(cluster, workers, per_worker, false, stats)
+        } else {
+            self.plan_greedy(cluster, workers, per_worker, false, stats)
+        }
     }
 
     /// Packs a gang into an explicit node subset, or `None`.
@@ -465,6 +576,60 @@ mod tests {
         assert_eq!(shares.len(), 2);
         let mut c2 = c.clone();
         c2.allocate(1, &shares).expect("plan is allocatable");
+    }
+
+    /// The index-backed gated paths must make byte-identical decisions to
+    /// the ungated full-scan reference across randomized occupancy,
+    /// drains, and resource shapes (including CPU/memory-skewed demands
+    /// that are not part of the index key).
+    #[test]
+    fn indexed_and_scanning_paths_agree() {
+        let mut state: u64 = 0xDEAD_BEEF_CAFE_1234;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for case in 0..150u64 {
+            let mut c = Cluster::new(ClusterSpec::uniform(2, 4, GpuModel::A100, 8));
+            // Random occupancy, with CPU/memory-heavy shares so that
+            // nodes with equal free GPUs differ in the other dimensions.
+            for _ in 0..(rng() % 12) {
+                let node = NodeId::from_index((rng() % 8) as usize);
+                let share = ResourceVec::new(
+                    (rng() % 5) as u32,
+                    (rng() % 40) as u32,
+                    (rng() % 300) as u32,
+                );
+                let _ = c.allocate(rng(), &[(node, share)]);
+            }
+            if case % 3 == 0 {
+                c.drain(NodeId::from_index((rng() % 8) as usize));
+            }
+            for strategy in [
+                PlacementStrategy::Pack,
+                PlacementStrategy::Spread,
+                PlacementStrategy::TopologyAware,
+            ] {
+                let planner = Planner::new(strategy);
+                for (workers, per_worker) in [
+                    (1, ResourceVec::gpus_only(1)),
+                    (2, ResourceVec::gpus_only(4)),
+                    (4, ResourceVec::gpus_only(8)),
+                    (3, ResourceVec::new(1, 10, 60)),
+                    (2, ResourceVec::new(0, 12, 0)),
+                ] {
+                    let mut stats = PlanStats::default();
+                    let gated = planner.plan_counted(&c, workers, per_worker, &mut stats);
+                    let ungated = planner.plan_ungated(&c, workers, per_worker);
+                    assert_eq!(
+                        gated, ungated,
+                        "case {case}: {strategy} diverged for {workers}x{per_worker:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -140,6 +140,7 @@ pub struct Scheduler {
     scratch_skips: Vec<JobSkip>,
     scratch_started: Vec<JobId>,
     scratch_preempted: Vec<JobId>,
+    pub(crate) scratch_reservations: Vec<crate::backfill::Reservation>,
     /// The reclaim pre-check's hypothetical cluster (all borrowers evicted),
     /// cached with the [`Cluster::version`] it was derived from. Valid for
     /// as long as the scheduler keeps seeing that same cluster unmutated —
@@ -211,6 +212,20 @@ pub struct WorkCounters {
     /// Temporal-planner effort: slot splits, interval intersections, and
     /// full timeline rebuilds.
     pub slots: SlotStats,
+    /// Arena slots newly allocated (job slots plus lease slots). The
+    /// scheduler itself reports zero; `Platform::work_counters()` fills
+    /// these platform-layer structural counters when merging.
+    pub arena_alloc: u64,
+    /// Lease-arena slots recycled from the free list instead of grown.
+    pub arena_reuse: u64,
+    /// Incremental re-keyings of the cluster's sorted free-capacity
+    /// index (lease grant/release/drain/undrain). Platform-filled.
+    pub free_index_updates: u64,
+    /// Events placed directly into a calendar-wheel bucket. Platform-filled.
+    pub wheel_insert: u64,
+    /// Events migrated from the wheel's overflow heap into buckets when
+    /// the cursor advanced past its window. Platform-filled.
+    pub wheel_cascade: u64,
 }
 
 /// Compact fingerprint of one walk outcome for a queued job, compared
@@ -284,6 +299,7 @@ impl Scheduler {
             scratch_skips: Vec::new(),
             scratch_started: Vec::new(),
             scratch_preempted: Vec::new(),
+            scratch_reservations: Vec::new(),
             reclaim_cache: None,
             timeline: SlotSet::new(),
             timeline_version: None,

@@ -117,7 +117,8 @@ impl Scheduler {
             "queue membership set diverged from the queue"
         );
 
-        let mut reservations: Vec<Reservation> = Vec::new();
+        let mut reservations: Vec<Reservation> = std::mem::take(&mut self.scratch_reservations);
+        reservations.clear();
         // Skip records accumulate into a recycled buffer (handed back by
         // the trace ring at push time once it is warm).
         let mut skips = std::mem::take(&mut self.scratch_skips);
@@ -151,10 +152,8 @@ impl Scheduler {
 
             // 1. Quota gate.
             if !self.quota.admits(self.config.quota, request) {
-                self.record_skip(
-                    &mut skips,
-                    pos,
-                    JobSkip {
+                if self.skip_should_record(pos, request.id, SkipVerdict::Quota) {
+                    skips.push(JobSkip {
                         job: request.id,
                         reason: SkipReason::QuotaExhausted {
                             group: request.group,
@@ -162,9 +161,8 @@ impl Scheduler {
                             quota: self.quota.quota(request.group),
                             demand: request.total_gpus(),
                         },
-                    },
-                    SkipVerdict::Quota,
-                );
+                    });
+                }
                 // Blocked on quota, not capacity: holds no capacity
                 // reservation. Under no-backfill the queue is strictly
                 // ordered, so later jobs stall behind it anyway.
@@ -189,23 +187,19 @@ impl Scheduler {
                         .all(|r| may_backfill(est_end, request.total_gpus(), r)),
                 };
                 if !permitted {
-                    let blocking = reservations
-                        .iter()
-                        .find(|r| !may_backfill(est_end, request.total_gpus(), r))
-                        .unwrap_or(&reservations[0]);
-                    let shadow_secs = blocking.shadow_secs;
-                    self.record_skip(
-                        &mut skips,
-                        pos,
-                        JobSkip {
+                    if self.skip_should_record(pos, request.id, SkipVerdict::Backfill) {
+                        let blocking = reservations
+                            .iter()
+                            .find(|r| !may_backfill(est_end, request.total_gpus(), r))
+                            .unwrap_or(&reservations[0]);
+                        skips.push(JobSkip {
                             job: request.id,
                             reason: SkipReason::BackfillBlocked {
                                 est_end_secs: est_end,
-                                shadow_secs,
+                                shadow_secs: blocking.shadow_secs,
                             },
-                        },
-                        SkipVerdict::Backfill,
-                    );
+                        });
+                    }
                     if self.config.backfill == BackfillMode::Conservative {
                         self.push_reservation(now_secs, request, cluster, &mut reservations);
                     }
@@ -239,10 +233,8 @@ impl Scheduler {
                 }
                 None => {
                     // Capacity-blocked.
-                    self.record_skip(
-                        &mut skips,
-                        pos,
-                        JobSkip {
+                    if self.skip_should_record(pos, request.id, SkipVerdict::NoPlacement) {
+                        skips.push(JobSkip {
                             job: request.id,
                             reason: SkipReason::NoFeasiblePlacement {
                                 workers: request.workers,
@@ -250,9 +242,8 @@ impl Scheduler {
                                 free_gpus: cluster.free_gpus(),
                                 largest_free_block: cluster.largest_free_block(),
                             },
-                        },
-                        SkipVerdict::NoPlacement,
-                    );
+                        });
+                    }
                     match self.config.backfill {
                         BackfillMode::None => {
                             self.skip_tail_live(&mut skips, &mut examined, request.id);
@@ -278,6 +269,7 @@ impl Scheduler {
         }
         self.walk_active = false;
         self.walk_inserted.clear();
+        self.scratch_reservations = reservations;
 
         // The walk examined exactly the round-start queue and pushed one
         // ledger entry per examined position; the ledger becomes the
@@ -397,31 +389,29 @@ impl Scheduler {
         ));
     }
 
-    /// Appends `skip` to the round's skip list only when the previous
-    /// walk examined a *different* job at this position, or the same job
-    /// with a different verdict. Re-deciding the same "why not" round
-    /// after round is pure work — the trace ring and `why` explanations
-    /// only gain information when something changes, and in a stable
-    /// blocked queue nothing does. One positional compare replaces a
-    /// per-job map; suppressed repeats are counted so the work ledger
-    /// still proves the gate ran.
-    fn record_skip(
-        &mut self,
-        skips: &mut Vec<JobSkip>,
-        pos: usize,
-        skip: JobSkip,
-        verdict: SkipVerdict,
-    ) {
+    /// Decides whether this position's skip goes into the round's skip
+    /// list: only when the previous walk examined a *different* job at
+    /// this position, or the same job with a different verdict.
+    /// Re-deciding the same "why not" round after round is pure work —
+    /// the trace ring and `why` explanations only gain information when
+    /// something changes, and in a stable blocked queue nothing does. One
+    /// positional compare replaces a per-job map; suppressed repeats are
+    /// counted so the work ledger still proves the gate ran. Returning
+    /// the decision (instead of taking a pre-built [`JobSkip`]) lets the
+    /// caller defer the skip-reason lookups — quota totals, the blocking
+    /// reservation — to the recorded minority.
+    fn skip_should_record(&mut self, pos: usize, job: JobId, verdict: SkipVerdict) -> bool {
         let unchanged = self
             .scratch_verdicts
             .get(pos)
-            .is_some_and(|&(id, v)| id == skip.job && v == verdict);
-        self.scratch_verdicts_next.push((skip.job, verdict));
+            .is_some_and(|&(id, v)| id == job && v == verdict);
+        self.scratch_verdicts_next.push((job, verdict));
         if unchanged {
             self.counters.skip_suppressions += 1;
+            false
         } else {
             self.counters.skip_records += 1;
-            skips.push(skip);
+            true
         }
     }
 
@@ -440,15 +430,12 @@ impl Scheduler {
             }
             let pos = *examined;
             *examined += 1;
-            self.record_skip(
-                skips,
-                pos,
-                JobSkip {
+            if self.skip_should_record(pos, job, SkipVerdict::HeadOfLine { behind }) {
+                skips.push(JobSkip {
                     job,
                     reason: SkipReason::HeadOfLineBlocked { behind },
-                },
-                SkipVerdict::HeadOfLine { behind },
-            );
+                });
+            }
         }
     }
 

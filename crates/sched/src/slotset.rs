@@ -2,14 +2,25 @@
 //!
 //! A [`SlotSet`] is a time-ordered sequence of *slots*. Each slot spans
 //! `[begin, next.begin)` (the first slot opens at `-inf`, the last closes
-//! at `+inf`) and holds the [`ProcSet`] of abstract GPU-slot ids expected
-//! to be free throughout that span. Placing a job *splits* the slot at the
-//! job's estimated end and *subtracts* the job's id block from every slot
-//! it occupies; a finish adds the block back and re-merges boundaries that
+//! at `+inf`) and holds the count of abstract GPU slots expected to be
+//! free throughout that span. Placing a job *splits* the slot at the
+//! job's estimated end and *subtracts* its gang size from every slot it
+//! occupies; a finish adds the count back and re-merges boundaries that
 //! no longer separate distinct states. Conservative-backfill reservation
 //! probing then becomes a walk over a handful of slots — interval
 //! intersection — instead of a collect-and-sort over the whole running
 //! set each round.
+//!
+//! Slots once carried full [`ProcSet`] id intervals (OAR's resource
+//! representation). Probing, placement and the rebuild fingerprint only
+//! ever consume *counts* — the subset-chain invariant guarantees a
+//! claim's ids are present in every slot it touches, so subtracting a
+//! contained id block changes a slot's cardinality by exactly the block
+//! size — and the id-level merges dominated the hot-path profile (union/
+//! subtract were over half the contended-borrowing wall). The planner
+//! therefore stores the cardinalities directly; [`SlotSet::proc_view`]
+//! still exposes each slot as a canonical `[0, free)` [`ProcSet`] so the
+//! property suites keep checking the (count-level) subset chain.
 //!
 //! Planned capacity changes ride along as OAR's `available_upto`
 //! pseudo-job trick: a [`CapacityWindow`] pins boundaries at its edges and
@@ -20,12 +31,12 @@
 //!
 //! * Slots are strictly time-sorted, non-overlapping, and exactly
 //!   partition `(-inf, +inf)` — every instant belongs to exactly one slot.
-//! * Claims only ever subtract a prefix-in-time (`(-inf, until)`), so slot
-//!   procsets form a subset chain: an earlier slot's free set is contained
-//!   in every later slot's.
-//! * The earliest slot's free set always has exactly the cluster's
-//!   currently free GPU count — the planner assigns fresh claims the
-//!   lowest free ids from it.
+//! * Claims only ever subtract a prefix-in-time (`(-inf, until)`), so free
+//!   counts are monotone non-decreasing in time — the count-level image of
+//!   OAR's subset chain (an earlier slot's free set is contained in every
+//!   later slot's).
+//! * The earliest slot's free count always equals the cluster's currently
+//!   free GPU count — fresh claims draw from it.
 //! * A boundary exists iff some active claim releases there or a window
 //!   edge lands there; [`release`](SlotSet::release) merges everything
 //!   else away, bounding the slot count by the active claim count.
@@ -71,12 +82,12 @@ pub struct SlotStats {
     pub rebuilds: u64,
 }
 
-/// One time slot: the free procset over `[begin_secs, next slot's begin)`.
+/// One time slot: the free capacity over `[begin_secs, next slot's begin)`.
 #[derive(Debug, Clone, PartialEq)]
 struct Slot {
     begin_secs: f64,
-    /// Ids free throughout this slot.
-    procs: ProcSet,
+    /// GPU slots free throughout this slot (before window drops).
+    free: u32,
     /// Capacity removed from this slot by overlapping [`CapacityWindow`]s.
     dropped_gpus: u32,
     /// Claims releasing exactly at `begin_secs`, ascending by job id —
@@ -88,7 +99,7 @@ struct Slot {
 #[derive(Debug, Clone, PartialEq)]
 struct Claim {
     until_secs: f64,
-    procs: ProcSet,
+    gpus: u32,
 }
 
 /// The temporal planner. See the module docs for the model and
@@ -112,7 +123,7 @@ impl SlotSet {
         SlotSet {
             slots: vec![Slot {
                 begin_secs: f64::NEG_INFINITY,
-                procs: ProcSet::new(),
+                free: 0,
                 dropped_gpus: 0,
                 releases: Vec::new(),
             }],
@@ -123,8 +134,7 @@ impl SlotSet {
 
     /// Rebuilds the timeline from scratch: `free_gpus` currently free,
     /// `running` as `(id, est_end_secs, gpus)` in ascending id order, and
-    /// the configured capacity windows. Each running claim gets a fresh
-    /// contiguous abstract id block; free capacity takes the ids above.
+    /// the configured capacity windows.
     pub fn rebuild(
         &mut self,
         free_gpus: u32,
@@ -136,13 +146,12 @@ impl SlotSet {
         self.claims.clear();
         self.windows.clear();
         self.windows.extend_from_slice(windows);
-        let mut cursor = 0u32;
+        let mut claimed = 0u32;
         for (id, until_secs, gpus) in running {
-            let procs = ProcSet::from_range(cursor, cursor + gpus);
-            cursor += gpus;
-            self.claims.insert(id, Claim { until_secs, procs });
+            claimed += gpus;
+            self.claims.insert(id, Claim { until_secs, gpus });
         }
-        let base_end = cursor + free_gpus;
+        let base_end = claimed + free_gpus;
 
         let mut bounds: Vec<f64> = vec![f64::NEG_INFINITY];
         bounds.extend(self.claims.values().map(|c| c.until_secs));
@@ -158,13 +167,13 @@ impl SlotSet {
         self.slots.clear();
         for &begin_secs in &bounds {
             stats.intersections += 1;
-            let mut procs = ProcSet::from_range(0, base_end);
+            let mut free = base_end;
             let mut releases = Vec::new();
             for (id, claim) in &self.claims {
                 if claim.until_secs > begin_secs {
-                    procs.subtract(&claim.procs);
+                    free -= claim.gpus;
                 } else if claim.until_secs == begin_secs {
-                    releases.push((*id, claim.procs.len()));
+                    releases.push((*id, claim.gpus));
                 }
             }
             let dropped_gpus = self
@@ -175,15 +184,15 @@ impl SlotSet {
                 .sum();
             self.slots.push(Slot {
                 begin_secs,
-                procs,
+                free,
                 dropped_gpus,
                 releases,
             });
         }
     }
 
-    /// Records a placement: `gpus` taken from the lowest free ids of the
-    /// earliest slot, occupied on every slot before `until_secs`, released
+    /// Records a placement: `gpus` drawn from the earliest slot's free
+    /// capacity, occupied on every slot before `until_secs`, released
     /// there. Splits the slot containing `until_secs` when that boundary
     /// does not exist yet.
     pub fn place(&mut self, id: JobId, gpus: u32, until_secs: f64, stats: &mut SlotStats) {
@@ -192,35 +201,42 @@ impl SlotSet {
             "duplicate timeline claim for {id}"
         );
         self.split_at(until_secs, stats);
-        let procs = match self.slots.first() {
-            Some(slot) => slot.procs.take_first(gpus),
-            None => ProcSet::new(),
+        // Mirror the id-level take_first: never grant more than the head
+        // slot holds (a shortfall is a caller bug, debug-asserted).
+        let granted = match self.slots.first() {
+            Some(slot) => gpus.min(slot.free),
+            None => 0,
         };
         debug_assert_eq!(
-            procs.len(),
-            gpus,
+            granted, gpus,
             "placement of {id} exceeds the earliest slot's free capacity"
         );
         for slot in &mut self.slots {
             if slot.begin_secs < until_secs {
                 stats.intersections += 1;
-                debug_assert!(slot.procs.contains_set(&procs), "subset chain violated");
-                slot.procs.subtract(&procs);
+                debug_assert!(slot.free >= granted, "free counts not monotone");
+                slot.free -= granted;
             } else {
                 if slot.begin_secs == until_secs {
                     let pos = slot.releases.partition_point(|&(rid, _)| rid < id);
-                    slot.releases.insert(pos, (id, procs.len()));
+                    slot.releases.insert(pos, (id, granted));
                 }
                 break;
             }
         }
-        self.claims.insert(id, Claim { until_secs, procs });
+        self.claims.insert(
+            id,
+            Claim {
+                until_secs,
+                gpus: granted,
+            },
+        );
     }
 
-    /// Removes a claim: its ids return to every slot before its release
-    /// boundary, and boundaries that no longer separate distinct states
-    /// are merged away. Returns `false` (leaving the timeline unchanged)
-    /// when `id` holds no claim.
+    /// Removes a claim: its capacity returns to every slot before its
+    /// release boundary, and boundaries that no longer separate distinct
+    /// states are merged away. Returns `false` (leaving the timeline
+    /// unchanged) when `id` holds no claim.
     pub fn release(&mut self, id: JobId, stats: &mut SlotStats) -> bool {
         let Some(claim) = self.claims.remove(&id) else {
             return false;
@@ -228,7 +244,7 @@ impl SlotSet {
         for slot in &mut self.slots {
             if slot.begin_secs < claim.until_secs {
                 stats.intersections += 1;
-                slot.procs.union(&claim.procs);
+                slot.free += claim.gpus;
             } else {
                 if slot.begin_secs == claim.until_secs {
                     slot.releases.retain(|&(rid, _)| rid != id);
@@ -272,7 +288,7 @@ impl SlotSet {
             return (now_secs, free_gpus - demand_gpus);
         }
         debug_assert_eq!(
-            self.slots.first().map(|s| s.procs.len()),
+            self.slots.first().map(|s| s.free),
             Some(free_gpus),
             "timeline head out of sync with the cluster's free capacity"
         );
@@ -292,7 +308,7 @@ impl SlotSet {
                     }
                 }
             }
-            let avail = slot.procs.len().saturating_sub(slot.dropped_gpus);
+            let avail = slot.free.saturating_sub(slot.dropped_gpus);
             if avail >= demand_gpus {
                 return (slot.begin_secs.max(now_secs), avail - demand_gpus);
             }
@@ -310,7 +326,7 @@ impl SlotSet {
     /// Ensures a boundary exists at `t_secs`, splitting the containing
     /// slot when needed. Window coverage is constant strictly inside a
     /// slot (window edges are permanent boundaries), so both halves keep
-    /// the slot's procset and drop.
+    /// the slot's free count and drop.
     fn split_at(&mut self, t_secs: f64, stats: &mut SlotStats) {
         let idx = self.slots.partition_point(|s| s.begin_secs <= t_secs);
         let Some(i) = idx.checked_sub(1) else {
@@ -325,7 +341,7 @@ impl SlotSet {
         stats.splits += 1;
         let clone = Slot {
             begin_secs: t_secs,
-            procs: slot.procs.clone(),
+            free: slot.free,
             dropped_gpus: slot.dropped_gpus,
             releases: Vec::new(),
         };
@@ -348,7 +364,7 @@ impl SlotSet {
             if needed {
                 i += 1;
             } else {
-                debug_assert_eq!(self.slots[i - 1].procs, self.slots[i].procs);
+                debug_assert_eq!(self.slots[i - 1].free, self.slots[i].free);
                 debug_assert_eq!(self.slots[i - 1].dropped_gpus, self.slots[i].dropped_gpus);
                 self.slots.remove(i);
             }
@@ -377,28 +393,27 @@ impl SlotSet {
                     .slots
                     .get(i + 1)
                     .map_or(f64::INFINITY, |n| n.begin_secs);
-                (
-                    s.begin_secs,
-                    end,
-                    s.procs.len().saturating_sub(s.dropped_gpus),
-                )
+                (s.begin_secs, end, s.free.saturating_sub(s.dropped_gpus))
             })
             .collect()
     }
 
-    /// The free procset of each slot, in time order (the property suites
-    /// check the subset chain on these).
+    /// The free capacity of each slot as a canonical `[0, free)`
+    /// [`ProcSet`], in time order. The property suites check the subset
+    /// chain on these: with canonical sets, containment is exactly the
+    /// monotone-free-count invariant.
     pub fn proc_view(&self) -> Vec<ProcSet> {
-        self.slots.iter().map(|s| s.procs.clone()).collect()
+        self.slots
+            .iter()
+            .map(|s| ProcSet::from_range(0, s.free))
+            .collect()
     }
 
     /// Canonical count-level fingerprint: per-slot `(begin, free, dropped,
     /// releases)` plus per-claim `(id, until, gpus)`. Two timelines with
-    /// the same fingerprint answer every probe identically. This is the
-    /// right equivalence for comparing incremental maintenance against a
-    /// fresh rebuild — the *abstract id assignment* legitimately differs
-    /// (rebuild numbers claims in id order, incremental placement in
-    /// arrival order), and probing never looks at concrete ids.
+    /// the same fingerprint answer every probe identically — counts are
+    /// the complete probe-visible state, which is also why the planner can
+    /// store them directly instead of id intervals.
     #[allow(clippy::type_complexity)]
     pub fn fingerprint(
         &self,
@@ -409,18 +424,11 @@ impl SlotSet {
         (
             self.slots
                 .iter()
-                .map(|s| {
-                    (
-                        s.begin_secs,
-                        s.procs.len(),
-                        s.dropped_gpus,
-                        s.releases.clone(),
-                    )
-                })
+                .map(|s| (s.begin_secs, s.free, s.dropped_gpus, s.releases.clone()))
                 .collect(),
             self.claims
                 .iter()
-                .map(|(id, c)| (*id, c.until_secs, c.procs.len()))
+                .map(|(id, c)| (*id, c.until_secs, c.gpus))
                 .collect(),
         )
     }
@@ -608,8 +616,7 @@ mod tests {
                     (naive.shadow_secs, naive.extra_gpus),
                     "probe diverged from the naive sweep (case {case}, step {step})"
                 );
-                // Structural equivalence against a fresh rebuild (count
-                // level: the abstract id assignment legitimately differs).
+                // Structural equivalence against a fresh rebuild.
                 let mut fresh = SlotSet::new();
                 let mut scratch = SlotStats::default();
                 fresh.rebuild(free, running.iter().copied(), windows, &mut scratch);

@@ -11,7 +11,9 @@
 //!   seconds, so wall-clock time can never leak into a simulation.
 //! * [`EventQueue`] — a priority queue of timestamped events with a strict,
 //!   documented tie-break (same-time events pop in scheduling order), so a
-//!   given seed always produces the identical execution.
+//!   given seed always produces the identical execution. Internally a
+//!   calendar-queue event wheel; [`HeapEventQueue`] keeps the original
+//!   `BinaryHeap` implementation as the differential oracle.
 //! * [`Clock`] — a monotonic virtual clock advanced by the simulation driver.
 //! * [`SeedStream`] and the [`dist`] module — reproducible random streams
 //!   (built on [`DetRng`], a fully safe xoshiro256++ generator) and the
@@ -53,7 +55,7 @@ mod prng;
 mod rng;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue, WheelStats};
 pub use prng::DetRng;
 pub use rng::SeedStream;
 pub use time::{Clock, SimDuration, SimTime};
@@ -66,4 +68,5 @@ const _: () = {
     sendable::<SeedStream>();
     sendable::<Clock>();
     sendable::<EventQueue<u64>>();
+    sendable::<HeapEventQueue<u64>>();
 };
