@@ -1,0 +1,158 @@
+//! The service-mode benchmark driver: spin up (or attach to) a `taccd`
+//! daemon, drive concurrent submission load through the real socket
+//! transport, and write `BENCH_service.json`.
+//!
+//! ```text
+//! service [OPTIONS]
+//!
+//!   --clients N     concurrent client connections (default 8, min 8 for
+//!                   the committed report)
+//!   --requests N    submissions per client (default 250)
+//!   --socket PATH   attach to an already-running daemon instead of
+//!                   starting an in-process one
+//!   --journal PATH  journal path for the in-process daemon (default:
+//!                   a fresh file under the system temp dir)
+//!   --out PATH      report path (default BENCH_service.json; "none"
+//!                   disables)
+//! ```
+//!
+//! With no `--socket`, an in-process daemon is started on a temp socket
+//! with a fresh journal, so `cargo run -p tacc-bench --bin service` is a
+//! one-command benchmark. Every submission in the measured path is
+//! journalled and fsynced before its acknowledgement — the numbers are
+//! durable-admission numbers, not in-memory ones.
+
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tacc_bench::service::{self, ServiceBenchConfig};
+use tacc_taccd::{ClockMode, Daemon, DaemonConfig, EngineConfig};
+
+struct Options {
+    clients: usize,
+    requests: usize,
+    socket: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        clients: 8,
+        requests: 250,
+        socket: None,
+        journal: None,
+        out: "BENCH_service.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => {
+                let v = args.next().ok_or("--clients needs a value")?;
+                opts.clients = v.parse().map_err(|_| format!("bad --clients `{v}`"))?;
+            }
+            "--requests" => {
+                let v = args.next().ok_or("--requests needs a value")?;
+                opts.requests = v.parse().map_err(|_| format!("bad --requests `{v}`"))?;
+            }
+            "--socket" => {
+                opts.socket = Some(PathBuf::from(args.next().ok_or("--socket needs a path")?))
+            }
+            "--journal" => {
+                opts.journal = Some(PathBuf::from(args.next().ok_or("--journal needs a path")?))
+            }
+            "--out" => opts.out = args.next().ok_or("--out needs a path")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Attach to a live daemon, or start one in-process on a temp socket.
+    let (socket, daemon) = match &opts.socket {
+        Some(path) => (path.clone(), None),
+        None => {
+            let mut socket = std::env::temp_dir();
+            socket.push(format!("tacc-service-bench-{}.sock", std::process::id()));
+            let journal = opts.journal.clone().unwrap_or_else(|| {
+                let mut p = std::env::temp_dir();
+                p.push(format!("tacc-service-bench-{}.journal", std::process::id()));
+                std::fs::remove_file(&p).ok();
+                p
+            });
+            let config = DaemonConfig {
+                socket: socket.clone(),
+                engine: EngineConfig {
+                    journal,
+                    platform: tacc_core::PlatformConfig::default(),
+                    clock: ClockMode::Logical,
+                },
+            };
+            match Daemon::start(config) {
+                Ok((daemon, _report)) => (socket, Some(daemon)),
+                Err(e) => {
+                    eprintln!("error: could not start in-process daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let config = ServiceBenchConfig {
+        clients: opts.clients,
+        requests_per_client: opts.requests,
+        socket,
+    };
+    println!(
+        "service bench: {} clients x {} submissions against {}",
+        config.clients,
+        config.requests_per_client,
+        config.socket.display()
+    );
+    let result = match service::run_load(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "acknowledged {} submissions in {:.2}s — {:.0} submissions/sec sustained",
+        result.acknowledged, result.wall_secs, result.submissions_per_sec
+    );
+    println!(
+        "admission latency: p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms ({} error(s))",
+        result.p50_ms, result.p99_ms, result.max_ms, result.errors
+    );
+
+    if let Some(daemon) = daemon {
+        daemon.stop();
+    }
+
+    if opts.out != "none" {
+        let doc = service::report_json(&result);
+        match std::fs::write(&opts.out, doc.to_pretty()) {
+            Ok(()) => println!("wrote {}", opts.out),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", opts.out);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if result.errors > 0 {
+        eprintln!("{} request(s) failed", result.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

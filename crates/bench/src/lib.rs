@@ -25,6 +25,7 @@
 //! | `exp_t6` | T6 — heterogeneous GPU pools |
 //! | `exp_t7` | T7 — ML Productivity Goodput decomposition |
 //! | `cargo bench` | T4 — scheduler/allocator/cache/comm/engine latency |
+//! | `service` | Service mode — durable-admission throughput/latency against a live `taccd` (BENCH_service.json) |
 //!
 //! The `exp_*` binaries are thin shims over the [`registry`]: each
 //! experiment body lives in [`experiments`] as a pure
@@ -53,6 +54,7 @@ pub mod hotpath;
 pub mod json;
 pub mod registry;
 pub mod report;
+pub mod service;
 
 pub use tacc_par as par;
 

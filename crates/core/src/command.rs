@@ -1,0 +1,891 @@
+//! The command side of the event-sourced platform: every external
+//! mutation of a [`Platform`] — a `tcloud` submission, a cancel, an
+//! operator drain, a fault injection, a reservation, a time advance —
+//! is a serializable [`Command`] applied through one entry point,
+//! [`Platform::apply_command`].
+//!
+//! The split matters for service mode: the `taccd` daemon validates and
+//! timestamps commands into a write-ahead journal *before* applying
+//! them, and crash recovery replays the journal through the very same
+//! `apply_record` path. Because the platform is deterministic, a replay
+//! of the journalled command stream byte-reproduces the lifecycle
+//! engine's transition log. Internal DES events
+//! ([`crate::platform::Event`]) are unchanged — commands are the
+//! *external* ingestion surface layered on top of them.
+
+use tacc_cluster::NodeId;
+use tacc_sched::CapacityWindow;
+use tacc_sim::SimTime;
+use tacc_workload::{
+    GroupId, JobId, ModelProfile, QosClass, RuntimeEnv, RuntimePreference, TaskKind, TaskSchema,
+};
+
+use std::fmt;
+
+use crate::platform::Platform;
+use crate::wire::{obj, Json};
+
+/// An external request to mutate the platform, in serializable form.
+///
+/// Commands are what clients send and what the `taccd` journal stores;
+/// they are validated (`apply_command` rejects malformed ones with a
+/// typed [`CommandError`]) and deterministic to apply at a given
+/// simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Submit a task at the current platform time.
+    Submit {
+        /// The task schema.
+        schema: TaskSchema,
+        /// Oracle service requirement in seconds (ideal-execution time).
+        service_secs: f64,
+    },
+    /// Cancel a job (no-op if it already reached a terminal state).
+    Cancel {
+        /// The job to cancel.
+        job: JobId,
+    },
+    /// Reserve GPU capacity in advance: withhold `gpus` from the
+    /// scheduler's availability profile over `[from_secs, until_secs)`.
+    Reserve {
+        /// GPUs to withhold.
+        gpus: u32,
+        /// Window start, seconds (absolute platform time).
+        from_secs: f64,
+        /// Window end, seconds (`f64::INFINITY` for open-ended).
+        until_secs: f64,
+    },
+    /// Inject a fault on a node: every run currently placed there takes
+    /// a node-failure hit (failover or fail, per policy).
+    FaultNode {
+        /// Node index.
+        node: u32,
+    },
+    /// Drain a node for maintenance (running leases finish, nothing new
+    /// is placed).
+    Drain {
+        /// Node index.
+        node: u32,
+    },
+    /// Return a drained node to service.
+    Undrain {
+        /// Node index.
+        node: u32,
+    },
+    /// Advance the platform clock by `secs`, processing due events.
+    Advance {
+        /// Seconds to advance (non-negative, finite).
+        secs: f64,
+    },
+}
+
+impl Command {
+    /// Stable wire tag for this command kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::Submit { .. } => "submit",
+            Command::Cancel { .. } => "cancel",
+            Command::Reserve { .. } => "reserve",
+            Command::FaultNode { .. } => "fault-node",
+            Command::Drain { .. } => "drain",
+            Command::Undrain { .. } => "undrain",
+            Command::Advance { .. } => "advance",
+        }
+    }
+}
+
+/// One journalled command: the command plus the daemon-assigned sequence
+/// number and timestamp. Replaying records in sequence order through
+/// [`Platform::apply_record`] reconstructs the exact platform state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandRecord {
+    /// Monotone journal sequence number (0-based).
+    pub seq: u64,
+    /// Platform time the command was applied at, seconds.
+    pub at_secs: f64,
+    /// The command itself.
+    pub command: Command,
+}
+
+/// What applying a command did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutcome {
+    /// A job was minted for the submission.
+    Submitted {
+        /// The new job's id.
+        job: JobId,
+    },
+    /// Cancellation was delivered. `applied` is `false` when the job had
+    /// already reached a terminal state (cancel is then a no-op).
+    Cancelled {
+        /// The cancelled job.
+        job: JobId,
+        /// Whether the job actually left the system because of this.
+        applied: bool,
+    },
+    /// The reservation window was registered with the planner.
+    Reserved,
+    /// The node fault was delivered; `jobs` are the runs it hit.
+    NodeFaulted {
+        /// The faulted node.
+        node: NodeId,
+        /// Jobs whose active run was on the node, in id order.
+        jobs: Vec<JobId>,
+    },
+    /// The node is now draining.
+    Drained {
+        /// The drained node.
+        node: NodeId,
+    },
+    /// The node is back in service.
+    Undrained {
+        /// The restored node.
+        node: NodeId,
+    },
+    /// The clock advanced; `now_secs` is the new platform time.
+    Advanced {
+        /// Platform time after the advance, seconds.
+        now_secs: f64,
+    },
+}
+
+/// Why a command was rejected. Every variant is a client error: the
+/// platform state is unchanged and the command must not be journalled.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CommandError {
+    /// The task schema failed validation (or the service time is not a
+    /// positive finite number, or the group is outside the roster).
+    InvalidTask(String),
+    /// The job id names no job this platform ever minted.
+    UnknownJob(JobId),
+    /// The node index is outside the cluster.
+    UnknownNode(u32),
+    /// The reservation window is malformed (zero/oversized GPU count,
+    /// non-finite start, or an end not after the start).
+    InvalidReservation(String),
+    /// A record's timestamp is earlier than the platform clock — the
+    /// journal is corrupt or out of order.
+    TimeRegression {
+        /// Current platform time, seconds.
+        now_secs: f64,
+        /// The offending record timestamp, seconds.
+        at_secs: f64,
+    },
+    /// The advance amount is negative, NaN or infinite.
+    InvalidAdvance(f64),
+}
+
+impl CommandError {
+    /// Stable wire tag for this error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CommandError::InvalidTask(_) => "invalid-task",
+            CommandError::UnknownJob(_) => "unknown-job",
+            CommandError::UnknownNode(_) => "unknown-node",
+            CommandError::InvalidReservation(_) => "invalid-reservation",
+            CommandError::TimeRegression { .. } => "time-regression",
+            CommandError::InvalidAdvance(_) => "invalid-advance",
+        }
+    }
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::InvalidTask(why) => write!(f, "invalid task: {why}"),
+            CommandError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            CommandError::UnknownNode(n) => write!(f, "unknown node index {n}"),
+            CommandError::InvalidReservation(why) => write!(f, "invalid reservation: {why}"),
+            CommandError::TimeRegression { now_secs, at_secs } => write!(
+                f,
+                "time regression: record stamped t={at_secs}s but the platform is at t={now_secs}s"
+            ),
+            CommandError::InvalidAdvance(secs) => {
+                write!(
+                    f,
+                    "invalid advance of {secs}s: must be finite and non-negative"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl Platform {
+    /// Applies one command at the current platform time.
+    ///
+    /// This is the single external-ingestion entry point: the DES-driven
+    /// harnesses, the `taccd` daemon and journal replay all funnel
+    /// through here, so live operation and crash recovery take literally
+    /// the same code path.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`CommandError`] when validation fails; the platform is
+    /// unchanged in that case.
+    pub fn apply_command(&mut self, command: &Command) -> Result<CommandOutcome, CommandError> {
+        match command {
+            Command::Submit {
+                schema,
+                service_secs,
+            } => {
+                schema.validate().map_err(CommandError::InvalidTask)?;
+                if schema.group.index() >= self.config.roster.len() {
+                    return Err(CommandError::InvalidTask(format!(
+                        "group {} is outside the {}-group roster",
+                        schema.group,
+                        self.config.roster.len()
+                    )));
+                }
+                if !(*service_secs > 0.0 && service_secs.is_finite()) {
+                    return Err(CommandError::InvalidTask(format!(
+                        "service time {service_secs}s must be positive and finite"
+                    )));
+                }
+                let job = self.submit_schema(schema.clone(), *service_secs);
+                Ok(CommandOutcome::Submitted { job })
+            }
+            Command::Cancel { job } => {
+                if self.jobs.get(*job).is_none() {
+                    return Err(CommandError::UnknownJob(*job));
+                }
+                let applied = self.cancel_job(*job);
+                Ok(CommandOutcome::Cancelled { job: *job, applied })
+            }
+            Command::Reserve {
+                gpus,
+                from_secs,
+                until_secs,
+            } => {
+                let total = self.cluster.total_gpus();
+                if *gpus == 0 || *gpus > total {
+                    return Err(CommandError::InvalidReservation(format!(
+                        "{gpus} GPUs (cluster has {total})"
+                    )));
+                }
+                if !from_secs.is_finite() || *from_secs < 0.0 {
+                    return Err(CommandError::InvalidReservation(format!(
+                        "start t={from_secs}s must be finite and non-negative"
+                    )));
+                }
+                // NaN ends must land in the error arm too, so compare
+                // via partial_cmp rather than a negated `>`.
+                if until_secs.partial_cmp(from_secs) != Some(std::cmp::Ordering::Greater) {
+                    return Err(CommandError::InvalidReservation(format!(
+                        "end t={until_secs}s must be after start t={from_secs}s"
+                    )));
+                }
+                self.scheduler.reserve_capacity(CapacityWindow {
+                    gpus: *gpus,
+                    from_secs: *from_secs,
+                    until_secs: *until_secs,
+                });
+                // The availability profile changed; backfill shadows may
+                // now block (or unblock) differently.
+                self.run_round();
+                Ok(CommandOutcome::Reserved)
+            }
+            Command::FaultNode { node } => {
+                if (*node as usize) >= self.cluster.node_count() {
+                    return Err(CommandError::UnknownNode(*node));
+                }
+                let node = NodeId::from_index(*node as usize);
+                let jobs = self.fault_node(node);
+                Ok(CommandOutcome::NodeFaulted { node, jobs })
+            }
+            Command::Drain { node } => {
+                if (*node as usize) >= self.cluster.node_count() {
+                    return Err(CommandError::UnknownNode(*node));
+                }
+                let node = NodeId::from_index(*node as usize);
+                self.drain_node(node);
+                Ok(CommandOutcome::Drained { node })
+            }
+            Command::Undrain { node } => {
+                if (*node as usize) >= self.cluster.node_count() {
+                    return Err(CommandError::UnknownNode(*node));
+                }
+                let node = NodeId::from_index(*node as usize);
+                self.undrain_node(node);
+                Ok(CommandOutcome::Undrained { node })
+            }
+            Command::Advance { secs } => {
+                if !(secs.is_finite() && *secs >= 0.0) {
+                    return Err(CommandError::InvalidAdvance(*secs));
+                }
+                let until = self.clock.now() + tacc_sim::SimDuration::from_secs(*secs);
+                self.run_until(until);
+                Ok(CommandOutcome::Advanced {
+                    now_secs: self.clock.now().as_secs(),
+                })
+            }
+        }
+    }
+
+    /// Replays one journalled record: advances the clock to the record's
+    /// timestamp (processing any due DES events), then applies the
+    /// command — exactly what the daemon did when it first accepted it.
+    ///
+    /// # Errors
+    ///
+    /// [`CommandError::TimeRegression`] when the record is stamped
+    /// before the current platform time (a corrupt or reordered
+    /// journal), or any validation error from
+    /// [`Platform::apply_command`].
+    pub fn apply_record(&mut self, record: &CommandRecord) -> Result<CommandOutcome, CommandError> {
+        let now = self.clock.now().as_secs();
+        if record.at_secs < now {
+            return Err(CommandError::TimeRegression {
+                now_secs: now,
+                at_secs: record.at_secs,
+            });
+        }
+        self.run_until(SimTime::from_secs(record.at_secs));
+        self.apply_command(&record.command)
+    }
+
+    /// The full transition log as JSONL — the byte-reproduction target
+    /// for journal replay (see DESIGN.md, "Service mode & write-ahead
+    /// journal").
+    pub fn transition_log_jsonl(&self) -> String {
+        self.transitions_jsonl()
+    }
+}
+
+// --------------------------------------------------------------------
+// JSON codec (hand-rolled; see crate::wire for why serde is not used)
+// --------------------------------------------------------------------
+
+impl Command {
+    /// Serializes the command to its wire/journal JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Command::Submit {
+                schema,
+                service_secs,
+            } => obj(vec![
+                ("kind", Json::Str("submit".to_owned())),
+                ("service_secs", Json::Num(*service_secs)),
+                ("schema", schema_to_json(schema)),
+            ]),
+            Command::Cancel { job } => obj(vec![
+                ("kind", Json::Str("cancel".to_owned())),
+                ("job", Json::Num(job.value() as f64)),
+            ]),
+            Command::Reserve {
+                gpus,
+                from_secs,
+                until_secs,
+            } => obj(vec![
+                ("kind", Json::Str("reserve".to_owned())),
+                ("gpus", Json::Num(f64::from(*gpus))),
+                ("from_secs", Json::Num(*from_secs)),
+                ("until_secs", Json::Num(*until_secs)),
+            ]),
+            Command::FaultNode { node } => obj(vec![
+                ("kind", Json::Str("fault-node".to_owned())),
+                ("node", Json::Num(f64::from(*node))),
+            ]),
+            Command::Drain { node } => obj(vec![
+                ("kind", Json::Str("drain".to_owned())),
+                ("node", Json::Num(f64::from(*node))),
+            ]),
+            Command::Undrain { node } => obj(vec![
+                ("kind", Json::Str("undrain".to_owned())),
+                ("node", Json::Num(f64::from(*node))),
+            ]),
+            Command::Advance { secs } => obj(vec![
+                ("kind", Json::Str("advance".to_owned())),
+                ("secs", Json::Num(*secs)),
+            ]),
+        }
+    }
+
+    /// Parses a command from its wire/journal JSON value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn from_json(value: &Json) -> Result<Command, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("command missing string field 'kind'")?;
+        match kind {
+            "submit" => {
+                let service_secs = req_f64(value, "service_secs")?;
+                let schema =
+                    schema_from_json(value.get("schema").ok_or("submit missing field 'schema'")?)?;
+                Ok(Command::Submit {
+                    schema,
+                    service_secs,
+                })
+            }
+            "cancel" => Ok(Command::Cancel {
+                job: JobId::from_value(req_u64(value, "job")?),
+            }),
+            "reserve" => Ok(Command::Reserve {
+                gpus: req_u32(value, "gpus")?,
+                from_secs: req_f64(value, "from_secs")?,
+                until_secs: req_f64(value, "until_secs")?,
+            }),
+            "fault-node" => Ok(Command::FaultNode {
+                node: req_u32(value, "node")?,
+            }),
+            "drain" => Ok(Command::Drain {
+                node: req_u32(value, "node")?,
+            }),
+            "undrain" => Ok(Command::Undrain {
+                node: req_u32(value, "node")?,
+            }),
+            "advance" => Ok(Command::Advance {
+                secs: req_f64(value, "secs")?,
+            }),
+            other => Err(format!("unknown command kind '{other}'")),
+        }
+    }
+}
+
+impl CommandRecord {
+    /// Serializes the record to its journal JSON value.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("seq", Json::Num(self.seq as f64)),
+            ("at_secs", Json::Num(self.at_secs)),
+            ("command", self.command.to_json()),
+        ])
+    }
+
+    /// Parses a record from its journal JSON value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn from_json(value: &Json) -> Result<CommandRecord, String> {
+        Ok(CommandRecord {
+            seq: req_u64(value, "seq")?,
+            at_secs: req_f64(value, "at_secs")?,
+            command: Command::from_json(
+                value
+                    .get("command")
+                    .ok_or("record missing field 'command'")?,
+            )?,
+        })
+    }
+}
+
+fn req_f64(value: &Json, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn req_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn req_u32(value: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(req_u64(value, key)?).map_err(|_| format!("field '{key}' exceeds u32"))
+}
+
+fn req_str(value: &Json, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+/// Serializes a [`TaskSchema`] to the wire JSON shape.
+fn schema_to_json(schema: &TaskSchema) -> Json {
+    let deps = schema
+        .env
+        .dependencies
+        .iter()
+        .map(|(name, mb)| Json::Arr(vec![Json::Str(name.clone()), Json::Num(f64::from(*mb))]))
+        .collect();
+    let dataset = match &schema.env.dataset {
+        Some((name, mb)) => Json::Arr(vec![Json::Str(name.clone()), Json::Num(f64::from(*mb))]),
+        None => Json::Null,
+    };
+    let model = match &schema.model {
+        Some(m) => obj(vec![
+            ("param_mb", Json::Num(m.param_mb)),
+            ("compute_secs_per_iter", Json::Num(m.compute_secs_per_iter)),
+        ]),
+        None => Json::Null,
+    };
+    obj(vec![
+        ("name", Json::Str(schema.name.clone())),
+        ("group", Json::Num(schema.group.index() as f64)),
+        ("workers", Json::Num(f64::from(schema.workers))),
+        (
+            "resources",
+            obj(vec![
+                ("gpus", Json::Num(f64::from(schema.resources.gpus))),
+                (
+                    "cpu_cores",
+                    Json::Num(f64::from(schema.resources.cpu_cores)),
+                ),
+                ("mem_gb", Json::Num(f64::from(schema.resources.mem_gb))),
+            ]),
+        ),
+        ("qos", Json::Str(schema.qos.to_string())),
+        ("task_kind", Json::Str(schema.kind.to_string())),
+        ("runtime", Json::Str(runtime_tag(schema.runtime).to_owned())),
+        (
+            "env",
+            obj(vec![
+                ("image", Json::Str(schema.env.image.clone())),
+                ("dependencies", Json::Arr(deps)),
+                ("dataset", dataset),
+                ("code_mb", Json::Num(f64::from(schema.env.code_mb))),
+            ]),
+        ),
+        ("est_duration_secs", Json::Num(schema.est_duration_secs)),
+        ("model", model),
+        ("elastic", Json::Bool(schema.elastic)),
+    ])
+}
+
+fn runtime_tag(runtime: RuntimePreference) -> &'static str {
+    match runtime {
+        RuntimePreference::Auto => "auto",
+        RuntimePreference::AllReduce => "all-reduce",
+        RuntimePreference::ParameterServer => "parameter-server",
+        RuntimePreference::InNetworkAggregation => "in-network-aggregation",
+        RuntimePreference::SingleProcess => "single-process",
+    }
+}
+
+/// Parses a [`TaskSchema`] from the wire JSON shape.
+fn schema_from_json(value: &Json) -> Result<TaskSchema, String> {
+    let qos = match req_str(value, "qos")?.as_str() {
+        "guaranteed" => QosClass::Guaranteed,
+        "best-effort" => QosClass::BestEffort,
+        other => return Err(format!("unknown qos '{other}'")),
+    };
+    let kind = match req_str(value, "task_kind")?.as_str() {
+        "training" => TaskKind::Training,
+        "interactive" => TaskKind::Interactive,
+        "inference" => TaskKind::Inference,
+        "cpu-batch" => TaskKind::CpuBatch,
+        other => return Err(format!("unknown task kind '{other}'")),
+    };
+    let runtime = match req_str(value, "runtime")?.as_str() {
+        "auto" => RuntimePreference::Auto,
+        "all-reduce" => RuntimePreference::AllReduce,
+        "parameter-server" => RuntimePreference::ParameterServer,
+        "in-network-aggregation" => RuntimePreference::InNetworkAggregation,
+        "single-process" => RuntimePreference::SingleProcess,
+        other => return Err(format!("unknown runtime '{other}'")),
+    };
+    let res = value
+        .get("resources")
+        .ok_or("schema missing field 'resources'")?;
+    let resources = tacc_cluster::ResourceVec {
+        gpus: req_u32(res, "gpus")?,
+        cpu_cores: req_u32(res, "cpu_cores")?,
+        mem_gb: req_u32(res, "mem_gb")?,
+    };
+    let env_v = value.get("env").ok_or("schema missing field 'env'")?;
+    let mut dependencies = Vec::new();
+    for dep in env_v
+        .get("dependencies")
+        .and_then(Json::as_arr)
+        .ok_or("env missing array field 'dependencies'")?
+    {
+        dependencies.push(pair_from_json(dep).ok_or("malformed dependency entry")?);
+    }
+    let dataset = match env_v.get("dataset") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(pair_from_json(v).ok_or("malformed dataset entry")?),
+    };
+    let env = RuntimeEnv {
+        image: req_str(env_v, "image")?,
+        dependencies,
+        dataset,
+        code_mb: req_u32(env_v, "code_mb")?,
+    };
+    let model = match value.get("model") {
+        Some(Json::Null) | None => None,
+        Some(m) => Some(ModelProfile {
+            param_mb: req_f64(m, "param_mb")?,
+            compute_secs_per_iter: req_f64(m, "compute_secs_per_iter")?,
+        }),
+    };
+    Ok(TaskSchema {
+        name: req_str(value, "name")?,
+        group: GroupId::from_index(
+            usize::try_from(req_u64(value, "group")?).map_err(|_| "group index overflow")?,
+        ),
+        workers: req_u32(value, "workers")?,
+        resources,
+        qos,
+        kind,
+        runtime,
+        env,
+        est_duration_secs: req_f64(value, "est_duration_secs")?,
+        model,
+        elastic: value
+            .get("elastic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+fn pair_from_json(value: &Json) -> Option<(String, u32)> {
+    let arr = value.as_arr()?;
+    if arr.len() != 2 {
+        return None;
+    }
+    let name = arr[0].as_str()?.to_owned();
+    let mb = u32::try_from(arr[1].as_u64()?).ok()?;
+    Some((name, mb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+    use crate::PlatformConfig;
+    use tacc_workload::TaskSchema;
+
+    fn schema() -> TaskSchema {
+        TaskSchema::builder("cmd-unit", GroupId::from_index(0))
+            .workers(2)
+            .qos(QosClass::BestEffort)
+            .model(ModelProfile::gpt2_like())
+            .env(RuntimeEnv {
+                image: "pytorch-2.1-cuda12".to_owned(),
+                dependencies: vec![("torch".to_owned(), 800)],
+                dataset: Some(("imagenet".to_owned(), 5000)),
+                code_mb: 7,
+            })
+            .build()
+            .expect("valid schema")
+    }
+
+    #[test]
+    fn command_json_round_trips() {
+        let commands = vec![
+            Command::Submit {
+                schema: schema(),
+                service_secs: 1234.5,
+            },
+            Command::Cancel {
+                job: JobId::from_value(7),
+            },
+            Command::Reserve {
+                gpus: 64,
+                from_secs: 3600.0,
+                until_secs: f64::INFINITY,
+            },
+            Command::FaultNode { node: 3 },
+            Command::Drain { node: 0 },
+            Command::Undrain { node: 0 },
+            Command::Advance { secs: 0.25 },
+        ];
+        for cmd in commands {
+            let text = cmd.to_json().to_string();
+            let back = Command::from_json(&wire::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(cmd, back, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn record_json_round_trips_bytes() {
+        let record = CommandRecord {
+            seq: 42,
+            at_secs: 1.5,
+            command: Command::Advance { secs: 10.0 },
+        };
+        let text = record.to_json().to_string();
+        let back = CommandRecord::from_json(&wire::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(record, back);
+        // Byte-stable re-encode — the journal invariant.
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected() {
+        for text in [
+            "{}",
+            "{\"kind\":\"warp\"}",
+            "{\"kind\":\"cancel\"}",
+            "{\"kind\":\"cancel\",\"job\":-1}",
+            "{\"kind\":\"submit\",\"service_secs\":10}",
+            "{\"kind\":\"reserve\",\"gpus\":8,\"from_secs\":0}",
+        ] {
+            let v = wire::parse(text).expect("valid JSON");
+            assert!(Command::from_json(&v).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn apply_command_submit_cancel_advance() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let out = p
+            .apply_command(&Command::Submit {
+                schema: schema(),
+                service_secs: 600.0,
+            })
+            .expect("submits");
+        let CommandOutcome::Submitted { job } = out else {
+            panic!("expected Submitted, got {out:?}");
+        };
+        p.apply_command(&Command::Advance { secs: 30.0 })
+            .expect("advances");
+        let out = p.apply_command(&Command::Cancel { job }).expect("cancels");
+        assert!(matches!(out, CommandOutcome::Cancelled { .. }));
+        // Unknown job is a typed error.
+        let err = p
+            .apply_command(&Command::Cancel {
+                job: JobId::from_value(999),
+            })
+            .expect_err("unknown job");
+        assert_eq!(err.kind(), "unknown-job");
+    }
+
+    #[test]
+    fn apply_command_validates() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let mut bad = schema();
+        bad.workers = 0;
+        assert_eq!(
+            p.apply_command(&Command::Submit {
+                schema: bad,
+                service_secs: 10.0
+            })
+            .expect_err("invalid")
+            .kind(),
+            "invalid-task"
+        );
+        let mut foreign = schema();
+        foreign.group = GroupId::from_index(4096);
+        assert_eq!(
+            p.apply_command(&Command::Submit {
+                schema: foreign,
+                service_secs: 10.0
+            })
+            .expect_err("bad group")
+            .kind(),
+            "invalid-task"
+        );
+        assert_eq!(
+            p.apply_command(&Command::Reserve {
+                gpus: 0,
+                from_secs: 0.0,
+                until_secs: 10.0
+            })
+            .expect_err("zero gpus")
+            .kind(),
+            "invalid-reservation"
+        );
+        assert_eq!(
+            p.apply_command(&Command::FaultNode { node: 9999 })
+                .expect_err("bad node")
+                .kind(),
+            "unknown-node"
+        );
+        assert_eq!(
+            p.apply_command(&Command::Advance { secs: -1.0 })
+                .expect_err("negative advance")
+                .kind(),
+            "invalid-advance"
+        );
+    }
+
+    #[test]
+    fn replayed_records_byte_reproduce_transitions() {
+        let records = vec![
+            CommandRecord {
+                seq: 0,
+                at_secs: 0.0,
+                command: Command::Submit {
+                    schema: schema(),
+                    service_secs: 120.0,
+                },
+            },
+            CommandRecord {
+                seq: 1,
+                at_secs: 5.0,
+                command: Command::Submit {
+                    schema: schema(),
+                    service_secs: 240.0,
+                },
+            },
+            CommandRecord {
+                seq: 2,
+                at_secs: 50.0,
+                command: Command::Reserve {
+                    gpus: 16,
+                    from_secs: 100.0,
+                    until_secs: 200.0,
+                },
+            },
+            CommandRecord {
+                seq: 3,
+                at_secs: 600.0,
+                command: Command::Advance { secs: 60.0 },
+            },
+        ];
+        let run = |records: &[CommandRecord]| {
+            let mut p = Platform::new(PlatformConfig::default());
+            for r in records {
+                p.apply_record(r).expect("applies");
+            }
+            p.transition_log_jsonl()
+        };
+        assert_eq!(run(&records), run(&records));
+    }
+
+    #[test]
+    fn apply_record_rejects_time_regression() {
+        let mut p = Platform::new(PlatformConfig::default());
+        p.apply_command(&Command::Advance { secs: 100.0 })
+            .expect("advances");
+        let err = p
+            .apply_record(&CommandRecord {
+                seq: 0,
+                at_secs: 50.0,
+                command: Command::Advance { secs: 0.0 },
+            })
+            .expect_err("regression");
+        assert_eq!(err.kind(), "time-regression");
+    }
+
+    #[test]
+    fn fault_node_command_hits_running_jobs() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let out = p
+            .apply_command(&Command::Submit {
+                schema: schema(),
+                service_secs: 3600.0,
+            })
+            .expect("submits");
+        let CommandOutcome::Submitted { job } = out else {
+            panic!("expected Submitted");
+        };
+        // Let compilation finish and the job start.
+        p.apply_command(&Command::Advance { secs: 600.0 })
+            .expect("advances");
+        let nodes = p.job_status(job).expect("status").nodes;
+        assert!(!nodes.is_empty(), "job should be running");
+        let out = p
+            .apply_command(&Command::FaultNode {
+                node: u32::try_from(nodes[0].index()).expect("small index"),
+            })
+            .expect("faults");
+        let CommandOutcome::NodeFaulted { jobs, .. } = out else {
+            panic!("expected NodeFaulted");
+        };
+        assert!(jobs.contains(&job));
+    }
+}

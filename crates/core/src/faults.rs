@@ -14,6 +14,26 @@ use tacc_workload::{JobEvent, JobId};
 use crate::platform::Platform;
 
 impl Platform {
+    /// Delivers a node fault to every job whose active run is placed on
+    /// `node`, in job-id order (deterministic), as if each had received
+    /// a DES `Fault` event now. Returns the jobs that were hit. This is
+    /// the `Command::FaultNode` entry point — operator-injected faults
+    /// and the failure injector share the same per-run handler below.
+    pub(crate) fn fault_node(&mut self, node: NodeId) -> Vec<JobId> {
+        let targets: Vec<(JobId, u64)> = self
+            .jobs
+            .iter()
+            .filter_map(|(id, slot)| {
+                let run = slot.active.as_ref()?;
+                run.worker_nodes.contains(&node).then_some((id, slot.token))
+            })
+            .collect();
+        for &(id, token) in &targets {
+            self.on_fault(id, token, node);
+        }
+        targets.into_iter().map(|(id, _)| id).collect()
+    }
+
     pub(crate) fn on_fault(&mut self, id: JobId, token: u64, node: NodeId) {
         if self.jobs.get(id).map(|slot| slot.token) != Some(token) {
             return; // the run this fault targeted is already over

@@ -39,6 +39,7 @@
 mod accounting;
 mod admission;
 mod arena;
+mod command;
 mod config;
 mod faults;
 mod lifecycle;
@@ -46,7 +47,9 @@ mod observability;
 mod platform;
 mod report;
 mod status;
+pub mod wire;
 
+pub use command::{Command, CommandError, CommandOutcome, CommandRecord};
 pub use config::PlatformConfig;
 pub use lifecycle::{LifecycleError, TransitionRecord};
 pub use platform::Platform;

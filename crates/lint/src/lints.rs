@@ -98,9 +98,10 @@ pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["par"];
 
 /// Crates that must stay free of shared-state concurrency (L8): the
 /// deterministic replay core. The fork–join pool (`par`), the harness
-/// (`bench`), observability plumbing (`obs`), and the future `taccd`
-/// ingestion edge are deliberately NOT listed — concurrency belongs at
-/// the edge, determinism in the core.
+/// (`bench`), observability plumbing (`obs`), and the `taccd` service
+/// edge (whose accept loop, per-connection threads, and single-writer
+/// engine channel are load-bearing) are deliberately NOT listed —
+/// concurrency belongs at the edge, determinism in the core.
 pub const CONCURRENCY_CLEAN_CRATES: [&str; 8] = [
     "cluster", "compiler", "core", "exec", "sched", "sim", "storage", "workload",
 ];
@@ -111,9 +112,9 @@ pub const CONCURRENCY_CLEAN_CRATES: [&str; 8] = [
 pub const LIFECYCLE_ENUMS: [&str; 3] = ["JobState", "JobEvent", "JobEventKind"];
 
 /// Layer names accepted as the second segment of a metric name (L6).
-pub const METRIC_LAYERS: [&str; 15] = [
+pub const METRIC_LAYERS: [&str; 16] = [
     "bench", "cluster", "compiler", "core", "exec", "lint", "metrics", "obs", "par", "sched",
-    "sim", "storage", "tcloud", "test", "workload",
+    "sim", "storage", "taccd", "tcloud", "test", "workload",
 ];
 
 /// How a source file participates in the scan.
@@ -1055,11 +1056,14 @@ mod tests {
             .map(|f| f.line)
             .collect();
         assert_eq!(conc, vec![1, 1, 2, 3]);
-        // The harness and obs edges stay free to use them.
+        // The harness, obs, and service edges stay free to use them.
         assert!(scan_source(&ctx("bench", FileKind::Lib), src)
             .findings
             .is_empty());
         assert!(scan_source(&ctx("obs", FileKind::Lib), src)
+            .findings
+            .is_empty());
+        assert!(scan_source(&ctx("taccd", FileKind::Lib), src)
             .findings
             .is_empty());
     }
@@ -1150,6 +1154,7 @@ mod tests {
     fn metric_name_shape() {
         assert!(valid_metric_name("tacc_sched_rounds_total"));
         assert!(valid_metric_name("tacc_core_queue_delay_seconds"));
+        assert!(valid_metric_name("tacc_taccd_journal_fsyncs_total"));
         assert!(!valid_metric_name("tacc_sched"));
         assert!(!valid_metric_name("sched_rounds"));
         assert!(!valid_metric_name("tacc_Sched_rounds"));

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! {par, metrics} → sim → cluster → {storage, workload} → obs
-//!   → {compiler, exec, sched} → core → tcloud → {bench, lint} → tests
+//!   → {compiler, exec, sched} → core → {tcloud, taccd} → {bench, lint}
+//!   → tests
 //! ```
 //!
 //! A crate may depend only on crates at strictly lower layers; same-layer
@@ -73,7 +74,10 @@ pub fn rank(short: &str) -> Option<u32> {
         "obs" => 4,
         "compiler" | "exec" | "sched" => 5,
         "core" => 6,
-        "tcloud" => 7,
+        // The service edge: the daemon and the client CLI sit side by
+        // side above the deterministic core. Neither may depend on the
+        // other — their shared wire protocol lives in `core::wire`.
+        "tcloud" | "taccd" => 7,
         "bench" | "lint" => 8,
         "tests" => 9,
         _ => return None,
@@ -120,8 +124,13 @@ mod tests {
         assert!(edge_allowed("sched", "obs"));
         assert!(edge_allowed("bench", "core"));
         assert!(edge_allowed("tcloud", "core"));
+        assert!(edge_allowed("taccd", "core"));
+        assert!(edge_allowed("bench", "taccd"));
         // Upward and same-layer edges are violations.
         assert!(!edge_allowed("core", "tcloud"));
+        assert!(!edge_allowed("core", "taccd"));
+        assert!(!edge_allowed("taccd", "tcloud"));
+        assert!(!edge_allowed("tcloud", "taccd"));
         assert!(!edge_allowed("sched", "core"));
         assert!(!edge_allowed("compiler", "sched"));
         assert!(!edge_allowed("storage", "workload"));

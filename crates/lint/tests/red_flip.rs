@@ -220,6 +220,50 @@ fn reachable_panic_flips_red_unreachable_is_skipped() {
     fs::remove_dir_all(&root).expect("cleanup");
 }
 
+/// Concurrency confinement after the service split: a rogue
+/// `thread::spawn` in the deterministic core still flips red, while the
+/// identical source under `taccd` — the one crate whose threads and
+/// channels are load-bearing by design — passes clean.
+#[test]
+fn thread_spawn_in_core_flips_red_but_taccd_is_exempt_by_design() {
+    let src = "use std::sync::{mpsc, Mutex};\n\
+               pub fn serve() { std::thread::spawn(|| {}); }\n";
+
+    let red = scratch("spawn-core");
+    write(
+        &red.join("crates/eps/Cargo.toml"),
+        "[package]\nname = \"tacc-core\"\n",
+    );
+    write(&red.join("crates/eps/src/lib.rs"), src);
+    let json_path = red.join("report.json");
+    let status = run_lint(&red, &json_path);
+    assert!(
+        !status.success(),
+        "thread::spawn in the deterministic core must fail --check"
+    );
+    let json = fs::read_to_string(&json_path).expect("JSON report written");
+    assert!(
+        json.contains(
+            "{\"lint\": \"concurrency\", \"file\": \"crates/eps/src/lib.rs\", \"line\": 2,"
+        ),
+        "the rogue spawn must be located\n{json}"
+    );
+    fs::remove_dir_all(&red).expect("cleanup");
+
+    let green = scratch("spawn-taccd");
+    write(
+        &green.join("crates/zeta/Cargo.toml"),
+        "[package]\nname = \"tacc-taccd\"\n\n[dependencies]\ntacc-core.workspace = true\n",
+    );
+    write(&green.join("crates/zeta/src/lib.rs"), src);
+    let json_path = green.join("report.json");
+    assert!(
+        run_lint(&green, &json_path).success(),
+        "taccd's threads and channels are exempt by design"
+    );
+    fs::remove_dir_all(&green).expect("cleanup");
+}
+
 #[test]
 fn panic_budget_growth_flips_red_but_within_budget_passes() {
     let root = scratch("budget");

@@ -350,6 +350,25 @@ impl Scheduler {
         self.counters
     }
 
+    /// Registers an advance reservation: `window.gpus` GPUs are withheld
+    /// from the temporal planner's availability profile over
+    /// `[from_secs, until_secs)` — the OAR `available_upto` pseudo-job
+    /// trick, now reachable from a live client request
+    /// (`tcloud reserve`). Backfill shadows immediately respect the
+    /// window; the physical cluster is untouched. The slot-set timeline
+    /// is invalidated so the next reservation probe rebuilds against the
+    /// updated profile.
+    pub fn reserve_capacity(&mut self, window: CapacityWindow) {
+        self.config.capacity_windows.push(window);
+        self.timeline_version = None;
+    }
+
+    /// The capacity windows currently shaping the availability profile
+    /// (config-supplied plus live reservations, in registration order).
+    pub fn capacity_windows(&self) -> &[CapacityWindow] {
+        &self.config.capacity_windows
+    }
+
     /// Mirrors the work-counter deltas since the last flush into the
     /// attached registry (no-op when no registry is attached).
     fn flush_work_metrics(&mut self) {

@@ -1,0 +1,362 @@
+//! The threaded front door: a Unix-socket listener accepting concurrent
+//! `tcloud` clients, one thread per connection, all funneling into the
+//! single-writer [`Engine`] channel. Concurrency lives here and only
+//! here — the deterministic core below is untouched by it (and the
+//! concurrency lint family keeps it that way: `taccd` is the one crate
+//! exempted by design).
+//!
+//! ## Socket protocol
+//!
+//! Requests and responses are wire frames ([`tacc_core::wire`]), one
+//! JSON object per frame:
+//!
+//! ```text
+//! → {"v":1,"hello":true}
+//! ← {"ok":{"protocol":1,"server":"taccd"}}
+//! → {"v":1,"mutate":{"kind":"submit","service_secs":...,"schema":{...}}}
+//! ← {"ok":{"seq":0,"at_secs":0,"outcome":"submitted","job":0}}
+//! → {"v":1,"query":{"kind":"status","job":0}}
+//! ← {"ok":{"job":0,"state":"Running",...}}  |  {"err":{"kind":"...","message":"..."}}
+//! ```
+//!
+//! A request naming any other protocol version is answered with
+//! `version-mismatch` and the connection stays usable; a frame that
+//! fails its checksum cannot be resynchronized, so the connection is
+//! answered with `malformed-frame` and closed.
+
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tacc_core::wire::{self, obj, Json};
+use tacc_core::Command;
+
+use crate::engine::{Engine, EngineConfig, EngineInitError, Msg, Query, Reply};
+use crate::journal::RecoveryReport;
+
+/// Daemon configuration: where to listen plus the engine beneath.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix socket path. Any stale socket file (e.g. after `kill -9`)
+    /// is removed before binding.
+    pub socket: PathBuf,
+    /// Engine (journal + platform + clock) configuration.
+    pub engine: EngineConfig,
+}
+
+/// Why the daemon failed to start.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// The engine (journal recovery/replay) failed.
+    Engine(EngineInitError),
+    /// Binding the Unix socket failed.
+    Bind(std::io::Error),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Engine(e) => write!(f, "engine init failed: {e}"),
+            DaemonError::Bind(e) => write!(f, "socket bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<EngineInitError> for DaemonError {
+    fn from(e: EngineInitError) -> Self {
+        DaemonError::Engine(e)
+    }
+}
+
+/// A running daemon: the engine thread, the accept thread, and the
+/// per-connection threads they spawn.
+#[derive(Debug)]
+pub struct Daemon {
+    socket: PathBuf,
+    engine_tx: Sender<Msg>,
+    engine_handle: Option<JoinHandle<()>>,
+    accept_handle: Option<JoinHandle<()>>,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Opens the engine (recovering any existing journal), binds the
+    /// socket, and starts serving. Returns the recovery report when an
+    /// existing journal was replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError`] when the journal cannot be recovered or the
+    /// socket cannot be bound.
+    pub fn start(config: DaemonConfig) -> Result<(Daemon, Option<RecoveryReport>), DaemonError> {
+        let (engine, report) = Engine::open(config.engine)?;
+        let connected = engine.registry().gauge("tacc_taccd_connected_clients", &[]);
+
+        // A daemon killed with SIGKILL leaves its socket file behind;
+        // binding over it needs the stale file gone first.
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket).map_err(DaemonError::Bind)?;
+        }
+        let listener = UnixListener::bind(&config.socket).map_err(DaemonError::Bind)?;
+
+        let (tx, rx) = mpsc::channel();
+        let engine_handle = std::thread::spawn(move || engine.run(&rx));
+
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_tx = tx.clone();
+        let accept_stop = Arc::clone(&stopping);
+        let accept_handle = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    continue; // a failed accept poisons nothing
+                };
+                let conn_tx = accept_tx.clone();
+                let conn_gauge = connected.clone();
+                workers.push(std::thread::spawn(move || {
+                    conn_gauge.add(1.0);
+                    serve_connection(stream, &conn_tx);
+                    conn_gauge.add(-1.0);
+                }));
+                workers.retain(|w| !w.is_finished());
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+
+        Ok((
+            Daemon {
+                socket: config.socket,
+                engine_tx: tx,
+                engine_handle: Some(engine_handle),
+                accept_handle: Some(accept_handle),
+                stopping,
+            },
+            report,
+        ))
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Stops the daemon: closes the listener, drains the engine (final
+    /// group commit), and removes the socket file. Idempotent.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // `incoming()` blocks in accept(2); a self-connection wakes it so
+        // it can observe the stop flag.
+        let _ = UnixStream::connect(&self.socket);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let _ = self.engine_tx.send(Msg::Stop);
+        if let Some(h) = self.engine_handle.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads one frame from the stream. `Ok(None)` on clean EOF before a
+/// header; any mid-frame failure is an error string (the connection
+/// cannot be resynchronized after one).
+fn read_frame(stream: &mut UnixStream) -> Result<Option<Vec<u8>>, String> {
+    let mut header = [0u8; 8];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(format!("read error: {e}")),
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len > wire::MAX_FRAME_LEN {
+        return Err(format!("frame length {len} exceeds cap"));
+    }
+    let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let mut payload = vec![0u8; len];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| format!("short frame payload: {e}"))?;
+    let actual = wire::crc32(&payload);
+    if actual != expected {
+        return Err(format!(
+            "frame checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+        ));
+    }
+    Ok(Some(payload))
+}
+
+fn write_response(stream: &mut UnixStream, response: &Json) -> bool {
+    let payload = response.to_string();
+    stream
+        .write_all(&wire::encode_frame(payload.as_bytes()))
+        .is_ok()
+}
+
+fn err_json(kind: &str, message: &str) -> Json {
+    obj(vec![(
+        "err",
+        obj(vec![
+            ("kind", Json::Str(kind.to_owned())),
+            ("message", Json::Str(message.to_owned())),
+        ]),
+    )])
+}
+
+fn ok_json(payload: Json) -> Json {
+    obj(vec![("ok", payload)])
+}
+
+/// One parsed client request.
+enum Request {
+    Hello,
+    Mutate(Command),
+    Query(Query),
+}
+
+fn parse_request(payload: &[u8]) -> Result<Request, (String, String)> {
+    let text = std::str::from_utf8(payload).map_err(|_| {
+        (
+            "malformed-frame".to_owned(),
+            "payload is not UTF-8".to_owned(),
+        )
+    })?;
+    let value = wire::parse(text).map_err(|e| ("malformed-frame".to_owned(), e.to_string()))?;
+    let v = value
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ("malformed-frame".to_owned(), "missing 'v' field".to_owned()))?;
+    if v != wire::PROTOCOL_VERSION {
+        return Err((
+            "version-mismatch".to_owned(),
+            format!(
+                "client speaks protocol v{v}, daemon speaks v{}",
+                wire::PROTOCOL_VERSION
+            ),
+        ));
+    }
+    if value.get("hello").is_some() {
+        return Ok(Request::Hello);
+    }
+    if let Some(cmd) = value.get("mutate") {
+        let command = Command::from_json(cmd).map_err(|e| ("malformed-command".to_owned(), e))?;
+        return Ok(Request::Mutate(command));
+    }
+    if let Some(q) = value.get("query") {
+        return parse_query(q).map(Request::Query);
+    }
+    Err((
+        "malformed-frame".to_owned(),
+        "request has none of 'hello', 'mutate', 'query'".to_owned(),
+    ))
+}
+
+fn parse_query(q: &Json) -> Result<Query, (String, String)> {
+    let kind = q
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ("malformed-query".to_owned(), "missing 'kind'".to_owned()))?;
+    let job = || {
+        q.get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ("malformed-query".to_owned(), "missing 'job'".to_owned()))
+    };
+    Ok(match kind {
+        "status" => Query::Status { job: job()? },
+        "list" => Query::List,
+        "events" => Query::Events { job: job()? },
+        "info" => Query::Info,
+        "metrics" => Query::Metrics,
+        "transitions" => Query::Transitions,
+        "journal" => Query::JournalStats,
+        other => {
+            return Err((
+                "malformed-query".to_owned(),
+                format!("unknown query kind '{other}'"),
+            ))
+        }
+    })
+}
+
+/// Serves one connection until EOF or an unrecoverable framing error.
+fn serve_connection(mut stream: UnixStream, engine: &Sender<Msg>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(why) => {
+                // Framing broke: answer once, then drop the connection.
+                let _ = write_response(&mut stream, &err_json("malformed-frame", &why));
+                return;
+            }
+        };
+        let response = match parse_request(&payload) {
+            Err((kind, message)) => err_json(&kind, &message),
+            Ok(Request::Hello) => ok_json(obj(vec![
+                ("protocol", Json::Num(wire::PROTOCOL_VERSION as f64)),
+                ("server", Json::Str("taccd".to_owned())),
+            ])),
+            Ok(Request::Mutate(command)) => {
+                let (rtx, rrx) = mpsc::channel();
+                if engine
+                    .send(Msg::Mutate {
+                        command,
+                        reply: rtx,
+                    })
+                    .is_err()
+                {
+                    err_json("daemon-stopping", "engine is shutting down")
+                } else {
+                    match rrx.recv() {
+                        Ok(reply) => reply_json(reply),
+                        Err(_) => err_json("daemon-stopping", "engine dropped the request"),
+                    }
+                }
+            }
+            Ok(Request::Query(query)) => {
+                let (rtx, rrx) = mpsc::channel();
+                if engine.send(Msg::Query { query, reply: rtx }).is_err() {
+                    err_json("daemon-stopping", "engine is shutting down")
+                } else {
+                    match rrx.recv() {
+                        Ok(reply) => reply_json(reply),
+                        Err(_) => err_json("daemon-stopping", "engine dropped the request"),
+                    }
+                }
+            }
+        };
+        if !write_response(&mut stream, &response) {
+            return; // client went away mid-reply
+        }
+    }
+}
+
+fn reply_json(reply: Reply) -> Json {
+    match reply {
+        Reply::Ok(payload) => ok_json(payload),
+        Reply::Err { kind, message } => err_json(&kind, &message),
+    }
+}

@@ -1,0 +1,386 @@
+//! The single-writer write-ahead journal.
+//!
+//! One file, a sequence of checksummed frames ([`tacc_core::wire`]):
+//! a genesis frame carrying the protocol version and platform seed,
+//! then one frame per accepted [`CommandRecord`], each a single JSON
+//! line. Appends are buffered and durability is batched: the engine
+//! appends every valid command of a batch, then calls [`Journal::sync`]
+//! once (group commit) before acknowledging any of them — one `fsync`
+//! amortized over the whole batch.
+//!
+//! Recovery reads frames until the first torn or corrupt one, keeps the
+//! longest valid prefix, reports what it dropped (loudly — torn tails
+//! are counted, logged and surfaced in `tacc_taccd_torn_frames_total`),
+//! and truncates the file so the next append continues from a clean
+//! boundary.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use tacc_core::wire::{self, Json};
+use tacc_core::CommandRecord;
+
+/// Why the journal could not be opened, recovered or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The genesis frame exists but names a different protocol version.
+    ProtocolMismatch {
+        /// Version found in the genesis frame.
+        found: u64,
+        /// Version this daemon speaks.
+        expected: u64,
+    },
+    /// The genesis frame is intact JSON but not a genesis frame.
+    BadGenesis(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::ProtocolMismatch { found, expected } => write!(
+                f,
+                "journal protocol v{found} does not match daemon protocol v{expected}"
+            ),
+            JournalError::BadGenesis(why) => write!(f, "bad journal genesis frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// What recovery found in an existing journal file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Intact command frames recovered (excludes the genesis frame).
+    pub frames: u64,
+    /// Bytes of the longest valid prefix (frames kept).
+    pub valid_bytes: u64,
+    /// Bytes dropped from the torn tail (0 for a clean journal).
+    pub torn_bytes: u64,
+    /// Human-readable description of the tear, when there was one.
+    pub torn_reason: Option<String>,
+}
+
+impl RecoveryReport {
+    /// True when the journal ended mid-frame or with a corrupt frame.
+    pub fn torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+}
+
+/// The write-ahead journal: an append-only file of checksummed frames,
+/// owned by exactly one engine thread (single writer by construction —
+/// and by the `single-writer` lint rule on [`Journal::append_frame`]).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// Frames appended since open (journal side of the fsync-batching
+    /// policy; the engine reads these through [`Journal::stats`]).
+    appended: u64,
+    /// `fsync` calls issued.
+    syncs: u64,
+    /// Appended-but-not-yet-synced frame count.
+    dirty: u64,
+}
+
+/// Counters the engine exports as `tacc_taccd_journal_*` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Frames appended since open.
+    pub appended: u64,
+    /// `fsync` calls issued since open.
+    pub syncs: u64,
+    /// Frames appended but not yet covered by an `fsync`.
+    pub dirty: u64,
+}
+
+fn genesis_payload(seed: u64) -> String {
+    wire::obj(vec![
+        ("genesis", Json::Num(wire::PROTOCOL_VERSION as f64)),
+        ("seed", Json::Num(seed as f64)),
+    ])
+    .to_string()
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// and writes the genesis frame.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn create(path: &Path, seed: u64) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut journal = Journal {
+            file,
+            path: path.to_owned(),
+            appended: 0,
+            syncs: 0,
+            dirty: 0,
+        };
+        let genesis = genesis_payload(seed);
+        journal
+            .file
+            .write_all(&wire::encode_frame(genesis.as_bytes()))?;
+        journal.file.sync_data()?;
+        journal.syncs += 1;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal, validates the genesis frame, recovers
+    /// the longest valid prefix of command frames, truncates any torn
+    /// tail, and returns the recovered records alongside a report.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure, `ProtocolMismatch` /
+    /// `BadGenesis` when the genesis frame is intact but wrong. A torn
+    /// or missing genesis frame is `BadGenesis` too: there is no valid
+    /// prefix to keep.
+    pub fn recover(
+        path: &Path,
+        expected_seed: u64,
+    ) -> Result<(Journal, Vec<CommandRecord>, RecoveryReport), JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // Genesis frame first.
+        let (genesis, genesis_len) =
+            wire::decode_frame(&bytes).map_err(|e| JournalError::BadGenesis(e.to_string()))?;
+        let genesis_text = std::str::from_utf8(genesis)
+            .map_err(|_| JournalError::BadGenesis("genesis is not UTF-8".to_owned()))?;
+        let genesis_json =
+            wire::parse(genesis_text).map_err(|e| JournalError::BadGenesis(e.to_string()))?;
+        let found = genesis_json
+            .get("genesis")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JournalError::BadGenesis("missing 'genesis' version".to_owned()))?;
+        if found != wire::PROTOCOL_VERSION {
+            return Err(JournalError::ProtocolMismatch {
+                found,
+                expected: wire::PROTOCOL_VERSION,
+            });
+        }
+        if let Some(seed) = genesis_json.get("seed").and_then(Json::as_u64) {
+            if seed != expected_seed {
+                return Err(JournalError::BadGenesis(format!(
+                    "journal was written for platform seed {seed}, daemon configured with {expected_seed}"
+                )));
+            }
+        }
+
+        // Command frames: longest valid prefix.
+        let mut records = Vec::new();
+        let mut offset = genesis_len;
+        let mut report = RecoveryReport::default();
+        loop {
+            if offset == bytes.len() {
+                break; // clean end
+            }
+            match wire::decode_frame(&bytes[offset..]) {
+                Ok((payload, used)) => {
+                    // A frame that decodes but does not parse as a record
+                    // is corruption past the checksum — stop here too.
+                    let parsed = std::str::from_utf8(payload)
+                        .map_err(|_| "frame payload is not UTF-8".to_owned())
+                        .and_then(|text| {
+                            wire::parse(text)
+                                .map_err(|e| e.to_string())
+                                .and_then(|v| CommandRecord::from_json(&v))
+                        });
+                    match parsed {
+                        Ok(record) => {
+                            records.push(record);
+                            offset += used;
+                        }
+                        Err(why) => {
+                            report.torn_reason =
+                                Some(format!("unparseable frame at byte {offset}: {why}"));
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    report.torn_reason = Some(format!("torn frame at byte {offset}: {e}"));
+                    break;
+                }
+            }
+        }
+        report.frames = records.len() as u64;
+        report.valid_bytes = offset as u64;
+        report.torn_bytes = (bytes.len() - offset) as u64;
+
+        // Truncate the torn tail so appends restart from a clean frame
+        // boundary.
+        if report.torn_bytes > 0 {
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))?;
+
+        Ok((
+            Journal {
+                file,
+                path: path.to_owned(),
+                appended: 0,
+                syncs: 0,
+                dirty: 0,
+            },
+            records,
+            report,
+        ))
+    }
+
+    /// Appends one command record as a checksummed frame. **Not**
+    /// durable until the next [`Journal::sync`] — the engine batches
+    /// appends and syncs once per batch before acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn append_frame(&mut self, record: &CommandRecord) -> Result<(), JournalError> {
+        let payload = record.to_json().to_string();
+        self.file
+            .write_all(&wire::encode_frame(payload.as_bytes()))?;
+        self.appended += 1;
+        self.dirty += 1;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage (the group
+    /// commit point).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        if self.dirty == 0 {
+            return Ok(());
+        }
+        self.file.sync_data()?;
+        self.syncs += 1;
+        self.dirty = 0;
+        Ok(())
+    }
+
+    /// Append/sync counters for the `tacc_taccd_journal_*` metrics.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appended: self.appended,
+            syncs: self.syncs,
+            dirty: self.dirty,
+        }
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_core::Command;
+
+    fn record(seq: u64) -> CommandRecord {
+        CommandRecord {
+            seq,
+            at_secs: seq as f64 * 0.5,
+            command: Command::Advance { secs: 1.0 },
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("taccd-journal-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_append_recover_round_trip() {
+        let path = temp_path("round-trip");
+        {
+            let mut j = Journal::create(&path, 42).expect("creates");
+            for seq in 0..10 {
+                j.append_frame(&record(seq)).expect("appends");
+            }
+            j.sync().expect("syncs");
+            assert_eq!(j.stats().appended, 10);
+            assert_eq!(j.stats().dirty, 0);
+        }
+        let (_j, records, report) = Journal::recover(&path, 42).expect("recovers");
+        assert_eq!(records.len(), 10);
+        assert!(!report.torn());
+        assert_eq!(report.frames, 10);
+        for (seq, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, seq as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_longest_prefix() {
+        let path = temp_path("torn");
+        {
+            let mut j = Journal::create(&path, 42).expect("creates");
+            for seq in 0..5 {
+                j.append_frame(&record(seq)).expect("appends");
+            }
+            j.sync().expect("syncs");
+        }
+        // Tear the last frame by dropping its final 3 bytes.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&path).expect("opens");
+        f.set_len(len - 3).expect("truncates");
+        drop(f);
+
+        let (mut j, records, report) = Journal::recover(&path, 42).expect("recovers");
+        assert_eq!(records.len(), 4, "last frame was torn");
+        assert!(report.torn());
+        assert!(report
+            .torn_reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("torn frame"));
+        // The file was truncated to the valid prefix; appends continue
+        // cleanly from there.
+        j.append_frame(&record(99)).expect("appends after recovery");
+        j.sync().expect("syncs");
+        drop(j);
+        let (_j, records, report) = Journal::recover(&path, 42).expect("re-recovers");
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[4].seq, 99);
+        assert!(!report.torn());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seed_and_protocol_mismatches_are_typed() {
+        let path = temp_path("mismatch");
+        {
+            Journal::create(&path, 42).expect("creates");
+        }
+        match Journal::recover(&path, 43) {
+            Err(JournalError::BadGenesis(why)) => assert!(why.contains("seed")),
+            other => panic!("expected BadGenesis, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -42,6 +42,7 @@ impl TcloudClient {
     /// tcloud quota
     /// tcloud top
     /// tcloud get <job-id>
+    /// tcloud reserve <gpus> <start-secs> <duration-secs>
     /// tcloud drain <node-index>
     /// tcloud undrain <node-index>
     /// tcloud use <profile>
@@ -104,6 +105,7 @@ impl TcloudClient {
                 let job = parse_job(id)?;
                 Ok(self.cmd_get(job)?)
             }
+            ["reserve", gpus, start, duration] => self.cmd_reserve(gpus, start, duration),
             ["drain", node] => {
                 let node = parse_node(node)?;
                 if self.platform_mut().drain_node(node) {
@@ -125,7 +127,7 @@ impl TcloudClient {
                 Ok(CommandOutput::one(format!("switched to profile '{profile}'")))
             }
             _ => Err(TcloudError::Usage(
-                "tcloud submit|ps|logs|events|timeline|goodput|why|metrics|kill|wait|info|quota|top|get|drain|undrain|use"
+                "tcloud submit|ps|logs|events|timeline|goodput|why|metrics|kill|wait|info|quota|top|get|reserve|drain|undrain|use"
                     .to_owned(),
             )),
         }
@@ -154,6 +156,35 @@ impl TcloudClient {
         };
         let job = self.submit_json(json, service_secs)?;
         Ok(CommandOutput::one(format!("submitted job {}", job.value())))
+    }
+
+    /// `tcloud reserve`: carve a maintenance/teaching capacity window out
+    /// of the cluster (paper §5: reserved slots for course deadlines).
+    /// Routed through [`tacc_core::Command::Reserve`] so the same verb
+    /// works locally and against a live daemon.
+    fn cmd_reserve(
+        &mut self,
+        gpus: &str,
+        start: &str,
+        duration: &str,
+    ) -> Result<CommandOutput, TcloudError> {
+        let usage =
+            || TcloudError::Usage("tcloud reserve <gpus> <start-secs> <duration-secs>".to_owned());
+        let gpus: u32 = gpus.parse().map_err(|_| usage())?;
+        let start: f64 = start.parse().map_err(|_| usage())?;
+        let duration: f64 = duration.parse().map_err(|_| usage())?;
+        let command = tacc_core::Command::Reserve {
+            gpus,
+            from_secs: start,
+            until_secs: start + duration,
+        };
+        match self.platform_mut().apply_command(&command) {
+            Ok(_) => Ok(CommandOutput::one(format!(
+                "reserved {gpus} GPUs from {start}s to {}s",
+                start + duration
+            ))),
+            Err(e) => Err(TcloudError::Usage(e.to_string())),
+        }
     }
 
     fn cmd_ps(&self) -> CommandOutput {
@@ -496,6 +527,26 @@ mod tests {
 
         assert!(c.run_command(&["timeline", "42"]).is_err());
         assert!(c.run_command(&["timeline", "not-a-number"]).is_err());
+    }
+
+    #[test]
+    fn reserve_carves_a_capacity_window() {
+        let mut c = client();
+        let out = c
+            .run_command(&["reserve", "8", "100", "600"])
+            .expect("reserves");
+        assert_eq!(out.text(), "reserved 8 GPUs from 100s to 700s");
+        assert_eq!(
+            c.platform().scheduler().capacity_windows().len(),
+            1,
+            "window lands in SchedulerConfig::capacity_windows"
+        );
+        // Validation errors surface as usage/command errors, not panics.
+        assert!(c.run_command(&["reserve", "0", "100", "600"]).is_err());
+        assert!(c.run_command(&["reserve", "9999", "100", "600"]).is_err());
+        assert!(c.run_command(&["reserve", "8", "-1", "600"]).is_err());
+        assert!(c.run_command(&["reserve", "8", "100", "0"]).is_err());
+        assert!(c.run_command(&["reserve", "x", "100", "600"]).is_err());
     }
 
     #[test]

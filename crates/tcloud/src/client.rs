@@ -19,6 +19,8 @@ pub enum TcloudError {
     InvalidTask(String),
     /// A CLI command could not be parsed; the message explains usage.
     Usage(String),
+    /// Talking to a remote daemon failed (socket transport).
+    Transport(crate::transport::TransportError),
 }
 
 impl fmt::Display for TcloudError {
@@ -28,11 +30,18 @@ impl fmt::Display for TcloudError {
             TcloudError::UnknownJob(id) => write!(f, "no such job {id}"),
             TcloudError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
             TcloudError::Usage(msg) => write!(f, "usage: {msg}"),
+            TcloudError::Transport(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for TcloudError {}
+
+impl From<crate::transport::TransportError> for TcloudError {
+    fn from(e: crate::transport::TransportError) -> Self {
+        TcloudError::Transport(e)
+    }
+}
 
 /// The `tcloud` client: a registry of cluster profiles and a connection to
 /// the active one.

@@ -49,9 +49,11 @@
 
 mod cli;
 mod client;
+pub mod transport;
 
 pub use cli::CommandOutput;
 pub use client::{TcloudClient, TcloudError};
+pub use transport::{DaemonClient, RetryPolicy, TransportError};
 
 // Re-exported so downstream code can name the schema type without another
 // direct dependency.
